@@ -1,0 +1,47 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunUnknownTransport(t *testing.T) {
+	if err := run([]string{"-transport", "carrier-pigeon"}); err == nil {
+		t.Error("unknown transport accepted")
+	}
+}
+
+func TestRunUnknownScale(t *testing.T) {
+	if err := run([]string{"-scale", "galactic"}); err == nil {
+		t.Error("unknown scale accepted")
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	if err := run([]string{"-nope"}); err == nil {
+		t.Error("bad flag accepted")
+	}
+}
+
+func TestRunMemoryLogisticWithVerifyAndSave(t *testing.T) {
+	dir := t.TempDir()
+	resPath := filepath.Join(dir, "res.json")
+	curvePath := filepath.Join(dir, "curve.csv")
+	err := run([]string{
+		"-transport", "memory",
+		"-model", "logistic",
+		"-classes", "3",
+		"-verify",
+		"-save-result", resPath,
+		"-save-curve", curvePath,
+	})
+	if err != nil {
+		t.Fatalf("memory run: %v", err)
+	}
+	for _, p := range []string{resPath, curvePath} {
+		if st, err := os.Stat(p); err != nil || st.Size() == 0 {
+			t.Errorf("artifact %s missing or empty (%v)", p, err)
+		}
+	}
+}

@@ -1,0 +1,129 @@
+// Command flnode runs ONE node of a multi-process HierAdMo deployment: a
+// cloud, an edge, or a worker, addressed through a shared JSON registry
+// mapping node IDs to host:port. Every process regenerates the identical
+// synthetic workload deterministically from the shared seed, so no training
+// data crosses the wire — only models, momenta, and interval accumulators,
+// exactly as Algorithm 1 prescribes.
+//
+// A 4-worker, 2-edge deployment on one machine:
+//
+//	cat > reg.json <<'EOF'
+//	{"cloud":"127.0.0.1:7000",
+//	 "edge-0":"127.0.0.1:7001","edge-1":"127.0.0.1:7002",
+//	 "worker-0-0":"127.0.0.1:7010","worker-0-1":"127.0.0.1:7011",
+//	 "worker-1-0":"127.0.0.1:7012","worker-1-1":"127.0.0.1:7013"}
+//	EOF
+//	flnode -role worker -edge 0 -index 0 -registry reg.json &
+//	flnode -role worker -edge 0 -index 1 -registry reg.json &
+//	flnode -role worker -edge 1 -index 0 -registry reg.json &
+//	flnode -role worker -edge 1 -index 1 -registry reg.json &
+//	flnode -role edge -edge 0 -registry reg.json &
+//	flnode -role edge -edge 1 -registry reg.json &
+//	flnode -role cloud -registry reg.json          # prints the result
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"hieradmo/internal/cluster"
+	"hieradmo/internal/experiment"
+	"hieradmo/internal/fl"
+	"hieradmo/internal/transport"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "flnode:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("flnode", flag.ContinueOnError)
+	var (
+		role         = fs.String("role", "", `node role: "cloud", "edge", or "worker"`)
+		edgeIdx      = fs.Int("edge", 0, "edge index ℓ (edge and worker roles)")
+		workerIdx    = fs.Int("index", 0, "worker index i within the edge (worker role)")
+		registryPath = fs.String("registry", "", "path to the JSON node-ID → host:port registry")
+		datasetName  = fs.String("dataset", "mnist", "dataset: mnist|cifar10|imagenet|har")
+		modelName    = fs.String("model", "logistic", "model: linear|logistic|cnn|cnn-gap|vgg-mini|resnet-mini")
+		classes      = fs.Int("classes", 0, "x-class non-IID assignment (0 = IID)")
+		reduced      = fs.Bool("reduced", false, "run HierAdMo-R instead of adaptive HierAdMo")
+		scaleName    = fs.String("scale", "bench", `"bench" or "default"`)
+		seed         = fs.Uint64("seed", 0, "override seed (must match across all nodes)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *registryPath == "" {
+		return fmt.Errorf("-registry is required")
+	}
+	raw, err := os.ReadFile(*registryPath)
+	if err != nil {
+		return fmt.Errorf("read registry: %w", err)
+	}
+	var registry map[string]string
+	if err := json.Unmarshal(raw, &registry); err != nil {
+		return fmt.Errorf("parse registry: %w", err)
+	}
+
+	var s experiment.Scale
+	switch *scaleName {
+	case "bench":
+		s = experiment.BenchScale()
+	case "default":
+		s = experiment.DefaultScale()
+	default:
+		return fmt.Errorf("unknown scale %q", *scaleName)
+	}
+	if *seed > 0 {
+		s.Seed = *seed
+	}
+	cfg, err := experiment.BuildConfig(experiment.Workload{
+		Dataset:          *datasetName,
+		Model:            *modelName,
+		ClassesPerWorker: *classes,
+	}, s)
+	if err != nil {
+		return err
+	}
+	opts := cluster.Options{Adaptive: !*reduced}
+
+	switch *role {
+	case "cloud":
+		return runCloud(cfg, registry, opts)
+	case "edge":
+		ep, err := transport.ListenStatic(cluster.EdgeID(*edgeIdx), registry)
+		if err != nil {
+			return err
+		}
+		defer ep.Close()
+		return cluster.RunEdgeNode(cfg, *edgeIdx, ep, opts)
+	case "worker":
+		ep, err := transport.ListenStatic(cluster.WorkerID(*edgeIdx, *workerIdx), registry)
+		if err != nil {
+			return err
+		}
+		defer ep.Close()
+		return cluster.RunWorkerNode(cfg, *edgeIdx, *workerIdx, ep, opts)
+	default:
+		return fmt.Errorf("unknown role %q (want cloud, edge, or worker)", *role)
+	}
+}
+
+func runCloud(cfg *fl.Config, registry map[string]string, opts cluster.Options) error {
+	ep, err := transport.ListenStatic(cluster.CloudID, registry)
+	if err != nil {
+		return err
+	}
+	defer ep.Close()
+	res, err := cluster.RunCloudNode(cfg, ep, opts)
+	if err != nil {
+		return err
+	}
+	fmt.Println(res)
+	return nil
+}

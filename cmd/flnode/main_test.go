@@ -1,0 +1,127 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunValidation(t *testing.T) {
+	if err := run([]string{"-role", "cloud"}); err == nil || !strings.Contains(err.Error(), "registry") {
+		t.Errorf("missing registry err = %v", err)
+	}
+	dir := t.TempDir()
+	reg := filepath.Join(dir, "reg.json")
+	if err := os.WriteFile(reg, []byte(`{"cloud":"127.0.0.1:1"}`), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-role", "pilot", "-registry", reg}); err == nil {
+		t.Error("unknown role accepted")
+	}
+	if err := run([]string{"-role", "cloud", "-registry", filepath.Join(dir, "missing.json")}); err == nil {
+		t.Error("missing registry file accepted")
+	}
+	badReg := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(badReg, []byte("{nope"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-role", "cloud", "-registry", badReg}); err == nil {
+		t.Error("malformed registry accepted")
+	}
+	if err := run([]string{"-role", "cloud", "-registry", reg, "-scale", "galactic"}); err == nil {
+		t.Error("unknown scale accepted")
+	}
+	if err := run([]string{"-bogus-flag"}); err == nil {
+		t.Error("bad flag accepted")
+	}
+}
+
+// TestHelperProcess is the re-exec target for the multi-process test: it
+// runs one flnode role and exits.
+func TestHelperProcess(t *testing.T) {
+	if os.Getenv("FLNODE_HELPER") != "1" {
+		t.Skip("helper process only")
+	}
+	args := strings.Split(os.Getenv("FLNODE_ARGS"), " ")
+	if err := run(args); err != nil {
+		fmt.Fprintln(os.Stderr, "helper:", err)
+		os.Exit(1)
+	}
+	os.Exit(0)
+}
+
+// TestMultiProcessDeployment spawns seven REAL OS processes (1 cloud, 2
+// edges, 4 workers) that talk over loopback TCP through a shared registry
+// file — the closest the test suite gets to the paper's physical testbed.
+func TestMultiProcessDeployment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process test skipped in -short mode")
+	}
+	dir := t.TempDir()
+
+	// Reserve seven distinct loopback ports.
+	ids := []string{"cloud", "edge-0", "edge-1",
+		"worker-0-0", "worker-0-1", "worker-1-0", "worker-1-1"}
+	registry := make(map[string]string, len(ids))
+	var listeners []net.Listener
+	for _, id := range ids {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		listeners = append(listeners, ln)
+		registry[id] = ln.Addr().String()
+	}
+	for _, ln := range listeners {
+		ln.Close()
+	}
+	regPath := filepath.Join(dir, "reg.json")
+	raw, err := json.Marshal(registry)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(regPath, raw, 0o600); err != nil {
+		t.Fatal(err)
+	}
+
+	common := "-registry " + regPath + " -model logistic -classes 3"
+	spawn := func(args string) *exec.Cmd {
+		cmd := exec.Command(os.Args[0], "-test.run", "TestHelperProcess")
+		cmd.Env = append(os.Environ(),
+			"FLNODE_HELPER=1",
+			"FLNODE_ARGS="+args+" "+common)
+		cmd.Stdout = os.Stdout
+		cmd.Stderr = os.Stderr
+		return cmd
+	}
+
+	var workers []*exec.Cmd
+	for _, args := range []string{
+		"-role worker -edge 0 -index 0",
+		"-role worker -edge 0 -index 1",
+		"-role worker -edge 1 -index 0",
+		"-role worker -edge 1 -index 1",
+		"-role edge -edge 0",
+		"-role edge -edge 1",
+	} {
+		cmd := spawn(args)
+		if err := cmd.Start(); err != nil {
+			t.Fatal(err)
+		}
+		workers = append(workers, cmd)
+	}
+	cloud := spawn("-role cloud")
+	if err := cloud.Run(); err != nil {
+		t.Fatalf("cloud process failed: %v", err)
+	}
+	for i, cmd := range workers {
+		if err := cmd.Wait(); err != nil {
+			t.Errorf("node %d failed: %v", i, err)
+		}
+	}
+}

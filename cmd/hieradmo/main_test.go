@@ -1,0 +1,35 @@
+package main
+
+import "testing"
+
+func TestRunList(t *testing.T) {
+	if err := run([]string{"-list"}); err != nil {
+		t.Fatalf("-list: %v", err)
+	}
+}
+
+func TestRunUnknownScale(t *testing.T) {
+	if err := run([]string{"-scale", "galactic"}); err == nil {
+		t.Error("unknown scale accepted")
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if err := run([]string{"-exp", "fig99"}); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	if err := run([]string{"-definitely-not-a-flag"}); err == nil {
+		t.Error("bad flag accepted")
+	}
+}
+
+func TestRunTheoryExperiment(t *testing.T) {
+	// The theory experiment has no training loop, so it is fast enough to
+	// exercise the full CLI path end to end.
+	if err := run([]string{"-exp", "theory", "-train", "300", "-test", "100"}); err != nil {
+		t.Fatalf("theory experiment: %v", err)
+	}
+}

@@ -1,0 +1,21 @@
+package main
+
+import "testing"
+
+func TestRunUnknownScale(t *testing.T) {
+	if err := run([]string{"-scale", "galactic"}); err == nil {
+		t.Error("unknown scale accepted")
+	}
+}
+
+func TestRunUnknownSetting(t *testing.T) {
+	if err := run([]string{"-setting", "3"}); err == nil {
+		t.Error("unknown setting accepted")
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	if err := run([]string{"-nope"}); err == nil {
+		t.Error("bad flag accepted")
+	}
+}

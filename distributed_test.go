@@ -1,0 +1,63 @@
+package hieradmo
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunDistributedMatchesSimulation(t *testing.T) {
+	cfg, err := BuildConfig(Workload{Dataset: "mnist", Model: "logistic"}, tinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := New().Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dist, err := RunDistributed(cfg, NewMemoryNetwork(), ClusterOptions{Adaptive: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dist.FinalAcc != sim.FinalAcc {
+		t.Errorf("distributed %v != simulation %v", dist.FinalAcc, sim.FinalAcc)
+	}
+}
+
+func TestFacadePersistence(t *testing.T) {
+	dir := t.TempDir()
+	res := &Result{Algorithm: "x", FinalAcc: 0.5, Iterations: 10,
+		Curve: []Point{{Iter: 10, TestAcc: 0.5, TrainLoss: 1}}}
+	path := filepath.Join(dir, "r.json")
+	if err := SaveResult(path, res); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadResult(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.FinalAcc != 0.5 {
+		t.Errorf("FinalAcc = %v", got.FinalAcc)
+	}
+
+	var buf bytes.Buffer
+	if err := WriteCurveCSV(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "test_acc") {
+		t.Error("CSV missing header")
+	}
+
+	ckpt := filepath.Join(dir, "m.ckpt")
+	if err := SaveCheckpoint(ckpt, []float64{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	params, err := LoadCheckpoint(ckpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(params) != 3 || params[2] != 3 {
+		t.Errorf("params = %v", params)
+	}
+}

@@ -1,0 +1,59 @@
+// Non-IID study (the scenario that motivates the paper): compare HierAdMo
+// against hierarchical FedAvg and plain FedAvg while tightening the per-
+// worker class budget from 9 classes down to 3 (higher data heterogeneity,
+// larger gradient divergence δ), as in Fig. 2(e)–(g).
+//
+//	go run ./examples/noniid
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hieradmo"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	scale := hieradmo.BenchScale()
+	algorithms := []hieradmo.Algorithm{hieradmo.New(), hieradmo.NewReduced()}
+	for _, alg := range hieradmo.Algorithms() {
+		if alg.Name() == "HierFAVG" || alg.Name() == "FedAvg" {
+			algorithms = append(algorithms, alg)
+		}
+	}
+
+	fmt.Printf("%-12s", "classes/wkr")
+	for _, alg := range algorithms {
+		fmt.Printf("  %12s", alg.Name())
+	}
+	fmt.Println()
+
+	for _, classes := range []int{9, 6, 3} {
+		cfg, err := hieradmo.BuildConfig(hieradmo.Workload{
+			Dataset:          "mnist",
+			Model:            "cnn",
+			ClassesPerWorker: classes,
+		}, scale)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-12d", classes)
+		for _, alg := range algorithms {
+			res, err := alg.Run(cfg)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("  %11.2f%%", 100*res.FinalAcc)
+		}
+		fmt.Println()
+	}
+	fmt.Println("\nexpected shape: every column degrades as classes/worker shrinks;")
+	fmt.Println("HierAdMo stays on top (paper Fig. 2(e)-(g)).")
+	return nil
+}

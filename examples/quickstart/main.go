@@ -1,0 +1,42 @@
+// Quickstart: train a CNN on the synthetic MNIST stand-in with HierAdMo
+// over the paper's default topology (4 workers, 2 edge nodes, 1 cloud) and
+// print the accuracy curve.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hieradmo"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	scale := hieradmo.BenchScale()
+	cfg, err := hieradmo.BuildConfig(hieradmo.Workload{
+		Dataset: "mnist",
+		Model:   "cnn",
+	}, scale)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("training %d workers over %d edges: tau=%d pi=%d T=%d\n",
+		cfg.NumWorkers(), cfg.NumEdges(), cfg.Tau, cfg.Pi, cfg.T)
+
+	res, err := hieradmo.New().Run(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Println(res)
+	for _, p := range res.Curve {
+		fmt.Printf("  t=%4d  acc=%.3f  loss=%.4f\n", p.Iter, p.TestAcc, p.TrainLoss)
+	}
+	return nil
+}

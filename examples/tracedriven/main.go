@@ -1,0 +1,36 @@
+// Trace-driven timing study: train CNN-on-MNIST with a three-tier and a
+// two-tier algorithm, then replay the accuracy curves onto the simulated
+// paper testbed (heterogeneous phones + laptop workers, Wi-Fi LAN, public-
+// Internet WAN) to compare wall-clock time-to-accuracy — the paper's
+// Fig. 2(h)/(l) scenario.
+//
+//	go run ./examples/tracedriven
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hieradmo"
+	"hieradmo/internal/experiment"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	scale := hieradmo.BenchScale()
+	fmt.Printf("simulated testbed, target accuracy %.2f\n\n", scale.TargetAcc)
+	tbl, err := experiment.RunFig2TrainingTime(scale, experiment.TimingSetting1)
+	if err != nil {
+		return err
+	}
+	fmt.Print(tbl.Render())
+	fmt.Println("\nexpected shape: the three-tier momentum algorithms (HierAdMo first)")
+	fmt.Println("reach the target in a fraction of the two-tier baselines' time,")
+	fmt.Println("because only edges cross the WAN and only every tau*pi iterations.")
+	return nil
+}

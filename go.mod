@@ -1,0 +1,3 @@
+module hieradmo
+
+go 1.22

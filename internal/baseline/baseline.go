@@ -1,0 +1,58 @@
+// Package baseline implements the nine comparison algorithms from the
+// paper's evaluation (§V-B), spanning all four benchmark categories:
+//
+//   - three-tier without momentum: HierFAVG, CFL
+//   - two-tier with momentum: FedMom, SlowMo, FedNAG, Mime, FastSlowMo,
+//     FedADC
+//   - two-tier without momentum: FedAvg
+//
+// Two-tier algorithms flatten the configured hierarchy and connect every
+// worker directly to the cloud with one aggregation period of τ·π, matching
+// the paper's fair-comparison setup. CFL and FedADC follow the published
+// update rules at the level of mechanism; see DESIGN.md §1 for the
+// documented approximations.
+package baseline
+
+import (
+	"hieradmo/internal/fl"
+	"hieradmo/internal/tensor"
+)
+
+// flatWorker addresses one worker in the flattened two-tier view.
+type flatWorker struct {
+	l, i   int
+	weight float64 // D(i,ℓ)/D
+}
+
+// flatten lists every worker with its global data weight.
+func flatten(hn *fl.Harness) []flatWorker {
+	var out []flatWorker
+	for l := range hn.WorkerWeights {
+		for i := range hn.WorkerWeights[l] {
+			out = append(out, flatWorker{l: l, i: i, weight: hn.GlobalWeight(l, i)})
+		}
+	}
+	return out
+}
+
+// flatAverage overwrites dst with the globally weighted average of the
+// workers' vectors.
+func flatAverage(dst tensor.Vector, workers []flatWorker, vecs []tensor.Vector) error {
+	weights := make([]float64, len(workers))
+	for j, w := range workers {
+		weights[j] = w.weight
+	}
+	return tensor.WeightedSum(dst, weights, vecs)
+}
+
+// recordFlat appends a curve point for the weighted average of the flattened
+// worker models, when t is a recording instant.
+func recordFlat(hn *fl.Harness, res *fl.Result, t int, workers []flatWorker, xs []tensor.Vector, scratch tensor.Vector) error {
+	if !hn.ShouldEval(t) {
+		return nil
+	}
+	if err := flatAverage(scratch, workers, xs); err != nil {
+		return err
+	}
+	return hn.RecordPoint(res, t, scratch)
+}

@@ -1,0 +1,108 @@
+package baseline
+
+import (
+	"hieradmo/internal/fl"
+	"hieradmo/internal/tensor"
+)
+
+// FastSlowMo (Yang et al., TAI'22) combines worker and aggregator momenta in
+// the two-tier setting: workers run NAG, and at each aggregation the server
+// applies its own momentum to the averaged worker models while the averaged
+// worker momentum is redistributed — structurally the two-tier reduction of
+// HierAdMo-R.
+type FastSlowMo struct{}
+
+var _ fl.Algorithm = FastSlowMo{}
+
+// NewFastSlowMo returns the FastSlowMo baseline.
+func NewFastSlowMo() FastSlowMo { return FastSlowMo{} }
+
+// Name implements fl.Algorithm.
+func (FastSlowMo) Name() string { return "FastSlowMo" }
+
+// Run implements fl.Algorithm.
+func (FastSlowMo) Run(cfg *fl.Config) (*fl.Result, error) {
+	hn, err := fl.NewHarness(cfg)
+	if err != nil {
+		return nil, err
+	}
+	res := hn.NewResult("FastSlowMo")
+	x0 := hn.InitParams()
+	dim := len(x0)
+	workers := flatten(hn)
+	period := cfg.Tau * cfg.Pi
+
+	xs := make([]tensor.Vector, len(workers))
+	ys := make([]tensor.Vector, len(workers))
+	for j := range xs {
+		xs[j] = x0.Clone()
+		ys[j] = x0.Clone()
+	}
+	grad := tensor.NewVector(dim)
+	serverX := x0.Clone()
+	serverYPrev := x0.Clone() // aggregator momentum history
+	avgX := tensor.NewVector(dim)
+	avgY := tensor.NewVector(dim)
+	scratch := tensor.NewVector(dim)
+
+	for t := 1; t <= cfg.T; t++ {
+		for j, w := range workers {
+			if _, err := hn.Grad(w.l, w.i, xs[j], grad); err != nil {
+				return nil, err
+			}
+			yPrev := ys[j].Clone()
+			if err := ys[j].CopyFrom(xs[j]); err != nil {
+				return nil, err
+			}
+			if err := ys[j].AXPY(-cfg.Eta, grad); err != nil {
+				return nil, err
+			}
+			if err := xs[j].CopyFrom(ys[j]); err != nil {
+				return nil, err
+			}
+			if err := xs[j].AXPY(cfg.Gamma, ys[j]); err != nil {
+				return nil, err
+			}
+			if err := xs[j].AXPY(-cfg.Gamma, yPrev); err != nil {
+				return nil, err
+			}
+		}
+		if t%period == 0 {
+			if err := flatAverage(avgX, workers, xs); err != nil {
+				return nil, err
+			}
+			if err := flatAverage(avgY, workers, ys); err != nil {
+				return nil, err
+			}
+			// Server model: x ← x̄ + γℓ(x̄ − x̄_prev), aggregator momentum on
+			// the averaged models.
+			if err := serverX.CopyFrom(avgX); err != nil {
+				return nil, err
+			}
+			if err := serverX.AXPY(cfg.GammaEdge, avgX); err != nil {
+				return nil, err
+			}
+			if err := serverX.AXPY(-cfg.GammaEdge, serverYPrev); err != nil {
+				return nil, err
+			}
+			if err := serverYPrev.CopyFrom(avgX); err != nil {
+				return nil, err
+			}
+			for j := range xs {
+				if err := xs[j].CopyFrom(serverX); err != nil {
+					return nil, err
+				}
+				if err := ys[j].CopyFrom(avgY); err != nil {
+					return nil, err
+				}
+			}
+		}
+		if err := recordFlat(hn, res, t, workers, xs, scratch); err != nil {
+			return nil, err
+		}
+	}
+	if err := hn.Finish(res, serverX); err != nil {
+		return nil, err
+	}
+	return res, nil
+}

@@ -1,0 +1,98 @@
+package baseline
+
+import (
+	"hieradmo/internal/fl"
+	"hieradmo/internal/tensor"
+)
+
+// FedADC approximates accelerated federated learning with drift control
+// (Ozfatura et al., ISIT'21): the server maintains a momentum of the
+// aggregated pseudo-gradient and pushes it down to the workers, who mix it
+// into every local step so their updates are steered toward the global
+// descent direction (controlling client drift):
+//
+//	local:  x ← x − η·(g + γℓ·m)          (m frozen during the round)
+//	server: ĝ  = (x_server − x̄)/(η·τπ)
+//	        m ← γℓ·m + (1−γℓ)·ĝ
+//	        x_server ← x̄
+//
+// See DESIGN.md §1 for the approximation note.
+type FedADC struct{}
+
+var _ fl.Algorithm = FedADC{}
+
+// NewFedADC returns the FedADC baseline.
+func NewFedADC() FedADC { return FedADC{} }
+
+// Name implements fl.Algorithm.
+func (FedADC) Name() string { return "FedADC" }
+
+// Run implements fl.Algorithm.
+func (FedADC) Run(cfg *fl.Config) (*fl.Result, error) {
+	hn, err := fl.NewHarness(cfg)
+	if err != nil {
+		return nil, err
+	}
+	res := hn.NewResult("FedADC")
+	x0 := hn.InitParams()
+	dim := len(x0)
+	workers := flatten(hn)
+	period := cfg.Tau * cfg.Pi
+
+	xs := make([]tensor.Vector, len(workers))
+	for j := range xs {
+		xs[j] = x0.Clone()
+	}
+	grad := tensor.NewVector(dim)
+	mom := tensor.NewVector(dim)
+	server := x0.Clone()
+	avg := tensor.NewVector(dim)
+	pseudo := tensor.NewVector(dim)
+	scratch := tensor.NewVector(dim)
+
+	for t := 1; t <= cfg.T; t++ {
+		for j, w := range workers {
+			if _, err := hn.Grad(w.l, w.i, xs[j], grad); err != nil {
+				return nil, err
+			}
+			if err := xs[j].AXPY(-cfg.Eta, grad); err != nil {
+				return nil, err
+			}
+			if err := xs[j].AXPY(-cfg.Eta*cfg.GammaEdge, mom); err != nil {
+				return nil, err
+			}
+		}
+		if t%period == 0 {
+			if err := flatAverage(avg, workers, xs); err != nil {
+				return nil, err
+			}
+			// Pseudo-gradient of the round, per local step.
+			if err := pseudo.CopyFrom(server); err != nil {
+				return nil, err
+			}
+			if err := pseudo.Sub(avg); err != nil {
+				return nil, err
+			}
+			pseudo.Scale(1 / (cfg.Eta * float64(period)))
+			mom.Scale(cfg.GammaEdge)
+			if err := mom.AXPY(1-cfg.GammaEdge, pseudo); err != nil {
+				return nil, err
+			}
+			if err := server.CopyFrom(avg); err != nil {
+				return nil, err
+			}
+			for j := range xs {
+				if err := xs[j].CopyFrom(server); err != nil {
+					return nil, err
+				}
+			}
+		}
+		if err := recordFlat(hn, res, t, workers, xs, scratch); err != nil {
+			return nil, err
+		}
+	}
+	if err := hn.Finish(res, server); err != nil {
+		return nil, err
+	}
+	return res, nil
+}

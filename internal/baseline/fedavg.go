@@ -1,0 +1,67 @@
+package baseline
+
+import (
+	"hieradmo/internal/fl"
+	"hieradmo/internal/tensor"
+)
+
+// FedAvg is the classic two-tier baseline (McMahan et al.): plain local SGD
+// with weighted model averaging at the cloud every τ·π iterations.
+type FedAvg struct{}
+
+var _ fl.Algorithm = FedAvg{}
+
+// NewFedAvg returns the FedAvg baseline.
+func NewFedAvg() FedAvg { return FedAvg{} }
+
+// Name implements fl.Algorithm.
+func (FedAvg) Name() string { return "FedAvg" }
+
+// Run implements fl.Algorithm.
+func (FedAvg) Run(cfg *fl.Config) (*fl.Result, error) {
+	hn, err := fl.NewHarness(cfg)
+	if err != nil {
+		return nil, err
+	}
+	res := hn.NewResult("FedAvg")
+	x0 := hn.InitParams()
+	dim := len(x0)
+	workers := flatten(hn)
+	period := cfg.Tau * cfg.Pi
+
+	xs := make([]tensor.Vector, len(workers))
+	grad := tensor.NewVector(dim)
+	for j := range xs {
+		xs[j] = x0.Clone()
+	}
+	server := x0.Clone()
+	scratch := tensor.NewVector(dim)
+
+	for t := 1; t <= cfg.T; t++ {
+		for j, w := range workers {
+			if _, err := hn.Grad(w.l, w.i, xs[j], grad); err != nil {
+				return nil, err
+			}
+			if err := xs[j].AXPY(-cfg.Eta, grad); err != nil {
+				return nil, err
+			}
+		}
+		if t%period == 0 {
+			if err := flatAverage(server, workers, xs); err != nil {
+				return nil, err
+			}
+			for j := range xs {
+				if err := xs[j].CopyFrom(server); err != nil {
+					return nil, err
+				}
+			}
+		}
+		if err := recordFlat(hn, res, t, workers, xs, scratch); err != nil {
+			return nil, err
+		}
+	}
+	if err := hn.Finish(res, server); err != nil {
+		return nil, err
+	}
+	return res, nil
+}

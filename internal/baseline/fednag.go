@@ -1,0 +1,90 @@
+package baseline
+
+import (
+	"hieradmo/internal/fl"
+	"hieradmo/internal/tensor"
+)
+
+// FedNAG (Yang et al., TPDS'22) runs Nesterov accelerated gradient at every
+// worker and aggregates both the model and the momentum variable at the
+// cloud every τ·π iterations, redistributing the averages.
+type FedNAG struct{}
+
+var _ fl.Algorithm = FedNAG{}
+
+// NewFedNAG returns the FedNAG baseline.
+func NewFedNAG() FedNAG { return FedNAG{} }
+
+// Name implements fl.Algorithm.
+func (FedNAG) Name() string { return "FedNAG" }
+
+// Run implements fl.Algorithm.
+func (FedNAG) Run(cfg *fl.Config) (*fl.Result, error) {
+	hn, err := fl.NewHarness(cfg)
+	if err != nil {
+		return nil, err
+	}
+	res := hn.NewResult("FedNAG")
+	x0 := hn.InitParams()
+	dim := len(x0)
+	workers := flatten(hn)
+	period := cfg.Tau * cfg.Pi
+
+	xs := make([]tensor.Vector, len(workers))
+	ys := make([]tensor.Vector, len(workers))
+	for j := range xs {
+		xs[j] = x0.Clone()
+		ys[j] = x0.Clone()
+	}
+	grad := tensor.NewVector(dim)
+	serverX := x0.Clone()
+	serverY := x0.Clone()
+	scratch := tensor.NewVector(dim)
+
+	for t := 1; t <= cfg.T; t++ {
+		for j, w := range workers {
+			if _, err := hn.Grad(w.l, w.i, xs[j], grad); err != nil {
+				return nil, err
+			}
+			yPrev := ys[j].Clone()
+			if err := ys[j].CopyFrom(xs[j]); err != nil {
+				return nil, err
+			}
+			if err := ys[j].AXPY(-cfg.Eta, grad); err != nil {
+				return nil, err
+			}
+			if err := xs[j].CopyFrom(ys[j]); err != nil {
+				return nil, err
+			}
+			if err := xs[j].AXPY(cfg.Gamma, ys[j]); err != nil {
+				return nil, err
+			}
+			if err := xs[j].AXPY(-cfg.Gamma, yPrev); err != nil {
+				return nil, err
+			}
+		}
+		if t%period == 0 {
+			if err := flatAverage(serverX, workers, xs); err != nil {
+				return nil, err
+			}
+			if err := flatAverage(serverY, workers, ys); err != nil {
+				return nil, err
+			}
+			for j := range xs {
+				if err := xs[j].CopyFrom(serverX); err != nil {
+					return nil, err
+				}
+				if err := ys[j].CopyFrom(serverY); err != nil {
+					return nil, err
+				}
+			}
+		}
+		if err := recordFlat(hn, res, t, workers, xs, scratch); err != nil {
+			return nil, err
+		}
+	}
+	if err := hn.Finish(res, serverX); err != nil {
+		return nil, err
+	}
+	return res, nil
+}

@@ -1,0 +1,126 @@
+package baseline
+
+import (
+	"fmt"
+
+	"hieradmo/internal/fl"
+	"hieradmo/internal/tensor"
+)
+
+// HierFAVG is client–edge–cloud hierarchical FedAvg (Liu et al., ICC'20):
+// plain SGD at the workers, weighted model averaging at each edge every τ
+// iterations and at the cloud every τπ iterations.
+type HierFAVG struct {
+	// edgeMix is the fraction of the fresh worker average blended into the
+	// edge model at each edge aggregation. 1 is full replacement (HierFAVG);
+	// CFL uses a partial value.
+	edgeMix float64
+	name    string
+}
+
+var (
+	_ fl.Algorithm = (*HierFAVG)(nil)
+	_ fl.Algorithm = (*CFL)(nil)
+)
+
+// NewHierFAVG returns the standard hierarchical FedAvg baseline.
+func NewHierFAVG() *HierFAVG {
+	return &HierFAVG{edgeMix: 1, name: "HierFAVG"}
+}
+
+// CFL approximates resource-efficient hierarchical aggregation (Wang et al.,
+// INFOCOM'21) as hierarchical FedAvg with partial edge aggregation:
+// x_edge ← (1−κ)·x_edge + κ·avg(workers). See DESIGN.md §1.
+type CFL struct {
+	inner *HierFAVG
+}
+
+// NewCFL returns the CFL baseline with the documented κ = 0.9.
+func NewCFL() *CFL {
+	return &CFL{inner: &HierFAVG{edgeMix: 0.9, name: "CFL"}}
+}
+
+// Name implements fl.Algorithm.
+func (c *CFL) Name() string { return c.inner.name }
+
+// Run implements fl.Algorithm.
+func (c *CFL) Run(cfg *fl.Config) (*fl.Result, error) { return c.inner.Run(cfg) }
+
+// Name implements fl.Algorithm.
+func (a *HierFAVG) Name() string { return a.name }
+
+// Run implements fl.Algorithm.
+func (a *HierFAVG) Run(cfg *fl.Config) (*fl.Result, error) {
+	hn, err := fl.NewHarness(cfg)
+	if err != nil {
+		return nil, err
+	}
+	res := hn.NewResult(a.Name())
+	x0 := hn.InitParams()
+	dim := len(x0)
+
+	xs := hn.CloneGrid(x0)    // worker models
+	grads := hn.ZeroGrid(dim) // scratch gradients
+	edgeX := make([]tensor.Vector, cfg.NumEdges())
+	for l := range edgeX {
+		edgeX[l] = x0.Clone()
+	}
+	cloudX := x0.Clone()
+	scratch := tensor.NewVector(dim)
+
+	for t := 1; t <= cfg.T; t++ {
+		for l := range xs {
+			for i := range xs[l] {
+				if _, err := hn.Grad(l, i, xs[l][i], grads[l][i]); err != nil {
+					return nil, err
+				}
+				if err := xs[l][i].AXPY(-cfg.Eta, grads[l][i]); err != nil {
+					return nil, err
+				}
+			}
+		}
+		if t%cfg.Tau == 0 {
+			for l := range xs {
+				if err := hn.EdgeAverage(scratch, l, xs[l]); err != nil {
+					return nil, err
+				}
+				// Partial (CFL) or full (HierFAVG) edge aggregation.
+				if err := tensor.Lerp(edgeX[l], edgeX[l], scratch, a.edgeMix); err != nil {
+					return nil, fmt.Errorf("baseline %s: edge mix: %w", a.name, err)
+				}
+				for i := range xs[l] {
+					if err := xs[l][i].CopyFrom(edgeX[l]); err != nil {
+						return nil, err
+					}
+				}
+			}
+		}
+		if t%(cfg.Tau*cfg.Pi) == 0 {
+			if err := hn.CloudAverage(cloudX, edgeX); err != nil {
+				return nil, err
+			}
+			for l := range edgeX {
+				if err := edgeX[l].CopyFrom(cloudX); err != nil {
+					return nil, err
+				}
+				for i := range xs[l] {
+					if err := xs[l][i].CopyFrom(cloudX); err != nil {
+						return nil, err
+					}
+				}
+			}
+		}
+		if hn.ShouldEval(t) {
+			if err := hn.GlobalAverage(scratch, xs); err != nil {
+				return nil, err
+			}
+			if err := hn.RecordPoint(res, t, scratch); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := hn.Finish(res, cloudX); err != nil {
+		return nil, err
+	}
+	return res, nil
+}

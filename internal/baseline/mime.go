@@ -1,0 +1,96 @@
+package baseline
+
+import (
+	"hieradmo/internal/fl"
+	"hieradmo/internal/tensor"
+)
+
+// Mime (Karimireddy et al., MimeLite variant) mimics centralized momentum
+// inside the local steps: every worker applies a *frozen* global momentum m
+// during its round,
+//
+//	x ← x − η·((1−γ)·g + γ·m),
+//
+// and the server refreshes m from the average of the workers' mean interval
+// gradients after each round:
+//
+//	m ← (1−γ)·ḡ + γ·m.
+type Mime struct{}
+
+var _ fl.Algorithm = Mime{}
+
+// NewMime returns the MimeLite baseline.
+func NewMime() Mime { return Mime{} }
+
+// Name implements fl.Algorithm.
+func (Mime) Name() string { return "Mime" }
+
+// Run implements fl.Algorithm.
+func (Mime) Run(cfg *fl.Config) (*fl.Result, error) {
+	hn, err := fl.NewHarness(cfg)
+	if err != nil {
+		return nil, err
+	}
+	res := hn.NewResult("Mime")
+	x0 := hn.InitParams()
+	dim := len(x0)
+	workers := flatten(hn)
+	period := cfg.Tau * cfg.Pi
+
+	xs := make([]tensor.Vector, len(workers))
+	gradSums := make([]tensor.Vector, len(workers))
+	for j := range xs {
+		xs[j] = x0.Clone()
+		gradSums[j] = tensor.NewVector(dim)
+	}
+	grad := tensor.NewVector(dim)
+	mom := tensor.NewVector(dim)
+	server := x0.Clone()
+	avgGrad := tensor.NewVector(dim)
+	scratch := tensor.NewVector(dim)
+
+	for t := 1; t <= cfg.T; t++ {
+		for j, w := range workers {
+			if _, err := hn.Grad(w.l, w.i, xs[j], grad); err != nil {
+				return nil, err
+			}
+			if err := gradSums[j].Add(grad); err != nil {
+				return nil, err
+			}
+			// x ← x − η·((1−γ)·g + γ·m) with m frozen for the round.
+			if err := xs[j].AXPY(-cfg.Eta*(1-cfg.Gamma), grad); err != nil {
+				return nil, err
+			}
+			if err := xs[j].AXPY(-cfg.Eta*cfg.Gamma, mom); err != nil {
+				return nil, err
+			}
+		}
+		if t%period == 0 {
+			if err := flatAverage(server, workers, xs); err != nil {
+				return nil, err
+			}
+			// Refresh the global momentum from the mean interval gradients.
+			if err := flatAverage(avgGrad, workers, gradSums); err != nil {
+				return nil, err
+			}
+			avgGrad.Scale(1 / float64(period))
+			mom.Scale(cfg.Gamma)
+			if err := mom.AXPY(1-cfg.Gamma, avgGrad); err != nil {
+				return nil, err
+			}
+			for j := range xs {
+				if err := xs[j].CopyFrom(server); err != nil {
+					return nil, err
+				}
+				gradSums[j].Zero()
+			}
+		}
+		if err := recordFlat(hn, res, t, workers, xs, scratch); err != nil {
+			return nil, err
+		}
+	}
+	if err := hn.Finish(res, server); err != nil {
+		return nil, err
+	}
+	return res, nil
+}

@@ -1,0 +1,110 @@
+package baseline
+
+import (
+	"hieradmo/internal/fl"
+	"hieradmo/internal/tensor"
+)
+
+// serverMomentum is the shared skeleton of FedMom and SlowMo: workers run
+// local SGD (optionally with local Polyak momentum), and the server applies
+// heavy-ball momentum to the aggregated round update:
+//
+//	Δ   = x_server − avg_i(x_i)
+//	m   ← γℓ·m + Δ
+//	x   ← x_server − m
+type serverMomentum struct {
+	name          string
+	localMomentum bool // SlowMo keeps Polyak momentum at the workers
+}
+
+var (
+	_ fl.Algorithm = (*serverMomentum)(nil)
+)
+
+// NewFedMom returns the federated server-momentum baseline (Huo et al.):
+// plain SGD workers, heavy-ball momentum at the aggregator.
+func NewFedMom() fl.Algorithm {
+	return &serverMomentum{name: "FedMom"}
+}
+
+// NewSlowMo returns the SlowMo baseline (Wang et al., ICLR'20): local SGD
+// with worker-level Polyak momentum plus slow server momentum.
+func NewSlowMo() fl.Algorithm {
+	return &serverMomentum{name: "SlowMo", localMomentum: true}
+}
+
+// Name implements fl.Algorithm.
+func (a *serverMomentum) Name() string { return a.name }
+
+// Run implements fl.Algorithm.
+func (a *serverMomentum) Run(cfg *fl.Config) (*fl.Result, error) {
+	hn, err := fl.NewHarness(cfg)
+	if err != nil {
+		return nil, err
+	}
+	res := hn.NewResult(a.name)
+	x0 := hn.InitParams()
+	dim := len(x0)
+	workers := flatten(hn)
+	period := cfg.Tau * cfg.Pi
+
+	xs := make([]tensor.Vector, len(workers))
+	vs := make([]tensor.Vector, len(workers)) // local Polyak momentum (SlowMo)
+	for j := range xs {
+		xs[j] = x0.Clone()
+		vs[j] = tensor.NewVector(dim)
+	}
+	grad := tensor.NewVector(dim)
+	server := x0.Clone()
+	serverMom := tensor.NewVector(dim)
+	avg := tensor.NewVector(dim)
+	scratch := tensor.NewVector(dim)
+
+	for t := 1; t <= cfg.T; t++ {
+		for j, w := range workers {
+			if _, err := hn.Grad(w.l, w.i, xs[j], grad); err != nil {
+				return nil, err
+			}
+			if a.localMomentum {
+				// v ← γ·v − η·g ; x ← x + v
+				vs[j].Scale(cfg.Gamma)
+				if err := vs[j].AXPY(-cfg.Eta, grad); err != nil {
+					return nil, err
+				}
+				if err := xs[j].Add(vs[j]); err != nil {
+					return nil, err
+				}
+			} else if err := xs[j].AXPY(-cfg.Eta, grad); err != nil {
+				return nil, err
+			}
+		}
+		if t%period == 0 {
+			if err := flatAverage(avg, workers, xs); err != nil {
+				return nil, err
+			}
+			// m ← γℓ·m + (x_server − avg); x_server ← x_server − m.
+			serverMom.Scale(cfg.GammaEdge)
+			if err := serverMom.Add(server); err != nil {
+				return nil, err
+			}
+			if err := serverMom.Sub(avg); err != nil {
+				return nil, err
+			}
+			if err := server.Sub(serverMom); err != nil {
+				return nil, err
+			}
+			for j := range xs {
+				if err := xs[j].CopyFrom(server); err != nil {
+					return nil, err
+				}
+			}
+		}
+		if err := recordFlat(hn, res, t, workers, xs, scratch); err != nil {
+			return nil, err
+		}
+	}
+	if err := hn.Finish(res, server); err != nil {
+		return nil, err
+	}
+	return res, nil
+}

@@ -1,0 +1,110 @@
+package cluster
+
+import (
+	"fmt"
+
+	"hieradmo/internal/fl"
+	"hieradmo/internal/model"
+	"hieradmo/internal/tensor"
+	"hieradmo/internal/transport"
+)
+
+// cloudNode is the cloud server: every τπ iterations it collects the edges'
+// aggregated worker momenta and edge models, averages them (Algorithm 1
+// lines 18–19), redistributes the result (lines 20–21), records the
+// accuracy curve, and produces the final Result.
+type cloudNode struct {
+	cfg  *fl.Config
+	hn   *fl.Harness
+	ep   transport.Endpoint
+	opts Options
+
+	cloudX, cloudY tensor.Vector
+}
+
+func newCloudNode(cfg *fl.Config, hn *fl.Harness, x0 tensor.Vector, ep transport.Endpoint, opts Options) *cloudNode {
+	return &cloudNode{
+		cfg:    cfg,
+		hn:     hn,
+		ep:     ep,
+		opts:   opts,
+		cloudX: x0.Clone(),
+		cloudY: x0.Clone(),
+	}
+}
+
+func (c *cloudNode) run() (*fl.Result, error) {
+	name := "HierAdMo/cluster"
+	if !c.opts.Adaptive {
+		name = "HierAdMo-R/cluster"
+	}
+	res := c.hn.NewResult(name)
+	numEdges := c.cfg.NumEdges()
+	numRounds := c.cfg.T / (c.cfg.Tau * c.cfg.Pi)
+	var weightedLoss float64
+
+	for p := 1; p <= numRounds; p++ {
+		yMinuses := make([]tensor.Vector, numEdges)
+		xPluses := make([]tensor.Vector, numEdges)
+		losses := make([]float64, numEdges)
+		for got := 0; got < numEdges; got++ {
+			msg, err := c.ep.RecvTimeout(c.opts.RecvTimeout)
+			if err != nil {
+				return nil, fmt.Errorf("cluster: cloud round %d: %w", p, err)
+			}
+			if err := expectKind(msg, KindCloudReport); err != nil {
+				return nil, err
+			}
+			l, err := parseEdgeIndex(msg.From)
+			if err != nil {
+				return nil, err
+			}
+			if l < 0 || l >= numEdges {
+				return nil, fmt.Errorf("cluster: report from out-of-range edge %d", l)
+			}
+			yMinuses[l] = msg.Vectors[0]
+			xPluses[l] = msg.Vectors[1]
+			losses[l] = msg.Scalars[ScalarLoss]
+		}
+		if err := c.hn.CloudAverage(c.cloudY, yMinuses); err != nil { // line 18
+			return nil, err
+		}
+		if err := c.hn.CloudAverage(c.cloudX, xPluses); err != nil { // line 19
+			return nil, err
+		}
+		weightedLoss = 0
+		for l, loss := range losses {
+			weightedLoss += c.hn.EdgeWeights[l] * loss
+		}
+		update := transport.Message{
+			Kind:    KindCloudUpdate,
+			Round:   p * c.cfg.Tau * c.cfg.Pi,
+			Vectors: [][]float64{c.cloudY, c.cloudX},
+		}
+		for l := 0; l < numEdges; l++ { // lines 20–21
+			if err := c.ep.Send(EdgeID(l), update); err != nil {
+				return nil, fmt.Errorf("cluster: cloud redistribute to edge %d: %w", l, err)
+			}
+		}
+		if p < numRounds && c.cfg.EvalEvery > 0 {
+			acc, err := model.Accuracy(c.cfg.Model, c.cloudX, c.hn.EvalSet())
+			if err != nil {
+				return nil, fmt.Errorf("cluster: cloud eval round %d: %w", p, err)
+			}
+			res.Curve = append(res.Curve, fl.Point{
+				Iter:      p * c.cfg.Tau * c.cfg.Pi,
+				TestAcc:   acc,
+				TrainLoss: weightedLoss,
+			})
+		}
+	}
+
+	acc, err := model.Accuracy(c.cfg.Model, c.cloudX, c.cfg.Test)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: final eval: %w", err)
+	}
+	res.FinalAcc = acc
+	res.FinalLoss = weightedLoss
+	res.Curve = append(res.Curve, fl.Point{Iter: c.cfg.T, TestAcc: acc, TrainLoss: weightedLoss})
+	return res, nil
+}

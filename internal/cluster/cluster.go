@@ -1,0 +1,154 @@
+package cluster
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"hieradmo/internal/core"
+	"hieradmo/internal/fl"
+	"hieradmo/internal/transport"
+)
+
+// Network abstracts the transport factories the cluster can run over
+// (transport.MemoryNetwork and transport.TCPNetwork both satisfy it).
+type Network interface {
+	// Endpoint returns the endpoint for a node ID.
+	Endpoint(id string) (transport.Endpoint, error)
+	// Close tears the network down after the run.
+	Close() error
+}
+
+// DefaultRecvTimeout bounds how long any node waits for a peer message
+// before declaring the run failed; generous because workers legitimately
+// compute for whole edge intervals between messages.
+const DefaultRecvTimeout = 60 * time.Second
+
+// Options tune the distributed run.
+type Options struct {
+	// Adaptive enables the γℓ adaptation of eq. (6)–(7); false runs
+	// HierAdMo-R with the config's fixed GammaEdge.
+	Adaptive bool
+	// Signal selects the adaptation statistic (default core.SignalYSum).
+	Signal core.AdaptSignal
+	// Ceiling is the γℓ clamp (default core.DefaultClampCeiling).
+	Ceiling float64
+	// RecvTimeout bounds every blocking receive (default
+	// DefaultRecvTimeout).
+	RecvTimeout time.Duration
+}
+
+func (o Options) withDefaults() Options {
+	if o.Signal == 0 {
+		o.Signal = core.SignalYSum
+	}
+	if o.Ceiling == 0 {
+		o.Ceiling = core.DefaultClampCeiling
+	}
+	if o.RecvTimeout == 0 {
+		o.RecvTimeout = DefaultRecvTimeout
+	}
+	return o
+}
+
+// Run executes HierAdMo over the given network: it spawns one node per
+// worker, edge, and cloud, runs the full T iterations, and returns the
+// cloud's result. The network is closed before returning.
+func Run(cfg *fl.Config, net Network, opts Options) (*fl.Result, error) {
+	opts = opts.withDefaults()
+	hn, err := fl.NewHarness(cfg)
+	if err != nil {
+		return nil, err
+	}
+	defer net.Close()
+
+	// Create every endpoint before any node starts (TCP needs all
+	// addresses registered up front).
+	cloudEP, err := net.Endpoint(CloudID)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: cloud endpoint: %w", err)
+	}
+	edgeEPs := make([]transport.Endpoint, cfg.NumEdges())
+	workerEPs := make([][]transport.Endpoint, cfg.NumEdges())
+	for l := range cfg.Edges {
+		if edgeEPs[l], err = net.Endpoint(EdgeID(l)); err != nil {
+			return nil, fmt.Errorf("cluster: edge %d endpoint: %w", l, err)
+		}
+		workerEPs[l] = make([]transport.Endpoint, len(cfg.Edges[l]))
+		for i := range cfg.Edges[l] {
+			if workerEPs[l][i], err = net.Endpoint(WorkerID(l, i)); err != nil {
+				return nil, fmt.Errorf("cluster: worker {%d,%d} endpoint: %w", i, l, err)
+			}
+		}
+	}
+
+	x0 := hn.InitParams()
+
+	var (
+		wg     sync.WaitGroup
+		mu     sync.Mutex
+		errs   []error
+		result *fl.Result
+	)
+	fail := func(err error) {
+		if err == nil {
+			return
+		}
+		mu.Lock()
+		errs = append(errs, err)
+		mu.Unlock()
+	}
+
+	for l := range cfg.Edges {
+		for i := range cfg.Edges[l] {
+			w := newWorkerNode(cfg, hn, l, i, x0, workerEPs[l][i], opts)
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				fail(w.run())
+			}()
+		}
+		e := newEdgeNode(cfg, hn, l, x0, edgeEPs[l], opts)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			fail(e.run())
+		}()
+	}
+
+	c := newCloudNode(cfg, hn, x0, cloudEP, opts)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		res, err := c.run()
+		if err != nil {
+			fail(err)
+			return
+		}
+		mu.Lock()
+		result = res
+		mu.Unlock()
+	}()
+
+	wg.Wait()
+	for _, ep := range flattenEndpoints(cloudEP, edgeEPs, workerEPs) {
+		if cerr := ep.Close(); cerr != nil {
+			fail(fmt.Errorf("cluster: close %s: %w", ep.ID(), cerr))
+		}
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(errs) > 0 {
+		return nil, fmt.Errorf("cluster: run failed: %w", errs[0])
+	}
+	return result, nil
+}
+
+func flattenEndpoints(cloud transport.Endpoint, edges []transport.Endpoint, workers [][]transport.Endpoint) []transport.Endpoint {
+	out := []transport.Endpoint{cloud}
+	out = append(out, edges...)
+	for _, ws := range workers {
+		out = append(out, ws...)
+	}
+	return out
+}

@@ -1,0 +1,204 @@
+package cluster
+
+import (
+	"fmt"
+
+	"hieradmo/internal/core"
+	"hieradmo/internal/fl"
+	"hieradmo/internal/tensor"
+	"hieradmo/internal/transport"
+)
+
+// edgeNode is one edge node ℓ: it collects its workers' interval reports
+// every τ iterations, adapts γℓ (eq. (6)–(7)), performs the edge momentum
+// and model updates (Algorithm 1 lines 10–15), and synchronizes with the
+// cloud every π edge rounds (lines 17–23, edge side).
+type edgeNode struct {
+	cfg  *fl.Config
+	hn   *fl.Harness
+	l    int
+	ep   transport.Endpoint
+	opts Options
+
+	yMinus, yPlus, yPlusNext, xPlus tensor.Vector
+	// lastY is the worker momentum most recently redistributed to the
+	// workers, used by the velocity adaptation signal.
+	lastY tensor.Vector
+	// x0 is the shared initialization, the gauge reference for the Σy
+	// adaptation signal (see internal/core).
+	x0 tensor.Vector
+}
+
+func newEdgeNode(cfg *fl.Config, hn *fl.Harness, l int, x0 tensor.Vector, ep transport.Endpoint, opts Options) *edgeNode {
+	return &edgeNode{
+		cfg:       cfg,
+		hn:        hn,
+		l:         l,
+		ep:        ep,
+		opts:      opts,
+		yMinus:    x0.Clone(),
+		yPlus:     x0.Clone(),
+		yPlusNext: tensor.NewVector(len(x0)),
+		xPlus:     x0.Clone(),
+		lastY:     x0.Clone(),
+		x0:        x0.Clone(),
+	}
+}
+
+func (e *edgeNode) run() error {
+	numWorkers := len(e.cfg.Edges[e.l])
+	numRounds := e.cfg.T / e.cfg.Tau
+	for k := 1; k <= numRounds; k++ {
+		reports, losses, err := e.collectReports(numWorkers)
+		if err != nil {
+			return fmt.Errorf("cluster: edge %d round %d: %w", e.l, k, err)
+		}
+		if err := e.update(reports); err != nil {
+			return fmt.Errorf("cluster: edge %d round %d: %w", e.l, k, err)
+		}
+		if k%e.cfg.Pi == 0 {
+			if err := e.cloudSync(k, losses); err != nil {
+				return fmt.Errorf("cluster: edge %d round %d: %w", e.l, k, err)
+			}
+		}
+		// Lines 14–15 (and 22–23 after a cloud round): redistribute.
+		update := transport.Message{
+			Kind:    KindEdgeUpdate,
+			Round:   k * e.cfg.Tau,
+			Vectors: [][]float64{e.yMinus, e.xPlus},
+		}
+		for i := 0; i < numWorkers; i++ {
+			if err := e.ep.Send(WorkerID(e.l, i), update); err != nil {
+				return fmt.Errorf("cluster: edge %d redistribute to %d: %w", e.l, i, err)
+			}
+		}
+		if err := e.lastY.CopyFrom(e.yMinus); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// collectReports gathers one report per worker, indexed by worker position
+// so aggregation order (and hence floating-point results) is deterministic
+// regardless of arrival order.
+func (e *edgeNode) collectReports(numWorkers int) ([]transport.Message, []float64, error) {
+	reports := make([]transport.Message, numWorkers)
+	losses := make([]float64, numWorkers)
+	for got := 0; got < numWorkers; got++ {
+		msg, err := e.ep.RecvTimeout(e.opts.RecvTimeout)
+		if err != nil {
+			return nil, nil, err
+		}
+		if err := expectKind(msg, KindEdgeReport); err != nil {
+			return nil, nil, err
+		}
+		i, err := parseWorkerIndex(msg.From)
+		if err != nil {
+			return nil, nil, err
+		}
+		if i < 0 || i >= numWorkers {
+			return nil, nil, fmt.Errorf("cluster: report from out-of-range worker %d", i)
+		}
+		if len(msg.Vectors) != 4 {
+			return nil, nil, fmt.Errorf("cluster: report from %q carries %d vectors, want 4",
+				msg.From, len(msg.Vectors))
+		}
+		reports[i] = msg
+		losses[i] = msg.Scalars[ScalarLoss]
+	}
+	return reports, losses, nil
+}
+
+// update executes Algorithm 1 lines 10–13 from the collected reports.
+func (e *edgeNode) update(reports []transport.Message) error {
+	n := len(reports)
+	ys := make([]tensor.Vector, n)
+	xs := make([]tensor.Vector, n)
+	gradSums := make([]tensor.Vector, n)
+	ySums := make([]tensor.Vector, n)
+	for i, msg := range reports {
+		ys[i] = msg.Vectors[0]
+		xs[i] = msg.Vectors[1]
+		gradSums[i] = msg.Vectors[2]
+		ySums[i] = msg.Vectors[3]
+	}
+
+	gammaEdge := e.cfg.GammaEdge
+	if e.opts.Adaptive {
+		signals := make([]tensor.Vector, n)
+		if e.opts.Signal == core.SignalVelocity {
+			for i := range ys {
+				v := ys[i].Clone()
+				if err := v.Sub(e.lastY); err != nil {
+					return err
+				}
+				signals[i] = v
+			}
+		} else {
+			// Σy centred at the shared initialization, matching the
+			// simulation's gauge (see internal/core).
+			for i := range ySums {
+				centered := ySums[i].Clone()
+				if err := centered.AXPY(-float64(e.cfg.Tau), e.x0); err != nil {
+					return err
+				}
+				signals[i] = centered
+			}
+		}
+		cos, err := core.EdgeCosine(e.hn.WorkerWeights[e.l], gradSums, signals)
+		if err != nil {
+			return err
+		}
+		gammaEdge = core.ClampGamma(cos, e.opts.Ceiling)
+	}
+
+	if err := e.hn.EdgeAverage(e.yMinus, e.l, ys); err != nil { // line 11
+		return err
+	}
+	if err := e.hn.EdgeAverage(e.yPlusNext, e.l, xs); err != nil { // line 12
+		return err
+	}
+	if err := e.xPlus.CopyFrom(e.yPlusNext); err != nil { // line 13
+		return err
+	}
+	if err := e.xPlus.AXPY(gammaEdge, e.yPlusNext); err != nil {
+		return err
+	}
+	if err := e.xPlus.AXPY(-gammaEdge, e.yPlus); err != nil {
+		return err
+	}
+	return e.yPlus.CopyFrom(e.yPlusNext)
+}
+
+// cloudSync executes the edge side of lines 17–23: report to the cloud and
+// adopt the cloud-aggregated momentum and model.
+func (e *edgeNode) cloudSync(k int, losses []float64) error {
+	var weightedLoss float64
+	for i, loss := range losses {
+		weightedLoss += e.hn.WorkerWeights[e.l][i] * loss
+	}
+	report := transport.Message{
+		Kind:    KindCloudReport,
+		Round:   k * e.cfg.Tau,
+		Vectors: [][]float64{e.yMinus, e.xPlus},
+		Scalars: map[string]float64{ScalarLoss: weightedLoss},
+	}
+	if err := e.ep.Send(CloudID, report); err != nil {
+		return err
+	}
+	msg, err := e.ep.RecvTimeout(e.opts.RecvTimeout)
+	if err != nil {
+		return err
+	}
+	if err := expectKind(msg, KindCloudUpdate); err != nil {
+		return err
+	}
+	if len(msg.Vectors) != 2 {
+		return fmt.Errorf("cluster: cloud update carries %d vectors, want 2", len(msg.Vectors))
+	}
+	if err := e.yMinus.CopyFrom(msg.Vectors[0]); err != nil {
+		return err
+	}
+	return e.xPlus.CopyFrom(msg.Vectors[1])
+}

@@ -1,0 +1,55 @@
+package cluster
+
+import (
+	"fmt"
+
+	"hieradmo/internal/fl"
+	"hieradmo/internal/transport"
+)
+
+// The functions below are the per-role entry points for multi-process
+// deployments (cmd/flnode): every process builds the identical fl.Config
+// deterministically from the shared seed (synthetic data regenerates
+// locally, so no training data crosses the wire), opens its own transport
+// endpoint, and runs exactly one role. They execute the same node
+// implementations Run wires up in-process, so a multi-process run is
+// bit-identical to the simulation too.
+
+// RunWorkerNode executes worker {i,ℓ} against ep until the configured T.
+func RunWorkerNode(cfg *fl.Config, l, i int, ep transport.Endpoint, opts Options) error {
+	opts = opts.withDefaults()
+	hn, err := fl.NewHarness(cfg)
+	if err != nil {
+		return err
+	}
+	if l < 0 || l >= cfg.NumEdges() || i < 0 || i >= len(cfg.Edges[l]) {
+		return fmt.Errorf("cluster: no worker {%d,%d} in topology", i, l)
+	}
+	w := newWorkerNode(cfg, hn, l, i, hn.InitParams(), ep, opts)
+	return w.run()
+}
+
+// RunEdgeNode executes edge ℓ against ep.
+func RunEdgeNode(cfg *fl.Config, l int, ep transport.Endpoint, opts Options) error {
+	opts = opts.withDefaults()
+	hn, err := fl.NewHarness(cfg)
+	if err != nil {
+		return err
+	}
+	if l < 0 || l >= cfg.NumEdges() {
+		return fmt.Errorf("cluster: no edge %d in topology", l)
+	}
+	e := newEdgeNode(cfg, hn, l, hn.InitParams(), ep, opts)
+	return e.run()
+}
+
+// RunCloudNode executes the cloud against ep and returns the run result.
+func RunCloudNode(cfg *fl.Config, ep transport.Endpoint, opts Options) (*fl.Result, error) {
+	opts = opts.withDefaults()
+	hn, err := fl.NewHarness(cfg)
+	if err != nil {
+		return nil, err
+	}
+	c := newCloudNode(cfg, hn, hn.InitParams(), ep, opts)
+	return c.run()
+}

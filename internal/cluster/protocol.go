@@ -1,0 +1,85 @@
+// Package cluster executes HierAdMo (Algorithm 1) as an actual distributed
+// protocol: one goroutine-hosted node per worker, edge, and cloud,
+// exchanging models, momenta, and interval accumulators as messages over a
+// transport (in-memory for tests and single-machine runs, TCP for real
+// sockets).
+//
+// The in-process simulation in internal/core is the reference semantics:
+// the cluster performs the same floating-point operations in the same
+// order, so a cluster run and a simulation run with the same fl.Config
+// produce bit-identical models (verified by TestClusterMatchesSimulation).
+package cluster
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"hieradmo/internal/transport"
+)
+
+// Protocol message kinds.
+const (
+	// KindEdgeReport is worker → edge at t = kτ, carrying
+	// [y, x, Σ∇F, Σy] and the worker's latest mini-batch loss.
+	KindEdgeReport = "edge-report"
+	// KindEdgeUpdate is edge → worker after an edge (or cloud) update,
+	// carrying [y_ℓ−, x_ℓ+].
+	KindEdgeUpdate = "edge-update"
+	// KindCloudReport is edge → cloud at t = pτπ, carrying [y_ℓ−, x_ℓ+]
+	// and the edge's weighted loss.
+	KindCloudReport = "cloud-report"
+	// KindCloudUpdate is cloud → edge, carrying the cloud-aggregated [y, x].
+	KindCloudUpdate = "cloud-update"
+)
+
+// Scalar keys used in messages.
+const (
+	// ScalarLoss carries a (weighted) training loss.
+	ScalarLoss = "loss"
+)
+
+// CloudID is the cloud node's transport ID.
+const CloudID = "cloud"
+
+// EdgeID returns the transport ID of edge ℓ.
+func EdgeID(l int) string { return "edge-" + strconv.Itoa(l) }
+
+// WorkerID returns the transport ID of worker {i,ℓ}.
+func WorkerID(l, i int) string {
+	return "worker-" + strconv.Itoa(l) + "-" + strconv.Itoa(i)
+}
+
+// parseWorkerIndex extracts the worker index i from a WorkerID.
+func parseWorkerIndex(id string) (int, error) {
+	parts := strings.Split(id, "-")
+	if len(parts) != 3 || parts[0] != "worker" {
+		return 0, fmt.Errorf("cluster: malformed worker id %q", id)
+	}
+	i, err := strconv.Atoi(parts[2])
+	if err != nil {
+		return 0, fmt.Errorf("cluster: malformed worker id %q: %w", id, err)
+	}
+	return i, nil
+}
+
+// parseEdgeIndex extracts the edge index ℓ from an EdgeID.
+func parseEdgeIndex(id string) (int, error) {
+	parts := strings.Split(id, "-")
+	if len(parts) != 2 || parts[0] != "edge" {
+		return 0, fmt.Errorf("cluster: malformed edge id %q", id)
+	}
+	l, err := strconv.Atoi(parts[1])
+	if err != nil {
+		return 0, fmt.Errorf("cluster: malformed edge id %q: %w", id, err)
+	}
+	return l, nil
+}
+
+// expectKind validates an incoming message's type.
+func expectKind(msg transport.Message, kind string) error {
+	if msg.Kind != kind {
+		return fmt.Errorf("cluster: got %q from %q, want %q", msg.Kind, msg.From, kind)
+	}
+	return nil
+}

@@ -1,0 +1,122 @@
+package cluster
+
+import (
+	"fmt"
+
+	"hieradmo/internal/dataset"
+	"hieradmo/internal/fl"
+	"hieradmo/internal/rng"
+	"hieradmo/internal/tensor"
+	"hieradmo/internal/transport"
+)
+
+// workerNode is one worker {i,ℓ}: it runs the NAG iterations of Algorithm 1
+// lines 5–6 on its own shard and synchronizes with its edge every τ
+// iterations. It performs exactly the same floating-point operations, in the
+// same order, as the in-process simulation.
+type workerNode struct {
+	cfg     *fl.Config
+	l, i    int
+	shard   *dataset.Dataset
+	ep      transport.Endpoint
+	opts    Options
+	sampler *rng.RNG
+
+	x, y          tensor.Vector
+	gradSum, ySum tensor.Vector
+	grad          tensor.Vector
+	lastLoss      float64
+}
+
+func newWorkerNode(cfg *fl.Config, hn *fl.Harness, l, i int, x0 tensor.Vector, ep transport.Endpoint, opts Options) *workerNode {
+	return &workerNode{
+		cfg:     cfg,
+		l:       l,
+		i:       i,
+		shard:   cfg.Edges[l][i],
+		ep:      ep,
+		opts:    opts,
+		sampler: fl.WorkerSampler(cfg.Seed, l, i),
+		x:       x0.Clone(),
+		y:       x0.Clone(),
+		gradSum: tensor.NewVector(len(x0)),
+		ySum:    tensor.NewVector(len(x0)),
+		grad:    tensor.NewVector(len(x0)),
+	}
+}
+
+func (w *workerNode) run() error {
+	edge := EdgeID(w.l)
+	for t := 1; t <= w.cfg.T; t++ {
+		if err := w.step(); err != nil {
+			return fmt.Errorf("cluster: worker {%d,%d} t=%d: %w", w.i, w.l, t, err)
+		}
+		if t%w.cfg.Tau != 0 {
+			continue
+		}
+		// Lines 9/14–15: report interval state, receive the redistributed
+		// momentum and model.
+		report := transport.Message{
+			Kind:    KindEdgeReport,
+			Round:   t,
+			Vectors: [][]float64{w.y, w.x, w.gradSum, w.ySum},
+			Scalars: map[string]float64{ScalarLoss: w.lastLoss},
+		}
+		if err := w.ep.Send(edge, report); err != nil {
+			return fmt.Errorf("cluster: worker {%d,%d} report: %w", w.i, w.l, err)
+		}
+		msg, err := w.ep.RecvTimeout(w.opts.RecvTimeout)
+		if err != nil {
+			return fmt.Errorf("cluster: worker {%d,%d} await update: %w", w.i, w.l, err)
+		}
+		if err := expectKind(msg, KindEdgeUpdate); err != nil {
+			return err
+		}
+		if len(msg.Vectors) != 2 {
+			return fmt.Errorf("cluster: worker {%d,%d} update carries %d vectors, want 2",
+				w.i, w.l, len(msg.Vectors))
+		}
+		if err := w.y.CopyFrom(msg.Vectors[0]); err != nil {
+			return err
+		}
+		if err := w.x.CopyFrom(msg.Vectors[1]); err != nil {
+			return err
+		}
+		w.gradSum.Zero()
+		w.ySum.Zero()
+	}
+	return nil
+}
+
+// step performs one NAG iteration (Algorithm 1 lines 5–6).
+func (w *workerNode) step() error {
+	batch, err := w.shard.Batch(w.sampler, w.cfg.BatchSize)
+	if err != nil {
+		return err
+	}
+	loss, err := w.cfg.Model.LossGrad(w.x, batch, w.grad)
+	if err != nil {
+		return err
+	}
+	w.lastLoss = loss
+	if err := w.gradSum.Add(w.grad); err != nil {
+		return err
+	}
+	yPrev := w.y.Clone()
+	if err := w.y.CopyFrom(w.x); err != nil {
+		return err
+	}
+	if err := w.y.AXPY(-w.cfg.Eta, w.grad); err != nil {
+		return err
+	}
+	if err := w.ySum.Add(w.y); err != nil {
+		return err
+	}
+	if err := w.x.CopyFrom(w.y); err != nil {
+		return err
+	}
+	if err := w.x.AXPY(w.cfg.Gamma, w.y); err != nil {
+		return err
+	}
+	return w.x.AXPY(-w.cfg.Gamma, yPrev)
+}

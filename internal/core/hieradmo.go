@@ -1,0 +1,439 @@
+// Package core implements the paper's primary contribution: HierAdMo, the
+// three-tier client–edge–cloud federated-learning algorithm with Nesterov
+// momentum at the worker level, a second momentum at the edge level, and
+// online adaptation of the edge momentum factor γℓ from the real-time angle
+// between accumulated worker gradients and worker momenta (Algorithm 1 with
+// eq. (6)–(7)).
+//
+// The reduced variant HierAdMo-R (fixed γℓ, no adaptation — the paper's
+// comparison point for Theorem 5) is the same implementation with adaptation
+// disabled.
+package core
+
+import (
+	"fmt"
+
+	"hieradmo/internal/fl"
+	"hieradmo/internal/quant"
+	"hieradmo/internal/rng"
+	"hieradmo/internal/tensor"
+)
+
+// HierAdMo executes Algorithm 1. The zero value is not usable; construct
+// with New or NewReduced.
+type HierAdMo struct {
+	adaptive bool
+	signal   AdaptSignal
+	ceiling  float64
+	// participation is the fraction of each edge's workers sampled into
+	// every edge aggregation (1 = the paper's full cross-silo
+	// participation; smaller values model the cross-device regime the
+	// paper leaves as future work). Non-participants keep training locally
+	// and re-join at a later aggregation.
+	participation float64
+	// quantBits > 0 simulates a lossy uplink: every vector a worker ships
+	// to its edge passes through a QSGD-style stochastic quantizer of that
+	// width (see internal/quant).
+	quantBits int
+	// gammaStats optionally receives every adapted γℓ value (edge index,
+	// value) for diagnostics and tests.
+	gammaStats func(edge int, gamma float64)
+}
+
+var _ fl.Algorithm = (*HierAdMo)(nil)
+
+// Option customizes a HierAdMo instance.
+type Option func(*HierAdMo)
+
+// WithAdaptSignal selects the adaptation statistic (default SignalYSum, the
+// paper's eq. (6)).
+func WithAdaptSignal(s AdaptSignal) Option {
+	return func(h *HierAdMo) { h.signal = s }
+}
+
+// WithClampCeiling overrides the γℓ upper clamp (default 0.99, eq. (7)).
+func WithClampCeiling(c float64) Option {
+	return func(h *HierAdMo) { h.ceiling = c }
+}
+
+// WithGammaObserver registers a callback invoked with every adapted γℓ.
+func WithGammaObserver(fn func(edge int, gamma float64)) Option {
+	return func(h *HierAdMo) { h.gammaStats = fn }
+}
+
+// WithParticipation sets the fraction of each edge's workers sampled into
+// every edge aggregation (default 1, full participation). Values are
+// clamped to (0, 1]; each aggregation always includes at least one worker.
+func WithParticipation(frac float64) Option {
+	return func(h *HierAdMo) {
+		if frac > 0 && frac <= 1 {
+			h.participation = frac
+		}
+	}
+}
+
+// WithUplinkQuantization compresses every worker→edge upload through a
+// QSGD-style stochastic quantizer of the given bit width (2–8; 0 disables).
+// Invalid widths are ignored and surface when the run starts.
+func WithUplinkQuantization(bits int) Option {
+	return func(h *HierAdMo) { h.quantBits = bits }
+}
+
+// New returns the full adaptive HierAdMo algorithm.
+func New(opts ...Option) *HierAdMo {
+	h := &HierAdMo{
+		adaptive:      true,
+		signal:        SignalYSum,
+		ceiling:       DefaultClampCeiling,
+		participation: 1,
+	}
+	for _, o := range opts {
+		o(h)
+	}
+	return h
+}
+
+// NewReduced returns HierAdMo-R: the same two-level momentum scheme with the
+// edge momentum factor fixed to the config's GammaEdge.
+func NewReduced(opts ...Option) *HierAdMo {
+	h := &HierAdMo{
+		adaptive:      false,
+		signal:        SignalYSum,
+		ceiling:       DefaultClampCeiling,
+		participation: 1,
+	}
+	for _, o := range opts {
+		o(h)
+	}
+	return h
+}
+
+// Name implements fl.Algorithm.
+func (h *HierAdMo) Name() string {
+	if h.adaptive {
+		return "HierAdMo"
+	}
+	return "HierAdMo-R"
+}
+
+// workerState holds one worker's Algorithm-1 state.
+type workerState struct {
+	x, y tensor.Vector
+	// Interval accumulators received by the edge at t = kτ (Alg. 1 line 9).
+	gradSum, ySum tensor.Vector
+	// yStart is y at the beginning of the current edge interval, used by the
+	// SignalVelocity ablation.
+	yStart tensor.Vector
+	grad   tensor.Vector // scratch
+}
+
+// edgeState holds one edge node's Algorithm-1 state.
+type edgeState struct {
+	xPlus     tensor.Vector // x_{ℓ+}
+	yPlus     tensor.Vector // y_{ℓ+} (previous edge aggregation's value)
+	yMinus    tensor.Vector // y_{ℓ−} (latest aggregated worker momentum)
+	yPlusNext tensor.Vector // scratch for line 12
+}
+
+// Run implements fl.Algorithm.
+func (h *HierAdMo) Run(cfg *fl.Config) (*fl.Result, error) {
+	hn, err := fl.NewHarness(cfg)
+	if err != nil {
+		return nil, err
+	}
+	res := hn.NewResult(h.Name())
+
+	x0 := hn.InitParams()
+	dim := len(x0)
+
+	workers := make([][]*workerState, cfg.NumEdges())
+	edges := make([]*edgeState, cfg.NumEdges())
+	for l := range cfg.Edges {
+		workers[l] = make([]*workerState, len(cfg.Edges[l]))
+		for i := range cfg.Edges[l] {
+			workers[l][i] = &workerState{
+				x:       x0.Clone(),
+				y:       x0.Clone(), // y⁰ = x⁰ (line 1)
+				gradSum: tensor.NewVector(dim),
+				ySum:    tensor.NewVector(dim),
+				yStart:  x0.Clone(),
+				grad:    tensor.NewVector(dim),
+			}
+		}
+		edges[l] = &edgeState{
+			xPlus:     x0.Clone(), // x⁰_{ℓ+} = x⁰ (line 2)
+			yPlus:     x0.Clone(), // y⁰_{ℓ+} = x⁰_{ℓ+} (line 2)
+			yMinus:    x0.Clone(),
+			yPlusNext: tensor.NewVector(dim),
+		}
+	}
+
+	cloudX := x0.Clone()
+	cloudY := x0.Clone()
+	evalModel := tensor.NewVector(dim)
+	partRNG := rng.New(cfg.Seed).Split(0x9a47)
+
+	var quantizer *quant.Quantizer
+	if h.quantBits > 0 {
+		var qerr error
+		quantizer, qerr = quant.New(h.quantBits, cfg.Seed)
+		if qerr != nil {
+			return nil, qerr
+		}
+	}
+
+	for t := 1; t <= cfg.T; t++ {
+		// Worker momentum and model updates (lines 5–6, NAG form).
+		for l := range workers {
+			for i, w := range workers[l] {
+				if _, err := hn.Grad(l, i, w.x, w.grad); err != nil {
+					return nil, err
+				}
+				if err := w.gradSum.Add(w.grad); err != nil {
+					return nil, err
+				}
+				yPrev := w.y.Clone()
+				// y ← x − η∇F(x)
+				if err := w.y.CopyFrom(w.x); err != nil {
+					return nil, err
+				}
+				if err := w.y.AXPY(-cfg.Eta, w.grad); err != nil {
+					return nil, err
+				}
+				if err := w.ySum.Add(w.y); err != nil {
+					return nil, err
+				}
+				// x ← y + γ(y − yPrev)
+				if err := w.x.CopyFrom(w.y); err != nil {
+					return nil, err
+				}
+				if err := w.x.AXPY(cfg.Gamma, w.y); err != nil {
+					return nil, err
+				}
+				if err := w.x.AXPY(-cfg.Gamma, yPrev); err != nil {
+					return nil, err
+				}
+			}
+		}
+
+		// Edge update every τ iterations (lines 7–16).
+		if t%cfg.Tau == 0 {
+			for l := range edges {
+				idx := h.sampleParticipants(partRNG, len(workers[l]))
+				if err := h.edgeUpdate(hn, cfg, l, edges[l], workers[l], idx, quantizer, x0); err != nil {
+					return nil, err
+				}
+			}
+		}
+
+		// Cloud update every τπ iterations (lines 17–24).
+		if t%(cfg.Tau*cfg.Pi) == 0 {
+			yMinuses := make([]tensor.Vector, len(edges))
+			xPluses := make([]tensor.Vector, len(edges))
+			for l, e := range edges {
+				yMinuses[l] = e.yMinus
+				xPluses[l] = e.xPlus
+			}
+			if err := hn.CloudAverage(cloudY, yMinuses); err != nil { // line 18
+				return nil, err
+			}
+			if err := hn.CloudAverage(cloudX, xPluses); err != nil { // line 19
+				return nil, err
+			}
+			// Redistribution (lines 20–23): edges and workers all adopt the
+			// cloud-aggregated momentum and model.
+			for l, e := range edges {
+				if err := e.yMinus.CopyFrom(cloudY); err != nil {
+					return nil, err
+				}
+				if err := e.xPlus.CopyFrom(cloudX); err != nil {
+					return nil, err
+				}
+				for _, w := range workers[l] {
+					if err := w.y.CopyFrom(cloudY); err != nil {
+						return nil, err
+					}
+					if err := w.x.CopyFrom(cloudX); err != nil {
+						return nil, err
+					}
+					if err := w.yStart.CopyFrom(cloudY); err != nil {
+						return nil, err
+					}
+				}
+			}
+		}
+
+		if hn.ShouldEval(t) {
+			if err := h.evalInto(hn, workers, evalModel); err != nil {
+				return nil, err
+			}
+			if err := hn.RecordPoint(res, t, evalModel); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// T is a multiple of τπ, so the final cloud model is the run's output.
+	if err := hn.Finish(res, cloudX); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// sampleParticipants returns the sorted worker indices taking part in an
+// edge aggregation: all of them at full participation, otherwise a uniform
+// sample of max(1, round(frac·C)) workers.
+func (h *HierAdMo) sampleParticipants(r *rng.RNG, numWorkers int) []int {
+	if h.participation >= 1 {
+		idx := make([]int, numWorkers)
+		for i := range idx {
+			idx[i] = i
+		}
+		return idx
+	}
+	k := int(h.participation*float64(numWorkers) + 0.5)
+	if k < 1 {
+		k = 1
+	}
+	if k > numWorkers {
+		k = numWorkers
+	}
+	perm := r.Perm(numWorkers)[:k]
+	// Sort for deterministic aggregation order.
+	for i := 1; i < len(perm); i++ {
+		for j := i; j > 0 && perm[j] < perm[j-1]; j-- {
+			perm[j], perm[j-1] = perm[j-1], perm[j]
+		}
+	}
+	return perm
+}
+
+// edgeUpdate executes lines 9–15 of Algorithm 1 for edge ℓ at t = kτ over
+// the participating workers (idx; all workers under full participation).
+// Aggregation weights are the data weights renormalized over participants.
+func (h *HierAdMo) edgeUpdate(hn *fl.Harness, cfg *fl.Config, l int, e *edgeState, ws []*workerState, idx []int, quantizer *quant.Quantizer, x0 tensor.Vector) error {
+	weights := make([]float64, len(idx))
+	for j, i := range idx {
+		weights[j] = hn.WorkerWeights[l][i]
+	}
+	// Renormalize only under partial participation: at full participation
+	// the data weights are used verbatim so results stay bit-identical to
+	// the distributed cluster runtime.
+	if len(idx) < len(ws) {
+		var wsum float64
+		for _, w := range weights {
+			wsum += w
+		}
+		for j := range weights {
+			weights[j] /= wsum
+		}
+	}
+
+	// Assemble the uplink payload (Alg. 1 line 9); a configured quantizer
+	// compresses the shipped copies, never the workers' local state.
+	ys := make([]tensor.Vector, len(idx))
+	xs := make([]tensor.Vector, len(idx))
+	gradSums := make([]tensor.Vector, len(idx))
+	ySums := make([]tensor.Vector, len(idx))
+	for j, i := range idx {
+		w := ws[i]
+		ys[j], xs[j], gradSums[j], ySums[j] = w.y, w.x, w.gradSum, w.ySum
+		if quantizer != nil {
+			ys[j] = ys[j].Clone()
+			xs[j] = xs[j].Clone()
+			gradSums[j] = gradSums[j].Clone()
+			ySums[j] = ySums[j].Clone()
+			quantizer.Roundtrip(ys[j])
+			quantizer.Roundtrip(xs[j])
+			quantizer.Roundtrip(gradSums[j])
+			quantizer.Roundtrip(ySums[j])
+		}
+	}
+
+	// Adapt the edge momentum factor (line 10, eq. (6)–(7)). The Σy
+	// statistic is evaluated in the coordinate frame centred at the shared
+	// initialization x⁰ (Σ(yᵗ − x⁰)), so it measures the accumulated update
+	// direction rather than the arbitrary initial position; for the
+	// zero-initialized convex models this is exactly eq. (6). See DESIGN.md.
+	gammaEdge := cfg.GammaEdge
+	if h.adaptive {
+		signals := make([]tensor.Vector, len(idx))
+		for j, i := range idx {
+			switch h.signal {
+			case SignalVelocity:
+				v := ys[j].Clone()
+				if err := v.Sub(ws[i].yStart); err != nil {
+					return err
+				}
+				signals[j] = v
+			default:
+				centered := ySums[j].Clone()
+				if err := centered.AXPY(-float64(cfg.Tau), x0); err != nil {
+					return err
+				}
+				signals[j] = centered
+			}
+		}
+		cos, err := EdgeCosine(weights, gradSums, signals)
+		if err != nil {
+			return fmt.Errorf("core: edge %d adapt: %w", l, err)
+		}
+		gammaEdge = ClampGamma(cos, h.ceiling)
+	}
+	if h.gammaStats != nil {
+		h.gammaStats(l, gammaEdge)
+	}
+	if err := tensor.WeightedSum(e.yMinus, weights, ys); err != nil {
+		return err
+	}
+
+	// Edge momentum update (line 12): y_{ℓ+}^{kτ} reduces to the weighted
+	// average of the worker models (tested in hieradmo_test.go).
+	if err := tensor.WeightedSum(e.yPlusNext, weights, xs); err != nil {
+		return err
+	}
+	// Edge model update (line 13): x_{ℓ+} ← y⁺ + γℓ(y⁺ − y_{ℓ+}^{(k−1)τ}).
+	if err := e.xPlus.CopyFrom(e.yPlusNext); err != nil {
+		return err
+	}
+	if err := e.xPlus.AXPY(gammaEdge, e.yPlusNext); err != nil {
+		return err
+	}
+	if err := e.xPlus.AXPY(-gammaEdge, e.yPlus); err != nil {
+		return err
+	}
+	if err := e.yPlus.CopyFrom(e.yPlusNext); err != nil {
+		return err
+	}
+
+	// Redistribution to the participating workers (lines 14–15) and
+	// interval-state reset; non-participants keep their local state.
+	for _, i := range idx {
+		w := ws[i]
+		if err := w.y.CopyFrom(e.yMinus); err != nil {
+			return err
+		}
+		if err := w.x.CopyFrom(e.xPlus); err != nil {
+			return err
+		}
+		if err := w.yStart.CopyFrom(w.y); err != nil {
+			return err
+		}
+		w.gradSum.Zero()
+		w.ySum.Zero()
+	}
+	return nil
+}
+
+// evalInto computes the global data-weighted average of the worker models,
+// the evaluation point between aggregation instants.
+func (h *HierAdMo) evalInto(hn *fl.Harness, workers [][]*workerState, dst tensor.Vector) error {
+	grid := make([][]tensor.Vector, len(workers))
+	for l := range workers {
+		grid[l] = make([]tensor.Vector, len(workers[l]))
+		for i, w := range workers[l] {
+			grid[l][i] = w.x
+		}
+	}
+	return hn.GlobalAverage(dst, grid)
+}

@@ -1,0 +1,97 @@
+package core
+
+import (
+	"testing"
+
+	"hieradmo/internal/rng"
+)
+
+func TestParticipationFullMatchesDefault(t *testing.T) {
+	// participation=1 must be byte-for-byte the default algorithm.
+	cfg := buildConfig(t, []int{2, 2}, 2, 61)
+	a, err := New().Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(WithParticipation(1)).Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.FinalAcc != b.FinalAcc || a.FinalLoss != b.FinalLoss {
+		t.Errorf("full participation diverges: %v/%v vs %v/%v",
+			a.FinalAcc, a.FinalLoss, b.FinalAcc, b.FinalLoss)
+	}
+}
+
+func TestParticipationPartialRunsAndLearns(t *testing.T) {
+	cfg := buildConfig(t, []int{4, 4}, 2, 63)
+	cfg.T = 120
+	res, err := New(WithParticipation(0.5)).Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FinalAcc < 0.4 { // chance = 0.25
+		t.Errorf("partial participation accuracy %.3f, want >= 0.4", res.FinalAcc)
+	}
+}
+
+func TestParticipationDeterministic(t *testing.T) {
+	cfg := buildConfig(t, []int{4, 4}, 0, 65)
+	a, err := New(WithParticipation(0.5)).Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(WithParticipation(0.5)).Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.FinalAcc != b.FinalAcc {
+		t.Errorf("partial participation is not deterministic: %v vs %v", a.FinalAcc, b.FinalAcc)
+	}
+}
+
+func TestParticipationOptionClamps(t *testing.T) {
+	// Out-of-range fractions are ignored (keep full participation).
+	for _, bad := range []float64{0, -0.5, 1.5} {
+		h := New(WithParticipation(bad))
+		if h.participation != 1 {
+			t.Errorf("WithParticipation(%v) set %v, want 1", bad, h.participation)
+		}
+	}
+	h := New(WithParticipation(0.25))
+	if h.participation != 0.25 {
+		t.Errorf("participation = %v, want 0.25", h.participation)
+	}
+}
+
+func TestSampleParticipants(t *testing.T) {
+	h := New(WithParticipation(0.5))
+	r := rng.New(9)
+	for trial := 0; trial < 50; trial++ {
+		idx := h.sampleParticipants(r, 8)
+		if len(idx) != 4 {
+			t.Fatalf("sampled %d of 8 at 0.5 participation", len(idx))
+		}
+		for j := 1; j < len(idx); j++ {
+			if idx[j] <= idx[j-1] {
+				t.Fatalf("indices not strictly increasing: %v", idx)
+			}
+		}
+		for _, i := range idx {
+			if i < 0 || i >= 8 {
+				t.Fatalf("index %d out of range", i)
+			}
+		}
+	}
+	// At least one worker always participates.
+	tiny := New(WithParticipation(0.01))
+	if got := tiny.sampleParticipants(r, 4); len(got) != 1 {
+		t.Errorf("minimum participation %d, want 1", len(got))
+	}
+	// Full participation returns everyone in order.
+	full := New()
+	idx := full.sampleParticipants(r, 3)
+	if len(idx) != 3 || idx[0] != 0 || idx[2] != 2 {
+		t.Errorf("full participation indices %v", idx)
+	}
+}

@@ -1,0 +1,59 @@
+package core
+
+import "testing"
+
+func TestQuantizedUplinkRunsAndLearns(t *testing.T) {
+	cfg := buildConfig(t, []int{2, 2}, 2, 67)
+	cfg.T = 120
+	res, err := New(WithUplinkQuantization(8)).Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FinalAcc < 0.4 { // chance = 0.25
+		t.Errorf("8-bit quantized accuracy %.3f, want >= 0.4", res.FinalAcc)
+	}
+}
+
+func TestQuantizedUplinkInvalidBits(t *testing.T) {
+	cfg := buildConfig(t, []int{2, 2}, 0, 69)
+	if _, err := New(WithUplinkQuantization(1)).Run(cfg); err == nil {
+		t.Error("1-bit quantizer accepted")
+	}
+	if _, err := New(WithUplinkQuantization(16)).Run(cfg); err == nil {
+		t.Error("16-bit quantizer accepted")
+	}
+}
+
+func TestQuantizationOffIsDefault(t *testing.T) {
+	// bits = 0 disables quantization entirely: identical to the default run.
+	cfg := buildConfig(t, []int{2, 2}, 2, 71)
+	a, err := New().Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(WithUplinkQuantization(0)).Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.FinalAcc != b.FinalAcc || a.FinalLoss != b.FinalLoss {
+		t.Error("bits=0 changed the run")
+	}
+}
+
+func TestQuantizationDegradesGracefully(t *testing.T) {
+	// 8-bit quantization should track the unquantized run closely; 2-bit is
+	// allowed to lose accuracy but must not destroy the run.
+	cfg := buildConfig(t, []int{2, 2}, 0, 73)
+	cfg.T = 120
+	full, err := New().Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q8, err := New(WithUplinkQuantization(8)).Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q8.FinalAcc < full.FinalAcc-0.15 {
+		t.Errorf("8-bit run %.3f far below float run %.3f", q8.FinalAcc, full.FinalAcc)
+	}
+}

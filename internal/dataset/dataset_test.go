@@ -1,0 +1,176 @@
+package dataset
+
+import (
+	"errors"
+	"testing"
+
+	"hieradmo/internal/rng"
+)
+
+func testMNIST(t *testing.T, n int) *Dataset {
+	t.Helper()
+	g, err := NewGenerator(MNISTConfig(), 1)
+	if err != nil {
+		t.Fatalf("generator: %v", err)
+	}
+	return g.Generate(n, 2)
+}
+
+func TestShapeSize(t *testing.T) {
+	tests := []struct {
+		name string
+		sh   Shape
+		want int
+	}{
+		{name: "image", sh: Shape{C: 3, H: 4, W: 5}, want: 60},
+		{name: "flat", sh: Shape{C: 1, H: 1, W: 7}, want: 7},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.sh.Size(); got != tt.want {
+				t.Errorf("Size = %d, want %d", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestGeneratorValidation(t *testing.T) {
+	if _, err := NewGenerator(GenConfig{NumClasses: 1, Shape: Shape{C: 1, H: 1, W: 4}}, 1); err == nil {
+		t.Error("accepted single-class config")
+	}
+	if _, err := NewGenerator(GenConfig{NumClasses: 3, Shape: Shape{}}, 1); err == nil {
+		t.Error("accepted empty shape")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := testMNIST(t, 50)
+	b := testMNIST(t, 50)
+	for i := range a.Samples {
+		if a.Samples[i].Label != b.Samples[i].Label {
+			t.Fatalf("labels diverge at %d", i)
+		}
+		for j := range a.Samples[i].X {
+			if a.Samples[i].X[j] != b.Samples[i].X[j] {
+				t.Fatalf("features diverge at sample %d feature %d", i, j)
+			}
+		}
+	}
+}
+
+func TestGenerateShapes(t *testing.T) {
+	cfgs := []GenConfig{MNISTConfig(), CIFAR10Config(), ImageNetConfig(), HARConfig()}
+	for _, cfg := range cfgs {
+		t.Run(cfg.Name, func(t *testing.T) {
+			g, err := NewGenerator(cfg, 7)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ds := g.Generate(30, 8)
+			if ds.Len() != 30 {
+				t.Fatalf("Len = %d", ds.Len())
+			}
+			for _, s := range ds.Samples {
+				if len(s.X) != cfg.Shape.Size() {
+					t.Fatalf("feature dim %d, want %d", len(s.X), cfg.Shape.Size())
+				}
+				if s.Label < 0 || s.Label >= cfg.NumClasses {
+					t.Fatalf("label %d out of range", s.Label)
+				}
+			}
+		})
+	}
+}
+
+func TestTrainTestIndependentStreams(t *testing.T) {
+	g, err := NewGenerator(MNISTConfig(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	train, test := g.TrainTest(40, 40, 9)
+	diff := false
+	for i := range train.Samples {
+		if train.Samples[i].Label != test.Samples[i].Label {
+			diff = true
+			break
+		}
+		if train.Samples[i].X[0] != test.Samples[i].X[0] {
+			diff = true
+			break
+		}
+	}
+	if !diff {
+		t.Error("train and test streams coincide")
+	}
+}
+
+func TestBatch(t *testing.T) {
+	ds := testMNIST(t, 20)
+	r := rng.New(3)
+	batch, err := ds.Batch(r, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batch) != 8 {
+		t.Fatalf("batch len = %d", len(batch))
+	}
+}
+
+func TestBatchErrors(t *testing.T) {
+	empty := &Dataset{NumClasses: 10}
+	if _, err := empty.Batch(rng.New(1), 4); !errors.Is(err, ErrEmpty) {
+		t.Errorf("empty batch err = %v, want ErrEmpty", err)
+	}
+	ds := testMNIST(t, 5)
+	if _, err := ds.Batch(rng.New(1), 0); err == nil {
+		t.Error("accepted zero batch size")
+	}
+}
+
+func TestSubsetAndClassCounts(t *testing.T) {
+	ds := testMNIST(t, 100)
+	counts := ds.ClassCounts()
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total != 100 {
+		t.Errorf("class counts sum to %d, want 100", total)
+	}
+	sub := ds.Subset([]int{0, 1, 2})
+	if sub.Len() != 3 {
+		t.Errorf("subset len = %d", sub.Len())
+	}
+	if sub.NumClasses != ds.NumClasses || sub.Shape != ds.Shape {
+		t.Error("subset lost metadata")
+	}
+}
+
+func TestClassesPresent(t *testing.T) {
+	ds := testMNIST(t, 500)
+	if got := ds.ClassesPresent(); got != 10 {
+		t.Errorf("ClassesPresent = %d, want 10 for 500 samples", got)
+	}
+}
+
+func TestTemplatesSeparated(t *testing.T) {
+	g, err := NewGenerator(MNISTConfig(), 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Different class templates must be distinguishable: the distance between
+	// two templates should exceed a reasonable fraction of their norms.
+	for a := 0; a < 10; a++ {
+		for b := a + 1; b < 10; b++ {
+			ta, tb := g.Template(a), g.Template(b)
+			var dist2 float64
+			for i := range ta {
+				d := ta[i] - tb[i]
+				dist2 += d * d
+			}
+			if dist2 == 0 {
+				t.Fatalf("templates %d and %d identical", a, b)
+			}
+		}
+	}
+}

@@ -1,0 +1,135 @@
+package dataset
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"hieradmo/internal/rng"
+)
+
+func TestPartitionDirichletCompleteAndNonEmpty(t *testing.T) {
+	ds := testMNIST(t, 800)
+	shards, err := PartitionDirichlet(ds, 6, 0.5, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for w, s := range shards {
+		if s.Len() == 0 {
+			t.Errorf("shard %d empty", w)
+		}
+		total += s.Len()
+	}
+	if total != 800 {
+		t.Errorf("total = %d, want 800", total)
+	}
+}
+
+func TestPartitionDirichletSkewIncreasesWithSmallAlpha(t *testing.T) {
+	// Smaller α must produce more skewed class distributions. Measure skew
+	// as the mean (over shards) of the max class share within each shard.
+	ds := testMNIST(t, 2000)
+	skew := func(alpha float64) float64 {
+		shards, err := PartitionDirichlet(ds, 8, alpha, 13)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var total float64
+		for _, s := range shards {
+			counts := s.ClassCounts()
+			maxC, sum := 0, 0
+			for _, c := range counts {
+				if c > maxC {
+					maxC = c
+				}
+				sum += c
+			}
+			total += float64(maxC) / float64(sum)
+		}
+		return total / float64(len(shards))
+	}
+	concentrated := skew(0.1)
+	mild := skew(10)
+	if concentrated <= mild {
+		t.Errorf("alpha=0.1 skew %v not above alpha=10 skew %v", concentrated, mild)
+	}
+	// At large alpha the shards approach the uniform class share (0.1 for
+	// 10 classes); allow generous slack.
+	if mild > 0.3 {
+		t.Errorf("alpha=10 skew %v too high for near-IID", mild)
+	}
+}
+
+func TestPartitionDirichletErrors(t *testing.T) {
+	ds := testMNIST(t, 100)
+	if _, err := PartitionDirichlet(ds, 0, 1, 1); err == nil {
+		t.Error("accepted zero shards")
+	}
+	if _, err := PartitionDirichlet(ds, 4, 0, 1); err == nil {
+		t.Error("accepted zero alpha")
+	}
+	empty := &Dataset{NumClasses: 10}
+	if _, err := PartitionDirichlet(empty, 2, 1, 1); !errors.Is(err, ErrEmpty) {
+		t.Errorf("empty err = %v", err)
+	}
+}
+
+func TestPartitionDirichletDeterministic(t *testing.T) {
+	ds := testMNIST(t, 500)
+	a, err := PartitionDirichlet(ds, 5, 0.3, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := PartitionDirichlet(ds, 5, 0.3, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for w := range a {
+		if a[w].Len() != b[w].Len() {
+			t.Fatalf("shard %d sizes differ across identical seeds", w)
+		}
+	}
+}
+
+func TestGammaVariateMoments(t *testing.T) {
+	// Gamma(k,1) has mean k and variance k.
+	r := rng.New(23)
+	for _, shape := range []float64{0.5, 1, 2.5} {
+		const n = 100000
+		var sum, sumSq float64
+		for i := 0; i < n; i++ {
+			x := gammaVariate(r, shape)
+			if x < 0 {
+				t.Fatalf("negative gamma variate %v", x)
+			}
+			sum += x
+			sumSq += x * x
+		}
+		mean := sum / n
+		variance := sumSq/n - mean*mean
+		if math.Abs(mean-shape) > 0.05*math.Max(1, shape) {
+			t.Errorf("shape %v: mean %v", shape, mean)
+		}
+		if math.Abs(variance-shape) > 0.1*math.Max(1, shape) {
+			t.Errorf("shape %v: variance %v", shape, variance)
+		}
+	}
+}
+
+func TestDirichletSharesSumToOne(t *testing.T) {
+	r := rng.New(29)
+	for trial := 0; trial < 100; trial++ {
+		shares := dirichlet(r, 7, 0.4)
+		var sum float64
+		for _, s := range shares {
+			if s < 0 {
+				t.Fatalf("negative share %v", s)
+			}
+			sum += s
+		}
+		if math.Abs(sum-1) > 1e-12 {
+			t.Fatalf("shares sum to %v", sum)
+		}
+	}
+}

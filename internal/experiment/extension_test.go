@@ -1,0 +1,149 @@
+package experiment
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestRunAblationParticipationSmall(t *testing.T) {
+	tbl, err := RunAblationParticipation(tinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 4 {
+		t.Fatalf("%d rows, want 4", len(tbl.Rows))
+	}
+	if tbl.Rows[0].Label != "participation=1.00" {
+		t.Errorf("first row %q", tbl.Rows[0].Label)
+	}
+}
+
+func TestRunGammaTraceSmall(t *testing.T) {
+	tbl, err := RunGammaTrace(tinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) == 0 {
+		t.Fatal("no trace segments")
+	}
+	for _, r := range tbl.Rows {
+		mean, err := strconv.ParseFloat(r.Cells[0], 64)
+		if err != nil {
+			t.Fatalf("unparseable mean %q", r.Cells[0])
+		}
+		if mean < 0 || mean > 0.99 {
+			t.Errorf("mean γℓ %v outside [0, 0.99]", mean)
+		}
+	}
+}
+
+func TestRunTheoryBoundSmall(t *testing.T) {
+	tbl, err := RunTheoryBound(tinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 4 {
+		t.Fatalf("%d rows, want 4", len(tbl.Rows))
+	}
+	// Shape assertion: measured δ must grow as the class restriction
+	// tightens — rows are ordered IID, 9-class, 6-class, 3-class.
+	parse := func(row Row) float64 {
+		v, err := strconv.ParseFloat(row.Cells[0], 64)
+		if err != nil {
+			t.Fatalf("unparseable δ %q", row.Cells[0])
+		}
+		return v
+	}
+	iid := parse(tbl.Rows[0])
+	three := parse(tbl.Rows[3])
+	if three <= iid {
+		t.Errorf("3-class δ %v should exceed IID δ %v", three, iid)
+	}
+	// j must be finite, positive, and ordered with δ.
+	jIID, _ := strconv.ParseFloat(tbl.Rows[0].Cells[2], 64)
+	j3, _ := strconv.ParseFloat(tbl.Rows[3].Cells[2], 64)
+	if !(j3 > jIID && jIID > 0) {
+		t.Errorf("Theorem-4 gaps not ordered: IID %v vs 3-class %v", jIID, j3)
+	}
+	if !strings.Contains(tbl.Render(), "Theorem 4") {
+		t.Error("theory table missing context")
+	}
+}
+
+func TestTableIIRepeats(t *testing.T) {
+	s := tinyScale()
+	s.Repeats = 2
+	tbl, err := RunTableIISubset(s, []Combo{{Label: "Logistic/MNIST", Dataset: "mnist", Model: "logistic"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	foundPM := false
+	for _, r := range tbl.Rows {
+		if strings.Contains(r.Cells[0], "±") {
+			foundPM = true
+		}
+	}
+	if !foundPM {
+		t.Error("repeated Table II cells should report mean ± std")
+	}
+}
+
+func TestRunDirichletSweepSmall(t *testing.T) {
+	tbl, err := RunDirichletSweep(tinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 3 {
+		t.Fatalf("%d rows, want 3", len(tbl.Rows))
+	}
+	if len(tbl.Rows[0].Cells) != 3 {
+		t.Fatalf("%d cells, want 3", len(tbl.Rows[0].Cells))
+	}
+}
+
+func TestRunQuantizationSweepSmall(t *testing.T) {
+	tbl, err := RunQuantizationSweep(tinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 4 {
+		t.Fatalf("%d rows, want 4", len(tbl.Rows))
+	}
+	if tbl.Rows[0].Label != "float64 (off)" {
+		t.Errorf("first row %q", tbl.Rows[0].Label)
+	}
+	// Compression column is last.
+	last := tbl.Rows[1].Cells[len(tbl.Rows[1].Cells)-1]
+	if !strings.HasSuffix(last, "x") {
+		t.Errorf("compression cell %q", last)
+	}
+}
+
+func TestRunAblationArchitectureSmall(t *testing.T) {
+	tbl, err := RunAblationArchitecture(tinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 2 {
+		t.Fatalf("%d rows, want 2", len(tbl.Rows))
+	}
+}
+
+func TestBuildConfigDirichlet(t *testing.T) {
+	cfg, err := BuildConfig(Workload{
+		Dataset: "mnist", Model: "logistic", DirichletAlpha: 0.5,
+	}, tinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.NumWorkers() != 4 {
+		t.Errorf("workers = %d", cfg.NumWorkers())
+	}
+	if _, err := BuildConfig(Workload{
+		Dataset: "mnist", Model: "logistic",
+		DirichletAlpha: 0.5, ClassesPerWorker: 3,
+	}, tinyScale()); err == nil {
+		t.Error("accepted both partition protocols at once")
+	}
+}

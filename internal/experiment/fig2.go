@@ -1,0 +1,216 @@
+package experiment
+
+import (
+	"fmt"
+
+	"hieradmo/internal/core"
+	"hieradmo/internal/fl"
+)
+
+// curveColumns describes the checkpoint columns used by the sweep tables:
+// accuracy at 25/50/75/100% of the iteration budget, mirroring the paper's
+// accuracy-vs-iteration curves in tabular form.
+var curveColumns = []string{"acc@25%", "acc@50%", "acc@75%", "final"}
+
+func curveCells(res *fl.Result, t int) []string {
+	return []string{
+		Pct(res.AccuracyAt(t / 4)),
+		Pct(res.AccuracyAt(t / 2)),
+		Pct(res.AccuracyAt(3 * t / 4)),
+		Pct(res.FinalAcc),
+	}
+}
+
+// fig2Topology is the Fig. 2(a)–(c) setup: 16 workers over 4 edges.
+func fig2Topology() []int { return []int{4, 4, 4, 4} }
+
+// RunFig2TauSweep reproduces Fig. 2(a): HierAdMo accuracy for τ ∈ taus with
+// π fixed, CNN on MNIST, 16 workers over 4 edges. Larger τ must lower
+// accuracy at a fixed T (Theorem 4).
+func RunFig2TauSweep(s Scale, taus []int, pi int) (*Table, error) {
+	if len(taus) == 0 {
+		taus = []int{5, 10, 20, 40}
+	}
+	if pi == 0 {
+		pi = 2
+	}
+	tbl := &Table{
+		Title:   fmt.Sprintf("Fig. 2(a) — effect of tau (pi=%d), HierAdMo, CNN on MNIST, N=16 L=4", pi),
+		Columns: curveColumns,
+	}
+	for _, tau := range taus {
+		cfg, err := BuildConfig(Workload{
+			Dataset: "mnist", Model: "cnn",
+			Edges: fig2Topology(), Tau: tau, Pi: pi,
+		}, s)
+		if err != nil {
+			return nil, fmt.Errorf("fig2a tau=%d: %w", tau, err)
+		}
+		res, err := core.New().Run(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("fig2a tau=%d: %w", tau, err)
+		}
+		tbl.AddRow(fmt.Sprintf("tau=%d", tau), curveCells(res, cfg.T)...)
+	}
+	return tbl, nil
+}
+
+// RunFig2PiSweep reproduces Fig. 2(b): HierAdMo accuracy for π ∈ pis with τ
+// fixed. Larger π must lower accuracy at a fixed T (Theorem 4).
+func RunFig2PiSweep(s Scale, tau int, pis []int) (*Table, error) {
+	if tau == 0 {
+		tau = 10
+	}
+	if len(pis) == 0 {
+		pis = []int{1, 2, 4, 8}
+	}
+	tbl := &Table{
+		Title:   fmt.Sprintf("Fig. 2(b) — effect of pi (tau=%d), HierAdMo, CNN on MNIST, N=16 L=4", tau),
+		Columns: curveColumns,
+	}
+	for _, pi := range pis {
+		cfg, err := BuildConfig(Workload{
+			Dataset: "mnist", Model: "cnn",
+			Edges: fig2Topology(), Tau: tau, Pi: pi,
+		}, s)
+		if err != nil {
+			return nil, fmt.Errorf("fig2b pi=%d: %w", pi, err)
+		}
+		res, err := core.New().Run(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("fig2b pi=%d: %w", pi, err)
+		}
+		tbl.AddRow(fmt.Sprintf("pi=%d", pi), curveCells(res, cfg.T)...)
+	}
+	return tbl, nil
+}
+
+// RunFig2JointSweep reproduces Fig. 2(c): fixed τ·π product with varying
+// split. Smaller τ (more frequent edge aggregation) should win.
+func RunFig2JointSweep(s Scale, product int) (*Table, error) {
+	if product == 0 {
+		product = 40
+	}
+	splits := [][2]int{}
+	for tau := product; tau >= 1; tau /= 2 {
+		if product%tau == 0 {
+			splits = append(splits, [2]int{tau, product / tau})
+		}
+	}
+	tbl := &Table{
+		Title:   fmt.Sprintf("Fig. 2(c) — fixed tau*pi=%d, varying split, HierAdMo, CNN on MNIST, N=16 L=4", product),
+		Columns: curveColumns,
+	}
+	for _, sp := range splits {
+		cfg, err := BuildConfig(Workload{
+			Dataset: "mnist", Model: "cnn",
+			Edges: fig2Topology(), Tau: sp[0], Pi: sp[1],
+		}, s)
+		if err != nil {
+			return nil, fmt.Errorf("fig2c tau=%d pi=%d: %w", sp[0], sp[1], err)
+		}
+		res, err := core.New().Run(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("fig2c tau=%d pi=%d: %w", sp[0], sp[1], err)
+		}
+		tbl.AddRow(fmt.Sprintf("tau=%d pi=%d", sp[0], sp[1]), curveCells(res, cfg.T)...)
+	}
+	return tbl, nil
+}
+
+// RunFig2LargeN reproduces Fig. 2(d): the full algorithm comparison at
+// cross-silo scale, N=100 workers over 10 edges, CNN on MNIST.
+func RunFig2LargeN(s Scale) (*Table, error) {
+	edges := make([]int, 10)
+	for i := range edges {
+		edges[i] = 10
+	}
+	cfg, err := BuildConfig(Workload{Dataset: "mnist", Model: "cnn", Edges: edges}, s)
+	if err != nil {
+		return nil, fmt.Errorf("fig2d: %w", err)
+	}
+	algos := AllAlgorithms()
+	results, err := runAlgorithms(algos, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("fig2d: %w", err)
+	}
+	tbl := &Table{
+		Title:   "Fig. 2(d) — accuracy with N=100 workers (10 edges x 10), CNN on MNIST",
+		Columns: curveColumns,
+	}
+	for i, res := range results {
+		tbl.AddRow(algos[i].Name(), curveCells(res, cfg.T)...)
+	}
+	return tbl, nil
+}
+
+// RunFig2NonIID reproduces one panel of Fig. 2(e)–(g): the full algorithm
+// comparison when every worker holds only classesPerWorker of the 10 MNIST
+// classes (3, 6, or 9 in the paper).
+func RunFig2NonIID(s Scale, classesPerWorker int) (*Table, error) {
+	if classesPerWorker <= 0 {
+		return nil, fmt.Errorf("fig2e-g: classesPerWorker %d must be positive", classesPerWorker)
+	}
+	cfg, err := BuildConfig(Workload{
+		Dataset: "mnist", Model: "cnn",
+		ClassesPerWorker: classesPerWorker,
+	}, s)
+	if err != nil {
+		return nil, fmt.Errorf("fig2e-g x=%d: %w", classesPerWorker, err)
+	}
+	algos := AllAlgorithms()
+	results, err := runAlgorithms(algos, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("fig2e-g x=%d: %w", classesPerWorker, err)
+	}
+	tbl := &Table{
+		Title: fmt.Sprintf("Fig. 2(e)-(g) — %d-class non-IID, CNN on MNIST, N=4 L=2",
+			classesPerWorker),
+		Columns: curveColumns,
+	}
+	for i, res := range results {
+		tbl.AddRow(algos[i].Name(), curveCells(res, cfg.T)...)
+	}
+	return tbl, nil
+}
+
+// RunFig2AdaptiveGamma reproduces one panel of Fig. 2(i)–(k): HierAdMo's
+// adaptive γℓ against the exhaustive enumeration of fixed γℓ under
+// HierAdMo-R, CNN on CIFAR-10 with the given worker momentum factor γ
+// (0.3, 0.6, 0.9 in the paper's three panels).
+func RunFig2AdaptiveGamma(s Scale, gamma float64) (*Table, error) {
+	if gamma <= 0 || gamma >= 1 {
+		return nil, fmt.Errorf("fig2i-k: gamma %v outside (0,1)", gamma)
+	}
+	tbl := &Table{
+		Title:   fmt.Sprintf("Fig. 2(i)-(k) — adaptive vs fixed gammaEdge, CNN on CIFAR-10, gamma=%.1f, tau=20 pi=2", gamma),
+		Columns: []string{"final"},
+	}
+	for _, ge := range []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9} {
+		cfg, err := BuildConfig(Workload{
+			Dataset: "cifar10", Model: "cnn",
+			Tau: 20, Pi: 2, Gamma: gamma, GammaEdge: ge,
+		}, s)
+		if err != nil {
+			return nil, fmt.Errorf("fig2i-k gammaEdge=%.1f: %w", ge, err)
+		}
+		res, err := core.NewReduced().Run(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("fig2i-k gammaEdge=%.1f: %w", ge, err)
+		}
+		tbl.AddRow(fmt.Sprintf("fixed %.1f", ge), Pct(res.FinalAcc))
+	}
+	cfg, err := BuildConfig(Workload{
+		Dataset: "cifar10", Model: "cnn",
+		Tau: 20, Pi: 2, Gamma: gamma,
+	}, s)
+	if err != nil {
+		return nil, fmt.Errorf("fig2i-k adaptive: %w", err)
+	}
+	res, err := core.New().Run(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("fig2i-k adaptive: %w", err)
+	}
+	tbl.AddRow("adaptive", Pct(res.FinalAcc))
+	return tbl, nil
+}

@@ -1,0 +1,112 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Table is the uniform result container for every experiment: one labelled
+// row per configuration (usually per algorithm) and one column per reported
+// quantity.
+type Table struct {
+	// Title names the experiment and echoes its parameters.
+	Title string
+	// Columns are the value-column headers (the label column is implicit).
+	Columns []string
+	// Rows hold the results in presentation order.
+	Rows []Row
+	// Notes are appended under the table (substitution caveats, scale info).
+	Notes []string
+}
+
+// Row is one labelled table line.
+type Row struct {
+	Label string
+	Cells []string
+}
+
+// AddRow appends a row.
+func (t *Table) AddRow(label string, cells ...string) {
+	t.Rows = append(t.Rows, Row{Label: label, Cells: cells})
+}
+
+// Render produces an aligned plain-text rendering.
+func (t *Table) Render() string {
+	var b strings.Builder
+	b.WriteString(t.Title)
+	b.WriteByte('\n')
+
+	widths := make([]int, len(t.Columns)+1)
+	for _, r := range t.Rows {
+		if len(r.Label) > widths[0] {
+			widths[0] = len(r.Label)
+		}
+	}
+	for c, h := range t.Columns {
+		widths[c+1] = len(h)
+		for _, r := range t.Rows {
+			if c < len(r.Cells) && len(r.Cells[c]) > widths[c+1] {
+				widths[c+1] = len(r.Cells[c])
+			}
+		}
+	}
+
+	line := func(cells []string) {
+		for c, cell := range cells {
+			if c == 0 {
+				fmt.Fprintf(&b, "  %-*s", widths[0], cell)
+			} else {
+				fmt.Fprintf(&b, "  %*s", widths[c], cell)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	header := append([]string{""}, t.Columns...)
+	line(header)
+	sep := make([]string, len(header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, r := range t.Rows {
+		line(append([]string{r.Label}, r.Cells...))
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "  note: %s\n", n)
+	}
+	return b.String()
+}
+
+// RenderCSV produces a machine-readable CSV rendering (label column first,
+// then the value columns; notes are omitted).
+func (t *Table) RenderCSV() string {
+	var b strings.Builder
+	escape := func(s string) string {
+		if strings.ContainsAny(s, ",\"\n") {
+			return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+		}
+		return s
+	}
+	b.WriteString("label")
+	for _, c := range t.Columns {
+		b.WriteByte(',')
+		b.WriteString(escape(c))
+	}
+	b.WriteByte('\n')
+	for _, r := range t.Rows {
+		b.WriteString(escape(r.Label))
+		for _, cell := range r.Cells {
+			b.WriteByte(',')
+			b.WriteString(escape(cell))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Pct formats a [0,1] accuracy as a percentage cell.
+func Pct(v float64) string { return fmt.Sprintf("%.2f", 100*v) }
+
+// Dur formats a duration cell with sub-second precision trimmed.
+func Dur(d time.Duration) string { return d.Round(10 * time.Millisecond).String() }

@@ -1,0 +1,104 @@
+package experiment
+
+import (
+	"fmt"
+
+	"hieradmo/internal/fl"
+	"hieradmo/internal/metrics"
+)
+
+// Combo is one model×dataset column of Table II.
+type Combo struct {
+	// Label matches the paper's column header.
+	Label string
+	// Dataset and Model select the workload.
+	Dataset, Model string
+}
+
+// TableIICombos returns the paper's seven Table II columns in order.
+func TableIICombos() []Combo {
+	return []Combo{
+		{Label: "Linear/MNIST", Dataset: "mnist", Model: "linear"},
+		{Label: "Logistic/MNIST", Dataset: "mnist", Model: "logistic"},
+		{Label: "CNN/MNIST", Dataset: "mnist", Model: "cnn"},
+		{Label: "CNN/CIFAR10", Dataset: "cifar10", Model: "cnn"},
+		{Label: "VGG/CIFAR10", Dataset: "cifar10", Model: "vgg-mini"},
+		{Label: "ResNet/ImageNet", Dataset: "imagenet", Model: "resnet-mini"},
+		{Label: "CNN/UCI-HAR", Dataset: "har", Model: "cnn"},
+	}
+}
+
+// RunTableII reproduces Table II: final accuracy (%) of all 11 algorithms
+// over the seven model×dataset combinations, with the paper's N=4, L=2
+// topology, γ = γℓ = 0.5, and τ=10,π=2 (convex) or τ=20,π=2 (non-convex).
+// Two-tier algorithms aggregate every τ·π iterations for fairness.
+func RunTableII(s Scale) (*Table, error) {
+	return RunTableIISubset(s, TableIICombos())
+}
+
+// RunTableIISubset reproduces Table II restricted to the given combos (used
+// by the per-combo benchmarks).
+func RunTableIISubset(s Scale, combos []Combo) (*Table, error) {
+	algos := AllAlgorithms()
+	tbl := &Table{
+		Title:   "Table II — accuracy (%) of FL algorithms after T local iterations",
+		Columns: make([]string, len(combos)),
+		Notes: []string{
+			"synthetic stand-in datasets and laptop-scale models; compare ordering, not absolute values (DESIGN.md §1)",
+			fmt.Sprintf("scale: %d train / %d test samples, T=%d (convex) / %d (non-convex)",
+				s.TrainSamples, s.TestSamples, s.TConvex, s.TNonConvex),
+		},
+	}
+	cells := make([][]string, len(algos))
+	for i := range cells {
+		cells[i] = make([]string, len(combos))
+	}
+	repeats := s.Repeats
+	if repeats < 1 {
+		repeats = 1
+	}
+	for c, combo := range combos {
+		tbl.Columns[c] = combo.Label
+		accs := make([][]float64, len(algos))
+		for rep := 0; rep < repeats; rep++ {
+			rs := s
+			rs.Seed = s.Seed + uint64(rep)*1000
+			cfg, err := BuildConfig(Workload{Dataset: combo.Dataset, Model: combo.Model}, rs)
+			if err != nil {
+				return nil, fmt.Errorf("table2 %s: %w", combo.Label, err)
+			}
+			for a, alg := range algos {
+				res, err := alg.Run(cfg)
+				if err != nil {
+					return nil, fmt.Errorf("table2 %s %s: %w", combo.Label, alg.Name(), err)
+				}
+				accs[a] = append(accs[a], 100*res.FinalAcc)
+			}
+		}
+		for a := range algos {
+			sum, err := metrics.Summarize(accs[a])
+			if err != nil {
+				return nil, fmt.Errorf("table2 %s: %w", combo.Label, err)
+			}
+			cells[a][c] = sum.String()
+		}
+	}
+	for a, alg := range algos {
+		tbl.AddRow(alg.Name(), cells[a]...)
+	}
+	return tbl, nil
+}
+
+// runAlgorithms executes every algorithm on cfg and returns results in
+// algorithm order.
+func runAlgorithms(algos []fl.Algorithm, cfg *fl.Config) ([]*fl.Result, error) {
+	out := make([]*fl.Result, len(algos))
+	for i, alg := range algos {
+		res, err := alg.Run(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", alg.Name(), err)
+		}
+		out[i] = res
+	}
+	return out, nil
+}

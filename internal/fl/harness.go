@@ -1,0 +1,219 @@
+package fl
+
+import (
+	"fmt"
+
+	"hieradmo/internal/dataset"
+	"hieradmo/internal/model"
+	"hieradmo/internal/rng"
+	"hieradmo/internal/tensor"
+)
+
+// Harness is the shared per-run runtime every algorithm builds on: validated
+// configuration, data-size weights at every tier, per-worker seeded
+// mini-batch streams, and curve recording. One Harness serves exactly one
+// Run invocation.
+type Harness struct {
+	cfg *Config
+
+	// EdgeWeights[l] = Dℓ/D.
+	EdgeWeights []float64
+	// WorkerWeights[l][i] = D(i,ℓ)/Dℓ.
+	WorkerWeights [][]float64
+
+	samplers [][]*rng.RNG
+	lastLoss [][]float64
+	evalSet  *dataset.Dataset
+}
+
+// NewHarness validates cfg and prepares the run state.
+func NewHarness(cfg *Config) (*Harness, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	h := &Harness{
+		cfg:           cfg,
+		EdgeWeights:   make([]float64, cfg.NumEdges()),
+		WorkerWeights: make([][]float64, cfg.NumEdges()),
+		samplers:      make([][]*rng.RNG, cfg.NumEdges()),
+		lastLoss:      make([][]float64, cfg.NumEdges()),
+	}
+	total := 0
+	edgeTotals := make([]int, cfg.NumEdges())
+	for l, edge := range cfg.Edges {
+		for _, shard := range edge {
+			edgeTotals[l] += shard.Len()
+		}
+		total += edgeTotals[l]
+	}
+	for l, edge := range cfg.Edges {
+		h.EdgeWeights[l] = float64(edgeTotals[l]) / float64(total)
+		h.WorkerWeights[l] = make([]float64, len(edge))
+		h.samplers[l] = make([]*rng.RNG, len(edge))
+		h.lastLoss[l] = make([]float64, len(edge))
+		for i, shard := range edge {
+			h.WorkerWeights[l][i] = float64(shard.Len()) / float64(edgeTotals[l])
+			h.samplers[l][i] = WorkerSampler(cfg.Seed, l, i)
+		}
+	}
+	h.evalSet = cfg.Test
+	if cfg.EvalSamples > 0 && cfg.EvalSamples < cfg.Test.Len() {
+		idx := make([]int, cfg.EvalSamples)
+		for i := range idx {
+			idx[i] = i
+		}
+		h.evalSet = cfg.Test.Subset(idx)
+	}
+	return h, nil
+}
+
+// WorkerSampler returns the deterministic mini-batch stream of worker
+// {i,ℓ} for a run seed. It is exported so alternative execution engines
+// (the distributed cluster runtime) can reproduce the exact batch sequence
+// of the in-process simulation, making results bit-comparable.
+func WorkerSampler(seed uint64, l, i int) *rng.RNG {
+	return rng.New(seed).Split(uint64(l)<<20 | uint64(i)<<4 | 1)
+}
+
+// Cfg returns the validated configuration.
+func (h *Harness) Cfg() *Config { return h.cfg }
+
+// EvalSet returns the (possibly EvalSamples-capped) test subset used for
+// curve evaluation.
+func (h *Harness) EvalSet() *dataset.Dataset { return h.evalSet }
+
+// GlobalWeight returns D(i,ℓ)/D, the worker's weight in the global
+// objective.
+func (h *Harness) GlobalWeight(l, i int) float64 {
+	return h.EdgeWeights[l] * h.WorkerWeights[l][i]
+}
+
+// InitParams draws the common initial model x⁰ shared by all workers
+// (Algorithm 1 line 1), deterministically from the config seed.
+func (h *Harness) InitParams() tensor.Vector {
+	return h.cfg.Model.Init(rng.New(h.cfg.Seed).Split(0x1717))
+}
+
+// Grad samples a mini-batch for worker {i,ℓ} and overwrites grad with the
+// mean stochastic gradient ∇F(i,ℓ)(params); the mini-batch loss is recorded
+// for curve reporting and returned.
+func (h *Harness) Grad(l, i int, params, grad tensor.Vector) (float64, error) {
+	batch, err := h.cfg.Edges[l][i].Batch(h.samplers[l][i], h.cfg.BatchSize)
+	if err != nil {
+		return 0, fmt.Errorf("fl: worker {%d,%d} batch: %w", i, l, err)
+	}
+	loss, err := h.cfg.Model.LossGrad(params, batch, grad)
+	if err != nil {
+		return 0, fmt.Errorf("fl: worker {%d,%d} gradient: %w", i, l, err)
+	}
+	if h.cfg.ClipNorm > 0 {
+		if norm := grad.Norm(); norm > h.cfg.ClipNorm {
+			grad.Scale(h.cfg.ClipNorm / norm)
+		}
+	}
+	h.lastLoss[l][i] = loss
+	return loss, nil
+}
+
+// WeightedLoss returns the data-weighted average of every worker's latest
+// mini-batch loss — the curve's training-loss signal.
+func (h *Harness) WeightedLoss() float64 {
+	var total float64
+	for l := range h.lastLoss {
+		for i, loss := range h.lastLoss[l] {
+			total += h.GlobalWeight(l, i) * loss
+		}
+	}
+	return total
+}
+
+// EdgeAverage overwrites dst with the Dᵢ/Dℓ-weighted average of the workers'
+// vectors at edge ℓ.
+func (h *Harness) EdgeAverage(dst tensor.Vector, l int, vecs []tensor.Vector) error {
+	if err := tensor.WeightedSum(dst, h.WorkerWeights[l], vecs); err != nil {
+		return fmt.Errorf("fl: edge %d average: %w", l, err)
+	}
+	return nil
+}
+
+// CloudAverage overwrites dst with the Dℓ/D-weighted average of per-edge
+// vectors.
+func (h *Harness) CloudAverage(dst tensor.Vector, perEdge []tensor.Vector) error {
+	if err := tensor.WeightedSum(dst, h.EdgeWeights, perEdge); err != nil {
+		return fmt.Errorf("fl: cloud average: %w", err)
+	}
+	return nil
+}
+
+// GlobalAverage overwrites dst with the D(i,ℓ)/D-weighted average over all
+// workers' vectors (vecs indexed [edge][worker]). This is the evaluation
+// model between aggregation instants.
+func (h *Harness) GlobalAverage(dst tensor.Vector, vecs [][]tensor.Vector) error {
+	dst.Zero()
+	for l := range vecs {
+		for i, v := range vecs[l] {
+			if err := dst.AXPY(h.GlobalWeight(l, i), v); err != nil {
+				return fmt.Errorf("fl: global average worker {%d,%d}: %w", i, l, err)
+			}
+		}
+	}
+	return nil
+}
+
+// NewResult prepares a Result for the named algorithm.
+func (h *Harness) NewResult(name string) *Result {
+	return &Result{Algorithm: name, Iterations: h.cfg.T}
+}
+
+// ShouldEval reports whether iteration t is a curve-recording instant.
+func (h *Harness) ShouldEval(t int) bool {
+	return h.cfg.EvalEvery > 0 && t%h.cfg.EvalEvery == 0 && t != h.cfg.T
+}
+
+// RecordPoint evaluates params on the (possibly capped) test subset and
+// appends a curve point for iteration t.
+func (h *Harness) RecordPoint(res *Result, t int, params tensor.Vector) error {
+	acc, err := model.Accuracy(h.cfg.Model, params, h.evalSet)
+	if err != nil {
+		return fmt.Errorf("fl: eval at t=%d: %w", t, err)
+	}
+	res.Curve = append(res.Curve, Point{Iter: t, TestAcc: acc, TrainLoss: h.WeightedLoss()})
+	return nil
+}
+
+// Finish evaluates the final model on the full test set and appends the
+// terminal curve point at t = T.
+func (h *Harness) Finish(res *Result, params tensor.Vector) error {
+	acc, err := model.Accuracy(h.cfg.Model, params, h.cfg.Test)
+	if err != nil {
+		return fmt.Errorf("fl: final eval: %w", err)
+	}
+	res.FinalAcc = acc
+	res.FinalLoss = h.WeightedLoss()
+	res.Curve = append(res.Curve, Point{Iter: h.cfg.T, TestAcc: acc, TrainLoss: res.FinalLoss})
+	return nil
+}
+
+// CloneGrid allocates an [edge][worker] grid of vectors, each a copy of src.
+func (h *Harness) CloneGrid(src tensor.Vector) [][]tensor.Vector {
+	grid := make([][]tensor.Vector, h.cfg.NumEdges())
+	for l, edge := range h.cfg.Edges {
+		grid[l] = make([]tensor.Vector, len(edge))
+		for i := range edge {
+			grid[l][i] = src.Clone()
+		}
+	}
+	return grid
+}
+
+// ZeroGrid allocates an [edge][worker] grid of zero vectors of length dim.
+func (h *Harness) ZeroGrid(dim int) [][]tensor.Vector {
+	grid := make([][]tensor.Vector, h.cfg.NumEdges())
+	for l, edge := range h.cfg.Edges {
+		grid[l] = make([]tensor.Vector, len(edge))
+		for i := range edge {
+			grid[l][i] = tensor.NewVector(dim)
+		}
+	}
+	return grid
+}

@@ -1,0 +1,59 @@
+package fl
+
+import "fmt"
+
+// Point is one sample of the training trajectory.
+type Point struct {
+	// Iter is the local-iteration index t at which the point was recorded.
+	Iter int
+	// TestAcc is classification accuracy on the (possibly capped) test set.
+	TestAcc float64
+	// TrainLoss is the data-weighted average of the workers' latest
+	// mini-batch losses.
+	TrainLoss float64
+}
+
+// Result captures the outcome of one training run.
+type Result struct {
+	// Algorithm is the report name of the algorithm that produced the run.
+	Algorithm string
+	// FinalAcc is the full-test-set accuracy of the final global model.
+	FinalAcc float64
+	// FinalLoss is the last recorded weighted training loss.
+	FinalLoss float64
+	// Curve holds the recorded trajectory in iteration order, always ending
+	// with a point at Iter == T.
+	Curve []Point
+	// Iterations is the configured T.
+	Iterations int
+}
+
+// AccuracyAt returns the recorded accuracy of the last curve point at or
+// before iteration t, or 0 if none was recorded yet.
+func (r *Result) AccuracyAt(t int) float64 {
+	acc := 0.0
+	for _, p := range r.Curve {
+		if p.Iter > t {
+			break
+		}
+		acc = p.TestAcc
+	}
+	return acc
+}
+
+// IterToReach returns the first recorded iteration whose accuracy meets
+// target, and whether the run ever reached it.
+func (r *Result) IterToReach(target float64) (int, bool) {
+	for _, p := range r.Curve {
+		if p.TestAcc >= target {
+			return p.Iter, true
+		}
+	}
+	return 0, false
+}
+
+// String summarizes the result on one line.
+func (r *Result) String() string {
+	return fmt.Sprintf("%s: acc=%.4f loss=%.4f (T=%d, %d curve points)",
+		r.Algorithm, r.FinalAcc, r.FinalLoss, r.Iterations, len(r.Curve))
+}

@@ -1,0 +1,194 @@
+package metrics
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarize(t *testing.T) {
+	s, err := Summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.N != 8 || s.Mean != 5 {
+		t.Errorf("summary %+v", s)
+	}
+	// Sample std of this classic set is ~2.138.
+	if math.Abs(s.Std-2.1380899) > 1e-6 {
+		t.Errorf("std = %v", s.Std)
+	}
+	if s.Min != 2 || s.Max != 9 {
+		t.Errorf("min/max %v/%v", s.Min, s.Max)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	if _, err := Summarize(nil); !errors.Is(err, ErrEmpty) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestSummarizeSingle(t *testing.T) {
+	s, err := Summarize([]float64{3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Std != 0 || s.Mean != 3 {
+		t.Errorf("single summary %+v", s)
+	}
+	if strings.Contains(s.String(), "±") {
+		t.Errorf("single-run String %q should not show ±", s.String())
+	}
+}
+
+func TestSummaryString(t *testing.T) {
+	s, err := Summarize([]float64{80, 90})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(s.String(), "±") {
+		t.Errorf("String %q missing ±", s.String())
+	}
+}
+
+func TestSummarizeMeanBounds(t *testing.T) {
+	// Property: min ≤ mean ≤ max. Inputs whose spread approaches the
+	// float64 range are skipped: x − mean legitimately overflows there, and
+	// the statistic is meaningless at such magnitudes.
+	f := func(xs []float64) bool {
+		for _, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > math.MaxFloat64/4 {
+				return true
+			}
+		}
+		s, err := Summarize(xs)
+		if errors.Is(err, ErrEmpty) {
+			return true
+		}
+		return s.Min <= s.Mean+1e-9*math.Abs(s.Mean)+1e-9 &&
+			s.Mean <= s.Max+1e-9*math.Abs(s.Max)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConfusion(t *testing.T) {
+	c, err := NewConfusion(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs := [][2]int{{0, 0}, {0, 0}, {0, 1}, {1, 1}, {2, 2}, {2, 0}}
+	for _, o := range obs {
+		if err := c.Observe(o[0], o[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c.Total() != 6 {
+		t.Errorf("total = %d", c.Total())
+	}
+	if got := c.Accuracy(); math.Abs(got-4.0/6.0) > 1e-12 {
+		t.Errorf("accuracy = %v", got)
+	}
+	// Class 0: predicted 3 times, correct 2 → precision 2/3.
+	if got := c.Precision(0); math.Abs(got-2.0/3.0) > 1e-12 {
+		t.Errorf("precision(0) = %v", got)
+	}
+	// Class 0 occurs 3 times, correct 2 → recall 2/3.
+	if got := c.Recall(0); math.Abs(got-2.0/3.0) > 1e-12 {
+		t.Errorf("recall(0) = %v", got)
+	}
+	if f1 := c.MacroF1(); f1 <= 0 || f1 > 1 {
+		t.Errorf("macro F1 = %v", f1)
+	}
+}
+
+func TestConfusionErrors(t *testing.T) {
+	if _, err := NewConfusion(0); err == nil {
+		t.Error("accepted 0 classes")
+	}
+	c, err := NewConfusion(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Observe(2, 0); err == nil {
+		t.Error("accepted out-of-range label")
+	}
+	if err := c.Observe(0, -1); err == nil {
+		t.Error("accepted negative prediction")
+	}
+}
+
+func TestConfusionDegenerateClasses(t *testing.T) {
+	c, err := NewConfusion(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Accuracy() != 0 {
+		t.Error("empty accuracy should be 0")
+	}
+	if c.Precision(1) != 0 || c.Recall(1) != 0 {
+		t.Error("never-seen class should score 0")
+	}
+}
+
+func TestEMA(t *testing.T) {
+	out, err := EMA([]float64{0, 10, 10, 10}, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{0, 5, 7.5, 8.75}
+	for i := range want {
+		if math.Abs(out[i]-want[i]) > 1e-12 {
+			t.Errorf("ema[%d] = %v, want %v", i, out[i], want[i])
+		}
+	}
+	if _, err := EMA([]float64{1}, 0); err == nil {
+		t.Error("accepted alpha 0")
+	}
+	if _, err := EMA(nil, 0.5); !errors.Is(err, ErrEmpty) {
+		t.Errorf("err = %v", err)
+	}
+	same, err := EMA([]float64{1, 2}, 1)
+	if err != nil || same[1] != 2 {
+		t.Errorf("alpha=1 should copy: %v %v", same, err)
+	}
+}
+
+func TestAUC(t *testing.T) {
+	// A flat curve at 0.5 has normalized AUC 0.5.
+	got, err := AUC([]int{0, 10, 20}, []float64{0.5, 0.5, 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("flat AUC = %v", got)
+	}
+	// An early riser dominates a late riser.
+	early, err := AUC([]int{0, 10, 20}, []float64{0, 0.9, 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	late, err := AUC([]int{0, 10, 20}, []float64{0, 0.1, 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if early <= late {
+		t.Errorf("early %v should beat late %v", early, late)
+	}
+}
+
+func TestAUCErrors(t *testing.T) {
+	if _, err := AUC([]int{1}, []float64{1}); !errors.Is(err, ErrEmpty) {
+		t.Errorf("short AUC err = %v", err)
+	}
+	if _, err := AUC([]int{1, 2}, []float64{1}); err == nil {
+		t.Error("accepted mismatched lengths")
+	}
+	if _, err := AUC([]int{2, 1}, []float64{1, 1}); err == nil {
+		t.Error("accepted decreasing x")
+	}
+}

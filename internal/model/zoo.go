@@ -1,0 +1,152 @@
+package model
+
+import (
+	"fmt"
+
+	"hieradmo/internal/dataset"
+	"hieradmo/internal/nn"
+)
+
+// NewLinearRegression builds the paper's linear-regression classifier: a
+// single affine map trained with mean-squared error against one-hot labels;
+// predictions are the argmax output (a convex problem).
+func NewLinearRegression(sh dataset.Shape, classes int) (*NetModel, error) {
+	net, err := nn.Sequential(nn.MSEOneHot{},
+		nn.NewDense(sh.Size(), classes),
+	)
+	if err != nil {
+		return nil, fmt.Errorf("linear regression: %w", err)
+	}
+	return NewZeroInitNetModel("linear", net), nil
+}
+
+// NewLogisticRegression builds multinomial logistic regression: one affine
+// map trained with softmax cross-entropy (a convex problem).
+func NewLogisticRegression(sh dataset.Shape, classes int) (*NetModel, error) {
+	net, err := nn.Sequential(nn.SoftmaxCrossEntropy{},
+		nn.NewDense(sh.Size(), classes),
+	)
+	if err != nil {
+		return nil, fmt.Errorf("logistic regression: %w", err)
+	}
+	return NewZeroInitNetModel("logistic", net), nil
+}
+
+// NewCNN builds the classic two-conv-layer CNN used by the paper's MNIST,
+// CIFAR-10, and UCI-HAR experiments: conv-relu-pool ×2 followed by a linear
+// classifier.
+func NewCNN(sh dataset.Shape, classes int) (*NetModel, error) {
+	in := toShape3(sh)
+	conv1 := nn.NewConv2D(in, 8, 3, 1)
+	relu1 := nn.NewReLU(conv1.OutShape())
+	pool1 := nn.NewMaxPool2D(relu1.OutShape())
+	conv2 := nn.NewConv2D(pool1.OutShape(), 16, 3, 1)
+	relu2 := nn.NewReLU(conv2.OutShape())
+	pool2 := nn.NewMaxPool2D(relu2.OutShape())
+	flat := nn.NewFlatten(pool2.OutShape())
+	net, err := nn.Sequential(nn.SoftmaxCrossEntropy{},
+		conv1, relu1, pool1,
+		conv2, relu2, pool2,
+		flat, nn.NewDense(pool2.OutShape().Size(), classes),
+	)
+	if err != nil {
+		return nil, fmt.Errorf("cnn: %w", err)
+	}
+	return NewNetModel("cnn", net), nil
+}
+
+// NewVGGMini builds a laptop-scale VGG-style network (the VGG16 stand-in):
+// two conv-conv-pool stages followed by a two-layer classifier head.
+func NewVGGMini(sh dataset.Shape, classes int) (*NetModel, error) {
+	in := toShape3(sh)
+	conv1a := nn.NewConv2D(in, 8, 3, 1)
+	relu1a := nn.NewReLU(conv1a.OutShape())
+	conv1b := nn.NewConv2D(relu1a.OutShape(), 8, 3, 1)
+	relu1b := nn.NewReLU(conv1b.OutShape())
+	pool1 := nn.NewMaxPool2D(relu1b.OutShape())
+	conv2a := nn.NewConv2D(pool1.OutShape(), 16, 3, 1)
+	relu2a := nn.NewReLU(conv2a.OutShape())
+	conv2b := nn.NewConv2D(relu2a.OutShape(), 16, 3, 1)
+	relu2b := nn.NewReLU(conv2b.OutShape())
+	pool2 := nn.NewMaxPool2D(relu2b.OutShape())
+	flat := nn.NewFlatten(pool2.OutShape())
+	hidden := 48
+	net, err := nn.Sequential(nn.SoftmaxCrossEntropy{},
+		conv1a, relu1a, conv1b, relu1b, pool1,
+		conv2a, relu2a, conv2b, relu2b, pool2,
+		flat,
+		nn.NewDense(pool2.OutShape().Size(), hidden),
+		nn.NewReLU(nn.Shape3{C: 1, H: 1, W: hidden}),
+		nn.NewDense(hidden, classes),
+	)
+	if err != nil {
+		return nil, fmt.Errorf("vgg-mini: %w", err)
+	}
+	return NewNetModel("vgg-mini", net), nil
+}
+
+// NewResNetMini builds a laptop-scale ResNet-style network (the ResNet18
+// stand-in): a stem convolution, two residual basic blocks with a pool in
+// between, and a linear classifier.
+func NewResNetMini(sh dataset.Shape, classes int) (*NetModel, error) {
+	in := toShape3(sh)
+	stem := nn.NewConv2D(in, 8, 3, 1)
+	reluS := nn.NewReLU(stem.OutShape())
+	res1 := nn.NewResidual(reluS.OutShape())
+	pool1 := nn.NewMaxPool2D(res1.OutShape())
+	res2 := nn.NewResidual(pool1.OutShape())
+	pool2 := nn.NewMaxPool2D(res2.OutShape())
+	flat := nn.NewFlatten(pool2.OutShape())
+	net, err := nn.Sequential(nn.SoftmaxCrossEntropy{},
+		stem, reluS, res1, pool1, res2, pool2,
+		flat, nn.NewDense(pool2.OutShape().Size(), classes),
+	)
+	if err != nil {
+		return nil, fmt.Errorf("resnet-mini: %w", err)
+	}
+	return NewNetModel("resnet-mini", net), nil
+}
+
+// NewCNNGap builds the CNN variant with a global-average-pool classifier
+// head instead of the flatten-dense head — the modern architecture choice,
+// provided for the architecture ablation.
+func NewCNNGap(sh dataset.Shape, classes int) (*NetModel, error) {
+	in := toShape3(sh)
+	conv1 := nn.NewConv2D(in, 8, 3, 1)
+	relu1 := nn.NewReLU(conv1.OutShape())
+	pool1 := nn.NewMaxPool2D(relu1.OutShape())
+	conv2 := nn.NewConv2D(pool1.OutShape(), 16, 3, 1)
+	relu2 := nn.NewReLU(conv2.OutShape())
+	gap := nn.NewGlobalAvgPool(relu2.OutShape())
+	net, err := nn.Sequential(nn.SoftmaxCrossEntropy{},
+		conv1, relu1, pool1,
+		conv2, relu2, gap,
+		nn.NewDense(16, classes),
+	)
+	if err != nil {
+		return nil, fmt.Errorf("cnn-gap: %w", err)
+	}
+	return NewNetModel("cnn-gap", net), nil
+}
+
+// ByName constructs a model by its report name: the paper's five models
+// ("linear", "logistic", "cnn", "vgg-mini", "resnet-mini") plus the
+// "cnn-gap" ablation variant.
+func ByName(name string, sh dataset.Shape, classes int) (*NetModel, error) {
+	switch name {
+	case "linear":
+		return NewLinearRegression(sh, classes)
+	case "logistic":
+		return NewLogisticRegression(sh, classes)
+	case "cnn":
+		return NewCNN(sh, classes)
+	case "cnn-gap":
+		return NewCNNGap(sh, classes)
+	case "vgg-mini", "vgg", "vgg16":
+		return NewVGGMini(sh, classes)
+	case "resnet-mini", "resnet", "resnet18":
+		return NewResNetMini(sh, classes)
+	default:
+		return nil, fmt.Errorf("model: unknown model %q", name)
+	}
+}

@@ -1,0 +1,88 @@
+package nn
+
+import "hieradmo/internal/rng"
+
+// ReLU is an element-wise rectified linear activation.
+type ReLU struct {
+	shape Shape3
+}
+
+var _ Layer = (*ReLU)(nil)
+
+// NewReLU returns a ReLU over activations of shape sh.
+func NewReLU(sh Shape3) *ReLU {
+	return &ReLU{shape: sh}
+}
+
+// Name implements Layer.
+func (l *ReLU) Name() string { return "relu" }
+
+// InShape implements Layer.
+func (l *ReLU) InShape() Shape3 { return l.shape }
+
+// OutShape implements Layer.
+func (l *ReLU) OutShape() Shape3 { return l.shape }
+
+// ParamCount implements Layer.
+func (l *ReLU) ParamCount() int { return 0 }
+
+// Init implements Layer (no parameters).
+func (l *ReLU) Init(params []float64, r *rng.RNG) {}
+
+// Forward implements Layer.
+func (l *ReLU) Forward(params, in, out []float64) {
+	for i, x := range in {
+		if x > 0 {
+			out[i] = x
+		} else {
+			out[i] = 0
+		}
+	}
+}
+
+// Backward implements Layer.
+func (l *ReLU) Backward(params, in, gradOut, gradParams, gradIn []float64) {
+	for i, x := range in {
+		if x > 0 {
+			gradIn[i] = gradOut[i]
+		} else {
+			gradIn[i] = 0
+		}
+	}
+}
+
+// Flatten reinterprets a C×H×W activation as a flat vector. It is a shape
+// adapter only; values pass through unchanged.
+type Flatten struct {
+	in Shape3
+}
+
+var _ Layer = (*Flatten)(nil)
+
+// NewFlatten returns a flattening adapter for inputs of shape in.
+func NewFlatten(in Shape3) *Flatten {
+	return &Flatten{in: in}
+}
+
+// Name implements Layer.
+func (l *Flatten) Name() string { return "flatten" }
+
+// InShape implements Layer.
+func (l *Flatten) InShape() Shape3 { return l.in }
+
+// OutShape implements Layer.
+func (l *Flatten) OutShape() Shape3 { return Shape3{C: 1, H: 1, W: l.in.Size()} }
+
+// ParamCount implements Layer.
+func (l *Flatten) ParamCount() int { return 0 }
+
+// Init implements Layer (no parameters).
+func (l *Flatten) Init(params []float64, r *rng.RNG) {}
+
+// Forward implements Layer.
+func (l *Flatten) Forward(params, in, out []float64) { copy(out, in) }
+
+// Backward implements Layer.
+func (l *Flatten) Backward(params, in, gradOut, gradParams, gradIn []float64) {
+	copy(gradIn, gradOut)
+}

@@ -1,0 +1,220 @@
+package nn
+
+import (
+	"math"
+
+	"hieradmo/internal/rng"
+)
+
+// Sigmoid is an element-wise logistic activation σ(x) = 1/(1+e^{-x}).
+type Sigmoid struct {
+	shape Shape3
+}
+
+var _ Layer = (*Sigmoid)(nil)
+
+// NewSigmoid returns a sigmoid over activations of shape sh.
+func NewSigmoid(sh Shape3) *Sigmoid {
+	return &Sigmoid{shape: sh}
+}
+
+// Name implements Layer.
+func (l *Sigmoid) Name() string { return "sigmoid" }
+
+// InShape implements Layer.
+func (l *Sigmoid) InShape() Shape3 { return l.shape }
+
+// OutShape implements Layer.
+func (l *Sigmoid) OutShape() Shape3 { return l.shape }
+
+// ParamCount implements Layer.
+func (l *Sigmoid) ParamCount() int { return 0 }
+
+// Init implements Layer (no parameters).
+func (l *Sigmoid) Init(params []float64, r *rng.RNG) {}
+
+// Forward implements Layer.
+func (l *Sigmoid) Forward(params, in, out []float64) {
+	for i, x := range in {
+		out[i] = 1 / (1 + math.Exp(-x))
+	}
+}
+
+// Backward implements Layer. σ'(x) = σ(x)(1−σ(x)), recomputed from the
+// saved input.
+func (l *Sigmoid) Backward(params, in, gradOut, gradParams, gradIn []float64) {
+	for i, x := range in {
+		s := 1 / (1 + math.Exp(-x))
+		gradIn[i] = gradOut[i] * s * (1 - s)
+	}
+}
+
+// Tanh is an element-wise hyperbolic-tangent activation.
+type Tanh struct {
+	shape Shape3
+}
+
+var _ Layer = (*Tanh)(nil)
+
+// NewTanh returns a tanh over activations of shape sh.
+func NewTanh(sh Shape3) *Tanh {
+	return &Tanh{shape: sh}
+}
+
+// Name implements Layer.
+func (l *Tanh) Name() string { return "tanh" }
+
+// InShape implements Layer.
+func (l *Tanh) InShape() Shape3 { return l.shape }
+
+// OutShape implements Layer.
+func (l *Tanh) OutShape() Shape3 { return l.shape }
+
+// ParamCount implements Layer.
+func (l *Tanh) ParamCount() int { return 0 }
+
+// Init implements Layer (no parameters).
+func (l *Tanh) Init(params []float64, r *rng.RNG) {}
+
+// Forward implements Layer.
+func (l *Tanh) Forward(params, in, out []float64) {
+	for i, x := range in {
+		out[i] = math.Tanh(x)
+	}
+}
+
+// Backward implements Layer. tanh'(x) = 1 − tanh²(x).
+func (l *Tanh) Backward(params, in, gradOut, gradParams, gradIn []float64) {
+	for i, x := range in {
+		th := math.Tanh(x)
+		gradIn[i] = gradOut[i] * (1 - th*th)
+	}
+}
+
+// AvgPool2D is a 2×2 average pooling layer with stride 2; odd trailing rows
+// or columns are dropped (floor semantics, matching MaxPool2D).
+type AvgPool2D struct {
+	in Shape3
+}
+
+var _ Layer = (*AvgPool2D)(nil)
+
+// NewAvgPool2D returns a 2×2/stride-2 average pool over inputs of shape in.
+func NewAvgPool2D(in Shape3) *AvgPool2D {
+	return &AvgPool2D{in: in}
+}
+
+// Name implements Layer.
+func (p *AvgPool2D) Name() string { return "avgpool2d" }
+
+// InShape implements Layer.
+func (p *AvgPool2D) InShape() Shape3 { return p.in }
+
+// OutShape implements Layer.
+func (p *AvgPool2D) OutShape() Shape3 {
+	return Shape3{C: p.in.C, H: p.in.H / 2, W: p.in.W / 2}
+}
+
+// ParamCount implements Layer.
+func (p *AvgPool2D) ParamCount() int { return 0 }
+
+// Init implements Layer (no parameters).
+func (p *AvgPool2D) Init(params []float64, r *rng.RNG) {}
+
+// Forward implements Layer.
+func (p *AvgPool2D) Forward(params, in, out []float64) {
+	outSh := p.OutShape()
+	planeIn := p.in.H * p.in.W
+	planeOut := outSh.H * outSh.W
+	for c := 0; c < p.in.C; c++ {
+		inPlane := in[c*planeIn : (c+1)*planeIn]
+		outPlane := out[c*planeOut : (c+1)*planeOut]
+		for oy := 0; oy < outSh.H; oy++ {
+			for ox := 0; ox < outSh.W; ox++ {
+				iy, ix := 2*oy, 2*ox
+				sum := inPlane[iy*p.in.W+ix] + inPlane[iy*p.in.W+ix+1] +
+					inPlane[(iy+1)*p.in.W+ix] + inPlane[(iy+1)*p.in.W+ix+1]
+				outPlane[oy*outSh.W+ox] = sum / 4
+			}
+		}
+	}
+}
+
+// Backward implements Layer: each input in a pooled window receives a
+// quarter of the output gradient.
+func (p *AvgPool2D) Backward(params, in, gradOut, gradParams, gradIn []float64) {
+	outSh := p.OutShape()
+	planeIn := p.in.H * p.in.W
+	planeOut := outSh.H * outSh.W
+	for i := range gradIn {
+		gradIn[i] = 0
+	}
+	for c := 0; c < p.in.C; c++ {
+		gInPlane := gradIn[c*planeIn : (c+1)*planeIn]
+		gOutPlane := gradOut[c*planeOut : (c+1)*planeOut]
+		for oy := 0; oy < outSh.H; oy++ {
+			for ox := 0; ox < outSh.W; ox++ {
+				g := gOutPlane[oy*outSh.W+ox] / 4
+				iy, ix := 2*oy, 2*ox
+				gInPlane[iy*p.in.W+ix] += g
+				gInPlane[iy*p.in.W+ix+1] += g
+				gInPlane[(iy+1)*p.in.W+ix] += g
+				gInPlane[(iy+1)*p.in.W+ix+1] += g
+			}
+		}
+	}
+}
+
+// GlobalAvgPool averages each channel plane to a single value, the modern
+// replacement for large dense classifier heads.
+type GlobalAvgPool struct {
+	in Shape3
+}
+
+var _ Layer = (*GlobalAvgPool)(nil)
+
+// NewGlobalAvgPool returns a global average pool over inputs of shape in.
+func NewGlobalAvgPool(in Shape3) *GlobalAvgPool {
+	return &GlobalAvgPool{in: in}
+}
+
+// Name implements Layer.
+func (p *GlobalAvgPool) Name() string { return "globalavgpool" }
+
+// InShape implements Layer.
+func (p *GlobalAvgPool) InShape() Shape3 { return p.in }
+
+// OutShape implements Layer.
+func (p *GlobalAvgPool) OutShape() Shape3 { return Shape3{C: 1, H: 1, W: p.in.C} }
+
+// ParamCount implements Layer.
+func (p *GlobalAvgPool) ParamCount() int { return 0 }
+
+// Init implements Layer (no parameters).
+func (p *GlobalAvgPool) Init(params []float64, r *rng.RNG) {}
+
+// Forward implements Layer.
+func (p *GlobalAvgPool) Forward(params, in, out []float64) {
+	plane := p.in.H * p.in.W
+	inv := 1 / float64(plane)
+	for c := 0; c < p.in.C; c++ {
+		var sum float64
+		for _, v := range in[c*plane : (c+1)*plane] {
+			sum += v
+		}
+		out[c] = sum * inv
+	}
+}
+
+// Backward implements Layer.
+func (p *GlobalAvgPool) Backward(params, in, gradOut, gradParams, gradIn []float64) {
+	plane := p.in.H * p.in.W
+	inv := 1 / float64(plane)
+	for c := 0; c < p.in.C; c++ {
+		g := gradOut[c] * inv
+		gPlane := gradIn[c*plane : (c+1)*plane]
+		for i := range gPlane {
+			gPlane[i] = g
+		}
+	}
+}

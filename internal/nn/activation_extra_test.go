@@ -1,0 +1,126 @@
+package nn
+
+import (
+	"math"
+	"testing"
+)
+
+func TestGradSigmoid(t *testing.T) {
+	net, err := Sequential(SoftmaxCrossEntropy{},
+		NewDense(5, 6),
+		NewSigmoid(Shape3{C: 1, H: 1, W: 6}),
+		NewDense(6, 3),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGradients(t, net, 21, 1e-4)
+}
+
+func TestGradTanh(t *testing.T) {
+	net, err := Sequential(MSEOneHot{},
+		NewDense(5, 6),
+		NewTanh(Shape3{C: 1, H: 1, W: 6}),
+		NewDense(6, 3),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGradients(t, net, 22, 1e-4)
+}
+
+func TestGradAvgPool(t *testing.T) {
+	in := Shape3{C: 2, H: 6, W: 6}
+	conv := NewConv2D(in, 2, 3, 1)
+	pool := NewAvgPool2D(conv.OutShape())
+	flat := NewFlatten(pool.OutShape())
+	net, err := Sequential(SoftmaxCrossEntropy{},
+		conv, pool, flat, NewDense(pool.OutShape().Size(), 3),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGradients(t, net, 23, 1e-4)
+}
+
+func TestGradGlobalAvgPool(t *testing.T) {
+	in := Shape3{C: 1, H: 6, W: 6}
+	conv := NewConv2D(in, 4, 3, 1)
+	gap := NewGlobalAvgPool(conv.OutShape())
+	net, err := Sequential(SoftmaxCrossEntropy{},
+		conv, gap, NewDense(4, 3),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGradients(t, net, 24, 1e-4)
+}
+
+func TestSigmoidRange(t *testing.T) {
+	l := NewSigmoid(Shape3{C: 1, H: 1, W: 3})
+	out := make([]float64, 3)
+	l.Forward(nil, []float64{-1000, 0, 1000}, out)
+	if out[0] < 0 || out[0] > 1e-9 {
+		t.Errorf("sigmoid(-1000) = %v", out[0])
+	}
+	if math.Abs(out[1]-0.5) > 1e-12 {
+		t.Errorf("sigmoid(0) = %v", out[1])
+	}
+	if out[2] > 1 || out[2] < 1-1e-9 {
+		t.Errorf("sigmoid(1000) = %v", out[2])
+	}
+}
+
+func TestTanhOddSymmetry(t *testing.T) {
+	l := NewTanh(Shape3{C: 1, H: 1, W: 2})
+	out := make([]float64, 2)
+	l.Forward(nil, []float64{0.7, -0.7}, out)
+	if math.Abs(out[0]+out[1]) > 1e-12 {
+		t.Errorf("tanh not odd: %v vs %v", out[0], out[1])
+	}
+}
+
+func TestAvgPoolValues(t *testing.T) {
+	p := NewAvgPool2D(Shape3{C: 1, H: 2, W: 2})
+	out := make([]float64, 1)
+	p.Forward(nil, []float64{1, 2, 3, 6}, out)
+	if out[0] != 3 {
+		t.Errorf("avg = %v, want 3", out[0])
+	}
+}
+
+func TestGlobalAvgPoolValues(t *testing.T) {
+	p := NewGlobalAvgPool(Shape3{C: 2, H: 1, W: 2})
+	out := make([]float64, 2)
+	p.Forward(nil, []float64{1, 3, 10, 20}, out)
+	if out[0] != 2 || out[1] != 15 {
+		t.Errorf("gap = %v, want [2 15]", out)
+	}
+}
+
+func TestExtraLayerMetadata(t *testing.T) {
+	in := Shape3{C: 2, H: 4, W: 4}
+	tests := []struct {
+		layer    Layer
+		wantName string
+		wantOut  int
+	}{
+		{layer: NewSigmoid(in), wantName: "sigmoid", wantOut: 32},
+		{layer: NewTanh(in), wantName: "tanh", wantOut: 32},
+		{layer: NewAvgPool2D(in), wantName: "avgpool2d", wantOut: 8},
+		{layer: NewGlobalAvgPool(in), wantName: "globalavgpool", wantOut: 2},
+	}
+	for _, tt := range tests {
+		t.Run(tt.wantName, func(t *testing.T) {
+			if got := tt.layer.Name(); got != tt.wantName {
+				t.Errorf("Name = %q", got)
+			}
+			if got := tt.layer.OutShape().Size(); got != tt.wantOut {
+				t.Errorf("out size = %d, want %d", got, tt.wantOut)
+			}
+			if tt.layer.ParamCount() != 0 {
+				t.Errorf("ParamCount = %d, want 0", tt.layer.ParamCount())
+			}
+		})
+	}
+}

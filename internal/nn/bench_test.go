@@ -1,0 +1,115 @@
+package nn
+
+import (
+	"testing"
+
+	"hieradmo/internal/rng"
+	"hieradmo/internal/tensor"
+)
+
+// Micro-benchmarks for the training substrate's hot path: one forward pass
+// and one loss-gradient (forward + backward) per architecture family.
+
+func benchNet(b *testing.B, net *Network, err error) (*Network, tensor.Vector, []float64) {
+	b.Helper()
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := rng.New(1)
+	params := net.Init(r)
+	x := make([]float64, net.InputSize())
+	for i := range x {
+		x[i] = r.Norm()
+	}
+	return net, params, x
+}
+
+func benchForward(b *testing.B, net *Network, err error) {
+	net, params, x := benchNet(b, net, err)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := net.Forward(params, x); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchLossGrad(b *testing.B, net *Network, err error) {
+	net, params, x := benchNet(b, net, err)
+	grad := tensor.NewVector(net.Dim())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		grad.Zero()
+		if _, err := net.LossGrad(params, x, 0, grad); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func denseNet() (*Network, error) {
+	return Sequential(SoftmaxCrossEntropy{},
+		NewDense(196, 64),
+		NewReLU(Shape3{C: 1, H: 1, W: 64}),
+		NewDense(64, 10),
+	)
+}
+
+func convNet() (*Network, error) {
+	in := Shape3{C: 1, H: 14, W: 14}
+	conv1 := NewConv2D(in, 8, 3, 1)
+	relu1 := NewReLU(conv1.OutShape())
+	pool1 := NewMaxPool2D(relu1.OutShape())
+	conv2 := NewConv2D(pool1.OutShape(), 16, 3, 1)
+	relu2 := NewReLU(conv2.OutShape())
+	pool2 := NewMaxPool2D(relu2.OutShape())
+	flat := NewFlatten(pool2.OutShape())
+	return Sequential(SoftmaxCrossEntropy{},
+		conv1, relu1, pool1, conv2, relu2, pool2, flat,
+		NewDense(pool2.OutShape().Size(), 10),
+	)
+}
+
+func residualNet() (*Network, error) {
+	in := Shape3{C: 3, H: 16, W: 16}
+	stem := NewConv2D(in, 8, 3, 1)
+	relu := NewReLU(stem.OutShape())
+	res := NewResidual(relu.OutShape())
+	pool := NewMaxPool2D(res.OutShape())
+	flat := NewFlatten(pool.OutShape())
+	return Sequential(SoftmaxCrossEntropy{},
+		stem, relu, res, pool, flat,
+		NewDense(pool.OutShape().Size(), 20),
+	)
+}
+
+func BenchmarkForwardDense(b *testing.B) {
+	net, err := denseNet()
+	benchForward(b, net, err)
+}
+
+func BenchmarkForwardConv(b *testing.B) {
+	net, err := convNet()
+	benchForward(b, net, err)
+}
+
+func BenchmarkForwardResidual(b *testing.B) {
+	net, err := residualNet()
+	benchForward(b, net, err)
+}
+
+func BenchmarkLossGradDense(b *testing.B) {
+	net, err := denseNet()
+	benchLossGrad(b, net, err)
+}
+
+func BenchmarkLossGradConv(b *testing.B) {
+	net, err := convNet()
+	benchLossGrad(b, net, err)
+}
+
+func BenchmarkLossGradResidual(b *testing.B) {
+	net, err := residualNet()
+	benchLossGrad(b, net, err)
+}

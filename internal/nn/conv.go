@@ -1,0 +1,161 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"hieradmo/internal/rng"
+)
+
+// Conv2D is a 2-D convolution with square kernels, unit stride and symmetric
+// zero padding. Parameters are laid out as weights [outC][inC][k][k] followed
+// by biases [outC].
+type Conv2D struct {
+	in   Shape3
+	outC int
+	k    int
+	pad  int
+}
+
+var _ Layer = (*Conv2D)(nil)
+
+// NewConv2D returns a convolution over inputs of shape in producing outC
+// channels with a k×k kernel and padding pad. It panics only never: invalid
+// geometry is reported by the Network builder via Validate.
+func NewConv2D(in Shape3, outC, k, pad int) *Conv2D {
+	return &Conv2D{in: in, outC: outC, k: k, pad: pad}
+}
+
+// Validate reports whether the layer geometry produces a positive output
+// size.
+func (c *Conv2D) Validate() error {
+	out := c.OutShape()
+	if c.k <= 0 || c.outC <= 0 || c.pad < 0 {
+		return fmt.Errorf("nn: conv2d invalid config k=%d outC=%d pad=%d", c.k, c.outC, c.pad)
+	}
+	if out.H <= 0 || out.W <= 0 {
+		return fmt.Errorf("nn: conv2d output %dx%d not positive for input %dx%d k=%d pad=%d",
+			out.H, out.W, c.in.H, c.in.W, c.k, c.pad)
+	}
+	return nil
+}
+
+// Name implements Layer.
+func (c *Conv2D) Name() string { return "conv2d" }
+
+// InShape implements Layer.
+func (c *Conv2D) InShape() Shape3 { return c.in }
+
+// OutShape implements Layer.
+func (c *Conv2D) OutShape() Shape3 {
+	return Shape3{
+		C: c.outC,
+		H: c.in.H + 2*c.pad - c.k + 1,
+		W: c.in.W + 2*c.pad - c.k + 1,
+	}
+}
+
+// ParamCount implements Layer.
+func (c *Conv2D) ParamCount() int { return c.outC*c.in.C*c.k*c.k + c.outC }
+
+// Init implements Layer with He initialization over the kernel fan-in.
+func (c *Conv2D) Init(params []float64, r *rng.RNG) {
+	fanIn := float64(c.in.C * c.k * c.k)
+	std := math.Sqrt(2.0 / fanIn)
+	nw := c.outC * c.in.C * c.k * c.k
+	for i := 0; i < nw; i++ {
+		params[i] = std * r.Norm()
+	}
+	for i := nw; i < len(params); i++ {
+		params[i] = 0
+	}
+}
+
+// Forward implements Layer.
+func (c *Conv2D) Forward(params, in, out []float64) {
+	outSh := c.OutShape()
+	nw := c.outC * c.in.C * c.k * c.k
+	w, b := params[:nw], params[nw:]
+	planeIn := c.in.H * c.in.W
+	planeOut := outSh.H * outSh.W
+	for oc := 0; oc < c.outC; oc++ {
+		bias := b[oc]
+		outPlane := out[oc*planeOut : (oc+1)*planeOut]
+		for i := range outPlane {
+			outPlane[i] = bias
+		}
+		for ic := 0; ic < c.in.C; ic++ {
+			kernel := w[(oc*c.in.C+ic)*c.k*c.k : (oc*c.in.C+ic+1)*c.k*c.k]
+			inPlane := in[ic*planeIn : (ic+1)*planeIn]
+			for oy := 0; oy < outSh.H; oy++ {
+				for ox := 0; ox < outSh.W; ox++ {
+					var s float64
+					for ky := 0; ky < c.k; ky++ {
+						iy := oy + ky - c.pad
+						if iy < 0 || iy >= c.in.H {
+							continue
+						}
+						rowIn := inPlane[iy*c.in.W:]
+						rowK := kernel[ky*c.k:]
+						for kx := 0; kx < c.k; kx++ {
+							ix := ox + kx - c.pad
+							if ix < 0 || ix >= c.in.W {
+								continue
+							}
+							s += rowK[kx] * rowIn[ix]
+						}
+					}
+					outPlane[oy*outSh.W+ox] += s
+				}
+			}
+		}
+	}
+}
+
+// Backward implements Layer.
+func (c *Conv2D) Backward(params, in, gradOut, gradParams, gradIn []float64) {
+	outSh := c.OutShape()
+	nw := c.outC * c.in.C * c.k * c.k
+	w := params[:nw]
+	gw, gb := gradParams[:nw], gradParams[nw:]
+	planeIn := c.in.H * c.in.W
+	planeOut := outSh.H * outSh.W
+	for i := range gradIn {
+		gradIn[i] = 0
+	}
+	for oc := 0; oc < c.outC; oc++ {
+		gOutPlane := gradOut[oc*planeOut : (oc+1)*planeOut]
+		for _, g := range gOutPlane {
+			gb[oc] += g
+		}
+		for ic := 0; ic < c.in.C; ic++ {
+			kernel := w[(oc*c.in.C+ic)*c.k*c.k : (oc*c.in.C+ic+1)*c.k*c.k]
+			gKernel := gw[(oc*c.in.C+ic)*c.k*c.k : (oc*c.in.C+ic+1)*c.k*c.k]
+			inPlane := in[ic*planeIn : (ic+1)*planeIn]
+			gInPlane := gradIn[ic*planeIn : (ic+1)*planeIn]
+			for oy := 0; oy < outSh.H; oy++ {
+				for ox := 0; ox < outSh.W; ox++ {
+					g := gOutPlane[oy*outSh.W+ox]
+					if g == 0 {
+						continue
+					}
+					for ky := 0; ky < c.k; ky++ {
+						iy := oy + ky - c.pad
+						if iy < 0 || iy >= c.in.H {
+							continue
+						}
+						for kx := 0; kx < c.k; kx++ {
+							ix := ox + kx - c.pad
+							if ix < 0 || ix >= c.in.W {
+								continue
+							}
+							idx := iy*c.in.W + ix
+							gKernel[ky*c.k+kx] += g * inPlane[idx]
+							gInPlane[idx] += g * kernel[ky*c.k+kx]
+						}
+					}
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,82 @@
+package nn
+
+import (
+	"math"
+
+	"hieradmo/internal/rng"
+)
+
+// Dense is a fully connected layer: out = W·in + b. Parameters are laid out
+// as the row-major weight matrix (out×in) followed by the bias vector.
+type Dense struct {
+	in, out int
+}
+
+var _ Layer = (*Dense)(nil)
+
+// NewDense returns a fully connected layer mapping in features to out
+// features. The input may have any 3-D shape; it is treated as flat.
+func NewDense(in, out int) *Dense {
+	return &Dense{in: in, out: out}
+}
+
+// Name implements Layer.
+func (d *Dense) Name() string { return "dense" }
+
+// InShape implements Layer.
+func (d *Dense) InShape() Shape3 { return Shape3{C: 1, H: 1, W: d.in} }
+
+// OutShape implements Layer.
+func (d *Dense) OutShape() Shape3 { return Shape3{C: 1, H: 1, W: d.out} }
+
+// ParamCount implements Layer.
+func (d *Dense) ParamCount() int { return d.out*d.in + d.out }
+
+// Init implements Layer with He initialization (suited to the ReLU networks
+// used here) and zero biases.
+func (d *Dense) Init(params []float64, r *rng.RNG) {
+	std := math.Sqrt(2.0 / float64(d.in))
+	for i := 0; i < d.out*d.in; i++ {
+		params[i] = std * r.Norm()
+	}
+	for i := d.out * d.in; i < len(params); i++ {
+		params[i] = 0
+	}
+}
+
+// Forward implements Layer.
+func (d *Dense) Forward(params, in, out []float64) {
+	w := params[:d.out*d.in]
+	b := params[d.out*d.in:]
+	for o := 0; o < d.out; o++ {
+		row := w[o*d.in : (o+1)*d.in]
+		s := b[o]
+		for i, x := range in {
+			s += row[i] * x
+		}
+		out[o] = s
+	}
+}
+
+// Backward implements Layer.
+func (d *Dense) Backward(params, in, gradOut, gradParams, gradIn []float64) {
+	w := params[:d.out*d.in]
+	gw := gradParams[:d.out*d.in]
+	gb := gradParams[d.out*d.in:]
+	for i := range gradIn {
+		gradIn[i] = 0
+	}
+	for o := 0; o < d.out; o++ {
+		g := gradOut[o]
+		gb[o] += g
+		if g == 0 {
+			continue
+		}
+		row := w[o*d.in : (o+1)*d.in]
+		grow := gw[o*d.in : (o+1)*d.in]
+		for i, x := range in {
+			grow[i] += g * x
+			gradIn[i] += g * row[i]
+		}
+	}
+}

@@ -1,0 +1,200 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"hieradmo/internal/rng"
+	"hieradmo/internal/tensor"
+)
+
+// checkGradients compares the analytic parameter gradient of net at a random
+// point against central finite differences. This is the load-bearing
+// correctness test for the whole training substrate: if it passes for a
+// network containing a given layer, both that layer's parameter gradient and
+// its input gradient (exercised by upstream layers) are correct.
+func checkGradients(t *testing.T, net *Network, seed uint64, tol float64) {
+	t.Helper()
+	r := rng.New(seed)
+	params := net.Init(r)
+	// Perturb params away from the init's zero biases so gradients there are
+	// informative too.
+	for i := range params {
+		params[i] += 0.05 * r.Norm()
+	}
+	x := make([]float64, net.InputSize())
+	for i := range x {
+		x[i] = r.Norm()
+	}
+	label := r.Intn(net.OutputSize())
+
+	grad := tensor.NewVector(net.Dim())
+	if _, err := net.LossGrad(params, x, label, grad); err != nil {
+		t.Fatalf("LossGrad: %v", err)
+	}
+
+	const h = 1e-5
+	lossAt := func(p tensor.Vector) float64 {
+		out, err := net.Forward(p, x)
+		if err != nil {
+			t.Fatalf("Forward: %v", err)
+		}
+		g := make([]float64, len(out))
+		return net.Loss().LossGrad(out, label, g)
+	}
+	// Check every parameter for small nets, a deterministic sample for
+	// larger ones.
+	stride := 1
+	if net.Dim() > 400 {
+		stride = net.Dim() / 400
+	}
+	checked := 0
+	for i := 0; i < net.Dim(); i += stride {
+		orig := params[i]
+		params[i] = orig + h
+		lp := lossAt(params)
+		params[i] = orig - h
+		lm := lossAt(params)
+		params[i] = orig
+		numeric := (lp - lm) / (2 * h)
+		diff := math.Abs(numeric - grad[i])
+		scale := math.Max(1, math.Max(math.Abs(numeric), math.Abs(grad[i])))
+		if diff/scale > tol {
+			t.Errorf("param %d: analytic %.8f vs numeric %.8f (rel %.2e)",
+				i, grad[i], numeric, diff/scale)
+			if checked++; checked > 5 {
+				t.Fatal("too many gradient mismatches")
+			}
+		}
+	}
+}
+
+func TestGradDenseMSE(t *testing.T) {
+	net, err := Sequential(MSEOneHot{}, NewDense(6, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGradients(t, net, 1, 1e-5)
+}
+
+func TestGradDenseSoftmax(t *testing.T) {
+	net, err := Sequential(SoftmaxCrossEntropy{}, NewDense(6, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGradients(t, net, 2, 1e-5)
+}
+
+func TestGradTwoDenseReLU(t *testing.T) {
+	net, err := Sequential(SoftmaxCrossEntropy{},
+		NewDense(5, 7),
+		NewReLU(Shape3{C: 1, H: 1, W: 7}),
+		NewDense(7, 3),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGradients(t, net, 3, 1e-4)
+}
+
+func TestGradConv2D(t *testing.T) {
+	in := Shape3{C: 2, H: 5, W: 5}
+	conv := NewConv2D(in, 3, 3, 1)
+	flat := NewFlatten(conv.OutShape())
+	net, err := Sequential(SoftmaxCrossEntropy{},
+		conv, flat, NewDense(conv.OutShape().Size(), 4),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGradients(t, net, 4, 1e-4)
+}
+
+func TestGradConv2DNoPad(t *testing.T) {
+	in := Shape3{C: 1, H: 6, W: 6}
+	conv := NewConv2D(in, 2, 3, 0)
+	flat := NewFlatten(conv.OutShape())
+	net, err := Sequential(MSEOneHot{},
+		conv, flat, NewDense(conv.OutShape().Size(), 3),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGradients(t, net, 5, 1e-4)
+}
+
+func TestGradMaxPool(t *testing.T) {
+	in := Shape3{C: 2, H: 6, W: 6}
+	conv := NewConv2D(in, 2, 3, 1)
+	pool := NewMaxPool2D(conv.OutShape())
+	flat := NewFlatten(pool.OutShape())
+	net, err := Sequential(SoftmaxCrossEntropy{},
+		conv, pool, flat, NewDense(pool.OutShape().Size(), 3),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGradients(t, net, 6, 1e-4)
+}
+
+func TestGradMaxPoolOddDims(t *testing.T) {
+	in := Shape3{C: 1, H: 5, W: 7}
+	pool := NewMaxPool2D(in)
+	flat := NewFlatten(pool.OutShape())
+	net, err := Sequential(SoftmaxCrossEntropy{},
+		NewConv2D(in, 1, 3, 1),
+		pool, flat, NewDense(pool.OutShape().Size(), 2),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGradients(t, net, 7, 1e-4)
+}
+
+func TestGradReLUThroughConv(t *testing.T) {
+	in := Shape3{C: 1, H: 4, W: 4}
+	conv := NewConv2D(in, 2, 3, 1)
+	relu := NewReLU(conv.OutShape())
+	flat := NewFlatten(relu.OutShape())
+	net, err := Sequential(SoftmaxCrossEntropy{},
+		conv, relu, flat, NewDense(relu.OutShape().Size(), 3),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGradients(t, net, 8, 1e-4)
+}
+
+func TestGradResidual(t *testing.T) {
+	in := Shape3{C: 2, H: 4, W: 4}
+	stem := NewConv2D(in, 2, 3, 1)
+	res := NewResidual(stem.OutShape())
+	flat := NewFlatten(res.OutShape())
+	net, err := Sequential(SoftmaxCrossEntropy{},
+		stem, res, flat, NewDense(res.OutShape().Size(), 3),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGradients(t, net, 9, 1e-4)
+}
+
+func TestGradDeepStack(t *testing.T) {
+	// A miniature of the full CNN architecture.
+	in := Shape3{C: 1, H: 8, W: 8}
+	conv1 := NewConv2D(in, 4, 3, 1)
+	relu1 := NewReLU(conv1.OutShape())
+	pool1 := NewMaxPool2D(relu1.OutShape())
+	conv2 := NewConv2D(pool1.OutShape(), 6, 3, 1)
+	relu2 := NewReLU(conv2.OutShape())
+	pool2 := NewMaxPool2D(relu2.OutShape())
+	flat := NewFlatten(pool2.OutShape())
+	net, err := Sequential(SoftmaxCrossEntropy{},
+		conv1, relu1, pool1, conv2, relu2, pool2, flat,
+		NewDense(pool2.OutShape().Size(), 5),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGradients(t, net, 10, 1e-4)
+}

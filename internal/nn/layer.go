@@ -1,0 +1,44 @@
+// Package nn is a small, pure-Go neural-network substrate with hand-written
+// backpropagation over a single flat parameter vector.
+//
+// It exists because this reproduction needs CNN/VGG/ResNet-style models and
+// has no deep-learning ecosystem available (stdlib only). The design keeps
+// every layer stateless: Forward and Backward receive the layer's parameter
+// block and the saved input activation explicitly, so a single Network can be
+// evaluated concurrently with per-goroutine workspaces and gradients can be
+// checked against finite differences layer by layer.
+package nn
+
+import "hieradmo/internal/rng"
+
+// Shape3 is an activation shape: channels × height × width.
+type Shape3 struct {
+	C, H, W int
+}
+
+// Size returns the flattened element count.
+func (s Shape3) Size() int { return s.C * s.H * s.W }
+
+// Layer is one differentiable stage of a feed-forward network.
+//
+// Forward writes the activation for input in into out. Backward receives the
+// same params and in that Forward saw, the loss gradient with respect to the
+// layer output (gradOut), and must (a) accumulate the loss gradient with
+// respect to the layer parameters into gradParams and (b) overwrite gradIn
+// with the loss gradient with respect to the input. Slices are sized by the
+// Network; implementations must not retain them.
+type Layer interface {
+	// Name identifies the layer kind for diagnostics.
+	Name() string
+	// InShape and OutShape describe the activation geometry.
+	InShape() Shape3
+	OutShape() Shape3
+	// ParamCount is the number of float64 parameters this layer owns.
+	ParamCount() int
+	// Init writes initial parameter values into params (len ParamCount).
+	Init(params []float64, r *rng.RNG)
+	// Forward computes out = f(params, in).
+	Forward(params, in, out []float64)
+	// Backward accumulates into gradParams and overwrites gradIn.
+	Backward(params, in, gradOut, gradParams, gradIn []float64)
+}

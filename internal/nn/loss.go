@@ -1,0 +1,71 @@
+package nn
+
+import "math"
+
+// Loss maps a network output and an integer label to a scalar loss and the
+// loss gradient with respect to the output.
+type Loss interface {
+	// Name identifies the loss for diagnostics.
+	Name() string
+	// LossGrad returns the scalar loss for (out, label) and writes
+	// dLoss/dOut into gradOut. gradOut has the same length as out.
+	LossGrad(out []float64, label int, gradOut []float64) float64
+}
+
+// SoftmaxCrossEntropy is the standard classification loss: softmax over the
+// logits followed by negative log likelihood of the true class. Its gradient
+// with respect to the logits is softmax(out) − onehot(label).
+type SoftmaxCrossEntropy struct{}
+
+var _ Loss = SoftmaxCrossEntropy{}
+
+// Name implements Loss.
+func (SoftmaxCrossEntropy) Name() string { return "softmax-ce" }
+
+// LossGrad implements Loss.
+func (SoftmaxCrossEntropy) LossGrad(out []float64, label int, gradOut []float64) float64 {
+	// Numerically stable softmax: shift by the max logit.
+	maxLogit := out[0]
+	for _, v := range out[1:] {
+		if v > maxLogit {
+			maxLogit = v
+		}
+	}
+	var sum float64
+	for i, v := range out {
+		e := math.Exp(v - maxLogit)
+		gradOut[i] = e
+		sum += e
+	}
+	for i := range gradOut {
+		gradOut[i] /= sum
+	}
+	loss := -math.Log(math.Max(gradOut[label], 1e-300))
+	gradOut[label] -= 1
+	return loss
+}
+
+// MSEOneHot is the mean-squared-error loss against the one-hot encoding of
+// the label, as used by the paper's linear-regression classifier:
+// loss = ½·Σ (out_i − onehot_i)².
+type MSEOneHot struct{}
+
+var _ Loss = MSEOneHot{}
+
+// Name implements Loss.
+func (MSEOneHot) Name() string { return "mse-onehot" }
+
+// LossGrad implements Loss.
+func (MSEOneHot) LossGrad(out []float64, label int, gradOut []float64) float64 {
+	var loss float64
+	for i, v := range out {
+		target := 0.0
+		if i == label {
+			target = 1
+		}
+		d := v - target
+		gradOut[i] = d
+		loss += 0.5 * d * d
+	}
+	return loss
+}

@@ -1,0 +1,128 @@
+package nn
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func finiteLogits(raw []float64, classes int) []float64 {
+	out := make([]float64, classes)
+	for i := range out {
+		if i < len(raw) && !math.IsNaN(raw[i]) && !math.IsInf(raw[i], 0) {
+			// Compress into a numerically comfortable range.
+			out[i] = math.Mod(raw[i], 50)
+		}
+	}
+	return out
+}
+
+func TestSoftmaxGradSumsToZeroProperty(t *testing.T) {
+	loss := SoftmaxCrossEntropy{}
+	f := func(raw []float64, labelRaw uint8) bool {
+		const classes = 5
+		logits := finiteLogits(raw, classes)
+		label := int(labelRaw) % classes
+		grad := make([]float64, classes)
+		l := loss.LossGrad(logits, label, grad)
+		if math.IsNaN(l) || l < 0 {
+			return false
+		}
+		var sum float64
+		for _, g := range grad {
+			sum += g
+		}
+		return math.Abs(sum) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSoftmaxLossNonNegativeProperty(t *testing.T) {
+	loss := SoftmaxCrossEntropy{}
+	f := func(raw []float64, labelRaw uint8) bool {
+		const classes = 4
+		logits := finiteLogits(raw, classes)
+		label := int(labelRaw) % classes
+		grad := make([]float64, classes)
+		return loss.LossGrad(logits, label, grad) >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMSEGradIsResidualProperty(t *testing.T) {
+	loss := MSEOneHot{}
+	f := func(raw []float64, labelRaw uint8) bool {
+		const classes = 4
+		out := finiteLogits(raw, classes)
+		label := int(labelRaw) % classes
+		grad := make([]float64, classes)
+		l := loss.LossGrad(out, label, grad)
+		if l < 0 {
+			return false
+		}
+		for i := range out {
+			target := 0.0
+			if i == label {
+				target = 1
+			}
+			if math.Abs(grad[i]-(out[i]-target)) > 1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestBatchGradIsMeanOfSampleGrads pins the batching contract the FL
+// algorithms rely on: the mini-batch gradient equals the mean of per-sample
+// gradients.
+func TestBatchGradIsMeanOfSampleGrads(t *testing.T) {
+	net, err := Sequential(SoftmaxCrossEntropy{},
+		NewDense(4, 5),
+		NewReLU(Shape3{C: 1, H: 1, W: 5}),
+		NewDense(5, 3),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := net.Init(newTestRNG(31))
+	xs := [][]float64{
+		{0.5, -1, 0.25, 2},
+		{-0.5, 1, 0, -2},
+		{1, 1, -1, 0.5},
+	}
+	labels := []int{0, 2, 1}
+
+	batchGrad := make([]float64, net.Dim())
+	for k := range xs {
+		if _, err := net.LossGrad(params, xs[k], labels[k], batchGrad); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := range batchGrad {
+		batchGrad[i] /= float64(len(xs))
+	}
+
+	meanGrad := make([]float64, net.Dim())
+	for k := range xs {
+		g := make([]float64, net.Dim())
+		if _, err := net.LossGrad(params, xs[k], labels[k], g); err != nil {
+			t.Fatal(err)
+		}
+		for i := range meanGrad {
+			meanGrad[i] += g[i] / float64(len(xs))
+		}
+	}
+	for i := range batchGrad {
+		if math.Abs(batchGrad[i]-meanGrad[i]) > 1e-12 {
+			t.Fatalf("batch grad diverges from per-sample mean at %d", i)
+		}
+	}
+}

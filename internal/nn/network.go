@@ -1,0 +1,160 @@
+package nn
+
+import (
+	"fmt"
+	"sync"
+
+	"hieradmo/internal/rng"
+	"hieradmo/internal/tensor"
+)
+
+// Network is a feed-forward stack of layers with a classification/regression
+// loss, operating over one flat parameter vector owned by the caller. The
+// Network itself is immutable after construction and safe for concurrent use;
+// per-call activation buffers come from an internal pool.
+type Network struct {
+	layers  []Layer
+	offsets []int // parameter offset of each layer within the flat vector
+	dim     int   // total parameter count
+	loss    Loss
+	pool    sync.Pool // *workspace
+}
+
+type workspace struct {
+	acts  [][]float64 // acts[0] aliases nothing; acts[i+1] = output of layer i
+	grads [][]float64 // activation gradients, same shapes as acts
+}
+
+// Sequential builds a network from layers and a loss, verifying that each
+// layer's input shape matches the previous layer's output shape.
+func Sequential(loss Loss, layers ...Layer) (*Network, error) {
+	if loss == nil {
+		return nil, fmt.Errorf("nn: nil loss")
+	}
+	if len(layers) == 0 {
+		return nil, fmt.Errorf("nn: no layers")
+	}
+	offsets := make([]int, len(layers))
+	dim := 0
+	for i, l := range layers {
+		if i > 0 && layers[i-1].OutShape().Size() != l.InShape().Size() {
+			return nil, fmt.Errorf("nn: layer %d (%s) input %v does not match layer %d (%s) output %v",
+				i, l.Name(), l.InShape(), i-1, layers[i-1].Name(), layers[i-1].OutShape())
+		}
+		if c, ok := l.(*Conv2D); ok {
+			if err := c.Validate(); err != nil {
+				return nil, fmt.Errorf("nn: layer %d: %w", i, err)
+			}
+		}
+		offsets[i] = dim
+		dim += l.ParamCount()
+	}
+	n := &Network{layers: layers, offsets: offsets, dim: dim, loss: loss}
+	n.pool.New = func() any { return n.newWorkspace() }
+	return n, nil
+}
+
+func (n *Network) newWorkspace() *workspace {
+	ws := &workspace{
+		acts:  make([][]float64, len(n.layers)+1),
+		grads: make([][]float64, len(n.layers)+1),
+	}
+	ws.acts[0] = make([]float64, n.layers[0].InShape().Size())
+	ws.grads[0] = make([]float64, n.layers[0].InShape().Size())
+	for i, l := range n.layers {
+		ws.acts[i+1] = make([]float64, l.OutShape().Size())
+		ws.grads[i+1] = make([]float64, l.OutShape().Size())
+	}
+	return ws
+}
+
+// Dim returns the total number of parameters.
+func (n *Network) Dim() int { return n.dim }
+
+// InputSize returns the expected flattened input length.
+func (n *Network) InputSize() int { return n.layers[0].InShape().Size() }
+
+// OutputSize returns the network output length (e.g. the class count).
+func (n *Network) OutputSize() int { return n.layers[len(n.layers)-1].OutShape().Size() }
+
+// Loss returns the configured loss.
+func (n *Network) Loss() Loss { return n.loss }
+
+// Init draws fresh initial parameters using r.
+func (n *Network) Init(r *rng.RNG) tensor.Vector {
+	params := tensor.NewVector(n.dim)
+	for i, l := range n.layers {
+		l.Init(n.layerParams(params, i), r)
+	}
+	return params
+}
+
+func (n *Network) layerParams(params tensor.Vector, i int) []float64 {
+	return params[n.offsets[i] : n.offsets[i]+n.layers[i].ParamCount()]
+}
+
+// Forward runs the network and returns the output activation. The returned
+// slice is freshly allocated and owned by the caller.
+func (n *Network) Forward(params tensor.Vector, x []float64) ([]float64, error) {
+	if len(params) != n.dim {
+		return nil, fmt.Errorf("nn: %d params, want %d: %w", len(params), n.dim, tensor.ErrDimMismatch)
+	}
+	if len(x) != n.InputSize() {
+		return nil, fmt.Errorf("nn: input %d, want %d: %w", len(x), n.InputSize(), tensor.ErrDimMismatch)
+	}
+	ws, ok := n.pool.Get().(*workspace)
+	if !ok {
+		ws = n.newWorkspace()
+	}
+	defer n.pool.Put(ws)
+	copy(ws.acts[0], x)
+	for i, l := range n.layers {
+		l.Forward(n.layerParams(params, i), ws.acts[i], ws.acts[i+1])
+	}
+	out := make([]float64, n.OutputSize())
+	copy(out, ws.acts[len(n.layers)])
+	return out, nil
+}
+
+// LossGrad computes the loss for one labelled example and accumulates the
+// parameter gradient into grad (which must have length Dim and is NOT zeroed
+// here, so callers can average over a mini-batch).
+func (n *Network) LossGrad(params tensor.Vector, x []float64, label int, grad tensor.Vector) (float64, error) {
+	if len(params) != n.dim || len(grad) != n.dim {
+		return 0, fmt.Errorf("nn: params %d grad %d, want %d: %w",
+			len(params), len(grad), n.dim, tensor.ErrDimMismatch)
+	}
+	if len(x) != n.InputSize() {
+		return 0, fmt.Errorf("nn: input %d, want %d: %w", len(x), n.InputSize(), tensor.ErrDimMismatch)
+	}
+	if label < 0 || label >= n.OutputSize() {
+		return 0, fmt.Errorf("nn: label %d out of range [0,%d)", label, n.OutputSize())
+	}
+	ws, ok := n.pool.Get().(*workspace)
+	if !ok {
+		ws = n.newWorkspace()
+	}
+	defer n.pool.Put(ws)
+
+	copy(ws.acts[0], x)
+	for i, l := range n.layers {
+		l.Forward(n.layerParams(params, i), ws.acts[i], ws.acts[i+1])
+	}
+	last := len(n.layers)
+	loss := n.loss.LossGrad(ws.acts[last], label, ws.grads[last])
+	for i := len(n.layers) - 1; i >= 0; i-- {
+		l := n.layers[i]
+		gp := grad[n.offsets[i] : n.offsets[i]+l.ParamCount()]
+		l.Backward(n.layerParams(params, i), ws.acts[i], ws.grads[i+1], gp, ws.grads[i])
+	}
+	return loss, nil
+}
+
+// Predict returns the argmax output class for x.
+func (n *Network) Predict(params tensor.Vector, x []float64) (int, error) {
+	out, err := n.Forward(params, x)
+	if err != nil {
+		return 0, err
+	}
+	return tensor.Vector(out).ArgMax(), nil
+}

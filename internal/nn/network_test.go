@@ -1,0 +1,274 @@
+package nn
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"hieradmo/internal/rng"
+	"hieradmo/internal/tensor"
+)
+
+func smallNet(t *testing.T) *Network {
+	t.Helper()
+	net, err := Sequential(SoftmaxCrossEntropy{},
+		NewDense(4, 6),
+		NewReLU(Shape3{C: 1, H: 1, W: 6}),
+		NewDense(6, 3),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net
+}
+
+func TestSequentialValidation(t *testing.T) {
+	if _, err := Sequential(SoftmaxCrossEntropy{}); err == nil {
+		t.Error("accepted empty layer list")
+	}
+	if _, err := Sequential(nil, NewDense(2, 2)); err == nil {
+		t.Error("accepted nil loss")
+	}
+	if _, err := Sequential(SoftmaxCrossEntropy{}, NewDense(4, 6), NewDense(5, 3)); err == nil {
+		t.Error("accepted mismatched layer shapes")
+	}
+	bad := NewConv2D(Shape3{C: 1, H: 2, W: 2}, 1, 5, 0) // output would be negative
+	if _, err := Sequential(SoftmaxCrossEntropy{}, bad); err == nil {
+		t.Error("accepted conv with non-positive output")
+	}
+}
+
+func TestDimAndShapes(t *testing.T) {
+	net := smallNet(t)
+	wantDim := (6*4 + 6) + (3*6 + 3)
+	if net.Dim() != wantDim {
+		t.Errorf("Dim = %d, want %d", net.Dim(), wantDim)
+	}
+	if net.InputSize() != 4 || net.OutputSize() != 3 {
+		t.Errorf("io sizes = %d/%d", net.InputSize(), net.OutputSize())
+	}
+}
+
+func TestInitDeterministic(t *testing.T) {
+	net := smallNet(t)
+	a := net.Init(rng.New(5))
+	b := net.Init(rng.New(5))
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("init diverges at %d", i)
+		}
+	}
+}
+
+func TestForwardErrors(t *testing.T) {
+	net := smallNet(t)
+	params := net.Init(rng.New(1))
+	if _, err := net.Forward(params[:3], []float64{1, 2, 3, 4}); !errors.Is(err, tensor.ErrDimMismatch) {
+		t.Errorf("short params err = %v", err)
+	}
+	if _, err := net.Forward(params, []float64{1}); !errors.Is(err, tensor.ErrDimMismatch) {
+		t.Errorf("short input err = %v", err)
+	}
+}
+
+func TestLossGradErrors(t *testing.T) {
+	net := smallNet(t)
+	params := net.Init(rng.New(1))
+	grad := tensor.NewVector(net.Dim())
+	x := []float64{1, 2, 3, 4}
+	if _, err := net.LossGrad(params, x, -1, grad); err == nil {
+		t.Error("accepted negative label")
+	}
+	if _, err := net.LossGrad(params, x, 3, grad); err == nil {
+		t.Error("accepted out-of-range label")
+	}
+	if _, err := net.LossGrad(params, x[:2], 0, grad); !errors.Is(err, tensor.ErrDimMismatch) {
+		t.Errorf("short input err = %v", err)
+	}
+}
+
+func TestPredictConsistentWithForward(t *testing.T) {
+	net := smallNet(t)
+	params := net.Init(rng.New(2))
+	x := []float64{0.5, -1, 2, 0.25}
+	out, err := net.Forward(params, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred, err := net.Predict(params, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pred != tensor.Vector(out).ArgMax() {
+		t.Errorf("Predict = %d, argmax = %d", pred, tensor.Vector(out).ArgMax())
+	}
+}
+
+func TestSoftmaxCrossEntropyProperties(t *testing.T) {
+	loss := SoftmaxCrossEntropy{}
+	out := []float64{2, 1, -1}
+	grad := make([]float64, 3)
+	l := loss.LossGrad(out, 0, grad)
+	if l <= 0 {
+		t.Errorf("loss = %v, want > 0", l)
+	}
+	// Softmax-CE gradient sums to zero (probabilities sum to 1, minus the
+	// one-hot which also sums to 1).
+	sum := grad[0] + grad[1] + grad[2]
+	if math.Abs(sum) > 1e-12 {
+		t.Errorf("gradient sum = %v, want 0", sum)
+	}
+	// Gradient at the true class is negative (we want to raise that logit).
+	if grad[0] >= 0 {
+		t.Errorf("grad at true class = %v, want < 0", grad[0])
+	}
+}
+
+func TestSoftmaxNumericalStability(t *testing.T) {
+	loss := SoftmaxCrossEntropy{}
+	out := []float64{1e4, -1e4, 0}
+	grad := make([]float64, 3)
+	l := loss.LossGrad(out, 1, grad)
+	if math.IsNaN(l) || math.IsInf(l, 0) {
+		t.Errorf("loss = %v with extreme logits", l)
+	}
+	for i, g := range grad {
+		if math.IsNaN(g) {
+			t.Errorf("grad[%d] is NaN", i)
+		}
+	}
+}
+
+func TestMSEOneHot(t *testing.T) {
+	loss := MSEOneHot{}
+	out := []float64{1, 0, 0}
+	grad := make([]float64, 3)
+	if l := loss.LossGrad(out, 0, grad); l != 0 {
+		t.Errorf("perfect prediction loss = %v, want 0", l)
+	}
+	out = []float64{0, 0, 0}
+	if l := loss.LossGrad(out, 1, grad); math.Abs(l-0.5) > 1e-12 {
+		t.Errorf("loss = %v, want 0.5", l)
+	}
+	if grad[1] != -1 {
+		t.Errorf("grad at target = %v, want -1", grad[1])
+	}
+}
+
+func TestSGDLearnsXORishTask(t *testing.T) {
+	// Integration check: SGD on the two-layer net separates two Gaussian
+	// blobs. Verifies forward/backward wiring end to end.
+	net, err := Sequential(SoftmaxCrossEntropy{},
+		NewDense(2, 8),
+		NewReLU(Shape3{C: 1, H: 1, W: 8}),
+		NewDense(8, 2),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(7)
+	params := net.Init(r)
+	grad := tensor.NewVector(net.Dim())
+
+	sample := func() ([]float64, int) {
+		label := r.Intn(2)
+		c := 1.5
+		if label == 0 {
+			c = -1.5
+		}
+		return []float64{c + 0.3*r.Norm(), c + 0.3*r.Norm()}, label
+	}
+	var lastLoss float64
+	for step := 0; step < 400; step++ {
+		grad.Zero()
+		var total float64
+		for b := 0; b < 8; b++ {
+			x, y := sample()
+			l, err := net.LossGrad(params, x, y, grad)
+			if err != nil {
+				t.Fatal(err)
+			}
+			total += l
+		}
+		grad.Scale(1.0 / 8)
+		if err := params.AXPY(-0.1, grad); err != nil {
+			t.Fatal(err)
+		}
+		lastLoss = total / 8
+	}
+	if lastLoss > 0.1 {
+		t.Errorf("final loss %v, want < 0.1 (training failed)", lastLoss)
+	}
+	correct := 0
+	for i := 0; i < 100; i++ {
+		x, y := sample()
+		pred, err := net.Predict(params, x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pred == y {
+			correct++
+		}
+	}
+	if correct < 95 {
+		t.Errorf("accuracy %d/100, want >= 95", correct)
+	}
+}
+
+func TestLayerMetadata(t *testing.T) {
+	in := Shape3{C: 2, H: 6, W: 6}
+	tests := []struct {
+		layer     Layer
+		wantName  string
+		wantOut   int
+		wantParam int
+	}{
+		{layer: NewDense(4, 3), wantName: "dense", wantOut: 3, wantParam: 15},
+		{layer: NewConv2D(in, 4, 3, 1), wantName: "conv2d", wantOut: 4 * 6 * 6, wantParam: 4*2*9 + 4},
+		{layer: NewMaxPool2D(in), wantName: "maxpool2d", wantOut: 2 * 3 * 3, wantParam: 0},
+		{layer: NewReLU(in), wantName: "relu", wantOut: in.Size(), wantParam: 0},
+		{layer: NewFlatten(in), wantName: "flatten", wantOut: in.Size(), wantParam: 0},
+		{layer: NewResidual(in), wantName: "residual", wantOut: in.Size(), wantParam: 2 * (2*2*9 + 2)},
+	}
+	for _, tt := range tests {
+		t.Run(tt.wantName, func(t *testing.T) {
+			if got := tt.layer.Name(); got != tt.wantName {
+				t.Errorf("Name = %q, want %q", got, tt.wantName)
+			}
+			if got := tt.layer.OutShape().Size(); got != tt.wantOut {
+				t.Errorf("OutShape size = %d, want %d", got, tt.wantOut)
+			}
+			if got := tt.layer.ParamCount(); got != tt.wantParam {
+				t.Errorf("ParamCount = %d, want %d", got, tt.wantParam)
+			}
+		})
+	}
+}
+
+func TestConcurrentForward(t *testing.T) {
+	// The workspace pool must make concurrent evaluation safe.
+	net := smallNet(t)
+	params := net.Init(rng.New(3))
+	done := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		go func(seed uint64) {
+			r := rng.New(seed)
+			for i := 0; i < 200; i++ {
+				x := []float64{r.Norm(), r.Norm(), r.Norm(), r.Norm()}
+				if _, err := net.Forward(params, x); err != nil {
+					done <- err
+					return
+				}
+			}
+			done <- nil
+		}(uint64(g))
+	}
+	for g := 0; g < 8; g++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// newTestRNG gives property tests a shared helper for seeded generators.
+func newTestRNG(seed uint64) *rng.RNG { return rng.New(seed) }

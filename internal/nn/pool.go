@@ -1,0 +1,93 @@
+package nn
+
+import "hieradmo/internal/rng"
+
+// MaxPool2D is a 2×2 max pooling layer with stride 2. Odd trailing rows or
+// columns are dropped (floor semantics), matching common framework defaults.
+type MaxPool2D struct {
+	in Shape3
+}
+
+var _ Layer = (*MaxPool2D)(nil)
+
+// NewMaxPool2D returns a 2×2/stride-2 max pool over inputs of shape in.
+func NewMaxPool2D(in Shape3) *MaxPool2D {
+	return &MaxPool2D{in: in}
+}
+
+// Name implements Layer.
+func (p *MaxPool2D) Name() string { return "maxpool2d" }
+
+// InShape implements Layer.
+func (p *MaxPool2D) InShape() Shape3 { return p.in }
+
+// OutShape implements Layer.
+func (p *MaxPool2D) OutShape() Shape3 {
+	return Shape3{C: p.in.C, H: p.in.H / 2, W: p.in.W / 2}
+}
+
+// ParamCount implements Layer.
+func (p *MaxPool2D) ParamCount() int { return 0 }
+
+// Init implements Layer (no parameters).
+func (p *MaxPool2D) Init(params []float64, r *rng.RNG) {}
+
+// Forward implements Layer.
+func (p *MaxPool2D) Forward(params, in, out []float64) {
+	outSh := p.OutShape()
+	planeIn := p.in.H * p.in.W
+	planeOut := outSh.H * outSh.W
+	for c := 0; c < p.in.C; c++ {
+		inPlane := in[c*planeIn : (c+1)*planeIn]
+		outPlane := out[c*planeOut : (c+1)*planeOut]
+		for oy := 0; oy < outSh.H; oy++ {
+			for ox := 0; ox < outSh.W; ox++ {
+				iy, ix := 2*oy, 2*ox
+				m := inPlane[iy*p.in.W+ix]
+				if v := inPlane[iy*p.in.W+ix+1]; v > m {
+					m = v
+				}
+				if v := inPlane[(iy+1)*p.in.W+ix]; v > m {
+					m = v
+				}
+				if v := inPlane[(iy+1)*p.in.W+ix+1]; v > m {
+					m = v
+				}
+				outPlane[oy*outSh.W+ox] = m
+			}
+		}
+	}
+}
+
+// Backward implements Layer. The max positions are recomputed from the saved
+// input so the layer stays stateless; ties route the gradient to the first
+// maximal element in scan order.
+func (p *MaxPool2D) Backward(params, in, gradOut, gradParams, gradIn []float64) {
+	outSh := p.OutShape()
+	planeIn := p.in.H * p.in.W
+	planeOut := outSh.H * outSh.W
+	for i := range gradIn {
+		gradIn[i] = 0
+	}
+	for c := 0; c < p.in.C; c++ {
+		inPlane := in[c*planeIn : (c+1)*planeIn]
+		gInPlane := gradIn[c*planeIn : (c+1)*planeIn]
+		gOutPlane := gradOut[c*planeOut : (c+1)*planeOut]
+		for oy := 0; oy < outSh.H; oy++ {
+			for ox := 0; ox < outSh.W; ox++ {
+				iy, ix := 2*oy, 2*ox
+				best := iy*p.in.W + ix
+				if idx := iy*p.in.W + ix + 1; inPlane[idx] > inPlane[best] {
+					best = idx
+				}
+				if idx := (iy+1)*p.in.W + ix; inPlane[idx] > inPlane[best] {
+					best = idx
+				}
+				if idx := (iy+1)*p.in.W + ix + 1; inPlane[idx] > inPlane[best] {
+					best = idx
+				}
+				gInPlane[best] += gOutPlane[oy*outSh.W+ox]
+			}
+		}
+	}
+}

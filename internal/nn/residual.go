@@ -1,0 +1,142 @@
+package nn
+
+import (
+	"sync"
+
+	"hieradmo/internal/rng"
+)
+
+// Residual is a ResNet-style basic block over a fixed channel count:
+//
+//	out = ReLU( conv2(ReLU(conv1(in))) + in )
+//
+// with both convolutions 3×3, padding 1, preserving the activation shape.
+// Parameters are conv1's block followed by conv2's block. Intermediate
+// activations are recomputed in Backward from the saved input so the layer
+// stays stateless; scratch buffers come from an internal pool to keep the
+// hot path allocation-free while remaining re-entrant.
+type Residual struct {
+	shape Shape3
+	conv1 *Conv2D
+	conv2 *Conv2D
+	pool  sync.Pool // *residualScratch
+}
+
+type residualScratch struct {
+	a1, r1, a2, gs, g1 []float64
+}
+
+var _ Layer = (*Residual)(nil)
+
+// NewResidual returns a basic residual block over activations of shape sh.
+func NewResidual(sh Shape3) *Residual {
+	l := &Residual{
+		shape: sh,
+		conv1: NewConv2D(sh, sh.C, 3, 1),
+		conv2: NewConv2D(sh, sh.C, 3, 1),
+	}
+	size := sh.Size()
+	l.pool.New = func() any {
+		return &residualScratch{
+			a1: make([]float64, size),
+			r1: make([]float64, size),
+			a2: make([]float64, size),
+			gs: make([]float64, size),
+			g1: make([]float64, size),
+		}
+	}
+	return l
+}
+
+// Name implements Layer.
+func (l *Residual) Name() string { return "residual" }
+
+// InShape implements Layer.
+func (l *Residual) InShape() Shape3 { return l.shape }
+
+// OutShape implements Layer.
+func (l *Residual) OutShape() Shape3 { return l.shape }
+
+// ParamCount implements Layer.
+func (l *Residual) ParamCount() int {
+	return l.conv1.ParamCount() + l.conv2.ParamCount()
+}
+
+// Init implements Layer.
+func (l *Residual) Init(params []float64, r *rng.RNG) {
+	n1 := l.conv1.ParamCount()
+	l.conv1.Init(params[:n1], r)
+	l.conv2.Init(params[n1:], r)
+}
+
+func (l *Residual) scratch() *residualScratch {
+	s, ok := l.pool.Get().(*residualScratch)
+	if !ok {
+		s = l.pool.New().(*residualScratch)
+	}
+	return s
+}
+
+// Forward implements Layer.
+func (l *Residual) Forward(params, in, out []float64) {
+	n1 := l.conv1.ParamCount()
+	s := l.scratch()
+	defer l.pool.Put(s)
+	l.conv1.Forward(params[:n1], in, s.a1)
+	for i, x := range s.a1 {
+		if x > 0 {
+			s.r1[i] = x
+		} else {
+			s.r1[i] = 0
+		}
+	}
+	l.conv2.Forward(params[n1:], s.r1, out)
+	for i := range out {
+		sum := out[i] + in[i]
+		if sum > 0 {
+			out[i] = sum
+		} else {
+			out[i] = 0
+		}
+	}
+}
+
+// Backward implements Layer.
+func (l *Residual) Backward(params, in, gradOut, gradParams, gradIn []float64) {
+	n1 := l.conv1.ParamCount()
+	s := l.scratch()
+	defer l.pool.Put(s)
+
+	l.conv1.Forward(params[:n1], in, s.a1)
+	for i, x := range s.a1 {
+		if x > 0 {
+			s.r1[i] = x
+		} else {
+			s.r1[i] = 0
+		}
+	}
+	l.conv2.Forward(params[n1:], s.r1, s.a2)
+
+	// Final ReLU gate on the skip sum a2 + in.
+	for i := range s.gs {
+		if s.a2[i]+in[i] > 0 {
+			s.gs[i] = gradOut[i]
+		} else {
+			s.gs[i] = 0
+		}
+	}
+
+	// Branch path: conv2, inner ReLU gate, conv1.
+	l.conv2.Backward(params[n1:], s.r1, s.gs, gradParams[n1:], s.g1)
+	for i := range s.g1 {
+		if s.a1[i] <= 0 {
+			s.g1[i] = 0
+		}
+	}
+	l.conv1.Backward(params[:n1], in, s.g1, gradParams[:n1], gradIn)
+
+	// Skip path adds gs directly to the input gradient.
+	for i := range gradIn {
+		gradIn[i] += s.gs[i]
+	}
+}

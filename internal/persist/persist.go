@@ -1,0 +1,198 @@
+// Package persist serializes run artifacts: results as JSON, accuracy
+// curves as CSV (for external plotting), and model parameters as a compact
+// binary checkpoint, all over stdlib encoders. Every format round-trips
+// bit-exactly for float64 payloads.
+package persist
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/csv"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"strconv"
+
+	"hieradmo/internal/fl"
+	"hieradmo/internal/tensor"
+)
+
+// ErrFormat wraps malformed-input failures.
+var ErrFormat = errors.New("persist: malformed input")
+
+// checkpointMagic identifies parameter checkpoint files.
+const checkpointMagic = "HADMOCK1"
+
+// WriteResultJSON serializes a run result as indented JSON.
+func WriteResultJSON(w io.Writer, res *fl.Result) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(res); err != nil {
+		return fmt.Errorf("persist: encode result: %w", err)
+	}
+	return nil
+}
+
+// ReadResultJSON deserializes a run result.
+func ReadResultJSON(r io.Reader) (*fl.Result, error) {
+	var res fl.Result
+	if err := json.NewDecoder(r).Decode(&res); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrFormat, err)
+	}
+	return &res, nil
+}
+
+// SaveResult writes a result to path as JSON.
+func SaveResult(path string, res *fl.Result) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("persist: %w", err)
+	}
+	defer f.Close()
+	if err := WriteResultJSON(f, res); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// LoadResult reads a JSON result from path.
+func LoadResult(path string) (*fl.Result, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("persist: %w", err)
+	}
+	defer f.Close()
+	return ReadResultJSON(f)
+}
+
+// WriteCurveCSV writes "iter,test_acc,train_loss" rows for one or more
+// results side by side (long format with an algorithm column).
+func WriteCurveCSV(w io.Writer, results ...*fl.Result) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"algorithm", "iter", "test_acc", "train_loss"}); err != nil {
+		return fmt.Errorf("persist: csv header: %w", err)
+	}
+	for _, res := range results {
+		for _, p := range res.Curve {
+			row := []string{
+				res.Algorithm,
+				strconv.Itoa(p.Iter),
+				strconv.FormatFloat(p.TestAcc, 'g', -1, 64),
+				strconv.FormatFloat(p.TrainLoss, 'g', -1, 64),
+			}
+			if err := cw.Write(row); err != nil {
+				return fmt.Errorf("persist: csv row: %w", err)
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCurveCSV parses curves previously written by WriteCurveCSV, grouped
+// by algorithm in first-appearance order.
+func ReadCurveCSV(r io.Reader) (map[string][]fl.Point, error) {
+	cr := csv.NewReader(r)
+	rows, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrFormat, err)
+	}
+	if len(rows) == 0 || len(rows[0]) != 4 {
+		return nil, fmt.Errorf("%w: missing header", ErrFormat)
+	}
+	out := make(map[string][]fl.Point)
+	for _, row := range rows[1:] {
+		if len(row) != 4 {
+			return nil, fmt.Errorf("%w: row with %d fields", ErrFormat, len(row))
+		}
+		iter, err := strconv.Atoi(row[1])
+		if err != nil {
+			return nil, fmt.Errorf("%w: iter %q", ErrFormat, row[1])
+		}
+		acc, err := strconv.ParseFloat(row[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("%w: acc %q", ErrFormat, row[2])
+		}
+		loss, err := strconv.ParseFloat(row[3], 64)
+		if err != nil {
+			return nil, fmt.Errorf("%w: loss %q", ErrFormat, row[3])
+		}
+		out[row[0]] = append(out[row[0]], fl.Point{Iter: iter, TestAcc: acc, TrainLoss: loss})
+	}
+	return out, nil
+}
+
+// WriteCheckpoint writes model parameters as a little-endian binary blob
+// with a magic header and length prefix.
+func WriteCheckpoint(w io.Writer, params tensor.Vector) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(checkpointMagic); err != nil {
+		return fmt.Errorf("persist: checkpoint header: %w", err)
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint64(len(params))); err != nil {
+		return fmt.Errorf("persist: checkpoint length: %w", err)
+	}
+	buf := make([]byte, 8)
+	for _, v := range params {
+		binary.LittleEndian.PutUint64(buf, math.Float64bits(v))
+		if _, err := bw.Write(buf); err != nil {
+			return fmt.Errorf("persist: checkpoint data: %w", err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadCheckpoint reads parameters written by WriteCheckpoint.
+func ReadCheckpoint(r io.Reader) (tensor.Vector, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(checkpointMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("%w: header: %v", ErrFormat, err)
+	}
+	if string(magic) != checkpointMagic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrFormat, magic)
+	}
+	var n uint64
+	if err := binary.Read(br, binary.LittleEndian, &n); err != nil {
+		return nil, fmt.Errorf("%w: length: %v", ErrFormat, err)
+	}
+	const maxParams = 1 << 30 // 8 GiB of float64s; reject corrupt lengths
+	if n > maxParams {
+		return nil, fmt.Errorf("%w: implausible parameter count %d", ErrFormat, n)
+	}
+	params := make(tensor.Vector, n)
+	buf := make([]byte, 8)
+	for i := range params {
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return nil, fmt.Errorf("%w: data at %d: %v", ErrFormat, i, err)
+		}
+		params[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf))
+	}
+	return params, nil
+}
+
+// SaveCheckpoint writes params to path.
+func SaveCheckpoint(path string, params tensor.Vector) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("persist: %w", err)
+	}
+	defer f.Close()
+	if err := WriteCheckpoint(f, params); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// LoadCheckpoint reads params from path.
+func LoadCheckpoint(path string) (tensor.Vector, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("persist: %w", err)
+	}
+	defer f.Close()
+	return ReadCheckpoint(f)
+}

@@ -1,0 +1,182 @@
+package persist
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"hieradmo/internal/fl"
+	"hieradmo/internal/tensor"
+)
+
+func sampleResult() *fl.Result {
+	return &fl.Result{
+		Algorithm:  "HierAdMo",
+		FinalAcc:   0.87,
+		FinalLoss:  0.12,
+		Iterations: 240,
+		Curve: []fl.Point{
+			{Iter: 40, TestAcc: 0.4, TrainLoss: 1.5},
+			{Iter: 240, TestAcc: 0.87, TrainLoss: 0.12},
+		},
+	}
+}
+
+func TestResultJSONRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteResultJSON(&buf, sampleResult()); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadResultJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := sampleResult()
+	if got.Algorithm != want.Algorithm || got.FinalAcc != want.FinalAcc ||
+		len(got.Curve) != len(want.Curve) || got.Curve[1] != want.Curve[1] {
+		t.Errorf("round trip mismatch: %+v", got)
+	}
+}
+
+func TestReadResultJSONMalformed(t *testing.T) {
+	if _, err := ReadResultJSON(strings.NewReader("{nope")); !errors.Is(err, ErrFormat) {
+		t.Errorf("err = %v, want ErrFormat", err)
+	}
+}
+
+func TestResultFileRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "res.json")
+	if err := SaveResult(path, sampleResult()); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadResult(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.FinalAcc != 0.87 {
+		t.Errorf("FinalAcc = %v", got.FinalAcc)
+	}
+	if _, err := LoadResult(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("missing file loaded")
+	}
+}
+
+func TestCurveCSVRoundTrip(t *testing.T) {
+	a := sampleResult()
+	b := sampleResult()
+	b.Algorithm = "FedAvg"
+	b.Curve[0].TestAcc = 1e-17 // exercise full float precision
+
+	var buf bytes.Buffer
+	if err := WriteCurveCSV(&buf, a, b); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCurveCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("%d algorithms", len(got))
+	}
+	if got["HierAdMo"][1] != a.Curve[1] {
+		t.Errorf("HierAdMo curve mismatch: %+v", got["HierAdMo"])
+	}
+	if got["FedAvg"][0].TestAcc != 1e-17 {
+		t.Errorf("precision lost: %v", got["FedAvg"][0].TestAcc)
+	}
+}
+
+func TestReadCurveCSVMalformed(t *testing.T) {
+	cases := []string{
+		"",
+		"a,b\n",
+		"algorithm,iter,test_acc,train_loss\nx,notanint,0.5,0.5\n",
+		"algorithm,iter,test_acc,train_loss\nx,1,notafloat,0.5\n",
+		"algorithm,iter,test_acc,train_loss\nx,1,0.5,notafloat\n",
+	}
+	for i, c := range cases {
+		if _, err := ReadCurveCSV(strings.NewReader(c)); !errors.Is(err, ErrFormat) {
+			t.Errorf("case %d: err = %v, want ErrFormat", i, err)
+		}
+	}
+}
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	params := tensor.Vector{0, 1, -1, math.Pi, 1e-300, math.MaxFloat64, math.Inf(1)}
+	var buf bytes.Buffer
+	if err := WriteCheckpoint(&buf, params); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCheckpoint(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(params) {
+		t.Fatalf("len = %d", len(got))
+	}
+	for i := range params {
+		if math.Float64bits(got[i]) != math.Float64bits(params[i]) {
+			t.Errorf("param %d: %v != %v (bit-exactness violated)", i, got[i], params[i])
+		}
+	}
+}
+
+func TestCheckpointFileRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "model.ckpt")
+	params := tensor.NewVector(1000)
+	for i := range params {
+		params[i] = float64(i) * 0.001
+	}
+	if err := SaveCheckpoint(path, params); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[999] != 0.999 {
+		t.Errorf("got[999] = %v", got[999])
+	}
+}
+
+func TestCheckpointMalformed(t *testing.T) {
+	if _, err := ReadCheckpoint(strings.NewReader("WRONGMAG" + strings.Repeat("x", 16))); !errors.Is(err, ErrFormat) {
+		t.Errorf("bad magic err = %v", err)
+	}
+	if _, err := ReadCheckpoint(strings.NewReader("short")); !errors.Is(err, ErrFormat) {
+		t.Errorf("truncated err = %v", err)
+	}
+	// Valid magic, implausible length.
+	var buf bytes.Buffer
+	buf.WriteString("HADMOCK1")
+	buf.Write([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x7f})
+	if _, err := ReadCheckpoint(&buf); !errors.Is(err, ErrFormat) {
+		t.Errorf("implausible length err = %v", err)
+	}
+	// Valid header, truncated data.
+	var buf2 bytes.Buffer
+	if err := WriteCheckpoint(&buf2, tensor.Vector{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf2.Bytes()[:buf2.Len()-4]
+	if _, err := ReadCheckpoint(bytes.NewReader(trunc)); !errors.Is(err, ErrFormat) {
+		t.Errorf("truncated data err = %v", err)
+	}
+}
+
+func TestCheckpointEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteCheckpoint(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCheckpoint(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Errorf("empty checkpoint read back %d params", len(got))
+	}
+}

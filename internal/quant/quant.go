@@ -1,0 +1,122 @@
+// Package quant implements lossy gradient/model compression for the uplink,
+// the standard communication-efficiency companion to hierarchical FL (the
+// paper's related work studies hierarchical FL with quantization). The
+// compressor is a QSGD-style uniform stochastic quantizer: values are
+// scaled by the vector's max magnitude, rounded stochastically onto a
+// (2^{bits-1}) level grid per sign, and shipped as small integers plus one
+// scale factor.
+//
+// Stochastic rounding keeps the quantizer unbiased (E[decode(encode(v))] =
+// v), which is what lets momentum-based methods tolerate it.
+package quant
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"hieradmo/internal/rng"
+	"hieradmo/internal/tensor"
+)
+
+// ErrBits is returned for unsupported bit widths.
+var ErrBits = errors.New("quant: bits must be in [2, 8]")
+
+// Quantizer compresses vectors to a fixed number of bits per element.
+type Quantizer struct {
+	bits   int
+	levels float64
+	r      *rng.RNG
+}
+
+// New returns a quantizer with the given bit width (2–8 bits per element;
+// one bit of the budget encodes the sign) and a seeded rounding stream.
+func New(bits int, seed uint64) (*Quantizer, error) {
+	if bits < 2 || bits > 8 {
+		return nil, fmt.Errorf("%w: got %d", ErrBits, bits)
+	}
+	return &Quantizer{
+		bits:   bits,
+		levels: float64(int(1)<<(bits-1)) - 1,
+		r:      rng.New(seed).Split(0x9b17),
+	}, nil
+}
+
+// Bits returns the configured width.
+func (q *Quantizer) Bits() int { return q.bits }
+
+// Encoded is a compressed vector: int8 codes in [-levels, levels] plus the
+// scale that maps code "levels" back to the vector's max magnitude.
+type Encoded struct {
+	Scale float64
+	Codes []int8
+}
+
+// WireBytes returns the over-the-network size: one float64 scale plus one
+// byte per element (codes are byte-aligned regardless of the logical bit
+// width; sub-byte packing would shrink this further but complicate the
+// accounting without changing the experiment's shape).
+func (e *Encoded) WireBytes() int { return 8 + len(e.Codes) }
+
+// Encode compresses v. The zero vector encodes with Scale 0.
+func (q *Quantizer) Encode(v tensor.Vector) *Encoded {
+	maxAbs := v.MaxAbs()
+	out := &Encoded{Scale: maxAbs, Codes: make([]int8, len(v))}
+	if maxAbs == 0 {
+		return out
+	}
+	inv := q.levels / maxAbs
+	for i, x := range v {
+		scaled := x * inv // in [-levels, levels]
+		floor := math.Floor(scaled)
+		frac := scaled - floor
+		code := floor
+		if q.r.Float64() < frac {
+			code++
+		}
+		if code > q.levels {
+			code = q.levels
+		}
+		if code < -q.levels {
+			code = -q.levels
+		}
+		out.Codes[i] = int8(code)
+	}
+	return out
+}
+
+// Decode reconstructs an approximation of the original vector into dst.
+func (q *Quantizer) Decode(e *Encoded, dst tensor.Vector) error {
+	if len(dst) != len(e.Codes) {
+		return fmt.Errorf("quant: decode %d codes into %d values: %w",
+			len(e.Codes), len(dst), tensor.ErrDimMismatch)
+	}
+	if e.Scale == 0 {
+		dst.Zero()
+		return nil
+	}
+	scale := e.Scale / q.levels
+	for i, c := range e.Codes {
+		dst[i] = float64(c) * scale
+	}
+	return nil
+}
+
+// Roundtrip quantizes v in place (encode followed by decode), the form the
+// training loop uses to simulate a lossy uplink.
+func (q *Quantizer) Roundtrip(v tensor.Vector) {
+	e := q.Encode(v)
+	// Decode cannot fail here: dst length equals the code length.
+	_ = q.Decode(e, v)
+}
+
+// CompressionRatio returns the wire-size ratio of the raw float64 encoding
+// to the quantized encoding for a vector of length n.
+func (q *Quantizer) CompressionRatio(n int) float64 {
+	if n == 0 {
+		return 1
+	}
+	raw := float64(8 * n)
+	enc := float64((&Encoded{Codes: make([]int8, n)}).WireBytes())
+	return raw / enc
+}

@@ -1,0 +1,165 @@
+package quant
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"hieradmo/internal/tensor"
+)
+
+func TestNewValidation(t *testing.T) {
+	for _, bad := range []int{0, 1, 9, -3} {
+		if _, err := New(bad, 1); !errors.Is(err, ErrBits) {
+			t.Errorf("bits=%d err = %v, want ErrBits", bad, err)
+		}
+	}
+	q, err := New(4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Bits() != 4 {
+		t.Errorf("Bits = %d", q.Bits())
+	}
+}
+
+func TestEncodeDecodeBounds(t *testing.T) {
+	q, err := New(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := tensor.Vector{1, -1, 0.5, -0.25, 0}
+	e := q.Encode(v)
+	if e.Scale != 1 {
+		t.Errorf("scale = %v", e.Scale)
+	}
+	dst := tensor.NewVector(len(v))
+	if err := q.Decode(e, dst); err != nil {
+		t.Fatal(err)
+	}
+	// Reconstruction error per element is bounded by one quantization step.
+	step := e.Scale / 7 // 4 bits → levels = 7
+	for i := range v {
+		if math.Abs(dst[i]-v[i]) > step+1e-12 {
+			t.Errorf("element %d: %v vs %v (step %v)", i, dst[i], v[i], step)
+		}
+	}
+}
+
+func TestDecodeDimCheck(t *testing.T) {
+	q, err := New(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := q.Encode(tensor.Vector{1, 2})
+	if err := q.Decode(e, tensor.NewVector(3)); !errors.Is(err, tensor.ErrDimMismatch) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestZeroVector(t *testing.T) {
+	q, err := New(8, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := tensor.NewVector(10)
+	e := q.Encode(v)
+	if e.Scale != 0 {
+		t.Errorf("zero vector scale = %v", e.Scale)
+	}
+	dst := tensor.Vector{1, 1, 1, 1, 1, 1, 1, 1, 1, 1}
+	if err := q.Decode(e, dst); err != nil {
+		t.Fatal(err)
+	}
+	if dst.Norm() != 0 {
+		t.Error("zero vector did not decode to zero")
+	}
+}
+
+func TestUnbiasedness(t *testing.T) {
+	// Stochastic rounding must be unbiased: averaging many round trips of
+	// the same vector recovers it.
+	q, err := New(3, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := tensor.Vector{0.7, -0.31, 0.05, 0.99, -0.99}
+	mean := tensor.NewVector(len(v))
+	const n = 20000
+	dst := tensor.NewVector(len(v))
+	for trial := 0; trial < n; trial++ {
+		e := q.Encode(v)
+		if err := q.Decode(e, dst); err != nil {
+			t.Fatal(err)
+		}
+		if err := mean.Add(dst); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mean.Scale(1.0 / n)
+	for i := range v {
+		if math.Abs(mean[i]-v[i]) > 0.01 {
+			t.Errorf("element %d biased: mean %v vs true %v", i, mean[i], v[i])
+		}
+	}
+}
+
+func TestRoundtripInPlace(t *testing.T) {
+	q, err := New(8, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := tensor.Vector{0.5, -0.5, 0.123}
+	orig := v.Clone()
+	q.Roundtrip(v)
+	step := orig.MaxAbs() / 127
+	for i := range v {
+		if math.Abs(v[i]-orig[i]) > step+1e-12 {
+			t.Errorf("roundtrip error at %d exceeds one step", i)
+		}
+	}
+}
+
+func TestWireBytesAndRatio(t *testing.T) {
+	q, err := New(8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := q.Encode(tensor.NewVector(1000))
+	if e.WireBytes() != 1008 {
+		t.Errorf("WireBytes = %d, want 1008", e.WireBytes())
+	}
+	ratio := q.CompressionRatio(1000)
+	if ratio < 7.9 || ratio > 8 {
+		t.Errorf("ratio = %v, want ~7.94", ratio)
+	}
+	if q.CompressionRatio(0) != 1 {
+		t.Error("empty ratio should be 1")
+	}
+}
+
+func TestHigherBitsLowerError(t *testing.T) {
+	v := tensor.NewVector(500)
+	for i := range v {
+		v[i] = math.Sin(float64(i) * 0.37)
+	}
+	errAt := func(bits int) float64 {
+		q, err := New(bits, 13)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dst := tensor.NewVector(len(v))
+		e := q.Encode(v)
+		if err := q.Decode(e, dst); err != nil {
+			t.Fatal(err)
+		}
+		d, err := tensor.Dist(dst, v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d
+	}
+	if errAt(8) >= errAt(2) {
+		t.Errorf("8-bit error %v not below 2-bit error %v", errAt(8), errAt(2))
+	}
+}

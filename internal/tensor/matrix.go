@@ -1,0 +1,99 @@
+package tensor
+
+import "fmt"
+
+// Matrix is a dense row-major matrix backed by a flat slice, so a layer's
+// weight block inside a model's flat parameter vector can be viewed as a
+// Matrix without copying.
+type Matrix struct {
+	Rows, Cols int
+	Data       Vector // len == Rows*Cols, row-major
+}
+
+// NewMatrix returns a zero-initialized rows×cols matrix with freshly
+// allocated storage.
+func NewMatrix(rows, cols int) Matrix {
+	return Matrix{Rows: rows, Cols: cols, Data: NewVector(rows * cols)}
+}
+
+// MatrixView wraps an existing slice as a rows×cols matrix. The slice length
+// must be exactly rows*cols.
+func MatrixView(data Vector, rows, cols int) (Matrix, error) {
+	if len(data) != rows*cols {
+		return Matrix{}, fmt.Errorf("matrix view %dx%d over %d values: %w",
+			rows, cols, len(data), ErrDimMismatch)
+	}
+	return Matrix{Rows: rows, Cols: cols, Data: data}, nil
+}
+
+// At returns the element at row r, column c.
+func (m Matrix) At(r, c int) float64 {
+	return m.Data[r*m.Cols+c]
+}
+
+// Set assigns the element at row r, column c.
+func (m Matrix) Set(r, c int, v float64) {
+	m.Data[r*m.Cols+c] = v
+}
+
+// Row returns the r-th row as a view (no copy).
+func (m Matrix) Row(r int) Vector {
+	return m.Data[r*m.Cols : (r+1)*m.Cols]
+}
+
+// MulVec computes dst = M·x. dst must have length Rows, x length Cols.
+func (m Matrix) MulVec(dst, x Vector) error {
+	if len(x) != m.Cols || len(dst) != m.Rows {
+		return fmt.Errorf("mulvec %dx%d by %d into %d: %w",
+			m.Rows, m.Cols, len(x), len(dst), ErrDimMismatch)
+	}
+	for r := 0; r < m.Rows; r++ {
+		row := m.Row(r)
+		var s float64
+		for c, w := range row {
+			s += w * x[c]
+		}
+		dst[r] = s
+	}
+	return nil
+}
+
+// MulVecT computes dst = Mᵀ·x. dst must have length Cols, x length Rows.
+func (m Matrix) MulVecT(dst, x Vector) error {
+	if len(x) != m.Rows || len(dst) != m.Cols {
+		return fmt.Errorf("mulvecT %dx%d by %d into %d: %w",
+			m.Rows, m.Cols, len(x), len(dst), ErrDimMismatch)
+	}
+	dst.Zero()
+	for r := 0; r < m.Rows; r++ {
+		row := m.Row(r)
+		xr := x[r]
+		if xr == 0 {
+			continue
+		}
+		for c, w := range row {
+			dst[c] += w * xr
+		}
+	}
+	return nil
+}
+
+// AddOuter accumulates the outer product a·xyᵀ into the matrix
+// (M += a * x yᵀ). x must have length Rows, y length Cols.
+func (m Matrix) AddOuter(a float64, x, y Vector) error {
+	if len(x) != m.Rows || len(y) != m.Cols {
+		return fmt.Errorf("outer %d x %d into %dx%d: %w",
+			len(x), len(y), m.Rows, m.Cols, ErrDimMismatch)
+	}
+	for r := 0; r < m.Rows; r++ {
+		ax := a * x[r]
+		if ax == 0 {
+			continue
+		}
+		row := m.Row(r)
+		for c, yv := range y {
+			row[c] += ax * yv
+		}
+	}
+	return nil
+}

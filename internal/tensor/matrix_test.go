@@ -1,0 +1,115 @@
+package tensor
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestMatrixViewLengthCheck(t *testing.T) {
+	if _, err := MatrixView(NewVector(5), 2, 3); !errors.Is(err, ErrDimMismatch) {
+		t.Errorf("err = %v, want ErrDimMismatch", err)
+	}
+	m, err := MatrixView(NewVector(6), 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Rows != 2 || m.Cols != 3 {
+		t.Errorf("shape = %dx%d", m.Rows, m.Cols)
+	}
+}
+
+func TestMatrixAtSetRow(t *testing.T) {
+	m := NewMatrix(2, 3)
+	m.Set(1, 2, 7)
+	if m.At(1, 2) != 7 {
+		t.Errorf("At(1,2) = %v, want 7", m.At(1, 2))
+	}
+	row := m.Row(1)
+	if row[2] != 7 {
+		t.Errorf("Row(1)[2] = %v, want 7", row[2])
+	}
+	row[0] = 3 // Row is a view.
+	if m.At(1, 0) != 3 {
+		t.Errorf("row view does not alias storage")
+	}
+}
+
+func TestMulVec(t *testing.T) {
+	m := NewMatrix(2, 3)
+	// [1 2 3; 4 5 6]
+	for i, v := range []float64{1, 2, 3, 4, 5, 6} {
+		m.Data[i] = v
+	}
+	dst := NewVector(2)
+	if err := m.MulVec(dst, Vector{1, 1, 1}); err != nil {
+		t.Fatal(err)
+	}
+	if dst[0] != 6 || dst[1] != 15 {
+		t.Errorf("dst = %v, want [6 15]", dst)
+	}
+}
+
+func TestMulVecT(t *testing.T) {
+	m := NewMatrix(2, 3)
+	for i, v := range []float64{1, 2, 3, 4, 5, 6} {
+		m.Data[i] = v
+	}
+	dst := NewVector(3)
+	if err := m.MulVecT(dst, Vector{1, 1}); err != nil {
+		t.Fatal(err)
+	}
+	if dst[0] != 5 || dst[1] != 7 || dst[2] != 9 {
+		t.Errorf("dst = %v, want [5 7 9]", dst)
+	}
+}
+
+func TestMulVecDimChecks(t *testing.T) {
+	m := NewMatrix(2, 3)
+	if err := m.MulVec(NewVector(2), NewVector(2)); !errors.Is(err, ErrDimMismatch) {
+		t.Errorf("MulVec err = %v", err)
+	}
+	if err := m.MulVecT(NewVector(2), NewVector(2)); !errors.Is(err, ErrDimMismatch) {
+		t.Errorf("MulVecT err = %v", err)
+	}
+	if err := m.AddOuter(1, NewVector(3), NewVector(3)); !errors.Is(err, ErrDimMismatch) {
+		t.Errorf("AddOuter err = %v", err)
+	}
+}
+
+func TestAddOuter(t *testing.T) {
+	m := NewMatrix(2, 2)
+	if err := m.AddOuter(2, Vector{1, 3}, Vector{4, 5}); err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{8, 10, 24, 30}
+	for i, w := range want {
+		if m.Data[i] != w {
+			t.Errorf("Data[%d] = %v, want %v", i, m.Data[i], w)
+		}
+	}
+}
+
+// TestMulVecTransposeAdjoint verifies the adjoint identity
+// <Mx, y> == <x, Mᵀy>, which the backprop code relies on.
+func TestMulVecTransposeAdjoint(t *testing.T) {
+	m := NewMatrix(3, 4)
+	for i := range m.Data {
+		m.Data[i] = float64((i*7)%5) - 2
+	}
+	x := Vector{1, -2, 3, 0.5}
+	y := Vector{2, 0, -1}
+	mx := NewVector(3)
+	if err := m.MulVec(mx, x); err != nil {
+		t.Fatal(err)
+	}
+	mty := NewVector(4)
+	if err := m.MulVecT(mty, y); err != nil {
+		t.Fatal(err)
+	}
+	lhs, _ := Dot(mx, y)
+	rhs, _ := Dot(x, mty)
+	if math.Abs(lhs-rhs) > 1e-12 {
+		t.Errorf("adjoint identity violated: %v vs %v", lhs, rhs)
+	}
+}

@@ -1,0 +1,209 @@
+// Package theory reproduces the analytical objects of the paper's
+// convergence analysis (§IV and Appendices A–E): the constants A, B, I, J,
+// U, V of Appendix A, the gap functions h(x, δℓ) of Theorem 1, s(τ) of
+// Theorem 2, and j(τ, π, δℓ, δ) of Theorem 4, the convergence upper bound of
+// Theorem 4, and the expected-γℓ comparison of Theorem 5.
+//
+// These are the quantities the paper's hyper-parameter discussion rests on
+// ("larger τ and π increase the bound", "adaptive γℓ has a smaller expected
+// value than fixed γℓ"); the package lets experiments and tests evaluate
+// them numerically and verify the claimed monotonicities, and provides an
+// empirical estimator for the gradient-divergence constants δ(i,ℓ), δℓ, δ
+// of Assumption 3.
+package theory
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrParams wraps invalid analytical parameter combinations.
+var ErrParams = errors.New("theory: invalid parameters")
+
+// Params are the constants of the convergence analysis: learning rate η,
+// worker momentum factor γ, edge momentum factor γℓ, smoothness β, and
+// Lipschitz constant ρ.
+type Params struct {
+	Eta, Gamma, GammaEdge float64
+	Beta, Rho             float64
+}
+
+// Validate checks the analysis preconditions of Theorem 4, condition (1):
+// 0 < βη(γ+1) ≤ 1, 0 < γ < 1, 0 ≤ γℓ < 1 (γℓ = 0 is the no-edge-momentum
+// degenerate case), β > 0, ρ > 0.
+func (p Params) Validate() error {
+	switch {
+	case p.Eta <= 0:
+		return fmt.Errorf("%w: eta %v", ErrParams, p.Eta)
+	case p.Gamma <= 0 || p.Gamma >= 1:
+		return fmt.Errorf("%w: gamma %v outside (0,1)", ErrParams, p.Gamma)
+	case p.GammaEdge < 0 || p.GammaEdge >= 1:
+		return fmt.Errorf("%w: gammaEdge %v outside [0,1)", ErrParams, p.GammaEdge)
+	case p.Beta <= 0 || p.Rho <= 0:
+		return fmt.Errorf("%w: beta %v rho %v must be positive", ErrParams, p.Beta, p.Rho)
+	case p.Beta*p.Eta*(p.Gamma+1) > 1:
+		return fmt.Errorf("%w: beta*eta*(gamma+1) = %v > 1 violates Theorem 4 condition (1)",
+			ErrParams, p.Beta*p.Eta*(p.Gamma+1))
+	}
+	return nil
+}
+
+// Constants are the Appendix A quantities derived from Params.
+type Constants struct {
+	A, B, I, J, U, V float64
+}
+
+// Derive computes the Appendix A constants:
+//
+//	A, B = ((1+ηβ)(1+γ) ± √((1+ηβ)²(1+γ)² − 4γ(1+ηβ))) / 2γ
+//	I    = (γA + A − 1) / ((A−B)(γA − 1))
+//	J    = (γB + B − 1) / ((A−B)(1 − γB))
+//	U    = (A − 1)/(A − B),  V = (1 − B)/(A − B)
+func Derive(p Params) (Constants, error) {
+	if err := p.Validate(); err != nil {
+		return Constants{}, err
+	}
+	var (
+		g    = p.Gamma
+		ob   = 1 + p.Eta*p.Beta
+		disc = ob*ob*(1+g)*(1+g) - 4*g*ob
+	)
+	if disc < 0 {
+		return Constants{}, fmt.Errorf("%w: negative discriminant %v", ErrParams, disc)
+	}
+	sq := math.Sqrt(disc)
+	c := Constants{
+		A: (ob*(1+g) + sq) / (2 * g),
+		B: (ob*(1+g) - sq) / (2 * g),
+	}
+	if c.A == c.B {
+		return Constants{}, fmt.Errorf("%w: repeated root A = B = %v", ErrParams, c.A)
+	}
+	c.I = (g*c.A + c.A - 1) / ((c.A - c.B) * (g*c.A - 1))
+	c.J = (g*c.B + c.B - 1) / ((c.A - c.B) * (1 - g*c.B))
+	c.U = (c.A - 1) / (c.A - c.B)
+	c.V = (1 - c.B) / (c.A - c.B)
+	return c, nil
+}
+
+// H evaluates the Theorem 1 gap function h(x, δℓ): the bound on the
+// distance between the aggregated real worker models and the edge virtual
+// update after x local iterations inside an edge interval,
+//
+//	h(x, δℓ) = η·δℓ·( (I·(γA)^x + J·(γB)^x − 1)/(ηβ)
+//	                   − (γ²(γ^x − 1))/(γ−1) − x ) / (γ−1)²  … per eq. (17).
+//
+// The implementation follows eq. (17) with the bracketed grouping
+//
+//	I(γA)^x + J(γB)^x − 1)/(ηβ) − γ²(γ^x −1)−(γ−1)x) / (γ−1)²
+//
+// evaluated term by term; h(0, δℓ) = 0 by construction.
+func H(p Params, c Constants, x int, deltaEdge float64) float64 {
+	if x <= 0 || deltaEdge == 0 {
+		return 0
+	}
+	var (
+		g   = p.Gamma
+		fx  = float64(x)
+		gAx = math.Pow(g*c.A, fx)
+		gBx = math.Pow(g*c.B, fx)
+		gx  = math.Pow(g, fx)
+	)
+	inner := (c.I*gAx+c.J*gBx-1)/(p.Eta*p.Beta) -
+		(g*g*(gx-1)-(g-1)*fx)/((g-1)*(g-1))
+	return p.Eta * deltaEdge * inner
+}
+
+// S evaluates the Theorem 2 bound s(τ) = γℓ·τ·η·ρ·(γμ + γ + 1) on the edge
+// momentum displacement ‖x_{ℓ+} − x_{ℓ−}‖, with μ the momentum-to-gradient
+// ratio bound of eq. (30).
+func S(p Params, tau int, mu float64) float64 {
+	return p.GammaEdge * float64(tau) * p.Eta * p.Rho * (p.Gamma*mu + p.Gamma + 1)
+}
+
+// J4 evaluates the Theorem 4 aggregate gap
+//
+//	j(τ, π, δℓ, δ) = h(τπ, δ) + (π+1)·Σℓ (Dℓ/D)(h(τ, δℓ) + s(τ)),
+//
+// with edgeWeights[ℓ] = Dℓ/D and deltas[ℓ] = δℓ.
+func J4(p Params, c Constants, tau, pi int, edgeWeights, deltas []float64, delta, mu float64) (float64, error) {
+	if len(edgeWeights) != len(deltas) {
+		return 0, fmt.Errorf("%w: %d edge weights for %d deltas", ErrParams, len(edgeWeights), len(deltas))
+	}
+	sum := 0.0
+	for l, w := range edgeWeights {
+		sum += w * (H(p, c, tau, deltas[l]) + S(p, tau, mu))
+	}
+	return H(p, c, tau*pi, delta) + float64(pi+1)*sum, nil
+}
+
+// BoundInput collects everything Theorem 4's final bound needs beyond the
+// analytical Params.
+type BoundInput struct {
+	Tau, Pi, T  int
+	EdgeWeights []float64
+	EdgeDeltas  []float64
+	Delta       float64
+	Mu          float64
+	// Omega, Sigma, Epsilon are the ω, σ, ε constants of Appendix D.
+	Omega, Sigma, Epsilon float64
+}
+
+// Alpha evaluates the Appendix D step constant α of eq. (37):
+//
+//	α = η(γ+1)(1 − βη(γ+1)/2) − βη²γ²μ²/2 − ηγμ(1 − βη(γ+1)).
+func Alpha(p Params, mu float64) float64 {
+	e, g, b := p.Eta, p.Gamma, p.Beta
+	return e*(g+1)*(1-b*e*(g+1)/2) - b*e*e*g*g*mu*mu/2 - e*g*mu*(1-b*e*(g+1))
+}
+
+// Bound evaluates the Theorem 4 convergence upper bound
+//
+//	F(x^T) − F(x*) ≤ 1 / ( T·(ωασ² − ρ·j(τ,π,δℓ,δ)/(τπε²)) ),
+//
+// returning an error when condition (2.1) fails (the bound is then vacuous —
+// exactly the regime the paper's τ/π discussion warns about).
+func Bound(p Params, in BoundInput) (float64, error) {
+	if err := p.Validate(); err != nil {
+		return 0, err
+	}
+	if in.T <= 0 || in.Tau <= 0 || in.Pi <= 0 || in.T%(in.Tau*in.Pi) != 0 {
+		return 0, fmt.Errorf("%w: T=%d tau=%d pi=%d", ErrParams, in.T, in.Tau, in.Pi)
+	}
+	if in.Epsilon <= 0 || in.Omega <= 0 || in.Sigma <= 0 {
+		return 0, fmt.Errorf("%w: omega/sigma/epsilon must be positive", ErrParams)
+	}
+	c, err := Derive(p)
+	if err != nil {
+		return 0, err
+	}
+	j, err := J4(p, c, in.Tau, in.Pi, in.EdgeWeights, in.EdgeDeltas, in.Delta, in.Mu)
+	if err != nil {
+		return 0, err
+	}
+	alpha := Alpha(p, in.Mu)
+	denomPerT := in.Omega*alpha*in.Sigma*in.Sigma -
+		p.Rho*j/(float64(in.Tau)*float64(in.Pi)*in.Epsilon*in.Epsilon)
+	if denomPerT <= 0 {
+		return 0, fmt.Errorf("%w: condition (2.1) violated (ωασ² − ρj/(τπε²) = %v ≤ 0); "+
+			"tau/pi too large for convergence guarantee", ErrParams, denomPerT)
+	}
+	return 1 / (float64(in.T) * denomPerT), nil
+}
+
+// ExpectedGammaAdaptive returns E(γℓ) under the Theorem 5 model: cos θ ~
+// U(−1, 1) pushed through the eq. (7) clamp. Negative cosines map to 0
+// (probability ½) and positive ones average ¼·…, giving E = 1/4 (the paper
+// neglects the measure-zero effect of the 0.99 ceiling).
+func ExpectedGammaAdaptive() float64 { return 0.25 }
+
+// ExpectedGammaFixed returns E(γ̃ℓ) under Theorem 5's uniform prior on the
+// fixed factor: γ̃ℓ ~ U(0,1) ⇒ E = 1/2.
+func ExpectedGammaFixed() float64 { return 0.5 }
+
+// VarGammaAdaptive returns D(γℓ) = 5/48 under the Theorem 5 model.
+func VarGammaAdaptive() float64 { return 5.0 / 48.0 }
+
+// VarGammaFixed returns D(γ̃ℓ) = 1/12 under the Theorem 5 model.
+func VarGammaFixed() float64 { return 1.0 / 12.0 }

@@ -1,0 +1,443 @@
+package theory
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"hieradmo/internal/dataset"
+	"hieradmo/internal/fl"
+	"hieradmo/internal/model"
+	"hieradmo/internal/rng"
+)
+
+func validParams() Params {
+	return Params{Eta: 0.01, Gamma: 0.5, GammaEdge: 0.5, Beta: 10, Rho: 5}
+}
+
+func TestParamsValidate(t *testing.T) {
+	if err := validParams().Validate(); err != nil {
+		t.Errorf("valid params rejected: %v", err)
+	}
+	tests := []struct {
+		name string
+		mut  func(*Params)
+	}{
+		{name: "zero eta", mut: func(p *Params) { p.Eta = 0 }},
+		{name: "gamma 1", mut: func(p *Params) { p.Gamma = 1 }},
+		{name: "gamma 0", mut: func(p *Params) { p.Gamma = 0 }},
+		{name: "gammaEdge 1", mut: func(p *Params) { p.GammaEdge = 1 }},
+		{name: "negative beta", mut: func(p *Params) { p.Beta = -1 }},
+		{name: "zero rho", mut: func(p *Params) { p.Rho = 0 }},
+		{name: "condition 1", mut: func(p *Params) { p.Beta = 1000 }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			p := validParams()
+			tt.mut(&p)
+			if err := p.Validate(); !errors.Is(err, ErrParams) {
+				t.Errorf("err = %v, want ErrParams", err)
+			}
+		})
+	}
+}
+
+func TestDeriveRootsSatisfyCharacteristicEquation(t *testing.T) {
+	// A and B are the roots of γz² − (1+ηβ)(1+γ)z + (1+ηβ) = 0.
+	p := validParams()
+	c, err := Derive(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ob := 1 + p.Eta*p.Beta
+	for _, z := range []float64{c.A, c.B} {
+		res := p.Gamma*z*z - ob*(1+p.Gamma)*z + ob
+		if math.Abs(res) > 1e-9 {
+			t.Errorf("root %v residual %v", z, res)
+		}
+	}
+	if c.A <= c.B {
+		t.Errorf("A %v should exceed B %v", c.A, c.B)
+	}
+	// U + V = 1 by construction.
+	if math.Abs(c.U+c.V-1) > 1e-12 {
+		t.Errorf("U+V = %v, want 1", c.U+c.V)
+	}
+}
+
+func TestHZeroAtOrigin(t *testing.T) {
+	p := validParams()
+	c, err := Derive(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := H(p, c, 0, 1.0); got != 0 {
+		t.Errorf("h(0) = %v, want 0", got)
+	}
+	if got := H(p, c, 5, 0); got != 0 {
+		t.Errorf("h(5, δ=0) = %v, want 0", got)
+	}
+}
+
+func TestHNonNegativeAndIncreasing(t *testing.T) {
+	// Paper eq. (39): h(x) ≥ 0 and increases with x.
+	p := validParams()
+	c, err := Derive(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := 0.0
+	for x := 1; x <= 64; x *= 2 {
+		h := H(p, c, x, 0.5)
+		if h < prev {
+			t.Errorf("h(%d) = %v < h(prev) = %v (not increasing)", x, h, prev)
+		}
+		if h < 0 {
+			t.Errorf("h(%d) = %v < 0", x, h)
+		}
+		prev = h
+	}
+}
+
+func TestHIncreasesWithDelta(t *testing.T) {
+	p := validParams()
+	c, err := Derive(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if H(p, c, 10, 1.0) <= H(p, c, 10, 0.5) {
+		t.Error("h should increase with δ")
+	}
+}
+
+func TestSIncreasesWithTau(t *testing.T) {
+	// Paper: s(τ) increases with τ; and s scales with γℓ (Theorem 5 uses
+	// smaller E(γℓ) ⇒ smaller s ⇒ tighter bound).
+	p := validParams()
+	if S(p, 20, 1) <= S(p, 10, 1) {
+		t.Error("s should increase with tau")
+	}
+	small, big := p, p
+	small.GammaEdge = 0.25
+	big.GammaEdge = 0.5
+	if S(small, 10, 1) >= S(big, 10, 1) {
+		t.Error("s should increase with gammaEdge")
+	}
+}
+
+func TestJ4IncreasesWithTauAndPi(t *testing.T) {
+	// Paper: j(τ, π) increases with τ and with π (drives Fig. 2(a)/(b)).
+	p := validParams()
+	c, err := Derive(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := []float64{0.5, 0.5}
+	d := []float64{0.4, 0.6}
+	j1, err := J4(p, c, 5, 2, w, d, 0.5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2, err := J4(p, c, 10, 2, w, d, 0.5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j3, err := J4(p, c, 5, 4, w, d, 0.5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j2 <= j1 {
+		t.Errorf("j(10,2)=%v should exceed j(5,2)=%v", j2, j1)
+	}
+	if j3 <= j1 {
+		t.Errorf("j(5,4)=%v should exceed j(5,2)=%v", j3, j1)
+	}
+	if _, err := J4(p, c, 5, 2, w, d[:1], 0.5, 1); !errors.Is(err, ErrParams) {
+		t.Errorf("mismatched weights err = %v", err)
+	}
+}
+
+func TestAlphaPositiveInValidRegime(t *testing.T) {
+	// Condition (2.1) needs α > 0; with small μ it must hold.
+	p := validParams()
+	if a := Alpha(p, 0.1); a <= 0 {
+		t.Errorf("alpha = %v, want > 0", a)
+	}
+}
+
+func TestBoundDecreasesWithT(t *testing.T) {
+	// Theorem 4: the bound is ∝ 1/T.
+	p := validParams()
+	p.Rho = 1
+	in := BoundInput{
+		Tau: 5, Pi: 2, T: 100,
+		EdgeWeights: []float64{0.5, 0.5},
+		EdgeDeltas:  []float64{0.01, 0.01},
+		Delta:       0.01,
+		Mu:          0.1,
+		Omega:       10, Sigma: 2, Epsilon: 1,
+	}
+	b1, err := Bound(p, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in.T = 200
+	b2, err := Bound(p, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(b1/b2-2) > 1e-9 {
+		t.Errorf("bound ratio %v, want exactly 2 (O(1/T))", b1/b2)
+	}
+}
+
+func TestBoundIncreasesWithTauPi(t *testing.T) {
+	// Theorem 4 discussion: larger τ (and π) increase the bound.
+	p := validParams()
+	p.Rho = 1
+	base := BoundInput{
+		Tau: 5, Pi: 2, T: 400,
+		EdgeWeights: []float64{0.5, 0.5},
+		EdgeDeltas:  []float64{0.01, 0.01},
+		Delta:       0.01,
+		Mu:          0.1,
+		Omega:       10, Sigma: 2, Epsilon: 1,
+	}
+	b1, err := Bound(p, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bigger := base
+	bigger.Tau = 10
+	b2, err := Bound(p, bigger)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b2 <= b1 {
+		t.Errorf("bound(tau=10)=%v should exceed bound(tau=5)=%v", b2, b1)
+	}
+}
+
+func TestBoundTighterWithSmallerGammaEdge(t *testing.T) {
+	// Theorem 5's mechanism: smaller expected γℓ ⇒ smaller s(τ) ⇒ smaller j
+	// ⇒ tighter bound. Adaptive E(γℓ)=1/4 < fixed E(γ̃ℓ)=1/2.
+	adaptive, fixed := validParams(), validParams()
+	adaptive.Rho, fixed.Rho = 1, 1
+	adaptive.GammaEdge = ExpectedGammaAdaptive()
+	fixed.GammaEdge = ExpectedGammaFixed()
+	in := BoundInput{
+		Tau: 5, Pi: 2, T: 400,
+		EdgeWeights: []float64{0.5, 0.5},
+		EdgeDeltas:  []float64{0.01, 0.01},
+		Delta:       0.01,
+		Mu:          0.1,
+		Omega:       10, Sigma: 2, Epsilon: 1,
+	}
+	ba, err := Bound(adaptive, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bf, err := Bound(fixed, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ba >= bf {
+		t.Errorf("adaptive bound %v should be tighter than fixed %v (Theorem 5)", ba, bf)
+	}
+}
+
+func TestBoundConditionViolation(t *testing.T) {
+	// Gigantic τ must trip condition (2.1) rather than return a vacuous
+	// number — the regime the paper warns about.
+	p := validParams()
+	in := BoundInput{
+		Tau: 5000, Pi: 2, T: 10000,
+		EdgeWeights: []float64{1},
+		EdgeDeltas:  []float64{1},
+		Delta:       1,
+		Mu:          0.1,
+		Omega:       1, Sigma: 1, Epsilon: 0.1,
+	}
+	if _, err := Bound(p, in); !errors.Is(err, ErrParams) {
+		t.Errorf("err = %v, want ErrParams for condition (2.1)", err)
+	}
+}
+
+func TestBoundInputValidation(t *testing.T) {
+	p := validParams()
+	in := BoundInput{
+		Tau: 5, Pi: 2, T: 99, // not a multiple
+		EdgeWeights: []float64{1}, EdgeDeltas: []float64{0.1},
+		Delta: 0.1, Mu: 0.1, Omega: 1, Sigma: 1, Epsilon: 1,
+	}
+	if _, err := Bound(p, in); !errors.Is(err, ErrParams) {
+		t.Errorf("non-multiple T err = %v", err)
+	}
+	in.T = 100
+	in.Epsilon = 0
+	if _, err := Bound(p, in); !errors.Is(err, ErrParams) {
+		t.Errorf("zero epsilon err = %v", err)
+	}
+}
+
+func TestTheorem5Moments(t *testing.T) {
+	// Verify the closed forms against Monte-Carlo under the Theorem 5 model.
+	r := rng.New(99)
+	const n = 400000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		cos := 2*r.Float64() - 1 // U(-1,1)
+		g := cos
+		if g < 0 {
+			g = 0
+		} else if g > 0.99 {
+			g = 0.99
+		}
+		sum += g
+		sumSq += g * g
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean-ExpectedGammaAdaptive()) > 0.01 {
+		t.Errorf("MC mean %v vs closed form %v", mean, ExpectedGammaAdaptive())
+	}
+	if math.Abs(variance-VarGammaAdaptive()) > 0.01 {
+		t.Errorf("MC variance %v vs closed form %v", variance, VarGammaAdaptive())
+	}
+	if ExpectedGammaAdaptive() >= ExpectedGammaFixed() {
+		t.Error("Theorem 5 expectation ordering violated")
+	}
+	if VarGammaFixed() != 1.0/12.0 {
+		t.Error("fixed-γℓ variance wrong")
+	}
+}
+
+func TestEstimateDivergence(t *testing.T) {
+	// Non-IID partitioning must produce strictly larger measured divergence
+	// than IID partitioning of the same data — Assumption 3 made tangible.
+	genCfg := dataset.GenConfig{
+		Name:          "toy",
+		Shape:         dataset.Shape{C: 1, H: 5, W: 5},
+		NumClasses:    4,
+		TemplateScale: 1.0,
+		NoiseStd:      0.5,
+		SmoothPasses:  1,
+	}
+	g, err := dataset.NewGenerator(genCfg, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	train, test := g.TrainTest(400, 80, 5)
+	m, err := model.NewLogisticRegression(genCfg.Shape, genCfg.NumClasses)
+	if err != nil {
+		t.Fatal(err)
+	}
+	build := func(classesPerWorker int) *fl.Config {
+		var (
+			shards []*dataset.Dataset
+			perr   error
+		)
+		if classesPerWorker > 0 {
+			shards, perr = dataset.PartitionClasses(train, 4, classesPerWorker, 7)
+		} else {
+			shards, perr = dataset.PartitionIID(train, 4, 7)
+		}
+		if perr != nil {
+			t.Fatal(perr)
+		}
+		hier, herr := dataset.Hierarchy(shards, []int{2, 2})
+		if herr != nil {
+			t.Fatal(herr)
+		}
+		return &fl.Config{
+			Model: m, Edges: hier, Test: test,
+			Eta: 0.05, Gamma: 0.5, GammaEdge: 0.5,
+			Tau: 2, Pi: 2, T: 8, BatchSize: 8, Seed: 5,
+		}
+	}
+	params := m.Init(rng.New(1))
+
+	iid, err := EstimateDivergence(build(0), params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nonIID, err := EstimateDivergence(build(1), params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nonIID.Global <= iid.Global {
+		t.Errorf("non-IID δ = %v should exceed IID δ = %v", nonIID.Global, iid.Global)
+	}
+	if len(iid.PerEdge) != 2 || len(iid.PerWorker[0]) != 2 {
+		t.Error("divergence shape wrong")
+	}
+	for l := range iid.PerWorker {
+		for i, d := range iid.PerWorker[l] {
+			if d < 0 {
+				t.Errorf("negative divergence at {%d,%d}", i, l)
+			}
+		}
+	}
+}
+
+func TestEdgeWeightsOf(t *testing.T) {
+	genCfg := dataset.GenConfig{
+		Name:          "toy",
+		Shape:         dataset.Shape{C: 1, H: 4, W: 4},
+		NumClasses:    3,
+		TemplateScale: 1.0,
+		NoiseStd:      0.5,
+	}
+	g, err := dataset.NewGenerator(genCfg, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	train, test := g.TrainTest(120, 40, 5)
+	shards, err := dataset.PartitionIID(train, 4, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hier, err := dataset.Hierarchy(shards, []int{2, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := model.NewLogisticRegression(genCfg.Shape, genCfg.NumClasses)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := &fl.Config{
+		Model: m, Edges: hier, Test: test,
+		Eta: 0.05, Gamma: 0.5, GammaEdge: 0.5,
+		Tau: 2, Pi: 2, T: 8, BatchSize: 8, Seed: 5,
+	}
+	w, err := EdgeWeightsOf(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w) != 2 || math.Abs(w[0]+w[1]-1) > 1e-12 {
+		t.Errorf("edge weights %v", w)
+	}
+}
+
+func TestDerivePropertyValidInputs(t *testing.T) {
+	// For any valid (η, γ, β) the discriminant is non-negative:
+	// (1+ηβ)²(1+γ)² − 4γ(1+ηβ) = (1+ηβ)[(1+ηβ)(1+γ)² − 4γ] and
+	// (1+γ)² ≥ 4γ always. Derive must therefore succeed on all valid params.
+	f := func(etaRaw, gammaRaw, betaRaw uint16) bool {
+		p := Params{
+			Eta:   0.0001 + float64(etaRaw%1000)/100000.0,
+			Gamma: 0.01 + 0.98*float64(gammaRaw%100)/100.0,
+			Beta:  0.1 + float64(betaRaw%100)/10.0,
+			Rho:   1, GammaEdge: 0.5,
+		}
+		if p.Validate() != nil {
+			return true // out of the theorem's regime; nothing to check
+		}
+		_, err := Derive(p)
+		return err == nil
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,206 @@
+package transport
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"hieradmo/internal/rng"
+)
+
+// inboxSize bounds each node's pending-message queue. The cluster protocol
+// has at most one outstanding message per peer pair per round, so the bound
+// is never reached in correct runs; it exists so a misbehaving test cannot
+// grow memory without bound while still decoupling sender and receiver
+// schedules.
+const inboxSize = 64
+
+// MemoryNetwork is an in-process hub connecting named endpoints through
+// buffered channels, with optional failure injection (message drops and
+// delivery delays) for protocol robustness tests.
+type MemoryNetwork struct {
+	mu      sync.Mutex
+	inboxes map[string]chan Message
+	closed  bool
+
+	dropRate float64
+	maxDelay time.Duration
+	faultRNG *rng.RNG
+
+	wg sync.WaitGroup // tracks delayed deliveries
+}
+
+// MemoryOption configures failure injection.
+type MemoryOption func(*MemoryNetwork)
+
+// WithDropRate makes the network silently discard each message with
+// probability p, using the seeded generator for reproducibility.
+func WithDropRate(p float64, seed uint64) MemoryOption {
+	return func(n *MemoryNetwork) {
+		n.dropRate = p
+		n.faultRNG = rng.New(seed)
+	}
+}
+
+// WithDelay delivers each message after a uniform random delay in
+// [0, maxDelay], exercising reordering across sender pairs.
+func WithDelay(maxDelay time.Duration, seed uint64) MemoryOption {
+	return func(n *MemoryNetwork) {
+		n.maxDelay = maxDelay
+		if n.faultRNG == nil {
+			n.faultRNG = rng.New(seed)
+		}
+	}
+}
+
+// NewMemoryNetwork returns an empty hub.
+func NewMemoryNetwork(opts ...MemoryOption) *MemoryNetwork {
+	n := &MemoryNetwork{inboxes: make(map[string]chan Message)}
+	for _, o := range opts {
+		o(n)
+	}
+	return n
+}
+
+// Endpoint registers (or retrieves) the endpoint for a node ID.
+func (n *MemoryNetwork) Endpoint(id string) (Endpoint, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return nil, ErrClosed
+	}
+	if _, ok := n.inboxes[id]; !ok {
+		n.inboxes[id] = make(chan Message, inboxSize)
+	}
+	return &memoryEndpoint{net: n, id: id}, nil
+}
+
+// Close shuts the hub down; all blocked receivers return ErrClosed.
+func (n *MemoryNetwork) Close() error {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return nil
+	}
+	n.closed = true
+	for _, ch := range n.inboxes {
+		close(ch)
+	}
+	n.mu.Unlock()
+	n.wg.Wait()
+	return nil
+}
+
+func (n *MemoryNetwork) deliver(msg Message) error {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return ErrClosed
+	}
+	inbox, ok := n.inboxes[msg.To]
+	if !ok {
+		n.mu.Unlock()
+		return fmt.Errorf("%w: %q", ErrUnknownNode, msg.To)
+	}
+	var delay time.Duration
+	if n.faultRNG != nil {
+		if n.dropRate > 0 && n.faultRNG.Float64() < n.dropRate {
+			n.mu.Unlock()
+			return nil // injected loss: sender sees success, receiver nothing
+		}
+		if n.maxDelay > 0 {
+			delay = time.Duration(n.faultRNG.Float64() * float64(n.maxDelay))
+		}
+	}
+	if delay == 0 {
+		n.mu.Unlock()
+		select {
+		case inbox <- msg:
+			return nil
+		default:
+			return fmt.Errorf("transport: inbox of %q full", msg.To)
+		}
+	}
+	n.wg.Add(1)
+	n.mu.Unlock()
+	timer := time.AfterFunc(delay, func() {
+		defer n.wg.Done()
+		defer func() {
+			// The inbox may close concurrently with delivery; a send on a
+			// closed channel panics, which we convert to a dropped message —
+			// acceptable during shutdown.
+			_ = recover()
+		}()
+		select {
+		case inbox <- msg:
+		default:
+		}
+	})
+	_ = timer
+	return nil
+}
+
+type memoryEndpoint struct {
+	net *MemoryNetwork
+	id  string
+}
+
+var _ Endpoint = (*memoryEndpoint)(nil)
+
+func (e *memoryEndpoint) ID() string { return e.id }
+
+func (e *memoryEndpoint) Send(to string, msg Message) error {
+	m := msg.Clone()
+	m.From = e.id
+	m.To = to
+	return e.net.deliver(m)
+}
+
+func (e *memoryEndpoint) inbox() (chan Message, error) {
+	e.net.mu.Lock()
+	defer e.net.mu.Unlock()
+	if e.net.closed {
+		return nil, ErrClosed
+	}
+	ch, ok := e.net.inboxes[e.id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownNode, e.id)
+	}
+	return ch, nil
+}
+
+func (e *memoryEndpoint) Recv() (Message, error) {
+	ch, err := e.inbox()
+	if err != nil {
+		return Message{}, err
+	}
+	msg, ok := <-ch
+	if !ok {
+		return Message{}, ErrClosed
+	}
+	return msg, nil
+}
+
+func (e *memoryEndpoint) RecvTimeout(d time.Duration) (Message, error) {
+	ch, err := e.inbox()
+	if err != nil {
+		return Message{}, err
+	}
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case msg, ok := <-ch:
+		if !ok {
+			return Message{}, ErrClosed
+		}
+		return msg, nil
+	case <-timer.C:
+		return Message{}, fmt.Errorf("%w: %q after %v", ErrTimeout, e.id, d)
+	}
+}
+
+func (e *memoryEndpoint) Close() error {
+	// Individual endpoints share hub lifetime; closing one is a no-op so
+	// sibling nodes keep running. The hub's Close tears everything down.
+	return nil
+}

@@ -1,0 +1,253 @@
+package transport
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// TCPNetwork runs the transport over real loopback (or LAN) sockets: every
+// node listens on its own address, messages are gob-encoded frames, and
+// outbound connections are cached per destination. Node addresses are
+// registered on Listen, so all endpoints must be created before the
+// protocol starts — which matches how the cluster coordinator works.
+type TCPNetwork struct {
+	mu     sync.Mutex
+	addrs  map[string]string
+	closed bool
+}
+
+// NewTCPNetwork returns an empty TCP node registry.
+func NewTCPNetwork() *TCPNetwork {
+	return &TCPNetwork{addrs: make(map[string]string)}
+}
+
+// Listen starts an endpoint for id on an ephemeral 127.0.0.1 port and
+// registers its address for the other nodes.
+func (n *TCPNetwork) Listen(id string) (Endpoint, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return nil, ErrClosed
+	}
+	if _, dup := n.addrs[id]; dup {
+		return nil, fmt.Errorf("transport: node %q already listening", id)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen for %q: %w", id, err)
+	}
+	n.addrs[id] = ln.Addr().String()
+	ep := &tcpEndpoint{
+		net:      n,
+		id:       id,
+		ln:       ln,
+		inbox:    make(chan Message, inboxSize),
+		closed:   make(chan struct{}),
+		conns:    make(map[string]*tcpConn),
+		accepted: make(map[net.Conn]struct{}),
+		resolve:  n.lookup,
+	}
+	ep.wg.Add(1)
+	go ep.acceptLoop()
+	return ep, nil
+}
+
+// Endpoint implements the cluster.Network interface by starting a listener
+// for id (each node ID gets exactly one endpoint per network).
+func (n *TCPNetwork) Endpoint(id string) (Endpoint, error) { return n.Listen(id) }
+
+// Close marks the registry closed; individual endpoints are closed by their
+// owners.
+func (n *TCPNetwork) Close() error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.closed = true
+	return nil
+}
+
+// lookup resolves a node ID to its listen address.
+func (n *TCPNetwork) lookup(id string) (string, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	addr, ok := n.addrs[id]
+	if !ok {
+		return "", fmt.Errorf("%w: %q", ErrUnknownNode, id)
+	}
+	return addr, nil
+}
+
+type tcpConn struct {
+	mu   sync.Mutex
+	conn net.Conn
+	enc  *gob.Encoder
+}
+
+type tcpEndpoint struct {
+	net *TCPNetwork // nil for static (cross-process) endpoints
+	id  string
+	ln  net.Listener
+	// resolve maps a peer ID to its dial address (registry- or
+	// network-backed).
+	resolve func(id string) (string, error)
+
+	inbox  chan Message
+	closed chan struct{}
+	once   sync.Once
+	wg     sync.WaitGroup
+
+	connMu   sync.Mutex
+	conns    map[string]*tcpConn
+	accepted map[net.Conn]struct{}
+}
+
+var _ Endpoint = (*tcpEndpoint)(nil)
+
+func (e *tcpEndpoint) ID() string { return e.id }
+
+func (e *tcpEndpoint) acceptLoop() {
+	defer e.wg.Done()
+	for {
+		conn, err := e.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		e.connMu.Lock()
+		e.accepted[conn] = struct{}{}
+		e.connMu.Unlock()
+		e.wg.Add(1)
+		go e.readLoop(conn)
+	}
+}
+
+func (e *tcpEndpoint) readLoop(conn net.Conn) {
+	defer e.wg.Done()
+	defer func() {
+		conn.Close()
+		e.connMu.Lock()
+		delete(e.accepted, conn)
+		e.connMu.Unlock()
+	}()
+	dec := gob.NewDecoder(conn)
+	for {
+		var msg Message
+		if err := dec.Decode(&msg); err != nil {
+			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+				// Connection-level failures surface to the receiver as
+				// silence (and hence RecvTimeout), mirroring real deployments.
+				return
+			}
+			return
+		}
+		select {
+		case e.inbox <- msg:
+		case <-e.closed:
+			return
+		}
+	}
+}
+
+func (e *tcpEndpoint) Send(to string, msg Message) error {
+	select {
+	case <-e.closed:
+		return ErrClosed
+	default:
+	}
+	m := msg.Clone()
+	m.From = e.id
+	m.To = to
+
+	e.connMu.Lock()
+	c, ok := e.conns[to]
+	e.connMu.Unlock()
+	if !ok {
+		addr, err := e.resolve(to)
+		if err != nil {
+			return err
+		}
+		// In multi-process deployments peers come up in arbitrary order, so
+		// the first dial races the peer's bind; retry briefly before giving
+		// up.
+		var raw net.Conn
+		for attempt := 0; ; attempt++ {
+			raw, err = net.DialTimeout("tcp", addr, 5*time.Second)
+			if err == nil {
+				break
+			}
+			if attempt >= 40 {
+				return fmt.Errorf("transport: dial %q: %w", to, err)
+			}
+			select {
+			case <-e.closed:
+				return ErrClosed
+			case <-time.After(250 * time.Millisecond):
+			}
+		}
+		c = &tcpConn{conn: raw, enc: gob.NewEncoder(raw)}
+		e.connMu.Lock()
+		if existing, dup := e.conns[to]; dup {
+			raw.Close()
+			c = existing
+		} else {
+			e.conns[to] = c
+		}
+		e.connMu.Unlock()
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.enc.Encode(m); err != nil {
+		return fmt.Errorf("transport: send to %q: %w", to, err)
+	}
+	return nil
+}
+
+func (e *tcpEndpoint) Recv() (Message, error) {
+	select {
+	case msg := <-e.inbox:
+		return msg, nil
+	case <-e.closed:
+		// Drain anything already queued before reporting closure.
+		select {
+		case msg := <-e.inbox:
+			return msg, nil
+		default:
+			return Message{}, ErrClosed
+		}
+	}
+}
+
+func (e *tcpEndpoint) RecvTimeout(d time.Duration) (Message, error) {
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case msg := <-e.inbox:
+		return msg, nil
+	case <-e.closed:
+		return Message{}, ErrClosed
+	case <-timer.C:
+		return Message{}, fmt.Errorf("%w: %q after %v", ErrTimeout, e.id, d)
+	}
+}
+
+func (e *tcpEndpoint) Close() error {
+	e.once.Do(func() {
+		close(e.closed)
+		e.ln.Close()
+		e.connMu.Lock()
+		for _, c := range e.conns {
+			c.conn.Close()
+		}
+		// Inbound connections block their readLoops in Decode until closed;
+		// without this, Close would wait for peers to shut down first.
+		for conn := range e.accepted {
+			conn.Close()
+		}
+		e.connMu.Unlock()
+	})
+	e.wg.Wait()
+	return nil
+}

@@ -1,0 +1,77 @@
+// Package transport provides the message-passing substrate for the
+// distributed execution of HierAdMo (internal/cluster): a Message format
+// carrying model-sized vectors between named nodes, an in-memory network
+// with failure injection for tests, and a TCP network (net + encoding/gob)
+// for running the protocol over real sockets.
+//
+// The in-process simulation in internal/fl is the reference semantics; the
+// cluster runtime built on this package must produce bit-identical results
+// (verified by the equivalence tests in internal/cluster).
+package transport
+
+import (
+	"errors"
+	"time"
+)
+
+// Protocol errors callers can match.
+var (
+	// ErrClosed is returned by operations on a closed endpoint.
+	ErrClosed = errors.New("transport: endpoint closed")
+	// ErrUnknownNode is returned when sending to an unregistered node.
+	ErrUnknownNode = errors.New("transport: unknown node")
+	// ErrTimeout is returned by RecvTimeout when no message arrives in time.
+	ErrTimeout = errors.New("transport: receive timeout")
+)
+
+// Message is one protocol datagram. Vectors carry model-sized state (models,
+// momenta, gradient accumulators); Scalars carry small metadata such as
+// losses and data weights.
+type Message struct {
+	// From and To are node IDs; the sending endpoint fills From.
+	From string `json:"from"`
+	To   string `json:"to"`
+	// Kind is the protocol message type (e.g. "edge-report").
+	Kind string `json:"kind"`
+	// Round is the protocol round the message belongs to, for debugging and
+	// ordering assertions.
+	Round int `json:"round"`
+	// Vectors is the model-sized payload.
+	Vectors [][]float64 `json:"vectors"`
+	// Scalars is small named metadata.
+	Scalars map[string]float64 `json:"scalars"`
+}
+
+// Clone deep-copies the message so transports can deliver without aliasing
+// the sender's buffers.
+func (m Message) Clone() Message {
+	out := m
+	out.Vectors = make([][]float64, len(m.Vectors))
+	for i, v := range m.Vectors {
+		out.Vectors[i] = append([]float64(nil), v...)
+	}
+	if m.Scalars != nil {
+		out.Scalars = make(map[string]float64, len(m.Scalars))
+		for k, v := range m.Scalars {
+			out.Scalars[k] = v
+		}
+	}
+	return out
+}
+
+// Endpoint is one node's handle on a network.
+type Endpoint interface {
+	// ID returns the node's name.
+	ID() string
+	// Send delivers msg to the named node. The transport fills From/To.
+	Send(to string, msg Message) error
+	// Recv blocks until a message arrives or the endpoint closes.
+	Recv() (Message, error)
+	// RecvTimeout is Recv with a deadline; it returns ErrTimeout when no
+	// message arrives in time (the failure-detection primitive the cluster
+	// protocol uses).
+	RecvTimeout(d time.Duration) (Message, error)
+	// Close releases the endpoint; pending and future Recv calls return
+	// ErrClosed.
+	Close() error
+}

@@ -1,0 +1,321 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestMessageClone(t *testing.T) {
+	m := Message{
+		Kind:    "k",
+		Vectors: [][]float64{{1, 2}},
+		Scalars: map[string]float64{"loss": 3},
+	}
+	c := m.Clone()
+	c.Vectors[0][0] = 99
+	c.Scalars["loss"] = 99
+	if m.Vectors[0][0] != 1 || m.Scalars["loss"] != 3 {
+		t.Error("Clone aliases the original payload")
+	}
+}
+
+func TestMemorySendRecv(t *testing.T) {
+	net := NewMemoryNetwork()
+	defer net.Close()
+	a, err := net.Endpoint("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := net.Endpoint("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Message{Kind: "ping", Round: 7, Vectors: [][]float64{{1, 2, 3}}}
+	if err := a.Send("b", want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := b.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.From != "a" || got.To != "b" || got.Kind != "ping" || got.Round != 7 {
+		t.Errorf("got %+v", got)
+	}
+	if got.Vectors[0][2] != 3 {
+		t.Errorf("payload lost: %v", got.Vectors)
+	}
+}
+
+func TestMemoryUnknownNode(t *testing.T) {
+	net := NewMemoryNetwork()
+	defer net.Close()
+	a, err := net.Endpoint("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Send("ghost", Message{}); !errors.Is(err, ErrUnknownNode) {
+		t.Errorf("err = %v, want ErrUnknownNode", err)
+	}
+}
+
+func TestMemoryRecvTimeout(t *testing.T) {
+	net := NewMemoryNetwork()
+	defer net.Close()
+	a, err := net.Endpoint("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.RecvTimeout(20 * time.Millisecond); !errors.Is(err, ErrTimeout) {
+		t.Errorf("err = %v, want ErrTimeout", err)
+	}
+}
+
+func TestMemoryCloseUnblocksReceivers(t *testing.T) {
+	net := NewMemoryNetwork()
+	a, err := net.Endpoint("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := a.Recv()
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	if err := net.Close(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrClosed) {
+			t.Errorf("err = %v, want ErrClosed", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("Recv did not unblock on Close")
+	}
+}
+
+func TestMemoryDropInjection(t *testing.T) {
+	net := NewMemoryNetwork(WithDropRate(1.0, 1)) // drop everything
+	defer net.Close()
+	a, err := net.Endpoint("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := net.Endpoint("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Send("b", Message{Kind: "x"}); err != nil {
+		t.Fatalf("drop should look like success to the sender: %v", err)
+	}
+	if _, err := b.RecvTimeout(30 * time.Millisecond); !errors.Is(err, ErrTimeout) {
+		t.Errorf("dropped message was delivered: %v", err)
+	}
+}
+
+func TestMemoryDelayInjectionStillDelivers(t *testing.T) {
+	net := NewMemoryNetwork(WithDelay(20*time.Millisecond, 3))
+	defer net.Close()
+	a, err := net.Endpoint("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := net.Endpoint("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := a.Send("b", Message{Kind: "x", Round: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	seen := 0
+	for seen < 10 {
+		if _, err := b.RecvTimeout(time.Second); err != nil {
+			t.Fatalf("delayed message lost after %d: %v", seen, err)
+		}
+		seen++
+	}
+}
+
+func TestMemoryConcurrentSenders(t *testing.T) {
+	net := NewMemoryNetwork()
+	defer net.Close()
+	sink, err := net.Endpoint("sink")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const senders, per = 8, 5
+	var wg sync.WaitGroup
+	for s := 0; s < senders; s++ {
+		ep, err := net.Endpoint(fmt.Sprintf("s%d", s))
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				if err := ep.Send("sink", Message{Kind: "m"}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for i := 0; i < senders*per; i++ {
+		if _, err := sink.RecvTimeout(time.Second); err != nil {
+			t.Fatalf("missing message %d: %v", i, err)
+		}
+	}
+}
+
+func TestTCPSendRecv(t *testing.T) {
+	net := NewTCPNetwork()
+	defer net.Close()
+	a, err := net.Listen("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := net.Listen("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	want := Message{Kind: "ping", Round: 3, Vectors: [][]float64{{4, 5}},
+		Scalars: map[string]float64{"loss": 0.5}}
+	if err := a.Send("b", want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := b.RecvTimeout(2 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.From != "a" || got.Kind != "ping" || got.Vectors[0][1] != 5 || got.Scalars["loss"] != 0.5 {
+		t.Errorf("got %+v", got)
+	}
+}
+
+func TestTCPBidirectional(t *testing.T) {
+	net := NewTCPNetwork()
+	defer net.Close()
+	a, err := net.Listen("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := net.Listen("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	for i := 0; i < 20; i++ {
+		if err := a.Send("b", Message{Kind: "req", Round: i}); err != nil {
+			t.Fatal(err)
+		}
+		got, err := b.RecvTimeout(2 * time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := b.Send("a", Message{Kind: "resp", Round: got.Round}); err != nil {
+			t.Fatal(err)
+		}
+		resp, err := a.RecvTimeout(2 * time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.Round != i {
+			t.Fatalf("round %d echoed as %d", i, resp.Round)
+		}
+	}
+}
+
+func TestTCPUnknownNode(t *testing.T) {
+	net := NewTCPNetwork()
+	defer net.Close()
+	a, err := net.Listen("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	if err := a.Send("ghost", Message{}); !errors.Is(err, ErrUnknownNode) {
+		t.Errorf("err = %v, want ErrUnknownNode", err)
+	}
+}
+
+func TestTCPDuplicateListen(t *testing.T) {
+	net := NewTCPNetwork()
+	defer net.Close()
+	a, err := net.Listen("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	if _, err := net.Listen("a"); err == nil {
+		t.Error("duplicate Listen accepted")
+	}
+}
+
+func TestTCPCloseUnblocksRecv(t *testing.T) {
+	net := NewTCPNetwork()
+	defer net.Close()
+	a, err := net.Listen("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := a.Recv()
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrClosed) {
+			t.Errorf("err = %v, want ErrClosed", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Recv did not unblock on Close")
+	}
+}
+
+func TestTCPLargePayload(t *testing.T) {
+	net := NewTCPNetwork()
+	defer net.Close()
+	a, err := net.Listen("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := net.Listen("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	big := make([]float64, 200_000)
+	for i := range big {
+		big[i] = float64(i)
+	}
+	if err := a.Send("b", Message{Kind: "big", Vectors: [][]float64{big}}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := b.RecvTimeout(5 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Vectors[0]) != len(big) || got.Vectors[0][199_999] != 199_999 {
+		t.Error("large payload corrupted")
+	}
+}
