@@ -1,0 +1,29 @@
+# Developer entry points. The tier-1 gate (what CI and the roadmap require)
+# is `make check`; `make race` runs the concurrency-heavy packages under the
+# race detector with widened timing windows (see internal/cluster/race_on_test.go).
+
+GO ?= go
+
+.PHONY: build test vet check race bench clean
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+## check: the tier-1 gate — build, vet, and the full test suite.
+check: build vet test
+
+## race: race-detect the distributed runtime and transport layers.
+race:
+	$(GO) test -race -count=1 ./internal/cluster/... ./internal/transport/...
+
+bench:
+	$(GO) test -bench=. -benchtime=1x -run=^$$ ./...
+
+clean:
+	$(GO) clean ./...

@@ -8,12 +8,27 @@
 //
 //	flcluster -transport tcp -dataset mnist -model cnn
 //	flcluster -transport memory -verify -save-result out.json -save-curve out.csv
+//
+// Fault-tolerance flags turn the run into a deterministic chaos experiment:
+//
+//	flcluster -crash worker-0-1@40 -min-quorum 0.5 -straggler-deadline 200ms
+//	flcluster -drop-rate 0.03 -fault-seed 11 -min-quorum 0.5 \
+//	    -straggler-deadline 300ms -recv-timeout 3s
+//
+// The run then degrades gracefully (quorum aggregation with renormalized
+// weights) and prints a fault report instead of dying on the first lost
+// message. Tolerance is bounded: a run whose losses exceed what the quorum
+// and the one-sync staleness budget can absorb (e.g. heavy sustained loss on
+// a topology with no quorum margin) still fails fast, with every node's
+// error joined.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 
 	"hieradmo/internal/cluster"
 	"hieradmo/internal/core"
@@ -42,9 +57,24 @@ func run(args []string) error {
 		seed          = fs.Uint64("seed", 0, "override seed")
 		saveResult    = fs.String("save-result", "", "write the run result as JSON to this path")
 		saveCurve     = fs.String("save-curve", "", "write the accuracy curve as CSV to this path")
+
+		dropRate  = fs.Float64("drop-rate", 0, "inject message loss with this probability (0 disables)")
+		maxDelay  = fs.Duration("max-delay", 0, "inject a uniform per-message delay up to this duration")
+		faultSeed = fs.Uint64("fault-seed", 1, "seed for the deterministic fault schedule")
+		crash     = fs.String("crash", "", `crash nodes at protocol rounds, e.g. "worker-0-1@40,edge-1@80"`)
+		minQuorum = fs.Float64("min-quorum", 0, "fraction of reporters an aggregation needs (0 or 1 = strict full cohort)")
+		straggler = fs.Duration("straggler-deadline", 0, "how long an aggregation waits for the full cohort before proceeding with a quorum")
+		recvTO    = fs.Duration("recv-timeout", 0, "receive timeout per blocking wait (default 60s)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	crashes, err := parseCrashSpec(*crash)
+	if err != nil {
+		return err
+	}
+	if *verify && (*dropRate > 0 || len(crashes) > 0) {
+		return fmt.Errorf("-verify requires a fault-free run: bit-equivalence with the simulation only holds without drops or crashes")
 	}
 
 	var s experiment.Scale
@@ -77,14 +107,30 @@ func run(args []string) error {
 	default:
 		return fmt.Errorf("unknown transport %q", *transportName)
 	}
+	if *dropRate > 0 || *maxDelay > 0 || len(crashes) > 0 {
+		net = transport.NewFaultyNetwork(net, transport.FaultPlan{
+			Seed:         *faultSeed,
+			DropRate:     *dropRate,
+			MaxDelay:     *maxDelay,
+			CrashAtRound: crashes,
+		})
+	}
 
 	fmt.Printf("distributed HierAdMo over %s: %d workers, %d edges, tau=%d pi=%d T=%d\n",
 		*transportName, cfg.NumWorkers(), cfg.NumEdges(), cfg.Tau, cfg.Pi, cfg.T)
-	res, err := cluster.Run(cfg, net, cluster.Options{Adaptive: !*reduced})
+	res, err := cluster.Run(cfg, net, cluster.Options{
+		Adaptive:          !*reduced,
+		MinQuorum:         *minQuorum,
+		StragglerDeadline: *straggler,
+		RecvTimeout:       *recvTO,
+	})
 	if err != nil {
 		return err
 	}
 	fmt.Println(res)
+	if res.FaultReport.Any() {
+		fmt.Println(res.FaultReport)
+	}
 
 	if *verify {
 		alg := core.New()
@@ -120,4 +166,25 @@ func run(args []string) error {
 		fmt.Println("curve written to", *saveCurve)
 	}
 	return nil
+}
+
+// parseCrashSpec parses a comma-separated "node@round" list, e.g.
+// "worker-0-1@40,edge-1@80", into a FaultPlan crash map.
+func parseCrashSpec(spec string) (map[string]int, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	out := make(map[string]int)
+	for _, part := range strings.Split(spec, ",") {
+		node, roundStr, ok := strings.Cut(strings.TrimSpace(part), "@")
+		if !ok || node == "" {
+			return nil, fmt.Errorf("malformed crash spec %q (want node@round)", part)
+		}
+		round, err := strconv.Atoi(roundStr)
+		if err != nil || round < 0 {
+			return nil, fmt.Errorf("malformed crash round in %q", part)
+		}
+		out[node] = round
+	}
+	return out, nil
 }

@@ -4,6 +4,7 @@ import (
 	"io"
 
 	"hieradmo/internal/cluster"
+	"hieradmo/internal/fl"
 	"hieradmo/internal/persist"
 	"hieradmo/internal/tensor"
 	"hieradmo/internal/transport"
@@ -12,11 +13,20 @@ import (
 // Distributed-execution types, re-exported from the cluster runtime.
 type (
 	// ClusterOptions tunes a distributed run (adaptation on/off, signal,
-	// clamp, receive timeout).
+	// clamp, receive timeout, quorum fraction, straggler deadline).
 	ClusterOptions = cluster.Options
 	// ClusterNetwork is the transport factory a distributed run executes
 	// over.
 	ClusterNetwork = cluster.Network
+	// FaultPlan is a deterministic seeded fault schedule for a faulty
+	// network: per-link drop rates, message delays, crash-at-round.
+	FaultPlan = transport.FaultPlan
+	// NetworkLink identifies one directed sender→receiver pair in a
+	// FaultPlan.
+	NetworkLink = transport.Link
+	// FaultReport describes the faults a degraded distributed run survived
+	// (carried on Result.FaultReport).
+	FaultReport = fl.FaultReport
 )
 
 // NewMemoryNetwork returns the in-process message hub (fast, used for
@@ -26,6 +36,15 @@ func NewMemoryNetwork() ClusterNetwork { return transport.NewMemoryNetwork() }
 // NewTCPNetwork returns the loopback-TCP transport: every node gets its own
 // socket and messages are gob-encoded frames.
 func NewTCPNetwork() ClusterNetwork { return transport.NewTCPNetwork() }
+
+// NewFaultyNetwork composes a deterministic seeded fault schedule (message
+// drops, delays, node crashes) over another network, for chaos testing the
+// distributed runtime over both the in-memory hub and real sockets. Pair it
+// with ClusterOptions.MinQuorum < 1 so the protocol degrades gracefully
+// instead of failing stop.
+func NewFaultyNetwork(inner ClusterNetwork, plan FaultPlan) ClusterNetwork {
+	return transport.NewFaultyNetwork(inner, plan)
+}
 
 // RunDistributed executes HierAdMo as a real message-passing protocol (one
 // node per worker, edge, and cloud) over the given network. With identical

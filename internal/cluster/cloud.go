@@ -1,7 +1,9 @@
 package cluster
 
 import (
+	"errors"
 	"fmt"
+	"time"
 
 	"hieradmo/internal/fl"
 	"hieradmo/internal/model"
@@ -13,24 +15,51 @@ import (
 // aggregated worker momenta and edge models, averages them (Algorithm 1
 // lines 18–19), redistributes the result (lines 20–21), records the
 // accuracy curve, and produces the final Result.
+//
+// In quorum mode a missing edge report is tolerated for one sync by reusing
+// that edge's last reported state (its initialization before the first
+// report); an edge missing two consecutive syncs, or fresh reports falling
+// below ⌈MinQuorum·L⌉, fails the run fast.
 type cloudNode struct {
 	cfg  *fl.Config
 	hn   *fl.Harness
 	ep   transport.Endpoint
 	opts Options
+	rec  *faultRecorder
 
 	cloudX, cloudY tensor.Vector
+	// lastY/lastX hold each edge's most recent [y_ℓ−, x_ℓ+] report,
+	// seeded with x⁰ so a first-sync straggler is still well-defined.
+	lastY, lastX []tensor.Vector
+	// lastLoss is each edge's most recently reported weighted loss.
+	lastLoss []float64
+	// missStreak counts consecutive syncs each edge has missed.
+	missStreak []int
+	// pending stashes reports from edges running ahead of the cloud (an
+	// edge that rode out a lost cloud update keeps going) until the cloud's
+	// own sync catches up with them.
+	pending []transport.Message
 }
 
 func newCloudNode(cfg *fl.Config, hn *fl.Harness, x0 tensor.Vector, ep transport.Endpoint, opts Options) *cloudNode {
-	return &cloudNode{
-		cfg:    cfg,
-		hn:     hn,
-		ep:     ep,
-		opts:   opts,
-		cloudX: x0.Clone(),
-		cloudY: x0.Clone(),
+	numEdges := cfg.NumEdges()
+	c := &cloudNode{
+		cfg:        cfg,
+		hn:         hn,
+		ep:         ep,
+		opts:       opts,
+		cloudX:     x0.Clone(),
+		cloudY:     x0.Clone(),
+		lastY:      make([]tensor.Vector, numEdges),
+		lastX:      make([]tensor.Vector, numEdges),
+		lastLoss:   make([]float64, numEdges),
+		missStreak: make([]int, numEdges),
 	}
+	for l := 0; l < numEdges; l++ {
+		c.lastY[l] = x0.Clone()
+		c.lastX[l] = x0.Clone()
+	}
+	return c
 }
 
 func (c *cloudNode) run() (*fl.Result, error) {
@@ -44,36 +73,17 @@ func (c *cloudNode) run() (*fl.Result, error) {
 	var weightedLoss float64
 
 	for p := 1; p <= numRounds; p++ {
-		yMinuses := make([]tensor.Vector, numEdges)
-		xPluses := make([]tensor.Vector, numEdges)
-		losses := make([]float64, numEdges)
-		for got := 0; got < numEdges; got++ {
-			msg, err := c.ep.RecvTimeout(c.opts.RecvTimeout)
-			if err != nil {
-				return nil, fmt.Errorf("cluster: cloud round %d: %w", p, err)
-			}
-			if err := expectKind(msg, KindCloudReport); err != nil {
-				return nil, err
-			}
-			l, err := parseEdgeIndex(msg.From)
-			if err != nil {
-				return nil, err
-			}
-			if l < 0 || l >= numEdges {
-				return nil, fmt.Errorf("cluster: report from out-of-range edge %d", l)
-			}
-			yMinuses[l] = msg.Vectors[0]
-			xPluses[l] = msg.Vectors[1]
-			losses[l] = msg.Scalars[ScalarLoss]
+		if err := c.collectReports(p); err != nil {
+			return nil, fmt.Errorf("cluster: cloud round %d: %w", p, err)
 		}
-		if err := c.hn.CloudAverage(c.cloudY, yMinuses); err != nil { // line 18
+		if err := c.hn.CloudAverage(c.cloudY, c.lastY); err != nil { // line 18
 			return nil, err
 		}
-		if err := c.hn.CloudAverage(c.cloudX, xPluses); err != nil { // line 19
+		if err := c.hn.CloudAverage(c.cloudX, c.lastX); err != nil { // line 19
 			return nil, err
 		}
 		weightedLoss = 0
-		for l, loss := range losses {
+		for l, loss := range c.lastLoss {
 			weightedLoss += c.hn.EdgeWeights[l] * loss
 		}
 		update := transport.Message{
@@ -107,4 +117,148 @@ func (c *cloudNode) run() (*fl.Result, error) {
 	res.FinalLoss = weightedLoss
 	res.Curve = append(res.Curve, fl.Point{Iter: c.cfg.T, TestAcc: acc, TrainLoss: weightedLoss})
 	return res, nil
+}
+
+// collectReports gathers the sync-p edge reports into lastY/lastX. Strict
+// mode requires every edge within RecvTimeout. Quorum mode grants stragglers
+// (π+1)·StragglerDeadline of grace from the moment ⌈MinQuorum·L⌉ edges
+// reported fresh — budgeting one grace period per intervening edge round
+// plus the cloud's own — then proceeds, reusing a missing edge's previous
+// state for at most one consecutive sync before failing fast. Duplicate and
+// stale-round reports are rejected and counted; a future-sync report (an
+// edge that rode out a lost cloud update and ran ahead) is stashed for the
+// sync it belongs to in quorum mode.
+func (c *cloudNode) collectReports(p int) error {
+	numEdges := c.cfg.NumEdges()
+	want := p * c.cfg.Tau * c.cfg.Pi
+	quorum := numEdges
+	if c.opts.tolerant() {
+		quorum = quorumCount(c.opts.MinQuorum, numEdges)
+	}
+	fresh := make([]bool, numEdges)
+	got := 0
+	// Drain reports stashed by earlier syncs: an edge that rode out a lost
+	// cloud update runs ahead of the cloud, and its reports were kept for
+	// the syncs they belong to.
+	if len(c.pending) > 0 {
+		keep := c.pending[:0]
+		for _, msg := range c.pending {
+			switch {
+			case msg.Round > want:
+				keep = append(keep, msg)
+			case msg.Round < want:
+				c.rec.stale()
+			default:
+				ok, err := c.admitReport(msg, fresh)
+				if err != nil {
+					return err
+				}
+				if ok {
+					got++
+				}
+			}
+		}
+		c.pending = keep
+	}
+	deadline := time.Now().Add(c.opts.RecvTimeout)
+	if c.opts.tolerant() {
+		// Same margin as the edge tier: a silent edge may itself be riding
+		// out a lost update for up to a full RecvTimeout before it recovers.
+		deadline = deadline.Add(c.opts.StragglerDeadline)
+	}
+	var stragglerBy time.Time
+	for got < numEdges {
+		var wait time.Duration
+		if got >= quorum {
+			if stragglerBy.IsZero() {
+				// Each of the π edge rounds between cloud syncs can burn a
+				// full straggler grace at the edge tier before the edge
+				// reports, so the cloud's window budgets π grace periods for
+				// the edge tier's waits on top of its own.
+				stragglerBy = time.Now().Add(time.Duration(c.cfg.Pi+1) * c.opts.StragglerDeadline)
+			}
+			wait = time.Until(stragglerBy)
+			if wait <= 0 {
+				break
+			}
+		} else {
+			wait = time.Until(deadline)
+			if wait <= 0 {
+				return fmt.Errorf("%d/%d edge reports (quorum %d): %w",
+					got, numEdges, quorum, transport.ErrTimeout)
+			}
+		}
+		msg, err := c.ep.RecvTimeout(wait)
+		if err != nil {
+			if errors.Is(err, transport.ErrTimeout) {
+				continue
+			}
+			return err
+		}
+		if err := expectKind(msg, KindCloudReport); err != nil {
+			return err
+		}
+		if msg.Round < want {
+			c.rec.stale()
+			continue
+		}
+		if msg.Round > want {
+			if c.opts.tolerant() {
+				// An edge that rode out a lost cloud update is running ahead;
+				// keep its report for the sync it belongs to.
+				c.pending = append(c.pending, msg)
+				continue
+			}
+			return fmt.Errorf("cluster: report from %q for future round %d (want %d)",
+				msg.From, msg.Round, want)
+		}
+		ok, err := c.admitReport(msg, fresh)
+		if err != nil {
+			return err
+		}
+		if ok {
+			got++
+		}
+	}
+	missing := 0
+	for l, ok := range fresh {
+		if ok {
+			c.missStreak[l] = 0
+			continue
+		}
+		missing++
+		c.missStreak[l]++
+		if c.missStreak[l] > 1 {
+			return fmt.Errorf("cluster: edge %d missed %d consecutive cloud syncs: quorum unreachable: %w",
+				l, c.missStreak[l], transport.ErrTimeout)
+		}
+	}
+	c.rec.missingEdges(want, missing)
+	return nil
+}
+
+// admitReport validates one current-sync edge report and adopts its state;
+// shared by live receives and the ride-ahead stash. It returns whether the
+// report counted as a new distinct reporter.
+func (c *cloudNode) admitReport(msg transport.Message, fresh []bool) (bool, error) {
+	l, err := parseEdgeIndex(msg.From)
+	if err != nil {
+		return false, err
+	}
+	if l < 0 || l >= len(fresh) {
+		return false, fmt.Errorf("cluster: report from out-of-range edge %d", l)
+	}
+	if len(msg.Vectors) != 2 {
+		return false, fmt.Errorf("cluster: report from %q carries %d vectors, want 2",
+			msg.From, len(msg.Vectors))
+	}
+	if fresh[l] {
+		c.rec.duplicate()
+		return false, nil
+	}
+	fresh[l] = true
+	c.lastY[l] = msg.Vectors[0]
+	c.lastX[l] = msg.Vectors[1]
+	c.lastLoss[l] = msg.Scalars[ScalarLoss]
+	return true, nil
 }

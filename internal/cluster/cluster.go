@@ -1,7 +1,9 @@
 package cluster
 
 import (
+	"errors"
 	"fmt"
+	"math"
 	"sync"
 	"time"
 
@@ -11,7 +13,8 @@ import (
 )
 
 // Network abstracts the transport factories the cluster can run over
-// (transport.MemoryNetwork and transport.TCPNetwork both satisfy it).
+// (transport.MemoryNetwork, transport.TCPNetwork, and transport.FaultyNetwork
+// all satisfy it).
 type Network interface {
 	// Endpoint returns the endpoint for a node ID.
 	Endpoint(id string) (transport.Endpoint, error)
@@ -36,6 +39,19 @@ type Options struct {
 	// RecvTimeout bounds every blocking receive (default
 	// DefaultRecvTimeout).
 	RecvTimeout time.Duration
+	// MinQuorum is the minimum fraction of reporters an aggregation needs
+	// to proceed (applied at both tiers: workers per edge, edges at the
+	// cloud). The default 1 keeps the strict fail-stop protocol: every
+	// report is required and any loss surfaces as a timeout error. Values
+	// in (0, 1) enable graceful degradation: aggregations proceed with the
+	// survivors once the straggler deadline passes, renormalizing weights
+	// over them exactly like the simulation's partial-participation path,
+	// and nodes ride out lost messages instead of aborting.
+	MinQuorum float64
+	// StragglerDeadline is the grace period an aggregation grants
+	// stragglers after its quorum is reached before proceeding without them
+	// (default RecvTimeout; only meaningful with MinQuorum < 1).
+	StragglerDeadline time.Duration
 }
 
 func (o Options) withDefaults() Options {
@@ -48,14 +64,56 @@ func (o Options) withDefaults() Options {
 	if o.RecvTimeout == 0 {
 		o.RecvTimeout = DefaultRecvTimeout
 	}
+	if o.MinQuorum == 0 {
+		o.MinQuorum = 1
+	}
+	if o.StragglerDeadline == 0 {
+		o.StragglerDeadline = o.RecvTimeout
+	}
 	return o
+}
+
+func (o Options) validate() error {
+	if o.MinQuorum < 0 || o.MinQuorum > 1 {
+		return fmt.Errorf("cluster: MinQuorum %v outside (0, 1]", o.MinQuorum)
+	}
+	if o.StragglerDeadline < 0 || o.RecvTimeout < 0 {
+		return fmt.Errorf("cluster: negative timeout")
+	}
+	return nil
+}
+
+// tolerant reports whether graceful degradation is enabled (quorum below
+// the full cohort): nodes ride out timeouts and the run survives dropouts.
+func (o Options) tolerant() bool { return o.MinQuorum < 1 }
+
+// quorumCount converts a quorum fraction into the minimum reporter count
+// out of n cohort members (always at least 1).
+func quorumCount(frac float64, n int) int {
+	q := int(math.Ceil(frac*float64(n) - 1e-9))
+	if q < 1 {
+		q = 1
+	}
+	if q > n {
+		q = n
+	}
+	return q
 }
 
 // Run executes HierAdMo over the given network: it spawns one node per
 // worker, edge, and cloud, runs the full T iterations, and returns the
 // cloud's result. The network is closed before returning.
+//
+// With the default strict options any lost message fails the run with every
+// node error joined. With MinQuorum < 1 the run instead degrades gracefully:
+// aggregations proceed with a quorum of survivors after the straggler
+// deadline and every tolerated fault is recorded in the result's
+// FaultReport.
 func Run(cfg *fl.Config, net Network, opts Options) (*fl.Result, error) {
 	opts = opts.withDefaults()
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
 	hn, err := fl.NewHarness(cfg)
 	if err != nil {
 		return nil, err
@@ -83,6 +141,7 @@ func Run(cfg *fl.Config, net Network, opts Options) (*fl.Result, error) {
 	}
 
 	x0 := hn.InitParams()
+	rec := newFaultRecorder()
 
 	var (
 		wg     sync.WaitGroup
@@ -102,6 +161,7 @@ func Run(cfg *fl.Config, net Network, opts Options) (*fl.Result, error) {
 	for l := range cfg.Edges {
 		for i := range cfg.Edges[l] {
 			w := newWorkerNode(cfg, hn, l, i, x0, workerEPs[l][i], opts)
+			w.rec = rec
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
@@ -109,6 +169,7 @@ func Run(cfg *fl.Config, net Network, opts Options) (*fl.Result, error) {
 			}()
 		}
 		e := newEdgeNode(cfg, hn, l, x0, edgeEPs[l], opts)
+		e.rec = rec
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
@@ -117,16 +178,14 @@ func Run(cfg *fl.Config, net Network, opts Options) (*fl.Result, error) {
 	}
 
 	c := newCloudNode(cfg, hn, x0, cloudEP, opts)
+	c.rec = rec
+	var cloudErr error
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
 		res, err := c.run()
-		if err != nil {
-			fail(err)
-			return
-		}
 		mu.Lock()
-		result = res
+		result, cloudErr = res, err
 		mu.Unlock()
 	}()
 
@@ -136,11 +195,24 @@ func Run(cfg *fl.Config, net Network, opts Options) (*fl.Result, error) {
 			fail(fmt.Errorf("cluster: close %s: %w", ep.ID(), cerr))
 		}
 	}
+	if sr, ok := net.(transport.StatsReporter); ok {
+		rec.mergeTransport(sr.FaultStats())
+	}
 	mu.Lock()
 	defer mu.Unlock()
-	if len(errs) > 0 {
-		return nil, fmt.Errorf("cluster: run failed: %w", errs[0])
+	// Strict mode fails on any node error; tolerant mode fails only when
+	// the cloud could not produce a result. Either way the joined error
+	// carries every node's failure so the root cause is never masked by the
+	// cascade of downstream timeouts.
+	if cloudErr != nil || result == nil || (len(errs) > 0 && !opts.tolerant()) {
+		all := append([]error{cloudErr}, errs...)
+		return nil, fmt.Errorf("cluster: run failed: %w", errors.Join(all...))
 	}
+	// Tolerated dropouts become part of the fault report instead.
+	for _, err := range errs {
+		rec.nodeError(err)
+	}
+	result.FaultReport = rec.report()
 	return result, nil
 }
 

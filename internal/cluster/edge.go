@@ -1,7 +1,9 @@
 package cluster
 
 import (
+	"errors"
 	"fmt"
+	"time"
 
 	"hieradmo/internal/core"
 	"hieradmo/internal/fl"
@@ -13,12 +15,19 @@ import (
 // every τ iterations, adapts γℓ (eq. (6)–(7)), performs the edge momentum
 // and model updates (Algorithm 1 lines 10–15), and synchronizes with the
 // cloud every π edge rounds (lines 17–23, edge side).
+//
+// Under quorum options (MinQuorum < 1) an aggregation proceeds with the
+// workers that reported by the straggler deadline, renormalizing the data
+// weights over the survivors exactly like the simulation's
+// partial-participation path, so a matched cohort is bit-identical to
+// core.WithParticipation.
 type edgeNode struct {
 	cfg  *fl.Config
 	hn   *fl.Harness
 	l    int
 	ep   transport.Endpoint
 	opts Options
+	rec  *faultRecorder
 
 	yMinus, yPlus, yPlusNext, xPlus tensor.Vector
 	// lastY is the worker momentum most recently redistributed to the
@@ -27,21 +36,30 @@ type edgeNode struct {
 	// x0 is the shared initialization, the gauge reference for the Σy
 	// adaptation signal (see internal/core).
 	x0 tensor.Vector
+	// lastLosses holds each worker's most recently reported mini-batch
+	// loss, so the cloud report stays well-defined when stragglers miss a
+	// round.
+	lastLosses []float64
+	// pending stashes reports from workers running ahead of this edge (a
+	// worker that rode out a lost update keeps training) until the edge's
+	// own round catches up with them.
+	pending []transport.Message
 }
 
 func newEdgeNode(cfg *fl.Config, hn *fl.Harness, l int, x0 tensor.Vector, ep transport.Endpoint, opts Options) *edgeNode {
 	return &edgeNode{
-		cfg:       cfg,
-		hn:        hn,
-		l:         l,
-		ep:        ep,
-		opts:      opts,
-		yMinus:    x0.Clone(),
-		yPlus:     x0.Clone(),
-		yPlusNext: tensor.NewVector(len(x0)),
-		xPlus:     x0.Clone(),
-		lastY:     x0.Clone(),
-		x0:        x0.Clone(),
+		cfg:        cfg,
+		hn:         hn,
+		l:          l,
+		ep:         ep,
+		opts:       opts,
+		yMinus:     x0.Clone(),
+		yPlus:      x0.Clone(),
+		yPlusNext:  tensor.NewVector(len(x0)),
+		xPlus:      x0.Clone(),
+		lastY:      x0.Clone(),
+		x0:         x0.Clone(),
+		lastLosses: make([]float64, len(cfg.Edges[l])),
 	}
 }
 
@@ -49,19 +67,39 @@ func (e *edgeNode) run() error {
 	numWorkers := len(e.cfg.Edges[e.l])
 	numRounds := e.cfg.T / e.cfg.Tau
 	for k := 1; k <= numRounds; k++ {
-		reports, losses, err := e.collectReports(numWorkers)
+		reports, idx, adopted, err := e.collectReports(k)
 		if err != nil {
 			return fmt.Errorf("cluster: edge %d round %d: %w", e.l, k, err)
 		}
-		if err := e.update(reports); err != nil {
-			return fmt.Errorf("cluster: edge %d round %d: %w", e.l, k, err)
-		}
-		if k%e.cfg.Pi == 0 {
-			if err := e.cloudSync(k, losses); err != nil {
+		if adopted > 0 {
+			// The cloud completed sync `adopted` while this edge was still
+			// collecting: the adopted state supersedes this round's local
+			// aggregation, so skip it (and the sync the cloud already
+			// closed) and rejoin at the adopted round.
+			k = adopted / e.cfg.Tau
+		} else {
+			if err := e.update(reports, idx); err != nil {
 				return fmt.Errorf("cluster: edge %d round %d: %w", e.l, k, err)
 			}
+			if k%e.cfg.Pi == 0 {
+				adopted, err := e.cloudSync(k)
+				if err != nil {
+					return fmt.Errorf("cluster: edge %d round %d: %w", e.l, k, err)
+				}
+				if r := adopted / e.cfg.Tau; r > k {
+					// The cloud moved on without this edge (a lost update or
+					// report left it a sync behind); jump to the adopted
+					// round so the edge rejoins the cloud's cadence instead
+					// of trailing — and having every report rejected as
+					// stale — forever.
+					k = r
+				}
+			}
 		}
-		// Lines 14–15 (and 22–23 after a cloud round): redistribute.
+		// Lines 14–15 (and 22–23 after a cloud round): redistribute. Every
+		// worker gets the update — stragglers that missed the aggregation
+		// resynchronize from it, mirroring how non-participants rejoin in
+		// the simulation.
 		update := transport.Message{
 			Kind:    KindEdgeUpdate,
 			Round:   k * e.cfg.Tau,
@@ -79,84 +117,243 @@ func (e *edgeNode) run() error {
 	return nil
 }
 
-// collectReports gathers one report per worker, indexed by worker position
-// so aggregation order (and hence floating-point results) is deterministic
-// regardless of arrival order.
-func (e *edgeNode) collectReports(numWorkers int) ([]transport.Message, []float64, error) {
+// collectReports gathers the round-k reports, indexed by worker position so
+// aggregation order (and hence floating-point results) is deterministic
+// regardless of arrival order. It returns the report slots and the sorted
+// indices of the workers that reported.
+//
+// Strict mode (MinQuorum == 1) requires the full cohort within RecvTimeout.
+// Quorum mode grants stragglers a grace period of StragglerDeadline measured
+// from the moment the quorum-th report arrives, then proceeds with the
+// survivors; below quorum it keeps waiting until RecvTimeout before failing.
+// (Anchoring the grace at quorum attainment rather than collection start
+// keeps the window from being consumed by upstream tiers' own waits.)
+// Duplicate reports and stale rounds are rejected (and counted) in both
+// modes. A report for a future round — a worker that rode out a lost update
+// and ran ahead — is stashed for the round it belongs to in quorum mode and
+// is a protocol error in strict mode (strict workers never ride out).
+//
+// In quorum mode a cloud update for this round or later arriving mid-collect
+// means the cloud already completed a sync without this edge; the update is
+// adopted on the spot and its round returned (third result) so the caller
+// fast-forwards instead of timing out on a round the protocol moved past.
+func (e *edgeNode) collectReports(k int) ([]transport.Message, []int, int, error) {
+	numWorkers := len(e.cfg.Edges[e.l])
+	want := k * e.cfg.Tau
+	quorum := numWorkers
+	if e.opts.tolerant() {
+		quorum = quorumCount(e.opts.MinQuorum, numWorkers)
+	}
 	reports := make([]transport.Message, numWorkers)
-	losses := make([]float64, numWorkers)
-	for got := 0; got < numWorkers; got++ {
-		msg, err := e.ep.RecvTimeout(e.opts.RecvTimeout)
+	seen := make([]bool, numWorkers)
+	got := 0
+	// Drain reports stashed by earlier rounds: a worker that rode out a
+	// lost update runs ahead of this edge, and its reports were kept for
+	// the rounds they belong to.
+	if len(e.pending) > 0 {
+		keep := e.pending[:0]
+		for _, msg := range e.pending {
+			switch {
+			case msg.Round > want:
+				keep = append(keep, msg)
+			case msg.Round < want:
+				e.rec.stale()
+			default:
+				ok, err := e.admitReport(msg, want, reports, seen)
+				if err != nil {
+					return nil, nil, 0, err
+				}
+				if ok {
+					got++
+				}
+			}
+		}
+		e.pending = keep
+	}
+	deadline := time.Now().Add(e.opts.RecvTimeout)
+	if e.opts.tolerant() {
+		// A silent cohort may be riding out a lost update for up to a full
+		// RecvTimeout of its own; wait one straggler grace beyond that
+		// horizon so their recovery reports are not missed by a hair.
+		deadline = deadline.Add(e.opts.StragglerDeadline)
+	}
+	var stragglerBy time.Time
+	for got < numWorkers {
+		var wait time.Duration
+		if got >= quorum {
+			if stragglerBy.IsZero() {
+				stragglerBy = time.Now().Add(e.opts.StragglerDeadline)
+			}
+			wait = time.Until(stragglerBy)
+			if wait <= 0 {
+				break // quorum reached, stragglers forfeited this round
+			}
+		} else {
+			wait = time.Until(deadline)
+			if wait <= 0 {
+				return nil, nil, 0, fmt.Errorf("%d/%d reports (quorum %d): %w",
+					got, numWorkers, quorum, transport.ErrTimeout)
+			}
+		}
+		msg, err := e.ep.RecvTimeout(wait)
 		if err != nil {
-			return nil, nil, err
+			if errors.Is(err, transport.ErrTimeout) {
+				continue // the loop re-evaluates quorum and deadlines
+			}
+			return nil, nil, 0, err
+		}
+		if msg.Kind == KindCloudUpdate {
+			if e.opts.tolerant() && msg.Round >= want && len(msg.Vectors) == 2 {
+				// The cloud completed this round's sync (or a later one)
+				// without this edge — its update supersedes anything the
+				// current collect could aggregate. Adopt it and tell the
+				// caller to fast-forward.
+				if err := e.yMinus.CopyFrom(msg.Vectors[0]); err != nil {
+					return nil, nil, 0, err
+				}
+				if err := e.xPlus.CopyFrom(msg.Vectors[1]); err != nil {
+					return nil, nil, 0, err
+				}
+				return nil, nil, msg.Round, nil
+			}
+			// A cloud update from a sync this edge already gave up on.
+			e.rec.stale()
+			continue
 		}
 		if err := expectKind(msg, KindEdgeReport); err != nil {
-			return nil, nil, err
+			return nil, nil, 0, err
 		}
-		i, err := parseWorkerIndex(msg.From)
+		if msg.Round < want {
+			e.rec.stale()
+			continue
+		}
+		if msg.Round > want {
+			if e.opts.tolerant() {
+				// A worker that rode out a lost update is running ahead of
+				// this edge; keep its report for the round it belongs to.
+				e.pending = append(e.pending, msg)
+				continue
+			}
+			return nil, nil, 0, fmt.Errorf("cluster: report from %q for future round %d (want %d)",
+				msg.From, msg.Round, want)
+		}
+		ok, err := e.admitReport(msg, want, reports, seen)
 		if err != nil {
-			return nil, nil, err
+			return nil, nil, 0, err
 		}
-		if i < 0 || i >= numWorkers {
-			return nil, nil, fmt.Errorf("cluster: report from out-of-range worker %d", i)
+		if ok {
+			got++
 		}
-		if len(msg.Vectors) != 4 {
-			return nil, nil, fmt.Errorf("cluster: report from %q carries %d vectors, want 4",
-				msg.From, len(msg.Vectors))
-		}
-		reports[i] = msg
-		losses[i] = msg.Scalars[ScalarLoss]
 	}
-	return reports, losses, nil
+	idx := make([]int, 0, got)
+	for i, ok := range seen {
+		if ok {
+			idx = append(idx, i)
+		}
+	}
+	e.rec.missingWorkers(want, numWorkers-got)
+	return reports, idx, 0, nil
 }
 
-// update executes Algorithm 1 lines 10–13 from the collected reports.
-func (e *edgeNode) update(reports []transport.Message) error {
-	n := len(reports)
-	ys := make([]tensor.Vector, n)
-	xs := make([]tensor.Vector, n)
-	gradSums := make([]tensor.Vector, n)
-	ySums := make([]tensor.Vector, n)
-	for i, msg := range reports {
-		ys[i] = msg.Vectors[0]
-		xs[i] = msg.Vectors[1]
-		gradSums[i] = msg.Vectors[2]
-		ySums[i] = msg.Vectors[3]
+// admitReport validates one round-want report and slots it into reports;
+// shared by live receives and the ride-ahead stash. It returns whether the
+// report counted as a new distinct reporter.
+func (e *edgeNode) admitReport(msg transport.Message, want int, reports []transport.Message, seen []bool) (bool, error) {
+	numWorkers := len(e.cfg.Edges[e.l])
+	i, err := parseWorkerIndex(msg.From)
+	if err != nil {
+		return false, err
+	}
+	if i < 0 || i >= numWorkers {
+		return false, fmt.Errorf("cluster: report from out-of-range worker %d", i)
+	}
+	if len(msg.Vectors) != 4 {
+		return false, fmt.Errorf("cluster: report from %q carries %d vectors, want 4",
+			msg.From, len(msg.Vectors))
+	}
+	if seen[i] {
+		// A duplicate must not overwrite the slot twice while inflating the
+		// reporter count: reject it and keep counting distinct reporters
+		// only.
+		e.rec.duplicate()
+		return false, nil
+	}
+	seen[i] = true
+	reports[i] = msg
+	e.lastLosses[i] = msg.Scalars[ScalarLoss]
+	return true, nil
+}
+
+// update executes Algorithm 1 lines 10–13 from the collected reports of the
+// workers in idx (the full cohort in fault-free rounds). With survivors
+// missing, the data weights are renormalized over idx in exactly the order
+// and arithmetic of the simulation's partial-participation path
+// (core.HierAdMo with WithParticipation), keeping matched cohorts
+// bit-identical.
+func (e *edgeNode) update(reports []transport.Message, idx []int) error {
+	numWorkers := len(e.cfg.Edges[e.l])
+	weights := make([]float64, len(idx))
+	for j, i := range idx {
+		weights[j] = e.hn.WorkerWeights[e.l][i]
+	}
+	// Renormalize only under a partial cohort: at full strength the data
+	// weights are used verbatim so results stay bit-identical to the
+	// in-process simulation.
+	if len(idx) < numWorkers {
+		var wsum float64
+		for _, w := range weights {
+			wsum += w
+		}
+		for j := range weights {
+			weights[j] /= wsum
+		}
+	}
+
+	ys := make([]tensor.Vector, len(idx))
+	xs := make([]tensor.Vector, len(idx))
+	gradSums := make([]tensor.Vector, len(idx))
+	ySums := make([]tensor.Vector, len(idx))
+	for j, i := range idx {
+		msg := reports[i]
+		ys[j] = msg.Vectors[0]
+		xs[j] = msg.Vectors[1]
+		gradSums[j] = msg.Vectors[2]
+		ySums[j] = msg.Vectors[3]
 	}
 
 	gammaEdge := e.cfg.GammaEdge
 	if e.opts.Adaptive {
-		signals := make([]tensor.Vector, n)
+		signals := make([]tensor.Vector, len(idx))
 		if e.opts.Signal == core.SignalVelocity {
-			for i := range ys {
-				v := ys[i].Clone()
+			for j := range ys {
+				v := ys[j].Clone()
 				if err := v.Sub(e.lastY); err != nil {
 					return err
 				}
-				signals[i] = v
+				signals[j] = v
 			}
 		} else {
 			// Σy centred at the shared initialization, matching the
 			// simulation's gauge (see internal/core).
-			for i := range ySums {
-				centered := ySums[i].Clone()
+			for j := range ySums {
+				centered := ySums[j].Clone()
 				if err := centered.AXPY(-float64(e.cfg.Tau), e.x0); err != nil {
 					return err
 				}
-				signals[i] = centered
+				signals[j] = centered
 			}
 		}
-		cos, err := core.EdgeCosine(e.hn.WorkerWeights[e.l], gradSums, signals)
+		cos, err := core.EdgeCosine(weights, gradSums, signals)
 		if err != nil {
 			return err
 		}
 		gammaEdge = core.ClampGamma(cos, e.opts.Ceiling)
 	}
 
-	if err := e.hn.EdgeAverage(e.yMinus, e.l, ys); err != nil { // line 11
+	if err := tensor.WeightedSum(e.yMinus, weights, ys); err != nil { // line 11
 		return err
 	}
-	if err := e.hn.EdgeAverage(e.yPlusNext, e.l, xs); err != nil { // line 12
+	if err := tensor.WeightedSum(e.yPlusNext, weights, xs); err != nil { // line 12
 		return err
 	}
 	if err := e.xPlus.CopyFrom(e.yPlusNext); err != nil { // line 13
@@ -172,33 +369,65 @@ func (e *edgeNode) update(reports []transport.Message) error {
 }
 
 // cloudSync executes the edge side of lines 17–23: report to the cloud and
-// adopt the cloud-aggregated momentum and model.
-func (e *edgeNode) cloudSync(k int, losses []float64) error {
+// adopt the cloud-aggregated momentum and model. In quorum mode a lost
+// cloud update is ridden out — the edge keeps its own state for this sync —
+// or, if a later sync's update arrives meanwhile, adopted from there. It
+// returns the round of the update actually adopted (0 on a ride-out) so the
+// caller can fast-forward past syncs the cloud already completed.
+func (e *edgeNode) cloudSync(k int) (int, error) {
 	var weightedLoss float64
-	for i, loss := range losses {
+	for i, loss := range e.lastLosses {
 		weightedLoss += e.hn.WorkerWeights[e.l][i] * loss
 	}
+	want := k * e.cfg.Tau
 	report := transport.Message{
 		Kind:    KindCloudReport,
-		Round:   k * e.cfg.Tau,
+		Round:   want,
 		Vectors: [][]float64{e.yMinus, e.xPlus},
 		Scalars: map[string]float64{ScalarLoss: weightedLoss},
 	}
 	if err := e.ep.Send(CloudID, report); err != nil {
-		return err
+		return 0, err
 	}
-	msg, err := e.ep.RecvTimeout(e.opts.RecvTimeout)
-	if err != nil {
-		return err
+	deadline := time.Now().Add(e.opts.RecvTimeout)
+	for {
+		wait := time.Until(deadline)
+		if wait <= 0 {
+			if e.opts.tolerant() {
+				// Ride it out: keep local edge state for this sync. The
+				// cloud reuses this edge's last report, and the next sync
+				// reconverges both sides.
+				e.rec.timeout()
+				return 0, nil
+			}
+			return 0, fmt.Errorf("cloud update: %w", transport.ErrTimeout)
+		}
+		msg, err := e.ep.RecvTimeout(wait)
+		if err != nil {
+			if errors.Is(err, transport.ErrTimeout) {
+				continue
+			}
+			return 0, err
+		}
+		// Straggler reports from the aggregation this edge already closed
+		// can still trickle in while it waits on the cloud.
+		if msg.Kind == KindEdgeReport {
+			e.rec.stale()
+			continue
+		}
+		if err := expectKind(msg, KindCloudUpdate); err != nil {
+			return 0, err
+		}
+		if msg.Round < want {
+			e.rec.stale()
+			continue
+		}
+		if len(msg.Vectors) != 2 {
+			return 0, fmt.Errorf("cluster: cloud update carries %d vectors, want 2", len(msg.Vectors))
+		}
+		if err := e.yMinus.CopyFrom(msg.Vectors[0]); err != nil {
+			return 0, err
+		}
+		return msg.Round, e.xPlus.CopyFrom(msg.Vectors[1])
 	}
-	if err := expectKind(msg, KindCloudUpdate); err != nil {
-		return err
-	}
-	if len(msg.Vectors) != 2 {
-		return fmt.Errorf("cluster: cloud update carries %d vectors, want 2", len(msg.Vectors))
-	}
-	if err := e.yMinus.CopyFrom(msg.Vectors[0]); err != nil {
-		return err
-	}
-	return e.xPlus.CopyFrom(msg.Vectors[1])
 }

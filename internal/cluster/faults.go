@@ -1,0 +1,112 @@
+package cluster
+
+import (
+	"sync"
+
+	"hieradmo/internal/fl"
+	"hieradmo/internal/transport"
+)
+
+// faultRecorder accumulates the fault observations of every node in a run
+// into one fl.FaultReport. All methods are nil-safe so the per-role entry
+// points can run without one.
+type faultRecorder struct {
+	mu  sync.Mutex
+	rep fl.FaultReport
+}
+
+func newFaultRecorder() *faultRecorder {
+	return &faultRecorder{rep: fl.FaultReport{
+		MissingWorkers: make(map[int]int),
+		MissingEdges:   make(map[int]int),
+	}}
+}
+
+// missingWorkers records that an edge quorum at iteration t proceeded
+// without n of its workers.
+func (r *faultRecorder) missingWorkers(t, n int) {
+	if r == nil || n == 0 {
+		return
+	}
+	r.mu.Lock()
+	r.rep.MissingWorkers[t] += n
+	r.mu.Unlock()
+}
+
+// missingEdges records that the cloud sync at iteration t substituted n
+// edges' reports with their last known state.
+func (r *faultRecorder) missingEdges(t, n int) {
+	if r == nil || n == 0 {
+		return
+	}
+	r.mu.Lock()
+	r.rep.MissingEdges[t] += n
+	r.mu.Unlock()
+}
+
+// duplicate records a rejected duplicate report.
+func (r *faultRecorder) duplicate() {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.rep.DuplicateReports++
+	r.mu.Unlock()
+}
+
+// stale records a rejected stale-round message.
+func (r *faultRecorder) stale() {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.rep.StaleMessages++
+	r.mu.Unlock()
+}
+
+// timeout records a tolerated receive timeout.
+func (r *faultRecorder) timeout() {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.rep.Timeouts++
+	r.mu.Unlock()
+}
+
+// nodeError records the error of a node that dropped out of a run that kept
+// going.
+func (r *faultRecorder) nodeError(err error) {
+	if r == nil || err == nil {
+		return
+	}
+	r.mu.Lock()
+	r.rep.NodeErrors = append(r.rep.NodeErrors, err.Error())
+	r.mu.Unlock()
+}
+
+// mergeTransport folds transport-level counters into the report.
+func (r *faultRecorder) mergeTransport(s transport.FaultStats) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.rep.Dropped += s.Dropped
+	r.rep.Retries += s.Retries
+	r.rep.Crashed = append(r.rep.Crashed, s.Crashed...)
+	r.mu.Unlock()
+}
+
+// report returns the accumulated report, or nil when nothing was recorded.
+func (r *faultRecorder) report() *fl.FaultReport {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.rep.Any() {
+		return nil
+	}
+	rep := r.rep
+	return &rep
+}

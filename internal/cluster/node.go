@@ -18,6 +18,9 @@ import (
 // RunWorkerNode executes worker {i,ℓ} against ep until the configured T.
 func RunWorkerNode(cfg *fl.Config, l, i int, ep transport.Endpoint, opts Options) error {
 	opts = opts.withDefaults()
+	if err := opts.validate(); err != nil {
+		return err
+	}
 	hn, err := fl.NewHarness(cfg)
 	if err != nil {
 		return err
@@ -32,6 +35,9 @@ func RunWorkerNode(cfg *fl.Config, l, i int, ep transport.Endpoint, opts Options
 // RunEdgeNode executes edge ℓ against ep.
 func RunEdgeNode(cfg *fl.Config, l int, ep transport.Endpoint, opts Options) error {
 	opts = opts.withDefaults()
+	if err := opts.validate(); err != nil {
+		return err
+	}
 	hn, err := fl.NewHarness(cfg)
 	if err != nil {
 		return err
@@ -44,12 +50,24 @@ func RunEdgeNode(cfg *fl.Config, l int, ep transport.Endpoint, opts Options) err
 }
 
 // RunCloudNode executes the cloud against ep and returns the run result.
+// The result's FaultReport reflects the cloud's own observations (missing
+// or substituted edge reports); worker-tier faults live on the edges in a
+// multi-process deployment.
 func RunCloudNode(cfg *fl.Config, ep transport.Endpoint, opts Options) (*fl.Result, error) {
 	opts = opts.withDefaults()
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
 	hn, err := fl.NewHarness(cfg)
 	if err != nil {
 		return nil, err
 	}
 	c := newCloudNode(cfg, hn, hn.InitParams(), ep, opts)
-	return c.run()
+	c.rec = newFaultRecorder()
+	res, err := c.run()
+	if err != nil {
+		return nil, err
+	}
+	res.FaultReport = c.rec.report()
+	return res, nil
 }

@@ -1,0 +1,7 @@
+//go:build !race
+
+package cluster
+
+// deadlineScale is 1 in normal builds; see race_on_test.go for why race
+// builds widen the timing windows.
+const deadlineScale = 1

@@ -1,7 +1,9 @@
 package cluster
 
 import (
+	"errors"
 	"fmt"
+	"time"
 
 	"hieradmo/internal/dataset"
 	"hieradmo/internal/fl"
@@ -14,18 +16,30 @@ import (
 // lines 5–6 on its own shard and synchronizes with its edge every τ
 // iterations. It performs exactly the same floating-point operations, in the
 // same order, as the in-process simulation.
+//
+// In quorum mode a worker whose redistributed update never arrives keeps
+// training on its local state and rejoins at a later aggregation — the
+// distributed counterpart of a non-participant in the simulation's
+// partial-participation path.
 type workerNode struct {
 	cfg     *fl.Config
 	l, i    int
 	shard   *dataset.Dataset
 	ep      transport.Endpoint
 	opts    Options
+	rec     *faultRecorder
 	sampler *rng.RNG
 
 	x, y          tensor.Vector
 	gradSum, ySum tensor.Vector
 	grad          tensor.Vector
 	lastLoss      float64
+	// syncedThrough is the round of the last adopted edge update. When an
+	// update arrives for a round ahead of this worker's own iteration count
+	// (the edge fast-forwarded past syncs a quorum completed without it),
+	// the worker trains straight through to that round before reporting
+	// again — the edge no longer wants the intervening rounds.
+	syncedThrough int
 }
 
 func newWorkerNode(cfg *fl.Config, hn *fl.Harness, l, i int, x0 tensor.Vector, ep transport.Endpoint, opts Options) *workerNode {
@@ -54,6 +68,12 @@ func (w *workerNode) run() error {
 		if t%w.cfg.Tau != 0 {
 			continue
 		}
+		if t <= w.syncedThrough {
+			// The last adopted update already covers this round: the edge
+			// would reject a report for it as stale. Keep training until the
+			// local iteration count catches up with the adopted state.
+			continue
+		}
 		// Lines 9/14–15: report interval state, receive the redistributed
 		// momentum and model.
 		report := transport.Message{
@@ -65,12 +85,43 @@ func (w *workerNode) run() error {
 		if err := w.ep.Send(edge, report); err != nil {
 			return fmt.Errorf("cluster: worker {%d,%d} report: %w", w.i, w.l, err)
 		}
-		msg, err := w.ep.RecvTimeout(w.opts.RecvTimeout)
+		if err := w.awaitUpdate(t); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// awaitUpdate blocks for the edge's redistributed [y, x] after the report at
+// iteration t. Updates for an earlier round are stale leftovers and are
+// skipped; an update for a later round means this worker was left behind by
+// a quorum and resynchronizes to the newer state. In quorum mode a timeout
+// is ridden out: the worker keeps its local state (and interval
+// accumulators) and continues training, like a simulation non-participant.
+func (w *workerNode) awaitUpdate(t int) error {
+	deadline := time.Now().Add(w.opts.RecvTimeout)
+	for {
+		wait := time.Until(deadline)
+		if wait <= 0 {
+			if w.opts.tolerant() {
+				w.rec.timeout()
+				return nil
+			}
+			return fmt.Errorf("cluster: worker {%d,%d} await update: %w", w.i, w.l, transport.ErrTimeout)
+		}
+		msg, err := w.ep.RecvTimeout(wait)
 		if err != nil {
+			if errors.Is(err, transport.ErrTimeout) {
+				continue
+			}
 			return fmt.Errorf("cluster: worker {%d,%d} await update: %w", w.i, w.l, err)
 		}
 		if err := expectKind(msg, KindEdgeUpdate); err != nil {
 			return err
+		}
+		if msg.Round < t {
+			w.rec.stale()
+			continue
 		}
 		if len(msg.Vectors) != 2 {
 			return fmt.Errorf("cluster: worker {%d,%d} update carries %d vectors, want 2",
@@ -84,8 +135,9 @@ func (w *workerNode) run() error {
 		}
 		w.gradSum.Zero()
 		w.ySum.Zero()
+		w.syncedThrough = msg.Round
+		return nil
 	}
-	return nil
 }
 
 // step performs one NAG iteration (Algorithm 1 lines 5–6).

@@ -95,3 +95,53 @@ func TestSampleParticipants(t *testing.T) {
 		t.Errorf("full participation indices %v", idx)
 	}
 }
+
+func TestParticipationSchedule(t *testing.T) {
+	workersPerEdge := []int{4, 3}
+	a := ParticipationSchedule(67, 0.5, workersPerEdge, 6)
+	b := ParticipationSchedule(67, 0.5, workersPerEdge, 6)
+	if len(a) != 6 {
+		t.Fatalf("schedule has %d rounds, want 6", len(a))
+	}
+	for k := range a {
+		for l, n := range workersPerEdge {
+			cohort := a[k][l]
+			// k = int(frac*n + 0.5), at least 1: 4→2, 3→2.
+			want := int(0.5*float64(n) + 0.5)
+			if len(cohort) != want {
+				t.Errorf("round %d edge %d cohort size %d, want %d", k, l, len(cohort), want)
+			}
+			for j, i := range cohort {
+				if i < 0 || i >= n {
+					t.Errorf("round %d edge %d index %d out of range [0,%d)", k, l, i, n)
+				}
+				if j > 0 && cohort[j] <= cohort[j-1] {
+					t.Errorf("round %d edge %d cohort not strictly increasing: %v", k, l, cohort)
+				}
+			}
+			if len(b[k][l]) != len(cohort) {
+				t.Fatalf("same seed diverges at round %d edge %d", k, l)
+			}
+			for j := range cohort {
+				if b[k][l][j] != cohort[j] {
+					t.Fatalf("same seed diverges at round %d edge %d: %v vs %v", k, l, cohort, b[k][l])
+				}
+			}
+		}
+	}
+	// A different seed must produce a different schedule somewhere.
+	c := ParticipationSchedule(68, 0.5, workersPerEdge, 6)
+	same := true
+	for k := range a {
+		for l := range a[k] {
+			for j := range a[k][l] {
+				if c[k][l][j] != a[k][l][j] {
+					same = false
+				}
+			}
+		}
+	}
+	if same {
+		t.Error("seeds 67 and 68 produced identical schedules")
+	}
+}

@@ -1,0 +1,80 @@
+package fl
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFaultReportNilSafe(t *testing.T) {
+	var f *FaultReport
+	if f.Any() {
+		t.Error("nil FaultReport reports faults")
+	}
+}
+
+func TestFaultReportEmpty(t *testing.T) {
+	f := &FaultReport{}
+	if f.Any() {
+		t.Error("empty FaultReport reports faults")
+	}
+	if got := f.String(); got != "no faults recorded" {
+		t.Errorf("empty String() = %q", got)
+	}
+	if f.TotalMissingWorkers() != 0 || f.TotalMissingEdges() != 0 {
+		t.Error("empty report has nonzero missing totals")
+	}
+}
+
+func TestFaultReportTotalsAndString(t *testing.T) {
+	f := &FaultReport{
+		MissingWorkers:   map[int]int{4: 2, 8: 1},
+		MissingEdges:     map[int]int{8: 1},
+		DuplicateReports: 3,
+		StaleMessages:    1,
+		Timeouts:         2,
+		Dropped:          7,
+		Retries:          5,
+		Crashed:          []string{"worker-0-1"},
+		NodeErrors:       []string{"worker-0-1: crashed"},
+	}
+	if !f.Any() {
+		t.Error("populated FaultReport reports no faults")
+	}
+	if got := f.TotalMissingWorkers(); got != 3 {
+		t.Errorf("TotalMissingWorkers() = %d, want 3", got)
+	}
+	if got := f.TotalMissingEdges(); got != 1 {
+		t.Errorf("TotalMissingEdges() = %d, want 1", got)
+	}
+	s := f.String()
+	for _, want := range []string{
+		"7 dropped msgs", "5 retries", "2 timeouts", "3 duplicates", "1 stale",
+		"crashed nodes: worker-0-1",
+		"missing worker reports (3 total)", "4(×2) 8(×1)",
+		"substituted edge reports (1 total)",
+		"node dropout: worker-0-1: crashed",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestFaultReportAnyEachField(t *testing.T) {
+	cases := map[string]*FaultReport{
+		"missing workers": {MissingWorkers: map[int]int{2: 1}},
+		"missing edges":   {MissingEdges: map[int]int{4: 1}},
+		"duplicates":      {DuplicateReports: 1},
+		"stale":           {StaleMessages: 1},
+		"timeouts":        {Timeouts: 1},
+		"dropped":         {Dropped: 1},
+		"retries":         {Retries: 1},
+		"crashed":         {Crashed: []string{"x"}},
+		"node errors":     {NodeErrors: []string{"x"}},
+	}
+	for name, f := range cases {
+		if !f.Any() {
+			t.Errorf("%s alone not detected by Any()", name)
+		}
+	}
+}

@@ -26,6 +26,9 @@ type Result struct {
 	Curve []Point
 	// Iterations is the configured T.
 	Iterations int
+	// FaultReport describes the faults a degraded distributed run survived;
+	// nil for simulation runs and fault-free distributed runs.
+	FaultReport *FaultReport `json:",omitempty"`
 }
 
 // AccuracyAt returns the recorded accuracy of the last curve point at or

@@ -1,0 +1,211 @@
+package transport
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"hieradmo/internal/rng"
+)
+
+// Link identifies one directed sender→receiver pair for per-link fault
+// configuration.
+type Link struct {
+	From, To string
+}
+
+// FaultPlan is a deterministic seeded fault schedule for a FaultyNetwork.
+// Every random decision is drawn from a per-link stream derived from Seed,
+// so the set of dropped messages depends only on the per-link message
+// sequence, not on goroutine interleaving across links.
+type FaultPlan struct {
+	// Seed derives every per-link fault stream.
+	Seed uint64
+	// DropRate is the default probability that any message is silently
+	// discarded (sender sees success, receiver nothing).
+	DropRate float64
+	// LinkDrop overrides DropRate for specific directed links.
+	LinkDrop map[Link]float64
+	// MaxDelay, when positive, stalls each surviving send for a uniform
+	// random duration in [0, MaxDelay] before handing it to the inner
+	// network (sender-side latency injection).
+	MaxDelay time.Duration
+	// CrashAtRound crashes a node at a protocol round: once the node sends
+	// a message with Round >= the configured round — or a peer sends one to
+	// it — the node counts as crashed: its own sends and receives return
+	// ErrCrashed, and messages addressed to it are silently dropped (nobody
+	// is reading them anymore).
+	CrashAtRound map[string]int
+}
+
+// dropRate resolves the drop probability for one directed link.
+func (p *FaultPlan) dropRate(from, to string) float64 {
+	if r, ok := p.LinkDrop[Link{From: from, To: to}]; ok {
+		return r
+	}
+	return p.DropRate
+}
+
+// crashRound returns the round at which id crashes, or false.
+func (p *FaultPlan) crashRound(id string) (int, bool) {
+	r, ok := p.CrashAtRound[id]
+	return r, ok
+}
+
+// FaultyNetwork composes deterministic fault injection over any inner
+// Network (MemoryNetwork and TCPNetwork both work): per-link message drops,
+// per-message delays, and crash-at-round node failures. It generalizes the
+// drop injection that used to be private to MemoryNetwork and works
+// identically over real sockets, so chaos tests run against the same
+// transport code production uses.
+type FaultyNetwork struct {
+	inner Network
+	plan  FaultPlan
+
+	mu      sync.Mutex
+	links   map[Link]*rng.RNG
+	crashed map[string]bool
+	stats   FaultStats
+}
+
+// NewFaultyNetwork wraps inner with the given fault plan.
+func NewFaultyNetwork(inner Network, plan FaultPlan) *FaultyNetwork {
+	return &FaultyNetwork{
+		inner:   inner,
+		plan:    plan,
+		links:   make(map[Link]*rng.RNG),
+		crashed: make(map[string]bool),
+	}
+}
+
+// Endpoint returns a fault-injecting endpoint for id backed by the inner
+// network's endpoint.
+func (n *FaultyNetwork) Endpoint(id string) (Endpoint, error) {
+	ep, err := n.inner.Endpoint(id)
+	if err != nil {
+		return nil, err
+	}
+	return &faultyEndpoint{net: n, inner: ep}, nil
+}
+
+// Close tears down the inner network.
+func (n *FaultyNetwork) Close() error { return n.inner.Close() }
+
+// FaultStats reports the faults injected so far, merged with the inner
+// network's own counters when it exposes them.
+func (n *FaultyNetwork) FaultStats() FaultStats {
+	n.mu.Lock()
+	stats := n.stats
+	stats.Crashed = append([]string(nil), n.stats.Crashed...)
+	n.mu.Unlock()
+	if sr, ok := n.inner.(StatsReporter); ok {
+		stats.merge(sr.FaultStats())
+	}
+	return stats
+}
+
+// linkRNG returns the deterministic fault stream for one directed link,
+// derived from the plan seed and a hash of the link's node IDs.
+func (n *FaultyNetwork) linkRNG(l Link) *rng.RNG {
+	if r, ok := n.links[l]; ok {
+		return r
+	}
+	// FNV-1a over "from\x00to" labels the stream; collisions would only
+	// correlate two links' fault schedules, never break determinism.
+	const offset, prime = 14695981039346656037, 1099511628211
+	h := uint64(offset)
+	for _, b := range []byte(l.From) {
+		h = (h ^ uint64(b)) * prime
+	}
+	h = (h ^ 0) * prime
+	for _, b := range []byte(l.To) {
+		h = (h ^ uint64(b)) * prime
+	}
+	r := rng.New(n.plan.Seed).Split(h)
+	n.links[l] = r
+	return r
+}
+
+// markCrashed records that id's crash has triggered (idempotently).
+func (n *FaultyNetwork) markCrashed(id string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if !n.crashed[id] {
+		n.crashed[id] = true
+		n.stats.Crashed = append(n.stats.Crashed, id)
+	}
+}
+
+func (n *FaultyNetwork) isCrashed(id string) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.crashed[id]
+}
+
+type faultyEndpoint struct {
+	net   *FaultyNetwork
+	inner Endpoint
+}
+
+var _ Endpoint = (*faultyEndpoint)(nil)
+
+func (e *faultyEndpoint) ID() string { return e.inner.ID() }
+
+func (e *faultyEndpoint) Send(to string, msg Message) error {
+	n := e.net
+	// Crash-at-round: a node learns it is dead the moment it acts at or
+	// past its crash round; its peers' messages to it are black-holed from
+	// that round on (the process is no longer reading).
+	if r, ok := n.plan.crashRound(e.ID()); ok && (msg.Round >= r || n.isCrashed(e.ID())) {
+		n.markCrashed(e.ID())
+		return fmt.Errorf("transport: %q send at round %d: %w", e.ID(), msg.Round, ErrCrashed)
+	}
+	if r, ok := n.plan.crashRound(to); ok && msg.Round >= r {
+		// The destination's crash has observably happened (a peer reached the
+		// crash round first): record it so the node's own receives start
+		// failing and the fault report names it.
+		n.markCrashed(to)
+		n.mu.Lock()
+		n.stats.Dropped++
+		n.mu.Unlock()
+		return nil
+	}
+	link := Link{From: e.ID(), To: to}
+	drop := n.plan.dropRate(e.ID(), to)
+	var delay time.Duration
+	if drop > 0 || n.plan.MaxDelay > 0 {
+		n.mu.Lock()
+		r := n.linkRNG(link)
+		dropped := drop > 0 && r.Float64() < drop
+		if !dropped && n.plan.MaxDelay > 0 {
+			delay = time.Duration(r.Float64() * float64(n.plan.MaxDelay))
+			n.stats.Delayed++
+		}
+		if dropped {
+			n.stats.Dropped++
+			n.mu.Unlock()
+			return nil // injected loss: sender sees success
+		}
+		n.mu.Unlock()
+	}
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	return e.inner.Send(to, msg)
+}
+
+func (e *faultyEndpoint) Recv() (Message, error) {
+	if e.net.isCrashed(e.ID()) {
+		return Message{}, fmt.Errorf("transport: %q recv: %w", e.ID(), ErrCrashed)
+	}
+	return e.inner.Recv()
+}
+
+func (e *faultyEndpoint) RecvTimeout(d time.Duration) (Message, error) {
+	if e.net.isCrashed(e.ID()) {
+		return Message{}, fmt.Errorf("transport: %q recv: %w", e.ID(), ErrCrashed)
+	}
+	return e.inner.RecvTimeout(d)
+}
+
+func (e *faultyEndpoint) Close() error { return e.inner.Close() }

@@ -26,8 +26,17 @@ type MemoryNetwork struct {
 	dropRate float64
 	maxDelay time.Duration
 	faultRNG *rng.RNG
+	stats    FaultStats
 
 	wg sync.WaitGroup // tracks delayed deliveries
+}
+
+// FaultStats reports how many messages the hub's own injection dropped or
+// delayed.
+func (n *MemoryNetwork) FaultStats() FaultStats {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.stats
 }
 
 // MemoryOption configures failure injection.
@@ -105,11 +114,13 @@ func (n *MemoryNetwork) deliver(msg Message) error {
 	var delay time.Duration
 	if n.faultRNG != nil {
 		if n.dropRate > 0 && n.faultRNG.Float64() < n.dropRate {
+			n.stats.Dropped++
 			n.mu.Unlock()
 			return nil // injected loss: sender sees success, receiver nothing
 		}
 		if n.maxDelay > 0 {
 			delay = time.Duration(n.faultRNG.Float64() * float64(n.maxDelay))
+			n.stats.Delayed++
 		}
 	}
 	if delay == 0 {

@@ -3,6 +3,7 @@ package transport
 import (
 	"fmt"
 	"net"
+	"sync/atomic"
 )
 
 // ListenStatic starts a TCP endpoint for a node whose peers live in OTHER
@@ -35,6 +36,7 @@ func ListenStatic(id string, registry map[string]string) (Endpoint, error) {
 		closed:   make(chan struct{}),
 		conns:    make(map[string]*tcpConn),
 		accepted: make(map[net.Conn]struct{}),
+		retries:  new(atomic.Int64),
 		resolve: func(peer string) (string, error) {
 			addr, ok := addrs[peer]
 			if !ok {

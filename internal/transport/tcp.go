@@ -7,7 +7,17 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
+)
+
+// Send-side retry policy for transient TCP failures (peer restarted, broken
+// pipe, encoder poisoned by a partial write): the first attempt plus
+// sendRetries redials with capped exponential backoff.
+const (
+	sendRetries     = 3
+	sendBackoffBase = 10 * time.Millisecond
+	sendBackoffCap  = 160 * time.Millisecond
 )
 
 // TCPNetwork runs the transport over real loopback (or LAN) sockets: every
@@ -19,6 +29,13 @@ type TCPNetwork struct {
 	mu     sync.Mutex
 	addrs  map[string]string
 	closed bool
+	// retries aggregates send retries across all of the network's endpoints.
+	retries atomic.Int64
+}
+
+// FaultStats reports the send retries the network's endpoints performed.
+func (n *TCPNetwork) FaultStats() FaultStats {
+	return FaultStats{Retries: int(n.retries.Load())}
 }
 
 // NewTCPNetwork returns an empty TCP node registry.
@@ -51,6 +68,7 @@ func (n *TCPNetwork) Listen(id string) (Endpoint, error) {
 		conns:    make(map[string]*tcpConn),
 		accepted: make(map[net.Conn]struct{}),
 		resolve:  n.lookup,
+		retries:  &n.retries,
 	}
 	ep.wg.Add(1)
 	go ep.acceptLoop()
@@ -103,6 +121,9 @@ type tcpEndpoint struct {
 	connMu   sync.Mutex
 	conns    map[string]*tcpConn
 	accepted map[net.Conn]struct{}
+	// retries counts send attempts repeated after a transient failure
+	// (shared with the owning TCPNetwork, endpoint-local for static nodes).
+	retries *atomic.Int64
 }
 
 var _ Endpoint = (*tcpEndpoint)(nil)
@@ -151,58 +172,104 @@ func (e *tcpEndpoint) readLoop(conn net.Conn) {
 	}
 }
 
-func (e *tcpEndpoint) Send(to string, msg Message) error {
-	select {
-	case <-e.closed:
-		return ErrClosed
-	default:
+// connTo returns the cached connection to a peer, dialing one if needed.
+func (e *tcpEndpoint) connTo(to string) (*tcpConn, error) {
+	e.connMu.Lock()
+	c, ok := e.conns[to]
+	e.connMu.Unlock()
+	if ok {
+		return c, nil
 	}
+	addr, err := e.resolve(to)
+	if err != nil {
+		return nil, err
+	}
+	// In multi-process deployments peers come up in arbitrary order, so
+	// the first dial races the peer's bind; retry briefly before giving
+	// up.
+	var raw net.Conn
+	for attempt := 0; ; attempt++ {
+		raw, err = net.DialTimeout("tcp", addr, 5*time.Second)
+		if err == nil {
+			break
+		}
+		if attempt >= 40 {
+			return nil, fmt.Errorf("transport: dial %q: %w", to, err)
+		}
+		select {
+		case <-e.closed:
+			return nil, ErrClosed
+		case <-time.After(250 * time.Millisecond):
+		}
+	}
+	c = &tcpConn{conn: raw, enc: gob.NewEncoder(raw)}
+	e.connMu.Lock()
+	if existing, dup := e.conns[to]; dup {
+		raw.Close()
+		c = existing
+	} else {
+		e.conns[to] = c
+	}
+	e.connMu.Unlock()
+	return c, nil
+}
+
+// dropConn evicts a connection after a send failure (comparing pointers so a
+// concurrent sender's replacement is never evicted) so the next attempt
+// redials with a fresh encoder — a gob encoder is poisoned by any error.
+func (e *tcpEndpoint) dropConn(to string, c *tcpConn) {
+	e.connMu.Lock()
+	if e.conns[to] == c {
+		delete(e.conns, to)
+	}
+	e.connMu.Unlock()
+	c.conn.Close()
+}
+
+func (e *tcpEndpoint) Send(to string, msg Message) error {
 	m := msg.Clone()
 	m.From = e.id
 	m.To = to
 
-	e.connMu.Lock()
-	c, ok := e.conns[to]
-	e.connMu.Unlock()
-	if !ok {
-		addr, err := e.resolve(to)
-		if err != nil {
-			return err
+	backoff := sendBackoffBase
+	var lastErr error
+	for attempt := 0; attempt <= sendRetries; attempt++ {
+		select {
+		case <-e.closed:
+			return ErrClosed
+		default:
 		}
-		// In multi-process deployments peers come up in arbitrary order, so
-		// the first dial races the peer's bind; retry briefly before giving
-		// up.
-		var raw net.Conn
-		for attempt := 0; ; attempt++ {
-			raw, err = net.DialTimeout("tcp", addr, 5*time.Second)
-			if err == nil {
-				break
-			}
-			if attempt >= 40 {
-				return fmt.Errorf("transport: dial %q: %w", to, err)
+		if attempt > 0 {
+			if e.retries != nil {
+				e.retries.Add(1)
 			}
 			select {
 			case <-e.closed:
 				return ErrClosed
-			case <-time.After(250 * time.Millisecond):
+			case <-time.After(backoff):
+			}
+			if backoff *= 2; backoff > sendBackoffCap {
+				backoff = sendBackoffCap
 			}
 		}
-		c = &tcpConn{conn: raw, enc: gob.NewEncoder(raw)}
-		e.connMu.Lock()
-		if existing, dup := e.conns[to]; dup {
-			raw.Close()
-			c = existing
-		} else {
-			e.conns[to] = c
+		c, err := e.connTo(to)
+		if err != nil {
+			if errors.Is(err, ErrUnknownNode) || errors.Is(err, ErrClosed) {
+				return err // permanent: no peer to retry against
+			}
+			lastErr = err
+			continue
 		}
-		e.connMu.Unlock()
+		c.mu.Lock()
+		err = c.enc.Encode(m)
+		c.mu.Unlock()
+		if err == nil {
+			return nil
+		}
+		lastErr = err
+		e.dropConn(to, c)
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if err := c.enc.Encode(m); err != nil {
-		return fmt.Errorf("transport: send to %q: %w", to, err)
-	}
-	return nil
+	return fmt.Errorf("transport: send to %q (after %d retries): %w", to, sendRetries, lastErr)
 }
 
 func (e *tcpEndpoint) Recv() (Message, error) {

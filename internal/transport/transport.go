@@ -22,7 +22,49 @@ var (
 	ErrUnknownNode = errors.New("transport: unknown node")
 	// ErrTimeout is returned by RecvTimeout when no message arrives in time.
 	ErrTimeout = errors.New("transport: receive timeout")
+	// ErrCrashed is returned by endpoints of a node a FaultPlan has crashed;
+	// the node's goroutine observes it and exits, simulating process death.
+	ErrCrashed = errors.New("transport: node crashed (injected fault)")
 )
+
+// Network is the transport factory a protocol runs over; MemoryNetwork,
+// TCPNetwork, and FaultyNetwork all satisfy it (as does cluster.Network,
+// which is structurally identical).
+type Network interface {
+	// Endpoint returns the endpoint for a node ID.
+	Endpoint(id string) (Endpoint, error)
+	// Close tears the network down after the run.
+	Close() error
+}
+
+// FaultStats aggregates transport-level fault counters for observability:
+// injected losses, injected crashes, and send retries.
+type FaultStats struct {
+	// Dropped counts messages discarded by fault injection (the sender saw
+	// success, the receiver nothing).
+	Dropped int
+	// Delayed counts messages delivered after an injected delay.
+	Delayed int
+	// Retries counts send attempts that had to be repeated after a
+	// transient failure.
+	Retries int
+	// Crashed lists node IDs whose injected crash has triggered.
+	Crashed []string
+}
+
+// merge adds other's counters into s.
+func (s *FaultStats) merge(other FaultStats) {
+	s.Dropped += other.Dropped
+	s.Delayed += other.Delayed
+	s.Retries += other.Retries
+	s.Crashed = append(s.Crashed, other.Crashed...)
+}
+
+// StatsReporter is implemented by networks that track fault statistics;
+// callers may type-assert a Network to surface them after a run.
+type StatsReporter interface {
+	FaultStats() FaultStats
+}
 
 // Message is one protocol datagram. Vectors carry model-sized state (models,
 // momenta, gradient accumulators); Scalars carry small metadata such as

@@ -319,3 +319,158 @@ func TestTCPLargePayload(t *testing.T) {
 		t.Error("large payload corrupted")
 	}
 }
+
+func TestTCPRecvTimeoutExpires(t *testing.T) {
+	net := NewTCPNetwork()
+	defer net.Close()
+	a, err := net.Listen("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	start := time.Now()
+	_, err = a.RecvTimeout(50 * time.Millisecond)
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("err = %v, want ErrTimeout", err)
+	}
+	if elapsed := time.Since(start); elapsed < 50*time.Millisecond {
+		t.Errorf("timeout fired after %v, before the deadline", elapsed)
+	}
+}
+
+func TestTCPSendRetriesBrokenConn(t *testing.T) {
+	// A send over a connection that died (peer restarted, RST) must redial
+	// with a fresh encoder and deliver, not fail on the first broken pipe.
+	tn := NewTCPNetwork()
+	defer tn.Close()
+	a, err := tn.Listen("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := tn.Listen("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	if err := a.Send("b", Message{Kind: "x", Round: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.RecvTimeout(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	// Sever the cached a→b socket out from under the endpoint: the next
+	// Send's Encode fails, which must evict the poisoned encoder and retry.
+	ae := a.(*tcpEndpoint)
+	ae.connMu.Lock()
+	ae.conns["b"].conn.Close()
+	ae.connMu.Unlock()
+
+	if err := a.Send("b", Message{Kind: "x", Round: 2}); err != nil {
+		t.Fatalf("send after severed conn: %v", err)
+	}
+	got, err := b.RecvTimeout(2 * time.Second)
+	if err != nil {
+		t.Fatalf("redialed message lost: %v", err)
+	}
+	if got.Round != 2 {
+		t.Errorf("got round %d, want 2", got.Round)
+	}
+	if stats := tn.FaultStats(); stats.Retries < 1 {
+		t.Errorf("Retries = %d, want >= 1", stats.Retries)
+	}
+}
+
+func TestTCPSendToClosedPeerAborts(t *testing.T) {
+	// With the peer gone for good, Send keeps redialing (it cannot know the
+	// outage is permanent) but must abort promptly when the sender itself
+	// shuts down instead of hanging for the full dial-retry budget.
+	tn := NewTCPNetwork()
+	defer tn.Close()
+	a, err := tn.Listen("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := tn.Listen("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	done := make(chan error, 1)
+	go func() { done <- a.Send("b", Message{Kind: "x"}) }()
+	time.Sleep(100 * time.Millisecond)
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrClosed) {
+			t.Errorf("err = %v, want ErrClosed", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Send to dead peer did not abort on sender Close")
+	}
+}
+
+func TestTCPCloseRacesRecv(t *testing.T) {
+	// Close concurrent with blocked receivers and in-flight sends must not
+	// deadlock, panic, or leak goroutines (the -race build checks the rest).
+	tn := NewTCPNetwork()
+	defer tn.Close()
+	a, err := tn.Listen("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := tn.Listen("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			for {
+				if _, err := a.Recv(); errors.Is(err, ErrClosed) {
+					return
+				}
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			if _, err := a.RecvTimeout(5 * time.Second); err != nil &&
+				!errors.Is(err, ErrClosed) && !errors.Is(err, ErrTimeout) {
+				t.Errorf("RecvTimeout: %v", err)
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			if err := b.Send("a", Message{Kind: "x", Round: i}); err != nil {
+				return
+			}
+		}
+	}()
+
+	a.Close() // races every goroutine above
+	// A sender caught mid-redial against the now-dead listener unblocks via
+	// its own endpoint's shutdown.
+	b.Close()
+
+	finished := make(chan struct{})
+	go func() { wg.Wait(); close(finished) }()
+	select {
+	case <-finished:
+	case <-time.After(5 * time.Second):
+		t.Fatal("goroutines stuck after Close")
+	}
+}
