@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test vet check race bench clean
+.PHONY: build test vet check race bench benchall clean
 
 build:
 	$(GO) build ./...
@@ -18,11 +18,22 @@ vet:
 ## check: the tier-1 gate — build, vet, and the full test suite.
 check: build vet test
 
-## race: race-detect the distributed runtime and transport layers.
+## race: race-detect the distributed runtime, transport layers, and the
+## parallel training paths (core/baseline worker pools, pooled nn workspaces).
 race:
-	$(GO) test -race -count=1 ./internal/cluster/... ./internal/transport/...
+	$(GO) test -race -count=1 ./internal/cluster/... ./internal/transport/... \
+		./internal/parallel/... ./internal/core/... ./internal/baseline/... \
+		./internal/fl/... ./internal/nn/...
 
+## bench: run the core benchmarks with -benchmem and record the perf
+## trajectory (ns/op, allocs/op, worker-pool size) in BENCH_core.json.
 bench:
+	$(GO) test -bench=. -benchmem -benchtime=3x -count=1 -run=^$$ ./internal/core \
+		| $(GO) run ./cmd/benchjson -out BENCH_core.json
+	@cat BENCH_core.json
+
+## benchall: every benchmark in the repo (experiment tables, kernels, nn).
+benchall:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ ./...
 
 clean:

@@ -1,0 +1,124 @@
+// Command benchjson converts `go test -bench -benchmem` text output on stdin
+// into a JSON benchmark record, so `make bench` can track the core perf
+// trajectory (ns/op, allocs/op, worker-pool size) across PRs in a file that
+// diffs cleanly.
+//
+// Usage:
+//
+//	go test -bench=. -benchmem ./internal/core | benchjson -out BENCH_core.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// record is one benchmark result line.
+type record struct {
+	Name       string  `json:"name"`
+	Workers    int     `json:"workers,omitempty"`
+	Iterations int64   `json:"iterations"`
+	NsPerOp    float64 `json:"ns_per_op"`
+	BPerOp     float64 `json:"b_per_op"`
+	AllocsOp   int64   `json:"allocs_per_op"`
+}
+
+// report is the full BENCH_core.json document.
+type report struct {
+	GoOS       string   `json:"goos,omitempty"`
+	GoArch     string   `json:"goarch,omitempty"`
+	Package    string   `json:"pkg,omitempty"`
+	CPU        string   `json:"cpu,omitempty"`
+	Benchmarks []record `json:"benchmarks"`
+}
+
+var (
+	// benchLine matches e.g.
+	// BenchmarkHierAdMoCNN/workers=2-8  3  412345678 ns/op  1234 B/op  56 allocs/op
+	benchLine = regexp.MustCompile(
+		`^(Benchmark\S+)\s+(\d+)\s+([0-9.]+) ns/op(?:\s+([0-9.]+) B/op)?(?:\s+(\d+) allocs/op)?`)
+	workersTag = regexp.MustCompile(`workers=(\d+)`)
+	headerLine = regexp.MustCompile(`^(goos|goarch|pkg|cpu):\s*(.*)$`)
+)
+
+func main() {
+	out := flag.String("out", "", "write JSON to this file (default stdout)")
+	flag.Parse()
+	if err := run(*out); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func run(out string) error {
+	rep, err := parse(bufio.NewScanner(os.Stdin))
+	if err != nil {
+		return err
+	}
+	if len(rep.Benchmarks) == 0 {
+		return fmt.Errorf("no benchmark lines found on stdin")
+	}
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	if out == "" {
+		_, err = os.Stdout.Write(buf)
+		return err
+	}
+	return os.WriteFile(out, buf, 0o644)
+}
+
+func parse(sc *bufio.Scanner) (*report, error) {
+	rep := &report{Benchmarks: []record{}}
+	for sc.Scan() {
+		line := sc.Text()
+		if h := headerLine.FindStringSubmatch(line); h != nil {
+			switch h[1] {
+			case "goos":
+				rep.GoOS = h[2]
+			case "goarch":
+				rep.GoArch = h[2]
+			case "pkg":
+				rep.Package = h[2]
+			case "cpu":
+				rep.CPU = h[2]
+			}
+			continue
+		}
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		rec := record{Name: strings.TrimPrefix(m[1], "Benchmark")}
+		var err error
+		if rec.Iterations, err = strconv.ParseInt(m[2], 10, 64); err != nil {
+			return nil, fmt.Errorf("line %q: %w", line, err)
+		}
+		if rec.NsPerOp, err = strconv.ParseFloat(m[3], 64); err != nil {
+			return nil, fmt.Errorf("line %q: %w", line, err)
+		}
+		if m[4] != "" {
+			if rec.BPerOp, err = strconv.ParseFloat(m[4], 64); err != nil {
+				return nil, fmt.Errorf("line %q: %w", line, err)
+			}
+		}
+		if m[5] != "" {
+			if rec.AllocsOp, err = strconv.ParseInt(m[5], 10, 64); err != nil {
+				return nil, fmt.Errorf("line %q: %w", line, err)
+			}
+		}
+		if w := workersTag.FindStringSubmatch(rec.Name); w != nil {
+			rec.Workers, _ = strconv.Atoi(w[1])
+		}
+		rep.Benchmarks = append(rep.Benchmarks, rec)
+	}
+	return rep, sc.Err()
+}

@@ -37,6 +37,7 @@ func run(args []string) error {
 		batch     = fs.Int("batch", 0, "override batch size")
 		target    = fs.Float64("target", 0, "override time-to-accuracy target (fig2h/l)")
 		repeats   = fs.Int("repeats", 0, "run Table II cells with N seeds and report mean ± std")
+		workers   = fs.Int("workers", 0, "goroutine pool size for each run's parallel training phase (0 = GOMAXPROCS, 1 = sequential; results are identical at any setting)")
 		csvOut    = fs.Bool("csv", false, "emit tables as CSV instead of aligned text")
 		seed      = fs.Uint64("seed", 0, "override seed")
 	)
@@ -80,6 +81,10 @@ func run(args []string) error {
 	if *repeats > 0 {
 		s.Repeats = *repeats
 	}
+	if *workers < 0 {
+		return fmt.Errorf("-workers %d must be >= 0", *workers)
+	}
+	s.Workers = *workers
 	if *seed > 0 {
 		s.Seed = *seed
 	}

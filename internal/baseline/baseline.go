@@ -15,6 +15,7 @@ package baseline
 
 import (
 	"hieradmo/internal/fl"
+	"hieradmo/internal/parallel"
 	"hieradmo/internal/tensor"
 )
 
@@ -31,6 +32,28 @@ func flatten(hn *fl.Harness) []flatWorker {
 		for i := range hn.WorkerWeights[l] {
 			out = append(out, flatWorker{l: l, i: i, weight: hn.GlobalWeight(l, i)})
 		}
+	}
+	return out
+}
+
+// forEachWorker runs step(j, workers[j]) for every flattened worker over the
+// harness's goroutine pool and joins before returning. A step must write
+// only state owned by its worker index (its model, momentum, and scratch
+// vectors; its sampler stream inside hn.Grad); every cross-worker reduction
+// happens after the barrier in fixed index order, so baseline results are
+// bit-identical at any pool size.
+func forEachWorker(hn *fl.Harness, workers []flatWorker, step func(j int, w flatWorker) error) error {
+	return parallel.ForEach(len(workers), func(j int) error {
+		return step(j, workers[j])
+	}, parallel.WithWorkers(hn.Workers()))
+}
+
+// workerScratch allocates the per-worker gradient scratch the parallel local
+// phase needs (the sequential loops used to share one vector).
+func workerScratch(n, dim int) []tensor.Vector {
+	out := make([]tensor.Vector, n)
+	for j := range out {
+		out[j] = tensor.NewVector(dim)
 	}
 	return out
 }

@@ -38,7 +38,8 @@ func (FastSlowMo) Run(cfg *fl.Config) (*fl.Result, error) {
 		xs[j] = x0.Clone()
 		ys[j] = x0.Clone()
 	}
-	grad := tensor.NewVector(dim)
+	grads := workerScratch(len(workers), dim)
+	yPrevs := workerScratch(len(workers), dim)
 	serverX := x0.Clone()
 	serverYPrev := x0.Clone() // aggregator momentum history
 	avgX := tensor.NewVector(dim)
@@ -46,26 +47,29 @@ func (FastSlowMo) Run(cfg *fl.Config) (*fl.Result, error) {
 	scratch := tensor.NewVector(dim)
 
 	for t := 1; t <= cfg.T; t++ {
-		for j, w := range workers {
-			if _, err := hn.Grad(w.l, w.i, xs[j], grad); err != nil {
-				return nil, err
+		err := forEachWorker(hn, workers, func(j int, w flatWorker) error {
+			if _, err := hn.Grad(w.l, w.i, xs[j], grads[j]); err != nil {
+				return err
 			}
-			yPrev := ys[j].Clone()
+			if err := yPrevs[j].CopyFrom(ys[j]); err != nil {
+				return err
+			}
 			if err := ys[j].CopyFrom(xs[j]); err != nil {
-				return nil, err
+				return err
 			}
-			if err := ys[j].AXPY(-cfg.Eta, grad); err != nil {
-				return nil, err
+			if err := ys[j].AXPY(-cfg.Eta, grads[j]); err != nil {
+				return err
 			}
 			if err := xs[j].CopyFrom(ys[j]); err != nil {
-				return nil, err
+				return err
 			}
 			if err := xs[j].AXPY(cfg.Gamma, ys[j]); err != nil {
-				return nil, err
+				return err
 			}
-			if err := xs[j].AXPY(-cfg.Gamma, yPrev); err != nil {
-				return nil, err
-			}
+			return xs[j].AXPY(-cfg.Gamma, yPrevs[j])
+		})
+		if err != nil {
+			return nil, err
 		}
 		if t%period == 0 {
 			if err := flatAverage(avgX, workers, xs); err != nil {

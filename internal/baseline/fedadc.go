@@ -43,7 +43,7 @@ func (FedADC) Run(cfg *fl.Config) (*fl.Result, error) {
 	for j := range xs {
 		xs[j] = x0.Clone()
 	}
-	grad := tensor.NewVector(dim)
+	grads := workerScratch(len(workers), dim)
 	mom := tensor.NewVector(dim)
 	server := x0.Clone()
 	avg := tensor.NewVector(dim)
@@ -51,16 +51,18 @@ func (FedADC) Run(cfg *fl.Config) (*fl.Result, error) {
 	scratch := tensor.NewVector(dim)
 
 	for t := 1; t <= cfg.T; t++ {
-		for j, w := range workers {
-			if _, err := hn.Grad(w.l, w.i, xs[j], grad); err != nil {
-				return nil, err
+		// mom is frozen during the round, so the parallel steps only read it.
+		err := forEachWorker(hn, workers, func(j int, w flatWorker) error {
+			if _, err := hn.Grad(w.l, w.i, xs[j], grads[j]); err != nil {
+				return err
 			}
-			if err := xs[j].AXPY(-cfg.Eta, grad); err != nil {
-				return nil, err
+			if err := xs[j].AXPY(-cfg.Eta, grads[j]); err != nil {
+				return err
 			}
-			if err := xs[j].AXPY(-cfg.Eta*cfg.GammaEdge, mom); err != nil {
-				return nil, err
-			}
+			return xs[j].AXPY(-cfg.Eta*cfg.GammaEdge, mom)
+		})
+		if err != nil {
+			return nil, err
 		}
 		if t%period == 0 {
 			if err := flatAverage(avg, workers, xs); err != nil {

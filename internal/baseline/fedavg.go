@@ -30,7 +30,7 @@ func (FedAvg) Run(cfg *fl.Config) (*fl.Result, error) {
 	period := cfg.Tau * cfg.Pi
 
 	xs := make([]tensor.Vector, len(workers))
-	grad := tensor.NewVector(dim)
+	grads := workerScratch(len(workers), dim)
 	for j := range xs {
 		xs[j] = x0.Clone()
 	}
@@ -38,13 +38,14 @@ func (FedAvg) Run(cfg *fl.Config) (*fl.Result, error) {
 	scratch := tensor.NewVector(dim)
 
 	for t := 1; t <= cfg.T; t++ {
-		for j, w := range workers {
-			if _, err := hn.Grad(w.l, w.i, xs[j], grad); err != nil {
-				return nil, err
+		err := forEachWorker(hn, workers, func(j int, w flatWorker) error {
+			if _, err := hn.Grad(w.l, w.i, xs[j], grads[j]); err != nil {
+				return err
 			}
-			if err := xs[j].AXPY(-cfg.Eta, grad); err != nil {
-				return nil, err
-			}
+			return xs[j].AXPY(-cfg.Eta, grads[j])
+		})
+		if err != nil {
+			return nil, err
 		}
 		if t%period == 0 {
 			if err := flatAverage(server, workers, xs); err != nil {

@@ -60,7 +60,8 @@ func (a *HierFAVG) Run(cfg *fl.Config) (*fl.Result, error) {
 	dim := len(x0)
 
 	xs := hn.CloneGrid(x0)    // worker models
-	grads := hn.ZeroGrid(dim) // scratch gradients
+	grads := hn.ZeroGrid(dim) // per-worker scratch gradients
+	workers := flatten(hn)
 	edgeX := make([]tensor.Vector, cfg.NumEdges())
 	for l := range edgeX {
 		edgeX[l] = x0.Clone()
@@ -69,15 +70,14 @@ func (a *HierFAVG) Run(cfg *fl.Config) (*fl.Result, error) {
 	scratch := tensor.NewVector(dim)
 
 	for t := 1; t <= cfg.T; t++ {
-		for l := range xs {
-			for i := range xs[l] {
-				if _, err := hn.Grad(l, i, xs[l][i], grads[l][i]); err != nil {
-					return nil, err
-				}
-				if err := xs[l][i].AXPY(-cfg.Eta, grads[l][i]); err != nil {
-					return nil, err
-				}
+		err := forEachWorker(hn, workers, func(_ int, w flatWorker) error {
+			if _, err := hn.Grad(w.l, w.i, xs[w.l][w.i], grads[w.l][w.i]); err != nil {
+				return err
 			}
+			return xs[w.l][w.i].AXPY(-cfg.Eta, grads[w.l][w.i])
+		})
+		if err != nil {
+			return nil, err
 		}
 		if t%cfg.Tau == 0 {
 			for l := range xs {

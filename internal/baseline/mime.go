@@ -43,27 +43,29 @@ func (Mime) Run(cfg *fl.Config) (*fl.Result, error) {
 		xs[j] = x0.Clone()
 		gradSums[j] = tensor.NewVector(dim)
 	}
-	grad := tensor.NewVector(dim)
+	grads := workerScratch(len(workers), dim)
 	mom := tensor.NewVector(dim)
 	server := x0.Clone()
 	avgGrad := tensor.NewVector(dim)
 	scratch := tensor.NewVector(dim)
 
 	for t := 1; t <= cfg.T; t++ {
-		for j, w := range workers {
-			if _, err := hn.Grad(w.l, w.i, xs[j], grad); err != nil {
-				return nil, err
+		// mom is frozen during the round, so the parallel steps only read it.
+		err := forEachWorker(hn, workers, func(j int, w flatWorker) error {
+			if _, err := hn.Grad(w.l, w.i, xs[j], grads[j]); err != nil {
+				return err
 			}
-			if err := gradSums[j].Add(grad); err != nil {
-				return nil, err
+			if err := gradSums[j].Add(grads[j]); err != nil {
+				return err
 			}
 			// x ← x − η·((1−γ)·g + γ·m) with m frozen for the round.
-			if err := xs[j].AXPY(-cfg.Eta*(1-cfg.Gamma), grad); err != nil {
-				return nil, err
+			if err := xs[j].AXPY(-cfg.Eta*(1-cfg.Gamma), grads[j]); err != nil {
+				return err
 			}
-			if err := xs[j].AXPY(-cfg.Eta*cfg.Gamma, mom); err != nil {
-				return nil, err
-			}
+			return xs[j].AXPY(-cfg.Eta*cfg.Gamma, mom)
+		})
+		if err != nil {
+			return nil, err
 		}
 		if t%period == 0 {
 			if err := flatAverage(server, workers, xs); err != nil {

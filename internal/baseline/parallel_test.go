@@ -1,0 +1,38 @@
+package baseline
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestBaselinesBitIdenticalAcrossPoolSizes asserts every baseline's full
+// result — curve, final accuracy, final loss — is unchanged by the
+// worker-pool size: the parallel local phase only writes worker-owned state,
+// and every reduction runs after the barrier in fixed index order.
+func TestBaselinesBitIdenticalAcrossPoolSizes(t *testing.T) {
+	cfg := buildConfig(t, 31)
+	cfg.T = 24
+	cfg.EvalEvery = 8
+	for _, alg := range allAlgorithms() {
+		t.Run(alg.Name(), func(t *testing.T) {
+			seq := *cfg
+			seq.Workers = 1
+			want, err := alg.Run(&seq)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, pool := range []int{2, 8} {
+				c := *cfg
+				c.Workers = pool
+				got, err := alg.Run(&c)
+				if err != nil {
+					t.Fatalf("pool=%d: %v", pool, err)
+				}
+				if !reflect.DeepEqual(want, got) {
+					t.Errorf("pool=%d result diverged from sequential run:\nseq: %+v\ngot: %+v",
+						pool, want, got)
+				}
+			}
+		})
+	}
+}

@@ -54,29 +54,29 @@ func (a *serverMomentum) Run(cfg *fl.Config) (*fl.Result, error) {
 		xs[j] = x0.Clone()
 		vs[j] = tensor.NewVector(dim)
 	}
-	grad := tensor.NewVector(dim)
+	grads := workerScratch(len(workers), dim)
 	server := x0.Clone()
 	serverMom := tensor.NewVector(dim)
 	avg := tensor.NewVector(dim)
 	scratch := tensor.NewVector(dim)
 
 	for t := 1; t <= cfg.T; t++ {
-		for j, w := range workers {
-			if _, err := hn.Grad(w.l, w.i, xs[j], grad); err != nil {
-				return nil, err
+		err := forEachWorker(hn, workers, func(j int, w flatWorker) error {
+			if _, err := hn.Grad(w.l, w.i, xs[j], grads[j]); err != nil {
+				return err
 			}
 			if a.localMomentum {
 				// v ← γ·v − η·g ; x ← x + v
 				vs[j].Scale(cfg.Gamma)
-				if err := vs[j].AXPY(-cfg.Eta, grad); err != nil {
-					return nil, err
+				if err := vs[j].AXPY(-cfg.Eta, grads[j]); err != nil {
+					return err
 				}
-				if err := xs[j].Add(vs[j]); err != nil {
-					return nil, err
-				}
-			} else if err := xs[j].AXPY(-cfg.Eta, grad); err != nil {
-				return nil, err
+				return xs[j].Add(vs[j])
 			}
+			return xs[j].AXPY(-cfg.Eta, grads[j])
+		})
+		if err != nil {
+			return nil, err
 		}
 		if t%period == 0 {
 			if err := flatAverage(avg, workers, xs); err != nil {

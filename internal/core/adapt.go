@@ -52,7 +52,8 @@ func ClampGamma(cos, ceiling float64) float64 {
 
 // EdgeCosine computes eq. (6): the Dᵢ/Dℓ-weighted average over the edge's
 // workers of the cosine between the negated accumulated gradient and the
-// chosen momentum signal.
+// chosen momentum signal. The negation is folded into the reduction
+// (tensor.NegCosine), so no worker's gradient sum is ever cloned.
 func EdgeCosine(weights []float64, gradSums, signals []tensor.Vector) (float64, error) {
 	if len(weights) != len(gradSums) || len(weights) != len(signals) {
 		return 0, fmt.Errorf("core: cosine over %d/%d/%d entries: %w",
@@ -60,9 +61,7 @@ func EdgeCosine(weights []float64, gradSums, signals []tensor.Vector) (float64, 
 	}
 	var cos float64
 	for i := range weights {
-		neg := gradSums[i].Clone()
-		neg.Scale(-1)
-		c, err := tensor.Cosine(neg, signals[i])
+		c, err := tensor.NegCosine(gradSums[i], signals[i])
 		if err != nil {
 			return 0, fmt.Errorf("core: worker %d cosine: %w", i, err)
 		}

@@ -1,0 +1,103 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"hieradmo/internal/dataset"
+	"hieradmo/internal/fl"
+	"hieradmo/internal/model"
+	"hieradmo/internal/tensor"
+)
+
+// benchCNNConfig builds the CNN workload the perf trajectory tracks
+// (BENCH_core.json via `make bench`): 8 workers over 2 edges, the paper's
+// non-convex aggregation schedule, no curve evaluation so the measurement is
+// the round loop itself.
+func benchCNNConfig(b *testing.B, workers int) *fl.Config {
+	b.Helper()
+	gen := dataset.GenConfig{
+		Name:          "bench",
+		Shape:         dataset.Shape{C: 1, H: 8, W: 8},
+		NumClasses:    4,
+		TemplateScale: 1.0,
+		NoiseStd:      0.6,
+		SmoothPasses:  1,
+	}
+	g, err := dataset.NewGenerator(gen, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	train, test := g.TrainTest(320, 64, 2)
+	shards, err := dataset.PartitionIID(train, 8, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	hier, err := dataset.Hierarchy(shards, []int{4, 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := model.NewCNN(gen.Shape, gen.NumClasses)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return &fl.Config{
+		Model:     m,
+		Edges:     hier,
+		Test:      test,
+		Eta:       0.05,
+		Gamma:     0.5,
+		GammaEdge: 0.5,
+		Tau:       2,
+		Pi:        2,
+		T:         8,
+		BatchSize: 8,
+		Workers:   workers,
+		Seed:      5,
+	}
+}
+
+// BenchmarkHierAdMoCNN measures the Algorithm-1 round loop on the CNN
+// workload across worker-pool sizes. Results are bit-identical at every
+// size (see parallel_test.go); only wall-clock and allocation behaviour may
+// differ. On a multi-core host workers=8 should beat workers=1 by the core
+// count, up to the reduction phases' sequential share.
+func BenchmarkHierAdMoCNN(b *testing.B) {
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			cfg := benchCNNConfig(b, workers)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := New().Run(cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkEdgeCosine tracks the hot-loop fix that folded the gradient
+// negation into the cosine reduction: allocs/op must stay at zero.
+func BenchmarkEdgeCosine(b *testing.B) {
+	const dim, n = 4096, 8
+	weights := make([]float64, n)
+	gradSums := make([]tensor.Vector, n)
+	signals := make([]tensor.Vector, n)
+	for i := 0; i < n; i++ {
+		weights[i] = 1.0 / n
+		gradSums[i] = tensor.NewVector(dim)
+		signals[i] = tensor.NewVector(dim)
+		for j := 0; j < dim; j++ {
+			gradSums[i][j] = float64(i*dim+j%97) - 48
+			signals[i][j] = 48 - float64(i*dim+j%89)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := EdgeCosine(weights, gradSums, signals); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

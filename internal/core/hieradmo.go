@@ -14,6 +14,7 @@ import (
 	"fmt"
 
 	"hieradmo/internal/fl"
+	"hieradmo/internal/parallel"
 	"hieradmo/internal/quant"
 	"hieradmo/internal/rng"
 	"hieradmo/internal/tensor"
@@ -116,7 +117,9 @@ func (h *HierAdMo) Name() string {
 	return "HierAdMo-R"
 }
 
-// workerState holds one worker's Algorithm-1 state.
+// workerState holds one worker's Algorithm-1 state. Every vector is owned
+// exclusively by its worker, so distinct workers step concurrently without
+// synchronization.
 type workerState struct {
 	x, y tensor.Vector
 	// Interval accumulators received by the edge at t = kτ (Alg. 1 line 9).
@@ -125,6 +128,57 @@ type workerState struct {
 	// SignalVelocity ablation.
 	yStart tensor.Vector
 	grad   tensor.Vector // scratch
+	// yPrev is per-iteration scratch for the NAG extrapolation; preallocated
+	// so the hot loop never clones a model-sized vector.
+	yPrev tensor.Vector
+}
+
+// step advances the worker through lines 5–6 of Algorithm 1 (one NAG
+// iteration) and extends its interval accumulators. It touches only the
+// worker's own vectors and its own sampler stream inside hn.Grad, so the
+// round loop fans one goroutine out per worker.
+func (w *workerState) step(hn *fl.Harness, cfg *fl.Config, l, i int) error {
+	if _, err := hn.Grad(l, i, w.x, w.grad); err != nil {
+		return err
+	}
+	if err := w.gradSum.Add(w.grad); err != nil {
+		return err
+	}
+	if err := w.yPrev.CopyFrom(w.y); err != nil {
+		return err
+	}
+	// y ← x − η∇F(x)
+	if err := w.y.CopyFrom(w.x); err != nil {
+		return err
+	}
+	if err := w.y.AXPY(-cfg.Eta, w.grad); err != nil {
+		return err
+	}
+	if err := w.ySum.Add(w.y); err != nil {
+		return err
+	}
+	// x ← y + γ(y − yPrev)
+	if err := w.x.CopyFrom(w.y); err != nil {
+		return err
+	}
+	if err := w.x.AXPY(cfg.Gamma, w.y); err != nil {
+		return err
+	}
+	return w.x.AXPY(-cfg.Gamma, w.yPrev)
+}
+
+// workerRef addresses one worker in the flattened [edge][worker] grid.
+type workerRef struct{ l, i int }
+
+// flattenRefs lists every worker coordinate in fixed (edge, worker) order.
+func flattenRefs(workers [][]*workerState) []workerRef {
+	var refs []workerRef
+	for l := range workers {
+		for i := range workers[l] {
+			refs = append(refs, workerRef{l: l, i: i})
+		}
+	}
+	return refs
 }
 
 // edgeState holds one edge node's Algorithm-1 state.
@@ -158,6 +212,7 @@ func (h *HierAdMo) Run(cfg *fl.Config) (*fl.Result, error) {
 				ySum:    tensor.NewVector(dim),
 				yStart:  x0.Clone(),
 				grad:    tensor.NewVector(dim),
+				yPrev:   tensor.NewVector(dim),
 			}
 		}
 		edges[l] = &edgeState{
@@ -182,41 +237,27 @@ func (h *HierAdMo) Run(cfg *fl.Config) (*fl.Result, error) {
 		}
 	}
 
+	refs := flattenRefs(workers)
+	poolSize := hn.Workers()
+
 	for t := 1; t <= cfg.T; t++ {
-		// Worker momentum and model updates (lines 5–6, NAG form).
-		for l := range workers {
-			for i, w := range workers[l] {
-				if _, err := hn.Grad(l, i, w.x, w.grad); err != nil {
-					return nil, err
-				}
-				if err := w.gradSum.Add(w.grad); err != nil {
-					return nil, err
-				}
-				yPrev := w.y.Clone()
-				// y ← x − η∇F(x)
-				if err := w.y.CopyFrom(w.x); err != nil {
-					return nil, err
-				}
-				if err := w.y.AXPY(-cfg.Eta, w.grad); err != nil {
-					return nil, err
-				}
-				if err := w.ySum.Add(w.y); err != nil {
-					return nil, err
-				}
-				// x ← y + γ(y − yPrev)
-				if err := w.x.CopyFrom(w.y); err != nil {
-					return nil, err
-				}
-				if err := w.x.AXPY(cfg.Gamma, w.y); err != nil {
-					return nil, err
-				}
-				if err := w.x.AXPY(-cfg.Gamma, yPrev); err != nil {
-					return nil, err
-				}
-			}
+		// Worker momentum and model updates (lines 5–6, NAG form). The phase
+		// is embarrassingly parallel — each worker owns its state vectors and
+		// RNG stream — so it fans out over the goroutine pool; every
+		// cross-worker reduction below runs after this barrier in fixed
+		// worker-index order, keeping the run bit-identical at any pool size.
+		if err := parallel.ForEach(len(refs), func(j int) error {
+			r := refs[j]
+			return workers[r.l][r.i].step(hn, cfg, r.l, r.i)
+		}, parallel.WithWorkers(poolSize)); err != nil {
+			return nil, err
 		}
 
-		// Edge update every τ iterations (lines 7–16).
+		// Edge update every τ iterations (lines 7–16). The reductions stay
+		// sequential in edge-index order: they cost O(L·dim) against the
+		// workers' O(N·batch·model) training phase, and the fixed order keeps
+		// the participation RNG, the quantizer's rounding stream, and the
+		// gammaStats observer delivery deterministic.
 		if t%cfg.Tau == 0 {
 			for l := range edges {
 				idx := h.sampleParticipants(partRNG, len(workers[l]))

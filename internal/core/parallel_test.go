@@ -1,0 +1,134 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"hieradmo/internal/dataset"
+	"hieradmo/internal/fl"
+	"hieradmo/internal/model"
+)
+
+// buildCNNConfig assembles a small CNN run over an uneven 2-edge hierarchy,
+// exercising the pooled nn workspace path the parallel worker phase leans on.
+func buildCNNConfig(t *testing.T, seed uint64) *fl.Config {
+	t.Helper()
+	gen := dataset.GenConfig{
+		Name:          "toy",
+		Shape:         dataset.Shape{C: 1, H: 8, W: 8},
+		NumClasses:    4,
+		TemplateScale: 1.0,
+		NoiseStd:      0.6,
+		SmoothPasses:  1,
+	}
+	g, err := dataset.NewGenerator(gen, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	train, test := g.TrainTest(200, 80, seed+1)
+	shards, err := dataset.PartitionIID(train, 5, seed+2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hier, err := dataset.Hierarchy(shards, []int{3, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := model.NewCNN(gen.Shape, gen.NumClasses)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &fl.Config{
+		Model:     m,
+		Edges:     hier,
+		Test:      test,
+		Eta:       0.05,
+		Gamma:     0.5,
+		GammaEdge: 0.5,
+		Tau:       2,
+		Pi:        2,
+		T:         16,
+		BatchSize: 4,
+		Seed:      seed,
+		EvalEvery: 4,
+	}
+}
+
+// gammaEvent is one gammaStats observer delivery.
+type gammaEvent struct {
+	edge  int
+	gamma float64
+}
+
+// runWithPool executes a fresh algorithm built from opts on a copy of cfg
+// with the given worker-pool size, capturing the observer sequence. The
+// observer needs no lock: delivery is part of the sequential edge-reduction
+// phase, and its order is part of the determinism contract under test.
+func runWithPool(t *testing.T, cfg *fl.Config, pool int, build func(...Option) *HierAdMo, opts ...Option) (*fl.Result, []gammaEvent) {
+	t.Helper()
+	c := *cfg
+	c.Workers = pool
+	var events []gammaEvent
+	alg := build(append(opts, WithGammaObserver(func(edge int, gamma float64) {
+		events = append(events, gammaEvent{edge: edge, gamma: gamma})
+	}))...)
+	res, err := alg.Run(&c)
+	if err != nil {
+		t.Fatalf("pool=%d: %v", pool, err)
+	}
+	return res, events
+}
+
+// TestParallelPoolSizesBitIdentical is the tentpole acceptance check: the
+// same seed must produce bit-identical curves, final metrics, and adapted-γℓ
+// observer sequences at worker-pool sizes 1, 2, and 8.
+func TestParallelPoolSizesBitIdentical(t *testing.T) {
+	cfg := buildCNNConfig(t, 21)
+	want, wantEvents := runWithPool(t, cfg, 1, New)
+	if len(wantEvents) == 0 {
+		t.Fatal("no γℓ adaptations observed at pool=1")
+	}
+	for _, pool := range []int{2, 8} {
+		got, gotEvents := runWithPool(t, cfg, pool, New)
+		if !reflect.DeepEqual(want, got) {
+			t.Errorf("pool=%d result diverged from sequential run:\nseq: %+v\ngot: %+v", pool, want, got)
+		}
+		if !reflect.DeepEqual(wantEvents, gotEvents) {
+			t.Errorf("pool=%d γℓ observer sequence diverged (%d vs %d events)",
+				pool, len(wantEvents), len(gotEvents))
+		}
+	}
+}
+
+// TestParallelPoolSizesBitIdenticalReduced covers HierAdMo-R plus the
+// partial-participation and quantized-uplink paths, whose shared RNG streams
+// (participation sampling, stochastic rounding) must stay on the sequential
+// reduction side of the barrier.
+func TestParallelPoolSizesBitIdenticalReduced(t *testing.T) {
+	cfg := buildConfig(t, []int{3, 3}, 0, 23)
+	opts := []Option{WithParticipation(0.67), WithUplinkQuantization(4)}
+	want, wantEvents := runWithPool(t, cfg, 1, NewReduced, opts...)
+	for _, pool := range []int{2, 8} {
+		got, gotEvents := runWithPool(t, cfg, pool, NewReduced, opts...)
+		if !reflect.DeepEqual(want, got) {
+			t.Errorf("pool=%d reduced/participation/quant result diverged from sequential run", pool)
+		}
+		if !reflect.DeepEqual(wantEvents, gotEvents) {
+			t.Errorf("pool=%d observer sequence diverged", pool)
+		}
+	}
+}
+
+// TestWorkersConfigValidation pins the knob's contract: negative pool sizes
+// are rejected, zero defaults to GOMAXPROCS.
+func TestWorkersConfigValidation(t *testing.T) {
+	cfg := buildConfig(t, []int{2, 2}, 0, 25)
+	cfg.Workers = -1
+	if _, err := New().Run(cfg); err == nil {
+		t.Error("negative Workers accepted")
+	}
+	cfg.Workers = 0
+	if _, err := New().Run(cfg); err != nil {
+		t.Errorf("zero Workers rejected: %v", err)
+	}
+}

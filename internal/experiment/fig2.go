@@ -38,7 +38,8 @@ func RunFig2TauSweep(s Scale, taus []int, pi int) (*Table, error) {
 		Title:   fmt.Sprintf("Fig. 2(a) — effect of tau (pi=%d), HierAdMo, CNN on MNIST, N=16 L=4", pi),
 		Columns: curveColumns,
 	}
-	for _, tau := range taus {
+	rows, err := sweepRows(len(taus), func(k int) ([]string, error) {
+		tau := taus[k]
 		cfg, err := BuildConfig(Workload{
 			Dataset: "mnist", Model: "cnn",
 			Edges: fig2Topology(), Tau: tau, Pi: pi,
@@ -50,7 +51,13 @@ func RunFig2TauSweep(s Scale, taus []int, pi int) (*Table, error) {
 		if err != nil {
 			return nil, fmt.Errorf("fig2a tau=%d: %w", tau, err)
 		}
-		tbl.AddRow(fmt.Sprintf("tau=%d", tau), curveCells(res, cfg.T)...)
+		return curveCells(res, cfg.T), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for k, tau := range taus {
+		tbl.AddRow(fmt.Sprintf("tau=%d", tau), rows[k]...)
 	}
 	return tbl, nil
 }
@@ -68,7 +75,8 @@ func RunFig2PiSweep(s Scale, tau int, pis []int) (*Table, error) {
 		Title:   fmt.Sprintf("Fig. 2(b) — effect of pi (tau=%d), HierAdMo, CNN on MNIST, N=16 L=4", tau),
 		Columns: curveColumns,
 	}
-	for _, pi := range pis {
+	rows, err := sweepRows(len(pis), func(k int) ([]string, error) {
+		pi := pis[k]
 		cfg, err := BuildConfig(Workload{
 			Dataset: "mnist", Model: "cnn",
 			Edges: fig2Topology(), Tau: tau, Pi: pi,
@@ -80,7 +88,13 @@ func RunFig2PiSweep(s Scale, tau int, pis []int) (*Table, error) {
 		if err != nil {
 			return nil, fmt.Errorf("fig2b pi=%d: %w", pi, err)
 		}
-		tbl.AddRow(fmt.Sprintf("pi=%d", pi), curveCells(res, cfg.T)...)
+		return curveCells(res, cfg.T), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for k, pi := range pis {
+		tbl.AddRow(fmt.Sprintf("pi=%d", pi), rows[k]...)
 	}
 	return tbl, nil
 }
@@ -101,7 +115,8 @@ func RunFig2JointSweep(s Scale, product int) (*Table, error) {
 		Title:   fmt.Sprintf("Fig. 2(c) — fixed tau*pi=%d, varying split, HierAdMo, CNN on MNIST, N=16 L=4", product),
 		Columns: curveColumns,
 	}
-	for _, sp := range splits {
+	rows, err := sweepRows(len(splits), func(k int) ([]string, error) {
+		sp := splits[k]
 		cfg, err := BuildConfig(Workload{
 			Dataset: "mnist", Model: "cnn",
 			Edges: fig2Topology(), Tau: sp[0], Pi: sp[1],
@@ -113,7 +128,13 @@ func RunFig2JointSweep(s Scale, product int) (*Table, error) {
 		if err != nil {
 			return nil, fmt.Errorf("fig2c tau=%d pi=%d: %w", sp[0], sp[1], err)
 		}
-		tbl.AddRow(fmt.Sprintf("tau=%d pi=%d", sp[0], sp[1]), curveCells(res, cfg.T)...)
+		return curveCells(res, cfg.T), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for k, sp := range splits {
+		tbl.AddRow(fmt.Sprintf("tau=%d pi=%d", sp[0], sp[1]), rows[k]...)
 	}
 	return tbl, nil
 }
@@ -186,31 +207,39 @@ func RunFig2AdaptiveGamma(s Scale, gamma float64) (*Table, error) {
 		Title:   fmt.Sprintf("Fig. 2(i)-(k) — adaptive vs fixed gammaEdge, CNN on CIFAR-10, gamma=%.1f, tau=20 pi=2", gamma),
 		Columns: []string{"final"},
 	}
-	for _, ge := range []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9} {
-		cfg, err := BuildConfig(Workload{
+	// The exhaustive fixed-γℓ enumeration plus the adaptive run are ten
+	// independent trainings; sweep them concurrently, adaptive last.
+	fixed := []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9}
+	rows, err := sweepRows(len(fixed)+1, func(k int) ([]string, error) {
+		w := Workload{
 			Dataset: "cifar10", Model: "cnn",
-			Tau: 20, Pi: 2, Gamma: gamma, GammaEdge: ge,
-		}, s)
-		if err != nil {
-			return nil, fmt.Errorf("fig2i-k gammaEdge=%.1f: %w", ge, err)
+			Tau: 20, Pi: 2, Gamma: gamma,
 		}
-		res, err := core.NewReduced().Run(cfg)
-		if err != nil {
-			return nil, fmt.Errorf("fig2i-k gammaEdge=%.1f: %w", ge, err)
+		label := "adaptive"
+		if k < len(fixed) {
+			w.GammaEdge = fixed[k]
+			label = fmt.Sprintf("gammaEdge=%.1f", fixed[k])
 		}
-		tbl.AddRow(fmt.Sprintf("fixed %.1f", ge), Pct(res.FinalAcc))
-	}
-	cfg, err := BuildConfig(Workload{
-		Dataset: "cifar10", Model: "cnn",
-		Tau: 20, Pi: 2, Gamma: gamma,
-	}, s)
+		cfg, err := BuildConfig(w, s)
+		if err != nil {
+			return nil, fmt.Errorf("fig2i-k %s: %w", label, err)
+		}
+		var alg fl.Algorithm = core.New()
+		if k < len(fixed) {
+			alg = core.NewReduced()
+		}
+		res, err := alg.Run(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("fig2i-k %s: %w", label, err)
+		}
+		return []string{Pct(res.FinalAcc)}, nil
+	})
 	if err != nil {
-		return nil, fmt.Errorf("fig2i-k adaptive: %w", err)
+		return nil, err
 	}
-	res, err := core.New().Run(cfg)
-	if err != nil {
-		return nil, fmt.Errorf("fig2i-k adaptive: %w", err)
+	for k, ge := range fixed {
+		tbl.AddRow(fmt.Sprintf("fixed %.1f", ge), rows[k]...)
 	}
-	tbl.AddRow("adaptive", Pct(res.FinalAcc))
+	tbl.AddRow("adaptive", rows[len(fixed)]...)
 	return tbl, nil
 }

@@ -31,6 +31,10 @@ type Scale struct {
 	// Repeats runs each Table II cell with that many different seeds and
 	// reports "mean ± std" like the paper (0 or 1 = single run).
 	Repeats int
+	// Workers bounds the goroutine pool of every run's parallel
+	// local-training phase (0 = runtime.GOMAXPROCS(0), 1 = sequential).
+	// Results are bit-identical at every setting; only wall-clock changes.
+	Workers int
 	// Seed drives all randomness.
 	Seed uint64
 }
@@ -48,6 +52,8 @@ func (s Scale) Validate() error {
 		return fmt.Errorf("experiment: target accuracy %v outside (0,1)", s.TargetAcc)
 	case s.Repeats < 0:
 		return fmt.Errorf("experiment: negative repeats %d", s.Repeats)
+	case s.Workers < 0:
+		return fmt.Errorf("experiment: negative worker pool size %d", s.Workers)
 	}
 	return nil
 }

@@ -5,6 +5,7 @@ import (
 
 	"hieradmo/internal/fl"
 	"hieradmo/internal/metrics"
+	"hieradmo/internal/parallel"
 )
 
 // Combo is one model×dataset column of Table II.
@@ -67,11 +68,11 @@ func RunTableIISubset(s Scale, combos []Combo) (*Table, error) {
 			if err != nil {
 				return nil, fmt.Errorf("table2 %s: %w", combo.Label, err)
 			}
-			for a, alg := range algos {
-				res, err := alg.Run(cfg)
-				if err != nil {
-					return nil, fmt.Errorf("table2 %s %s: %w", combo.Label, alg.Name(), err)
-				}
+			results, err := runAlgorithms(algos, cfg)
+			if err != nil {
+				return nil, fmt.Errorf("table2 %s: %w", combo.Label, err)
+			}
+			for a, res := range results {
 				accs[a] = append(accs[a], 100*res.FinalAcc)
 			}
 		}
@@ -89,16 +90,41 @@ func RunTableIISubset(s Scale, combos []Combo) (*Table, error) {
 	return tbl, nil
 }
 
-// runAlgorithms executes every algorithm on cfg and returns results in
-// algorithm order.
+// runAlgorithms executes every algorithm on cfg concurrently and returns
+// results in algorithm order. Runs are independent — each builds its own
+// harness from the shared read-only config — so the fan-out changes
+// wall-clock only, never results.
 func runAlgorithms(algos []fl.Algorithm, cfg *fl.Config) ([]*fl.Result, error) {
 	out := make([]*fl.Result, len(algos))
-	for i, alg := range algos {
-		res, err := alg.Run(cfg)
+	err := parallel.ForEach(len(algos), func(i int) error {
+		res, err := algos[i].Run(cfg)
 		if err != nil {
-			return nil, fmt.Errorf("%s: %w", alg.Name(), err)
+			return fmt.Errorf("%s: %w", algos[i].Name(), err)
 		}
 		out[i] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
+}
+
+// sweepRows fills one table row per item concurrently: run(k) produces the
+// cells for item k, and rows are returned in item order so the rendered
+// table is identical to a sequential sweep.
+func sweepRows(n int, run func(k int) ([]string, error)) ([][]string, error) {
+	rows := make([][]string, n)
+	err := parallel.ForEach(n, func(k int) error {
+		cells, err := run(k)
+		if err != nil {
+			return err
+		}
+		rows[k] = cells
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return rows, nil
 }

@@ -157,6 +157,7 @@ func BuildConfig(w Workload, s Scale) (*fl.Config, error) {
 		Pi:          pi,
 		T:           t,
 		BatchSize:   s.BatchSize,
+		Workers:     s.Workers,
 		Seed:        s.Seed + 17,
 		EvalEvery:   evalEvery,
 		EvalSamples: s.EvalSamples,

@@ -68,6 +68,12 @@ type Config struct {
 	// Seed drives every random choice (init, batch order, evaluation).
 	Seed uint64
 
+	// Workers bounds the goroutine pool used for the per-round parallel
+	// local-training phase (0 = runtime.GOMAXPROCS(0)). Results are
+	// bit-identical at every pool size: only wall-clock changes. 1 forces
+	// fully sequential execution.
+	Workers int
+
 	// EvalEvery records a curve point every EvalEvery iterations (plus one
 	// final point). Zero disables intermediate evaluation.
 	EvalEvery int
@@ -102,6 +108,8 @@ func (c *Config) Validate() error {
 		return fmt.Errorf("%w: batch size %d must be positive", ErrConfig, c.BatchSize)
 	case c.ClipNorm < 0:
 		return fmt.Errorf("%w: negative clip norm %v", ErrConfig, c.ClipNorm)
+	case c.Workers < 0:
+		return fmt.Errorf("%w: negative worker pool size %d", ErrConfig, c.Workers)
 	case c.EvalEvery < 0 || c.EvalSamples < 0:
 		return fmt.Errorf("%w: negative eval settings", ErrConfig)
 	}

@@ -5,6 +5,7 @@ import (
 
 	"hieradmo/internal/dataset"
 	"hieradmo/internal/model"
+	"hieradmo/internal/parallel"
 	"hieradmo/internal/rng"
 	"hieradmo/internal/tensor"
 )
@@ -78,6 +79,12 @@ func WorkerSampler(seed uint64, l, i int) *rng.RNG {
 // Cfg returns the validated configuration.
 func (h *Harness) Cfg() *Config { return h.cfg }
 
+// Workers returns the effective goroutine-pool size for the parallel
+// local-training phase: cfg.Workers, defaulting to runtime.GOMAXPROCS(0)
+// when unset. Algorithms pass it to parallel.ForEach via
+// parallel.WithWorkers.
+func (h *Harness) Workers() int { return parallel.Resolve(h.cfg.Workers) }
+
 // EvalSet returns the (possibly EvalSamples-capped) test subset used for
 // curve evaluation.
 func (h *Harness) EvalSet() *dataset.Dataset { return h.evalSet }
@@ -97,6 +104,14 @@ func (h *Harness) InitParams() tensor.Vector {
 // Grad samples a mini-batch for worker {i,ℓ} and overwrites grad with the
 // mean stochastic gradient ∇F(i,ℓ)(params); the mini-batch loss is recorded
 // for curve reporting and returned.
+//
+// Grad is safe for concurrent use across DISTINCT workers: each worker
+// {i,ℓ} owns its sampler stream and its lastLoss slot, so parallel calls
+// never share mutable harness state (the model's workspace pool is itself
+// concurrency-safe, see internal/nn). Two concurrent calls for the same
+// worker race on both; the parallel round loops therefore fan out at most
+// one goroutine per worker. WeightedLoss reads every lastLoss slot and must
+// only be called after the round's Grad calls have been joined.
 func (h *Harness) Grad(l, i int, params, grad tensor.Vector) (float64, error) {
 	batch, err := h.cfg.Edges[l][i].Batch(h.samplers[l][i], h.cfg.BatchSize)
 	if err != nil {

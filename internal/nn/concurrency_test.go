@@ -1,0 +1,135 @@
+package nn
+
+import (
+	"testing"
+
+	"hieradmo/internal/parallel"
+	"hieradmo/internal/rng"
+	"hieradmo/internal/tensor"
+)
+
+// concurrencyNet builds a conv→pool→dense stack so the concurrency tests
+// cover the layers with the largest workspaces.
+func concurrencyNet(t *testing.T) *Network {
+	t.Helper()
+	in := Shape3{C: 1, H: 8, W: 8}
+	conv := NewConv2D(in, 2, 3, 1)
+	pooled := Shape3{C: 2, H: 4, W: 4}
+	net, err := Sequential(SoftmaxCrossEntropy{},
+		conv,
+		NewReLU(conv.OutShape()),
+		NewMaxPool2D(conv.OutShape()),
+		NewDense(pooled.Size(), 3),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net
+}
+
+// TestConcurrentLossGradMatchesSequential exercises the sync.Pool workspace
+// path that layer.go documents as concurrency-safe but nothing else uses
+// concurrently: many goroutines call LossGrad on one shared Network, each
+// with its own gradient vector, and every result must be bit-identical to
+// the sequential computation. Run under -race (make race) this also proves
+// the pooled workspaces never alias across callers.
+func TestConcurrentLossGradMatchesSequential(t *testing.T) {
+	net := concurrencyNet(t)
+	params := net.Init(rng.New(7))
+
+	const callers = 16
+	inputs := make([][]float64, callers)
+	labels := make([]int, callers)
+	r := rng.New(11)
+	for c := range inputs {
+		inputs[c] = make([]float64, net.InputSize())
+		for i := range inputs[c] {
+			inputs[c][i] = r.Norm()
+		}
+		labels[c] = r.Intn(net.OutputSize())
+	}
+
+	wantLoss := make([]float64, callers)
+	wantGrad := make([]tensor.Vector, callers)
+	for c := range inputs {
+		wantGrad[c] = tensor.NewVector(net.Dim())
+		loss, err := net.LossGrad(params, inputs[c], labels[c], wantGrad[c])
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantLoss[c] = loss
+	}
+
+	const rounds = 8
+	for round := 0; round < rounds; round++ {
+		gotLoss := make([]float64, callers)
+		gotGrad := make([]tensor.Vector, callers)
+		err := parallel.ForEach(callers, func(c int) error {
+			gotGrad[c] = tensor.NewVector(net.Dim())
+			loss, err := net.LossGrad(params, inputs[c], labels[c], gotGrad[c])
+			if err != nil {
+				return err
+			}
+			gotLoss[c] = loss
+			return nil
+		}, parallel.WithWorkers(callers))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for c := range inputs {
+			if gotLoss[c] != wantLoss[c] {
+				t.Fatalf("round %d caller %d: loss %v != sequential %v", round, c, gotLoss[c], wantLoss[c])
+			}
+			for i := range gotGrad[c] {
+				if gotGrad[c][i] != wantGrad[c][i] {
+					t.Fatalf("round %d caller %d: grad[%d] %v != sequential %v",
+						round, c, i, gotGrad[c][i], wantGrad[c][i])
+				}
+			}
+		}
+	}
+}
+
+// TestConcurrentForwardStable drives Forward from many goroutines; pooled
+// workspaces must not leak one caller's activations into another's output.
+func TestConcurrentForwardStable(t *testing.T) {
+	net := concurrencyNet(t)
+	params := net.Init(rng.New(9))
+
+	const callers = 12
+	inputs := make([][]float64, callers)
+	r := rng.New(13)
+	for c := range inputs {
+		inputs[c] = make([]float64, net.InputSize())
+		for i := range inputs[c] {
+			inputs[c][i] = r.Norm()
+		}
+	}
+	want := make([][]float64, callers)
+	for c := range inputs {
+		out, err := net.Forward(params, inputs[c])
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[c] = out
+	}
+
+	err := parallel.ForEach(callers, func(c int) error {
+		for rep := 0; rep < 16; rep++ {
+			out, err := net.Forward(params, inputs[c])
+			if err != nil {
+				return err
+			}
+			for i := range out {
+				if out[i] != want[c][i] {
+					t.Errorf("caller %d rep %d: out[%d] = %v, want %v", c, rep, i, out[i], want[c][i])
+					return nil
+				}
+			}
+		}
+		return nil
+	}, parallel.WithWorkers(callers))
+	if err != nil {
+		t.Fatal(err)
+	}
+}

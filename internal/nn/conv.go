@@ -20,8 +20,10 @@ type Conv2D struct {
 var _ Layer = (*Conv2D)(nil)
 
 // NewConv2D returns a convolution over inputs of shape in producing outC
-// channels with a k×k kernel and padding pad. It panics only never: invalid
-// geometry is reported by the Network builder via Validate.
+// channels with a k×k kernel and padding pad. It never panics: invalid
+// geometry (non-positive kernel or channel counts, negative padding, or an
+// output plane with no pixels) is reported by Validate, which the Network
+// builder calls during Sequential.
 func NewConv2D(in Shape3, outC, k, pad int) *Conv2D {
 	return &Conv2D{in: in, outC: outC, k: k, pad: pad}
 }

@@ -1,0 +1,118 @@
+package parallel
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachRunsEveryIndex(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 8, 100} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			const n = 64
+			hits := make([]atomic.Int32, n)
+			err := ForEach(n, func(i int) error {
+				hits[i].Add(1)
+				return nil
+			}, WithWorkers(workers))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range hits {
+				if got := hits[i].Load(); got != 1 {
+					t.Errorf("index %d ran %d times, want 1", i, got)
+				}
+			}
+		})
+	}
+}
+
+func TestForEachZeroAndNegativeN(t *testing.T) {
+	called := false
+	if err := ForEach(0, func(int) error { called = true; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if err := ForEach(-3, func(int) error { called = true; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if called {
+		t.Error("fn invoked for non-positive n")
+	}
+}
+
+func TestForEachJoinsErrorsInIndexOrder(t *testing.T) {
+	errA := errors.New("a")
+	errB := errors.New("b")
+	for _, workers := range []int{1, 4} {
+		err := ForEach(8, func(i int) error {
+			switch i {
+			case 2:
+				return errA
+			case 6:
+				return errB
+			}
+			return nil
+		}, WithWorkers(workers))
+		if !errors.Is(err, errA) || !errors.Is(err, errB) {
+			t.Fatalf("workers=%d: err %v does not wrap both failures", workers, err)
+		}
+		// Index-ordered join: the message is deterministic.
+		if want := "a\nb"; err.Error() != want {
+			t.Errorf("workers=%d: err message %q, want %q", workers, err.Error(), want)
+		}
+	}
+}
+
+func TestForEachContinuesAfterError(t *testing.T) {
+	var ran atomic.Int32
+	err := ForEach(16, func(i int) error {
+		ran.Add(1)
+		if i == 0 {
+			return errors.New("first index fails")
+		}
+		return nil
+	}, WithWorkers(1))
+	if err == nil {
+		t.Fatal("error dropped")
+	}
+	if got := ran.Load(); got != 16 {
+		t.Errorf("ran %d of 16 indices after failure", got)
+	}
+}
+
+func TestForEachBoundsConcurrency(t *testing.T) {
+	const limit = 3
+	var inFlight, peak atomic.Int32
+	err := ForEach(64, func(int) error {
+		cur := inFlight.Add(1)
+		for {
+			p := peak.Load()
+			if cur <= p || peak.CompareAndSwap(p, cur) {
+				break
+			}
+		}
+		runtime.Gosched()
+		inFlight.Add(-1)
+		return nil
+	}, WithWorkers(limit))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > limit {
+		t.Errorf("observed %d concurrent invocations, limit %d", p, limit)
+	}
+}
+
+func TestResolve(t *testing.T) {
+	if got := Resolve(5); got != 5 {
+		t.Errorf("Resolve(5) = %d", got)
+	}
+	if got := Resolve(0); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Resolve(0) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Resolve(-2); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Resolve(-2) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+}

@@ -139,16 +139,33 @@ func Cosine(v, u Vector) (float64, error) {
 	if err != nil {
 		return 0, err
 	}
-	nv, nu := v.Norm(), u.Norm()
+	return cosineFromDot(dot, v.Norm(), u.Norm()), nil
+}
+
+// NegCosine returns the cosine of the angle between −v and u, with the same
+// zero-norm and non-finite guards as Cosine. IEEE negation is exact and
+// distributes over products and sums, so the result is bit-identical to
+// Cosine applied to a materialized negated copy — without the allocation.
+func NegCosine(v, u Vector) (float64, error) {
+	dot, err := Dot(v, u)
+	if err != nil {
+		return 0, err
+	}
+	return cosineFromDot(-dot, v.Norm(), u.Norm()), nil
+}
+
+// cosineFromDot finishes a cosine from its reduced pieces, mapping
+// degenerate inputs to 0 and clamping drift into [-1, 1].
+func cosineFromDot(dot, nv, nu float64) float64 {
 	const eps = 1e-30
 	if nv < eps || nu < eps {
-		return 0, nil
+		return 0
 	}
 	c := dot / nv / nu
 	// Overflowing norms or dot products yield non-finite intermediates;
 	// treat them, like zero vectors, as "no usable signal".
 	if math.IsNaN(c) || math.IsInf(c, 0) {
-		return 0, nil
+		return 0
 	}
 	// Guard against floating-point drift outside [-1, 1].
 	if c > 1 {
@@ -156,7 +173,7 @@ func Cosine(v, u Vector) (float64, error) {
 	} else if c < -1 {
 		c = -1
 	}
-	return c, nil
+	return c
 }
 
 // Dist returns the Euclidean distance between v and u.
