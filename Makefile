@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test vet check race bench benchall clean
+.PHONY: build test vet check race recover bench benchall clean
 
 build:
 	$(GO) build ./...
@@ -15,15 +15,28 @@ test:
 vet:
 	$(GO) vet ./...
 
-## check: the tier-1 gate — build, vet, and the full test suite.
-check: build vet test
+## check: the tier-1 gate — build, vet, the full test suite, and the
+## crash-recovery integration pass.
+check: build vet test recover
 
-## race: race-detect the distributed runtime, transport layers, and the
-## parallel training paths (core/baseline worker pools, pooled nn workspaces).
+## race: race-detect the distributed runtime, transport layers, checkpoint
+## snapshot/restore, and the parallel training paths (core/baseline worker
+## pools, pooled nn workspaces).
 race:
 	$(GO) test -race -count=1 ./internal/cluster/... ./internal/transport/... \
-		./internal/parallel/... ./internal/core/... ./internal/baseline/... \
-		./internal/fl/... ./internal/nn/...
+		./internal/checkpoint/... ./internal/parallel/... ./internal/core/... \
+		./internal/baseline/... ./internal/fl/... ./internal/nn/...
+
+## recover: the crash-recovery integration suite — checkpoint format and
+## corruption handling, bit-identical simulation resume, cluster
+## interrupt/restart/rejoin, and the process-level SIGKILL/SIGTERM tests.
+recover:
+	$(GO) test -count=1 ./internal/checkpoint/... || exit 1
+	$(GO) test -count=1 ./internal/core/... ./internal/baseline/... -run 'Resume' || exit 1
+	$(GO) test -count=1 ./internal/cluster/... \
+		-run 'TestCluster(InterruptResume|CrashRestartMatchesParticipation|WorkerRestartRejoins)' || exit 1
+	$(GO) test -count=1 ./cmd/flnode/ -run 'TestMultiProcessKillRestart' || exit 1
+	$(GO) test -count=1 ./cmd/flcluster/ -run 'TestSigterm|TestDoubleSignal'
 
 ## bench: run the core benchmarks with -benchmem and record the perf
 ## trajectory (ns/op, allocs/op, worker-pool size) in BENCH_core.json.

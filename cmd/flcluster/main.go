@@ -21,14 +21,26 @@
 // and the one-sync staleness budget can absorb (e.g. heavy sustained loss on
 // a topology with no quorum margin) still fails fast, with every node's
 // error joined.
+//
+// Crash recovery: with -checkpoint-dir every node snapshots its state after
+// each completed round. SIGINT/SIGTERM stops the run gracefully (exit code
+// 3); rerunning with the same flags plus -resume continues from the
+// snapshots and finishes with results bit-identical to an uninterrupted run.
+// A second signal aborts immediately (exit code 4).
+//
+//	flcluster -checkpoint-dir ckpt            # ctrl-C mid-run → exit 3
+//	flcluster -checkpoint-dir ckpt -resume    # picks up where it stopped
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 
 	"hieradmo/internal/cluster"
 	"hieradmo/internal/core"
@@ -38,13 +50,42 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
-		fmt.Fprintln(os.Stderr, "flcluster:", err)
-		os.Exit(1)
-	}
+	os.Exit(mainExit(os.Args[1:], installInterrupt("flcluster")))
 }
 
-func run(args []string) error {
+// mainExit runs the cluster and maps the outcome to the process exit code:
+// 0 success, 1 failure, 3 gracefully interrupted (state checkpointed when
+// -checkpoint-dir is set; rerun with -resume to continue).
+func mainExit(args []string, interrupt <-chan struct{}) int {
+	if err := run(args, interrupt); err != nil {
+		fmt.Fprintln(os.Stderr, "flcluster:", err)
+		if errors.Is(err, cluster.ErrInterrupted) {
+			return 3
+		}
+		return 1
+	}
+	return 0
+}
+
+// installInterrupt returns a channel closed on the first SIGINT/SIGTERM,
+// requesting a graceful checkpoint-and-stop. A second signal aborts the
+// process immediately with exit code 4.
+func installInterrupt(name string) <-chan struct{} {
+	sigs := make(chan os.Signal, 2)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	interrupt := make(chan struct{})
+	go func() {
+		<-sigs
+		fmt.Fprintf(os.Stderr, "%s: shutdown requested, stopping at the next snapshot point (signal again to abort)\n", name)
+		close(interrupt)
+		<-sigs
+		fmt.Fprintf(os.Stderr, "%s: aborted\n", name)
+		os.Exit(4)
+	}()
+	return interrupt
+}
+
+func run(args []string, interrupt <-chan struct{}) error {
 	fs := flag.NewFlagSet("flcluster", flag.ContinueOnError)
 	var (
 		transportName = fs.String("transport", "memory", `"memory" or "tcp" (loopback sockets)`)
@@ -62,9 +103,13 @@ func run(args []string) error {
 		maxDelay  = fs.Duration("max-delay", 0, "inject a uniform per-message delay up to this duration")
 		faultSeed = fs.Uint64("fault-seed", 1, "seed for the deterministic fault schedule")
 		crash     = fs.String("crash", "", `crash nodes at protocol rounds, e.g. "worker-0-1@40,edge-1@80"`)
+		restart   = fs.String("restart-after", "", `revive crashed workers after this many rounds, e.g. "worker-0-1@8" (needs -crash, -min-quorum and -checkpoint-dir)`)
 		minQuorum = fs.Float64("min-quorum", 0, "fraction of reporters an aggregation needs (0 or 1 = strict full cohort)")
 		straggler = fs.Duration("straggler-deadline", 0, "how long an aggregation waits for the full cohort before proceeding with a quorum")
 		recvTO    = fs.Duration("recv-timeout", 0, "receive timeout per blocking wait (default 60s)")
+
+		checkpointDir = fs.String("checkpoint-dir", "", "snapshot every node's state into this directory after each completed round (enables crash recovery)")
+		resume        = fs.Bool("resume", false, "reload the newest snapshots from -checkpoint-dir and continue the interrupted run")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -72,6 +117,15 @@ func run(args []string) error {
 	crashes, err := parseCrashSpec(*crash)
 	if err != nil {
 		return err
+	}
+	restarts, err := parseCrashSpec(*restart)
+	if err != nil {
+		return err
+	}
+	for node := range restarts {
+		if _, ok := crashes[node]; !ok {
+			return fmt.Errorf("-restart-after %s needs a matching -crash entry", node)
+		}
 	}
 	if *verify && (*dropRate > 0 || len(crashes) > 0) {
 		return fmt.Errorf("-verify requires a fault-free run: bit-equivalence with the simulation only holds without drops or crashes")
@@ -109,10 +163,11 @@ func run(args []string) error {
 	}
 	if *dropRate > 0 || *maxDelay > 0 || len(crashes) > 0 {
 		net = transport.NewFaultyNetwork(net, transport.FaultPlan{
-			Seed:         *faultSeed,
-			DropRate:     *dropRate,
-			MaxDelay:     *maxDelay,
-			CrashAtRound: crashes,
+			Seed:               *faultSeed,
+			DropRate:           *dropRate,
+			MaxDelay:           *maxDelay,
+			CrashAtRound:       crashes,
+			RestartAfterRounds: restarts,
 		})
 	}
 
@@ -123,6 +178,9 @@ func run(args []string) error {
 		MinQuorum:         *minQuorum,
 		StragglerDeadline: *straggler,
 		RecvTimeout:       *recvTO,
+		CheckpointDir:     *checkpointDir,
+		Resume:            *resume,
+		Interrupt:         interrupt,
 	})
 	if err != nil {
 		return err

@@ -20,13 +20,24 @@
 //	flnode -role edge -edge 0 -registry reg.json &
 //	flnode -role edge -edge 1 -registry reg.json &
 //	flnode -role cloud -registry reg.json          # prints the result
+//
+// With -checkpoint-dir every node snapshots its state after each completed
+// protocol unit, so a crashed or SIGKILLed node can be relaunched with the
+// same arguments plus -resume: it reloads its newest snapshot, replays at
+// most one interval of local compute, and rejoins the protocol. SIGINT or
+// SIGTERM requests a graceful shutdown — the node stops at its next
+// interruptible point and exits with code 3 (resumable); a second signal
+// aborts immediately with code 4.
 package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"hieradmo/internal/cluster"
 	"hieradmo/internal/experiment"
@@ -35,25 +46,59 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
-		fmt.Fprintln(os.Stderr, "flnode:", err)
-		os.Exit(1)
-	}
+	os.Exit(mainExit(os.Args[1:], installInterrupt("flnode")))
 }
 
-func run(args []string) error {
+// mainExit runs the node and maps the outcome to the process exit code:
+// 0 success, 1 failure, 3 gracefully interrupted (state checkpointed when
+// -checkpoint-dir is set; relaunch with -resume to continue).
+func mainExit(args []string, interrupt <-chan struct{}) int {
+	if err := run(args, interrupt); err != nil {
+		fmt.Fprintln(os.Stderr, "flnode:", err)
+		if errors.Is(err, cluster.ErrInterrupted) {
+			return 3
+		}
+		return 1
+	}
+	return 0
+}
+
+// installInterrupt returns a channel closed on the first SIGINT/SIGTERM,
+// requesting a graceful checkpoint-and-stop. A second signal aborts the
+// process immediately with exit code 4.
+func installInterrupt(name string) <-chan struct{} {
+	sigs := make(chan os.Signal, 2)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	interrupt := make(chan struct{})
+	go func() {
+		<-sigs
+		fmt.Fprintf(os.Stderr, "%s: shutdown requested, stopping at the next snapshot point (signal again to abort)\n", name)
+		close(interrupt)
+		<-sigs
+		fmt.Fprintf(os.Stderr, "%s: aborted\n", name)
+		os.Exit(4)
+	}()
+	return interrupt
+}
+
+func run(args []string, interrupt <-chan struct{}) error {
 	fs := flag.NewFlagSet("flnode", flag.ContinueOnError)
 	var (
-		role         = fs.String("role", "", `node role: "cloud", "edge", or "worker"`)
-		edgeIdx      = fs.Int("edge", 0, "edge index ℓ (edge and worker roles)")
-		workerIdx    = fs.Int("index", 0, "worker index i within the edge (worker role)")
-		registryPath = fs.String("registry", "", "path to the JSON node-ID → host:port registry")
-		datasetName  = fs.String("dataset", "mnist", "dataset: mnist|cifar10|imagenet|har")
-		modelName    = fs.String("model", "logistic", "model: linear|logistic|cnn|cnn-gap|vgg-mini|resnet-mini")
-		classes      = fs.Int("classes", 0, "x-class non-IID assignment (0 = IID)")
-		reduced      = fs.Bool("reduced", false, "run HierAdMo-R instead of adaptive HierAdMo")
-		scaleName    = fs.String("scale", "bench", `"bench" or "default"`)
-		seed         = fs.Uint64("seed", 0, "override seed (must match across all nodes)")
+		role          = fs.String("role", "", `node role: "cloud", "edge", or "worker"`)
+		edgeIdx       = fs.Int("edge", 0, "edge index ℓ (edge and worker roles)")
+		workerIdx     = fs.Int("index", 0, "worker index i within the edge (worker role)")
+		registryPath  = fs.String("registry", "", "path to the JSON node-ID → host:port registry")
+		datasetName   = fs.String("dataset", "mnist", "dataset: mnist|cifar10|imagenet|har")
+		modelName     = fs.String("model", "logistic", "model: linear|logistic|cnn|cnn-gap|vgg-mini|resnet-mini")
+		classes       = fs.Int("classes", 0, "x-class non-IID assignment (0 = IID)")
+		reduced       = fs.Bool("reduced", false, "run HierAdMo-R instead of adaptive HierAdMo")
+		scaleName     = fs.String("scale", "bench", `"bench" or "default"`)
+		seed          = fs.Uint64("seed", 0, "override seed (must match across all nodes)")
+		minQuorum     = fs.Float64("min-quorum", 0, "fraction of reporters an aggregation needs (0 or 1 = strict full cohort)")
+		straggler     = fs.Duration("straggler-deadline", 0, "how long an aggregation waits for the full cohort before proceeding with a quorum")
+		recvTO        = fs.Duration("recv-timeout", 0, "receive timeout per blocking wait (default 60s)")
+		checkpointDir = fs.String("checkpoint-dir", "", "snapshot node state into this directory after every completed round (enables crash recovery)")
+		resume        = fs.Bool("resume", false, "reload the newest snapshot from -checkpoint-dir and rejoin the protocol")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -90,7 +135,15 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-	opts := cluster.Options{Adaptive: !*reduced}
+	opts := cluster.Options{
+		Adaptive:          !*reduced,
+		MinQuorum:         *minQuorum,
+		StragglerDeadline: *straggler,
+		RecvTimeout:       *recvTO,
+		CheckpointDir:     *checkpointDir,
+		Resume:            *resume,
+		Interrupt:         interrupt,
+	}
 
 	switch *role {
 	case "cloud":

@@ -2,17 +2,17 @@ package main
 
 import (
 	"encoding/json"
-	"fmt"
 	"net"
 	"os"
 	"os/exec"
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 )
 
 func TestRunValidation(t *testing.T) {
-	if err := run([]string{"-role", "cloud"}); err == nil || !strings.Contains(err.Error(), "registry") {
+	if err := run([]string{"-role", "cloud"}, nil); err == nil || !strings.Contains(err.Error(), "registry") {
 		t.Errorf("missing registry err = %v", err)
 	}
 	dir := t.TempDir()
@@ -20,51 +20,43 @@ func TestRunValidation(t *testing.T) {
 	if err := os.WriteFile(reg, []byte(`{"cloud":"127.0.0.1:1"}`), 0o600); err != nil {
 		t.Fatal(err)
 	}
-	if err := run([]string{"-role", "pilot", "-registry", reg}); err == nil {
+	if err := run([]string{"-role", "pilot", "-registry", reg}, nil); err == nil {
 		t.Error("unknown role accepted")
 	}
-	if err := run([]string{"-role", "cloud", "-registry", filepath.Join(dir, "missing.json")}); err == nil {
+	if err := run([]string{"-role", "cloud", "-registry", filepath.Join(dir, "missing.json")}, nil); err == nil {
 		t.Error("missing registry file accepted")
 	}
 	badReg := filepath.Join(dir, "bad.json")
 	if err := os.WriteFile(badReg, []byte("{nope"), 0o600); err != nil {
 		t.Fatal(err)
 	}
-	if err := run([]string{"-role", "cloud", "-registry", badReg}); err == nil {
+	if err := run([]string{"-role", "cloud", "-registry", badReg}, nil); err == nil {
 		t.Error("malformed registry accepted")
 	}
-	if err := run([]string{"-role", "cloud", "-registry", reg, "-scale", "galactic"}); err == nil {
+	if err := run([]string{"-role", "cloud", "-registry", reg, "-scale", "galactic"}, nil); err == nil {
 		t.Error("unknown scale accepted")
 	}
-	if err := run([]string{"-bogus-flag"}); err == nil {
+	if err := run([]string{"-bogus-flag"}, nil); err == nil {
 		t.Error("bad flag accepted")
 	}
 }
 
-// TestHelperProcess is the re-exec target for the multi-process test: it
-// runs one flnode role and exits.
+// TestHelperProcess is the re-exec target for the multi-process tests: it
+// runs one flnode role with the real signal handling and exit-code mapping,
+// exactly as the installed binary would.
 func TestHelperProcess(t *testing.T) {
 	if os.Getenv("FLNODE_HELPER") != "1" {
 		t.Skip("helper process only")
 	}
 	args := strings.Split(os.Getenv("FLNODE_ARGS"), " ")
-	if err := run(args); err != nil {
-		fmt.Fprintln(os.Stderr, "helper:", err)
-		os.Exit(1)
-	}
-	os.Exit(0)
+	os.Exit(mainExit(args, installInterrupt("flnode")))
 }
 
-// TestMultiProcessDeployment spawns seven REAL OS processes (1 cloud, 2
-// edges, 4 workers) that talk over loopback TCP through a shared registry
-// file — the closest the test suite gets to the paper's physical testbed.
-func TestMultiProcessDeployment(t *testing.T) {
-	if testing.Short() {
-		t.Skip("multi-process test skipped in -short mode")
-	}
-	dir := t.TempDir()
-
-	// Reserve seven distinct loopback ports.
+// writeRegistry reserves seven distinct loopback ports (1 cloud, 2 edges, 4
+// workers), writes the node-ID → host:port registry JSON into dir, and
+// returns its path.
+func writeRegistry(t *testing.T, dir string) string {
+	t.Helper()
 	ids := []string{"cloud", "edge-0", "edge-1",
 		"worker-0-0", "worker-0-1", "worker-1-0", "worker-1-1"}
 	registry := make(map[string]string, len(ids))
@@ -88,17 +80,29 @@ func TestMultiProcessDeployment(t *testing.T) {
 	if err := os.WriteFile(regPath, raw, 0o600); err != nil {
 		t.Fatal(err)
 	}
+	return regPath
+}
 
-	common := "-registry " + regPath + " -model logistic -classes 3"
-	spawn := func(args string) *exec.Cmd {
-		cmd := exec.Command(os.Args[0], "-test.run", "TestHelperProcess")
-		cmd.Env = append(os.Environ(),
-			"FLNODE_HELPER=1",
-			"FLNODE_ARGS="+args+" "+common)
-		cmd.Stdout = os.Stdout
-		cmd.Stderr = os.Stderr
-		return cmd
+// spawnNode re-execs the test binary as one flnode process.
+func spawnNode(args, common string) *exec.Cmd {
+	cmd := exec.Command(os.Args[0], "-test.run", "TestHelperProcess")
+	cmd.Env = append(os.Environ(),
+		"FLNODE_HELPER=1",
+		"FLNODE_ARGS="+args+" "+common)
+	cmd.Stdout = os.Stdout
+	cmd.Stderr = os.Stderr
+	return cmd
+}
+
+// TestMultiProcessDeployment spawns seven REAL OS processes (1 cloud, 2
+// edges, 4 workers) that talk over loopback TCP through a shared registry
+// file — the closest the test suite gets to the paper's physical testbed.
+func TestMultiProcessDeployment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process test skipped in -short mode")
 	}
+	dir := t.TempDir()
+	common := "-registry " + writeRegistry(t, dir) + " -model logistic -classes 3"
 
 	var workers []*exec.Cmd
 	for _, args := range []string{
@@ -109,17 +113,104 @@ func TestMultiProcessDeployment(t *testing.T) {
 		"-role edge -edge 0",
 		"-role edge -edge 1",
 	} {
-		cmd := spawn(args)
+		cmd := spawnNode(args, common)
 		if err := cmd.Start(); err != nil {
 			t.Fatal(err)
 		}
 		workers = append(workers, cmd)
 	}
-	cloud := spawn("-role cloud")
+	cloud := spawnNode("-role cloud", common)
 	if err := cloud.Run(); err != nil {
 		t.Fatalf("cloud process failed: %v", err)
 	}
 	for i, cmd := range workers {
+		if err := cmd.Wait(); err != nil {
+			t.Errorf("node %d failed: %v", i, err)
+		}
+	}
+}
+
+// TestMultiProcessKillRestart is the crash-recovery acceptance test at the
+// process level: a full TCP deployment runs with checkpointing, one worker
+// process is SIGKILLed mid-run (no chance to flush anything), and a fresh
+// process with the same arguments plus -resume reloads its snapshot and
+// rejoins. The deployment runs in quorum mode so the cohort rides out the
+// outage, and the whole run — cloud included — must still finish cleanly.
+func TestMultiProcessKillRestart(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process test skipped in -short mode")
+	}
+	dir := t.TempDir()
+	ckptDir := filepath.Join(dir, "ckpt")
+	if err := os.Mkdir(ckptDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	common := strings.Join([]string{
+		"-registry", writeRegistry(t, dir),
+		"-model", "logistic",
+		"-classes", "3",
+		"-min-quorum", "0.4",
+		"-straggler-deadline", "300ms",
+		"-recv-timeout", "10s",
+		"-checkpoint-dir", ckptDir,
+	}, " ")
+
+	var others []*exec.Cmd
+	for _, args := range []string{
+		"-role worker -edge 0 -index 0",
+		"-role worker -edge 1 -index 0",
+		"-role worker -edge 1 -index 1",
+		"-role edge -edge 0",
+		"-role edge -edge 1",
+	} {
+		cmd := spawnNode(args, common)
+		if err := cmd.Start(); err != nil {
+			t.Fatal(err)
+		}
+		others = append(others, cmd)
+	}
+	victim := spawnNode("-role worker -edge 0 -index 1", common)
+	if err := victim.Start(); err != nil {
+		t.Fatal(err)
+	}
+	cloud := spawnNode("-role cloud", common)
+	if err := cloud.Start(); err != nil {
+		t.Fatal(err)
+	}
+
+	// SIGKILL the victim as soon as it has written its first snapshot.
+	pattern := filepath.Join(ckptDir, "worker-0-1-*.ckpt")
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		if matches, _ := filepath.Glob(pattern); len(matches) > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("victim never wrote a snapshot")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if err := victim.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	if err := victim.Wait(); err == nil {
+		t.Fatal("SIGKILLed worker exited cleanly")
+	}
+
+	// Relaunch with the same arguments plus -resume: the new process reloads
+	// the snapshot the dead one left behind and rejoins the protocol.
+	respawned := spawnNode("-role worker -edge 0 -index 1 -resume", common)
+	if err := respawned.Start(); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := cloud.Wait(); err != nil {
+		t.Fatalf("cloud process failed: %v", err)
+	}
+	if err := respawned.Wait(); err != nil {
+		t.Errorf("respawned worker failed: %v", err)
+	}
+	for i, cmd := range others {
 		if err := cmd.Wait(); err != nil {
 			t.Errorf("node %d failed: %v", i, err)
 		}

@@ -14,6 +14,8 @@
 package baseline
 
 import (
+	"fmt"
+
 	"hieradmo/internal/fl"
 	"hieradmo/internal/parallel"
 	"hieradmo/internal/tensor"
@@ -66,6 +68,32 @@ func flatAverage(dst tensor.Vector, workers []flatWorker, vecs []tensor.Vector) 
 		weights[j] = w.weight
 	}
 	return tensor.WeightedSum(dst, weights, vecs)
+}
+
+// checkpointRun prepares crash recovery for a baseline Run: it registers
+// every named vector group (indexed slices like per-worker models) and every
+// single vector (server model, global momentum) with the snapshot, restores
+// the newest valid generation, and returns the checkpointer plus the last
+// completed iteration; the training loop resumes at start+1. Scratch vectors
+// that are fully overwritten before use each iteration are not registered.
+func checkpointRun(hn *fl.Harness, name string, res *fl.Result, groups map[string][]tensor.Vector, singles map[string]tensor.Vector) (*fl.Checkpointer, int, error) {
+	ck, err := fl.NewCheckpointer(hn, name, "", res)
+	if err != nil {
+		return nil, 0, err
+	}
+	for gname, vecs := range groups {
+		for j, v := range vecs {
+			ck.Vector(fmt.Sprintf("%s/%d", gname, j), v)
+		}
+	}
+	for sname, v := range singles {
+		ck.Vector(sname, v)
+	}
+	start, err := ck.Restore()
+	if err != nil {
+		return nil, 0, err
+	}
+	return ck, start, nil
 }
 
 // recordFlat appends a curve point for the weighted average of the flattened

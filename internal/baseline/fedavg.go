@@ -37,7 +37,14 @@ func (FedAvg) Run(cfg *fl.Config) (*fl.Result, error) {
 	server := x0.Clone()
 	scratch := tensor.NewVector(dim)
 
-	for t := 1; t <= cfg.T; t++ {
+	ck, start, err := checkpointRun(hn, "FedAvg", res,
+		map[string][]tensor.Vector{"x": xs},
+		map[string]tensor.Vector{"server": server})
+	if err != nil {
+		return nil, err
+	}
+
+	for t := start + 1; t <= cfg.T; t++ {
 		err := forEachWorker(hn, workers, func(j int, w flatWorker) error {
 			if _, err := hn.Grad(w.l, w.i, xs[j], grads[j]); err != nil {
 				return err
@@ -58,6 +65,9 @@ func (FedAvg) Run(cfg *fl.Config) (*fl.Result, error) {
 			}
 		}
 		if err := recordFlat(hn, res, t, workers, xs, scratch); err != nil {
+			return nil, err
+		}
+		if err := ck.MaybeSnapshot(t); err != nil {
 			return nil, err
 		}
 	}

@@ -42,7 +42,14 @@ func (FedNAG) Run(cfg *fl.Config) (*fl.Result, error) {
 	serverY := x0.Clone()
 	scratch := tensor.NewVector(dim)
 
-	for t := 1; t <= cfg.T; t++ {
+	ck, start, err := checkpointRun(hn, "FedNAG", res,
+		map[string][]tensor.Vector{"x": xs, "y": ys},
+		map[string]tensor.Vector{"serverX": serverX, "serverY": serverY})
+	if err != nil {
+		return nil, err
+	}
+
+	for t := start + 1; t <= cfg.T; t++ {
 		err := forEachWorker(hn, workers, func(j int, w flatWorker) error {
 			if _, err := hn.Grad(w.l, w.i, xs[j], grads[j]); err != nil {
 				return err
@@ -84,6 +91,9 @@ func (FedNAG) Run(cfg *fl.Config) (*fl.Result, error) {
 			}
 		}
 		if err := recordFlat(hn, res, t, workers, xs, scratch); err != nil {
+			return nil, err
+		}
+		if err := ck.MaybeSnapshot(t); err != nil {
 			return nil, err
 		}
 	}

@@ -69,7 +69,17 @@ func (a *HierFAVG) Run(cfg *fl.Config) (*fl.Result, error) {
 	cloudX := x0.Clone()
 	scratch := tensor.NewVector(dim)
 
-	for t := 1; t <= cfg.T; t++ {
+	groups := map[string][]tensor.Vector{"edgeX": edgeX}
+	for l, row := range xs {
+		groups[fmt.Sprintf("x/%d", l)] = row
+	}
+	ck, start, err := checkpointRun(hn, a.Name(), res, groups,
+		map[string]tensor.Vector{"cloudX": cloudX})
+	if err != nil {
+		return nil, err
+	}
+
+	for t := start + 1; t <= cfg.T; t++ {
 		err := forEachWorker(hn, workers, func(_ int, w flatWorker) error {
 			if _, err := hn.Grad(w.l, w.i, xs[w.l][w.i], grads[w.l][w.i]); err != nil {
 				return err
@@ -117,6 +127,9 @@ func (a *HierFAVG) Run(cfg *fl.Config) (*fl.Result, error) {
 			if err := hn.RecordPoint(res, t, scratch); err != nil {
 				return nil, err
 			}
+		}
+		if err := ck.MaybeSnapshot(t); err != nil {
+			return nil, err
 		}
 	}
 	if err := hn.Finish(res, cloudX); err != nil {

@@ -49,7 +49,14 @@ func (Mime) Run(cfg *fl.Config) (*fl.Result, error) {
 	avgGrad := tensor.NewVector(dim)
 	scratch := tensor.NewVector(dim)
 
-	for t := 1; t <= cfg.T; t++ {
+	ck, start, err := checkpointRun(hn, "Mime", res,
+		map[string][]tensor.Vector{"x": xs, "gradSum": gradSums},
+		map[string]tensor.Vector{"server": server, "mom": mom})
+	if err != nil {
+		return nil, err
+	}
+
+	for t := start + 1; t <= cfg.T; t++ {
 		// mom is frozen during the round, so the parallel steps only read it.
 		err := forEachWorker(hn, workers, func(j int, w flatWorker) error {
 			if _, err := hn.Grad(w.l, w.i, xs[j], grads[j]); err != nil {
@@ -88,6 +95,9 @@ func (Mime) Run(cfg *fl.Config) (*fl.Result, error) {
 			}
 		}
 		if err := recordFlat(hn, res, t, workers, xs, scratch); err != nil {
+			return nil, err
+		}
+		if err := ck.MaybeSnapshot(t); err != nil {
 			return nil, err
 		}
 	}

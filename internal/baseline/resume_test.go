@@ -1,0 +1,92 @@
+package baseline
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+
+	"hieradmo/internal/fl"
+)
+
+// assertSameResult fails unless a and b are bit-identical.
+func assertSameResult(t *testing.T, a, b *fl.Result) {
+	t.Helper()
+	if a.FinalAcc != b.FinalAcc || a.FinalLoss != b.FinalLoss {
+		t.Fatalf("final metrics diverge: (%v, %v) vs (%v, %v)",
+			a.FinalAcc, a.FinalLoss, b.FinalAcc, b.FinalLoss)
+	}
+	if len(a.Curve) != len(b.Curve) {
+		t.Fatalf("curve lengths diverge: %d vs %d", len(a.Curve), len(b.Curve))
+	}
+	for i := range a.Curve {
+		if a.Curve[i] != b.Curve[i] {
+			t.Fatalf("curve point %d diverges: %+v vs %+v", i, a.Curve[i], b.Curve[i])
+		}
+	}
+}
+
+// deleteNewestSnapshot rewinds dir to the state a crash between the last two
+// snapshots leaves behind.
+func deleteNewestSnapshot(t *testing.T, dir string) {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".ckpt") {
+			names = append(names, e.Name())
+		}
+	}
+	if len(names) < 2 {
+		t.Fatalf("need at least 2 snapshot generations to rewind, have %v", names)
+	}
+	sort.Strings(names)
+	if err := os.Remove(filepath.Join(dir, names[len(names)-1])); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBaselinesResumeBitIdentical verifies crash recovery across every
+// baseline: an interrupted-and-resumed run reproduces the uninterrupted
+// run's curve and final metrics exactly, at several worker-pool sizes.
+func TestBaselinesResumeBitIdentical(t *testing.T) {
+	for _, alg := range allAlgorithms() {
+		alg := alg
+		t.Run(alg.Name(), func(t *testing.T) {
+			t.Parallel()
+			cfg := buildConfig(t, 11)
+			cfg.T = 40
+			cfg.EvalEvery = 8
+			ref, err := alg.Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			for _, pool := range []int{1, 2, 8} {
+				t.Run(fmt.Sprintf("pool-%d", pool), func(t *testing.T) {
+					dir := t.TempDir()
+					run := func() *fl.Result {
+						c := buildConfig(t, 11)
+						c.T = 40
+						c.EvalEvery = 8
+						c.Workers = pool
+						c.CheckpointDir = dir
+						res, err := alg.Run(c)
+						if err != nil {
+							t.Fatal(err)
+						}
+						return res
+					}
+					assertSameResult(t, ref, run())
+					deleteNewestSnapshot(t, dir)
+					assertSameResult(t, ref, run())
+				})
+			}
+		})
+	}
+}

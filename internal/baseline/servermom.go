@@ -60,7 +60,14 @@ func (a *serverMomentum) Run(cfg *fl.Config) (*fl.Result, error) {
 	avg := tensor.NewVector(dim)
 	scratch := tensor.NewVector(dim)
 
-	for t := 1; t <= cfg.T; t++ {
+	ck, start, err := checkpointRun(hn, a.name, res,
+		map[string][]tensor.Vector{"x": xs, "v": vs},
+		map[string]tensor.Vector{"server": server, "serverMom": serverMom})
+	if err != nil {
+		return nil, err
+	}
+
+	for t := start + 1; t <= cfg.T; t++ {
 		err := forEachWorker(hn, workers, func(j int, w flatWorker) error {
 			if _, err := hn.Grad(w.l, w.i, xs[j], grads[j]); err != nil {
 				return err
@@ -100,6 +107,9 @@ func (a *serverMomentum) Run(cfg *fl.Config) (*fl.Result, error) {
 			}
 		}
 		if err := recordFlat(hn, res, t, workers, xs, scratch); err != nil {
+			return nil, err
+		}
+		if err := ck.MaybeSnapshot(t); err != nil {
 			return nil, err
 		}
 	}

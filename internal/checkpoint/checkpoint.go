@@ -1,0 +1,370 @@
+// Package checkpoint persists complete mid-run training state so crashed or
+// interrupted runs resume bit-exactly. It extends internal/persist's binary
+// artifact format (magic + little-endian, length-prefixed payloads) with the
+// three properties recovery needs that final artifacts do not:
+//
+//   - integrity: a version field and a CRC-32 over the payload, so a torn or
+//     bit-flipped file is detected and rejected (wrapped ErrFormat) instead of
+//     silently resuming from garbage;
+//   - atomicity: snapshots are written to a temp file in the target
+//     directory, fsynced, and renamed into place, so a crash mid-write never
+//     destroys the previous snapshot;
+//   - identity: every snapshot embeds a config fingerprint, and restore
+//     refuses (ErrMismatch) to load state produced under a different
+//     configuration.
+//
+// A Manager keeps the last two snapshot generations per node and falls back
+// to the previous generation when the newest is corrupt. A Registry binds
+// named live state (vectors, RNG streams, counters) to snapshot fields so
+// algorithms declare once what their resumable state is.
+package checkpoint
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+
+	"hieradmo/internal/rng"
+)
+
+var (
+	// ErrFormat wraps every malformed-snapshot failure: truncation, bad
+	// magic, unknown version, CRC mismatch, implausible lengths.
+	ErrFormat = errors.New("checkpoint: malformed snapshot")
+	// ErrMismatch wraps fingerprint mismatches: the snapshot is intact but
+	// was produced by a different configuration, so resuming from it would
+	// silently train the wrong run.
+	ErrMismatch = errors.New("checkpoint: config fingerprint mismatch")
+)
+
+// magic identifies snapshot files; "HADMOCK1" is internal/persist's
+// parameters-only checkpoint, this is its stateful successor.
+const magic = "HADMOCK2"
+
+// version is bumped on any incompatible payload layout change.
+const version = 1
+
+const (
+	// maxStringLen bounds decoded string lengths (names, fingerprints).
+	maxStringLen = 1 << 20
+	// maxVectorLen bounds decoded vector lengths (8 GiB of float64s),
+	// matching persist.ReadCheckpoint's guard against corrupt lengths.
+	maxVectorLen = 1 << 30
+	// maxEntries bounds every section's entry count.
+	maxEntries = 1 << 24
+)
+
+// State is one complete, self-describing training snapshot: a config
+// fingerprint, the sequence number of the last completed iteration (or
+// protocol round), and named sections for every kind of resumable state.
+type State struct {
+	// Fingerprint identifies the configuration that produced the snapshot.
+	Fingerprint string
+	// Seq is the last fully completed iteration/round the snapshot captures.
+	Seq int
+	// Vectors holds model parameters, momentum buffers, and accumulators.
+	Vectors map[string][]float64
+	// RNGs holds the position of every random stream (mini-batch samplers,
+	// participation sampling, stochastic quantization).
+	RNGs map[string]rng.Snapshot
+	// Ints holds integer counters (protocol watermarks like syncedThrough).
+	Ints map[string]int64
+	// Floats holds scalar state (losses, momentum magnitudes).
+	Floats map[string]float64
+}
+
+// NewState returns an empty snapshot for the given fingerprint and sequence
+// number.
+func NewState(fingerprint string, seq int) *State {
+	return &State{
+		Fingerprint: fingerprint,
+		Seq:         seq,
+		Vectors:     make(map[string][]float64),
+		RNGs:        make(map[string]rng.Snapshot),
+		Ints:        make(map[string]int64),
+		Floats:      make(map[string]float64),
+	}
+}
+
+// Write serializes the state to w: magic, version, payload length, payload,
+// CRC-32 (IEEE) of the payload. Map sections are encoded in sorted key order
+// so identical states serialize to identical bytes.
+func Write(w io.Writer, st *State) error {
+	payload, err := encodePayload(st)
+	if err != nil {
+		return err
+	}
+	header := make([]byte, 0, len(magic)+4+8)
+	header = append(header, magic...)
+	header = binary.LittleEndian.AppendUint32(header, version)
+	header = binary.LittleEndian.AppendUint64(header, uint64(len(payload)))
+	if _, err := w.Write(header); err != nil {
+		return fmt.Errorf("checkpoint: write header: %w", err)
+	}
+	if _, err := w.Write(payload); err != nil {
+		return fmt.Errorf("checkpoint: write payload: %w", err)
+	}
+	var crc [4]byte
+	binary.LittleEndian.PutUint32(crc[:], crc32.ChecksumIEEE(payload))
+	if _, err := w.Write(crc[:]); err != nil {
+		return fmt.Errorf("checkpoint: write crc: %w", err)
+	}
+	return nil
+}
+
+// Read deserializes a state written by Write, verifying magic, version, and
+// CRC. Every malformed input fails with a wrapped ErrFormat; Read never
+// panics on corrupt bytes.
+func Read(r io.Reader) (*State, error) {
+	head := make([]byte, len(magic)+4+8)
+	if _, err := io.ReadFull(r, head); err != nil {
+		return nil, fmt.Errorf("%w: header: %v", ErrFormat, err)
+	}
+	if string(head[:len(magic)]) != magic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrFormat, head[:len(magic)])
+	}
+	if v := binary.LittleEndian.Uint32(head[len(magic):]); v != version {
+		return nil, fmt.Errorf("%w: unsupported version %d (want %d)", ErrFormat, v, version)
+	}
+	n := binary.LittleEndian.Uint64(head[len(magic)+4:])
+	if n > maxVectorLen*8 {
+		return nil, fmt.Errorf("%w: implausible payload length %d", ErrFormat, n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, fmt.Errorf("%w: payload: %v", ErrFormat, err)
+	}
+	var crc [4]byte
+	if _, err := io.ReadFull(r, crc[:]); err != nil {
+		return nil, fmt.Errorf("%w: crc: %v", ErrFormat, err)
+	}
+	if want, got := binary.LittleEndian.Uint32(crc[:]), crc32.ChecksumIEEE(payload); want != got {
+		return nil, fmt.Errorf("%w: crc mismatch (stored %08x, computed %08x)", ErrFormat, want, got)
+	}
+	if extra, err := io.Copy(io.Discard, r); err == nil && extra > 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes after crc", ErrFormat, extra)
+	}
+	return decodePayload(payload)
+}
+
+// encoder appends little-endian fields to a growing payload buffer.
+type encoder struct{ buf []byte }
+
+func (e *encoder) u32(v uint32)  { e.buf = binary.LittleEndian.AppendUint32(e.buf, v) }
+func (e *encoder) u64(v uint64)  { e.buf = binary.LittleEndian.AppendUint64(e.buf, v) }
+func (e *encoder) i64(v int64)   { e.u64(uint64(v)) }
+func (e *encoder) f64(v float64) { e.u64(math.Float64bits(v)) }
+
+func (e *encoder) str(s string) error {
+	if len(s) > maxStringLen {
+		return fmt.Errorf("checkpoint: string field of %d bytes exceeds limit", len(s))
+	}
+	e.u32(uint32(len(s)))
+	e.buf = append(e.buf, s...)
+	return nil
+}
+
+func encodePayload(st *State) ([]byte, error) {
+	e := &encoder{}
+	if err := e.str(st.Fingerprint); err != nil {
+		return nil, err
+	}
+	e.i64(int64(st.Seq))
+
+	e.u32(uint32(len(st.Vectors)))
+	for _, name := range sortedKeys(st.Vectors) {
+		v := st.Vectors[name]
+		if len(v) > maxVectorLen {
+			return nil, fmt.Errorf("checkpoint: vector %q of %d elements exceeds limit", name, len(v))
+		}
+		if err := e.str(name); err != nil {
+			return nil, err
+		}
+		e.u64(uint64(len(v)))
+		for _, x := range v {
+			e.f64(x)
+		}
+	}
+	e.u32(uint32(len(st.RNGs)))
+	for _, name := range sortedKeys(st.RNGs) {
+		s := st.RNGs[name]
+		if err := e.str(name); err != nil {
+			return nil, err
+		}
+		e.u64(s.State)
+		e.f64(s.Spare)
+		if s.HasSpare {
+			e.buf = append(e.buf, 1)
+		} else {
+			e.buf = append(e.buf, 0)
+		}
+	}
+	e.u32(uint32(len(st.Ints)))
+	for _, name := range sortedKeys(st.Ints) {
+		if err := e.str(name); err != nil {
+			return nil, err
+		}
+		e.i64(st.Ints[name])
+	}
+	e.u32(uint32(len(st.Floats)))
+	for _, name := range sortedKeys(st.Floats) {
+		if err := e.str(name); err != nil {
+			return nil, err
+		}
+		e.f64(st.Floats[name])
+	}
+	return e.buf, nil
+}
+
+// decoder consumes little-endian fields from a payload, failing with
+// ErrFormat on any short read or implausible length.
+type decoder struct{ buf []byte }
+
+func (d *decoder) take(n int) ([]byte, error) {
+	if n < 0 || len(d.buf) < n {
+		return nil, fmt.Errorf("%w: payload truncated (%d bytes left, need %d)", ErrFormat, len(d.buf), n)
+	}
+	b := d.buf[:n]
+	d.buf = d.buf[n:]
+	return b, nil
+}
+
+func (d *decoder) u32() (uint32, error) {
+	b, err := d.take(4)
+	if err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint32(b), nil
+}
+
+func (d *decoder) u64() (uint64, error) {
+	b, err := d.take(8)
+	if err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint64(b), nil
+}
+
+func (d *decoder) f64() (float64, error) {
+	v, err := d.u64()
+	return math.Float64frombits(v), err
+}
+
+func (d *decoder) str() (string, error) {
+	n, err := d.u32()
+	if err != nil {
+		return "", err
+	}
+	if n > maxStringLen {
+		return "", fmt.Errorf("%w: implausible string length %d", ErrFormat, n)
+	}
+	b, err := d.take(int(n))
+	return string(b), err
+}
+
+func (d *decoder) count(section string) (int, error) {
+	n, err := d.u32()
+	if err != nil {
+		return 0, err
+	}
+	if n > maxEntries {
+		return 0, fmt.Errorf("%w: implausible %s count %d", ErrFormat, section, n)
+	}
+	return int(n), nil
+}
+
+func decodePayload(payload []byte) (*State, error) {
+	d := &decoder{buf: payload}
+	fp, err := d.str()
+	if err != nil {
+		return nil, err
+	}
+	seq, err := d.u64()
+	if err != nil {
+		return nil, err
+	}
+	st := NewState(fp, int(int64(seq)))
+
+	nVec, err := d.count("vector")
+	if err != nil {
+		return nil, err
+	}
+	for j := 0; j < nVec; j++ {
+		name, err := d.str()
+		if err != nil {
+			return nil, err
+		}
+		n, err := d.u64()
+		if err != nil {
+			return nil, err
+		}
+		if n > maxVectorLen {
+			return nil, fmt.Errorf("%w: implausible vector length %d for %q", ErrFormat, n, name)
+		}
+		v := make([]float64, n)
+		for i := range v {
+			if v[i], err = d.f64(); err != nil {
+				return nil, err
+			}
+		}
+		st.Vectors[name] = v
+	}
+	nRNG, err := d.count("rng")
+	if err != nil {
+		return nil, err
+	}
+	for j := 0; j < nRNG; j++ {
+		name, err := d.str()
+		if err != nil {
+			return nil, err
+		}
+		var s rng.Snapshot
+		if s.State, err = d.u64(); err != nil {
+			return nil, err
+		}
+		if s.Spare, err = d.f64(); err != nil {
+			return nil, err
+		}
+		b, err := d.take(1)
+		if err != nil {
+			return nil, err
+		}
+		s.HasSpare = b[0] != 0
+		st.RNGs[name] = s
+	}
+	nInt, err := d.count("int")
+	if err != nil {
+		return nil, err
+	}
+	for j := 0; j < nInt; j++ {
+		name, err := d.str()
+		if err != nil {
+			return nil, err
+		}
+		v, err := d.u64()
+		if err != nil {
+			return nil, err
+		}
+		st.Ints[name] = int64(v)
+	}
+	nFloat, err := d.count("float")
+	if err != nil {
+		return nil, err
+	}
+	for j := 0; j < nFloat; j++ {
+		name, err := d.str()
+		if err != nil {
+			return nil, err
+		}
+		if st.Floats[name], err = d.f64(); err != nil {
+			return nil, err
+		}
+	}
+	if len(d.buf) != 0 {
+		return nil, fmt.Errorf("%w: %d unconsumed payload bytes", ErrFormat, len(d.buf))
+	}
+	return st, nil
+}

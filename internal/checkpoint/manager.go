@@ -1,0 +1,186 @@
+package checkpoint
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// keepGenerations is how many snapshot generations a Manager retains per
+// base name. Two generations means a crash during (or a corruption of) the
+// newest write always leaves the previous one to fall back to.
+const keepGenerations = 2
+
+// Manager owns the snapshot files of one logical node (or one simulation
+// run) inside a checkpoint directory: it writes generations atomically,
+// prunes old ones, and loads the newest generation that still validates,
+// falling back past corrupt files.
+//
+// Files are named "<base>-<seq>.ckpt"; base isolates multiple nodes sharing
+// one directory (the in-process cluster) from each other.
+type Manager struct {
+	dir  string
+	base string
+}
+
+// NewManager prepares (and creates, if needed) dir for snapshots of the
+// given base name.
+func NewManager(dir, base string) (*Manager, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("checkpoint: empty directory")
+	}
+	if base == "" || strings.ContainsAny(base, "/\\") {
+		return nil, fmt.Errorf("checkpoint: invalid base name %q", base)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("checkpoint: create dir: %w", err)
+	}
+	return &Manager{dir: dir, base: base}, nil
+}
+
+// path returns the file name of the generation with sequence number seq.
+func (m *Manager) path(seq int) string {
+	return filepath.Join(m.dir, fmt.Sprintf("%s-%010d.ckpt", m.base, seq))
+}
+
+// Save writes st as a new generation atomically — temp file in the same
+// directory, fsync, close, rename — then prunes generations beyond
+// keepGenerations. A crash at any point leaves at least the previous
+// generation intact and readable.
+func (m *Manager) Save(st *State) error {
+	f, err := os.CreateTemp(m.dir, m.base+"-*.tmp")
+	if err != nil {
+		return fmt.Errorf("checkpoint: temp file: %w", err)
+	}
+	tmp := f.Name()
+	// Write, sync, and close exactly once, propagating the first failure;
+	// the temp file is unlinked on any error so aborted writes leave no
+	// debris behind.
+	err = Write(f, st)
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("checkpoint: write %s seq %d: %w", m.base, st.Seq, err)
+	}
+	if err := os.Rename(tmp, m.path(st.Seq)); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("checkpoint: publish %s seq %d: %w", m.base, st.Seq, err)
+	}
+	return m.prune()
+}
+
+// generations lists this base's snapshot sequence numbers, newest first.
+func (m *Manager) generations() ([]int, error) {
+	entries, err := os.ReadDir(m.dir)
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("checkpoint: list %s: %w", m.dir, err)
+	}
+	prefix := m.base + "-"
+	var seqs []int
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasPrefix(name, prefix) || !strings.HasSuffix(name, ".ckpt") {
+			continue
+		}
+		seqStr := strings.TrimSuffix(strings.TrimPrefix(name, prefix), ".ckpt")
+		seq, err := strconv.Atoi(seqStr)
+		if err != nil {
+			continue // foreign file that happens to share the prefix
+		}
+		seqs = append(seqs, seq)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(seqs)))
+	return seqs, nil
+}
+
+// prune removes generations beyond keepGenerations, oldest first.
+func (m *Manager) prune() error {
+	seqs, err := m.generations()
+	if err != nil {
+		return err
+	}
+	for _, seq := range seqs[min(len(seqs), keepGenerations):] {
+		if err := os.Remove(m.path(seq)); err != nil && !errors.Is(err, fs.ErrNotExist) {
+			return fmt.Errorf("checkpoint: prune seq %d: %w", seq, err)
+		}
+	}
+	return nil
+}
+
+// Latest loads the newest snapshot generation that validates. A corrupt
+// newest generation (wrapped ErrFormat from Read) falls back to the previous
+// one; only when every existing generation is corrupt does Latest fail. With
+// no snapshot files at all it returns (nil, nil): a fresh start.
+func (m *Manager) Latest() (*State, error) {
+	seqs, err := m.generations()
+	if err != nil {
+		return nil, err
+	}
+	var lastErr error
+	for _, seq := range seqs {
+		st, err := m.load(m.path(seq))
+		if err == nil {
+			return st, nil
+		}
+		if !errors.Is(err, ErrFormat) {
+			return nil, err
+		}
+		lastErr = err // corrupt: fall back to the previous generation
+	}
+	if lastErr != nil {
+		return nil, fmt.Errorf("checkpoint: every generation of %s is corrupt: %w", m.base, lastErr)
+	}
+	return nil, nil
+}
+
+func (m *Manager) load(path string) (*State, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: %w", err)
+	}
+	defer f.Close()
+	st, err := Read(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return st, nil
+}
+
+// Clear removes every snapshot generation of this base, for runs starting
+// fresh in a previously used directory.
+func (m *Manager) Clear() error {
+	seqs, err := m.generations()
+	if err != nil {
+		return err
+	}
+	for _, seq := range seqs {
+		if err := os.Remove(m.path(seq)); err != nil && !errors.Is(err, fs.ErrNotExist) {
+			return fmt.Errorf("checkpoint: clear seq %d: %w", seq, err)
+		}
+	}
+	return nil
+}
+
+// sortedKeys returns a map's keys in ascending order, for deterministic
+// serialization.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"time"
 
+	"hieradmo/internal/checkpoint"
 	"hieradmo/internal/fl"
 	"hieradmo/internal/model"
 	"hieradmo/internal/tensor"
@@ -26,6 +27,7 @@ type cloudNode struct {
 	ep   transport.Endpoint
 	opts Options
 	rec  *faultRecorder
+	reg  *checkpoint.Registry
 
 	cloudX, cloudY tensor.Vector
 	// lastY/lastX hold each edge's most recent [y_ℓ−, x_ℓ+] report,
@@ -62,17 +64,104 @@ func newCloudNode(cfg *fl.Config, hn *fl.Harness, x0 tensor.Vector, ep transport
 	return c
 }
 
+// initCheckpoint binds the cloud's aggregation state — the global model and
+// momentum, every edge's last report, the loss and miss-streak ledgers, the
+// accuracy curve, and the ride-ahead stash — to its snapshot registry and
+// applies the Resume option. It returns the sync to continue after.
+func (c *cloudNode) initCheckpoint(res *fl.Result, weightedLoss *float64) (int, error) {
+	reg, err := nodeRegistry(c.cfg, c.opts, CloudID)
+	if err != nil || reg == nil {
+		return 0, err
+	}
+	reg.Vector("cloudX", c.cloudX)
+	reg.Vector("cloudY", c.cloudY)
+	for l := range c.lastY {
+		reg.Vector(fmt.Sprintf("lastY/%d", l), c.lastY[l])
+		reg.Vector(fmt.Sprintf("lastX/%d", l), c.lastX[l])
+		reg.Int(fmt.Sprintf("missStreak/%d", l), &c.missStreak[l])
+	}
+	reg.Vector("lastLoss", c.lastLoss)
+	reg.Float("weightedLoss", weightedLoss)
+	reg.Dynamic("curve",
+		func() []float64 {
+			flat := make([]float64, 0, 3*len(res.Curve))
+			for _, pt := range res.Curve {
+				flat = append(flat, float64(pt.Iter), pt.TestAcc, pt.TrainLoss)
+			}
+			return flat
+		},
+		func(flat []float64) error {
+			if len(flat)%3 != 0 {
+				return fmt.Errorf("curve holds %d values, not triples", len(flat))
+			}
+			curve := make([]fl.Point, 0, len(flat)/3)
+			for i := 0; i+2 < len(flat); i += 3 {
+				iter := int(flat[i])
+				if float64(iter) != flat[i] {
+					return fmt.Errorf("curve iteration %v is not an integer", flat[i])
+				}
+				curve = append(curve, fl.Point{Iter: iter, TestAcc: flat[i+1], TrainLoss: flat[i+2]})
+			}
+			res.Curve = curve
+			return nil
+		})
+	dim := len(c.cloudX)
+	reg.Dynamic("pending",
+		func() []float64 { return encodePending(c.pending, 2, dim, parseEdgeIndex) },
+		func(flat []float64) error {
+			msgs, err := decodePending(flat, 2, dim, KindCloudReport, EdgeID)
+			if err != nil {
+				return err
+			}
+			c.pending = msgs
+			return nil
+		})
+	c.reg = reg
+	return restoreOrClear(reg, c.opts.Resume)
+}
+
+// redistribute sends the sync-p cloud update (lines 20–21) to every edge.
+func (c *cloudNode) redistribute(p int) error {
+	update := transport.Message{
+		Kind:    KindCloudUpdate,
+		Round:   p * c.cfg.Tau * c.cfg.Pi,
+		Vectors: [][]float64{c.cloudY, c.cloudX},
+	}
+	for l := 0; l < c.cfg.NumEdges(); l++ {
+		if err := c.ep.Send(EdgeID(l), update); err != nil {
+			return fmt.Errorf("cluster: cloud redistribute to edge %d: %w", l, err)
+		}
+	}
+	return nil
+}
+
 func (c *cloudNode) run() (*fl.Result, error) {
 	name := "HierAdMo/cluster"
 	if !c.opts.Adaptive {
 		name = "HierAdMo-R/cluster"
 	}
 	res := c.hn.NewResult(name)
-	numEdges := c.cfg.NumEdges()
 	numRounds := c.cfg.T / (c.cfg.Tau * c.cfg.Pi)
 	var weightedLoss float64
 
-	for p := 1; p <= numRounds; p++ {
+	start, err := c.initCheckpoint(res, &weightedLoss)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: cloud: %w", err)
+	}
+	if start > 0 {
+		// The snapshot precedes its sync's redistribution, so re-send that
+		// update on resume: edges already past the sync discard it as stale,
+		// edges still waiting on it adopt it (directly or via the
+		// mid-collect fast-forward) and catch up.
+		if err := c.redistribute(start); err != nil {
+			return nil, fmt.Errorf("cluster: cloud resume: %w", err)
+		}
+	}
+
+	for p := start + 1; p <= numRounds; p++ {
+		if interrupted(c.opts.Interrupt) {
+			return nil, fmt.Errorf("cluster: cloud: %w", ErrInterrupted)
+		}
 		if err := c.collectReports(p); err != nil {
 			return nil, fmt.Errorf("cluster: cloud round %d: %w", p, err)
 		}
@@ -86,16 +175,10 @@ func (c *cloudNode) run() (*fl.Result, error) {
 		for l, loss := range c.lastLoss {
 			weightedLoss += c.hn.EdgeWeights[l] * loss
 		}
-		update := transport.Message{
-			Kind:    KindCloudUpdate,
-			Round:   p * c.cfg.Tau * c.cfg.Pi,
-			Vectors: [][]float64{c.cloudY, c.cloudX},
-		}
-		for l := 0; l < numEdges; l++ { // lines 20–21
-			if err := c.ep.Send(EdgeID(l), update); err != nil {
-				return nil, fmt.Errorf("cluster: cloud redistribute to edge %d: %w", l, err)
-			}
-		}
+		// Record the curve point and snapshot BEFORE redistributing, so a
+		// resume never loses this sync's measurement and can re-send the
+		// update. (The eval is pure read-only compute; doing it ahead of the
+		// sends only delays the edges by the eval itself.)
 		if p < numRounds && c.cfg.EvalEvery > 0 {
 			acc, err := model.Accuracy(c.cfg.Model, c.cloudX, c.hn.EvalSet())
 			if err != nil {
@@ -106,6 +189,12 @@ func (c *cloudNode) run() (*fl.Result, error) {
 				TestAcc:   acc,
 				TrainLoss: weightedLoss,
 			})
+		}
+		if err := saveSnapshot(c.reg, p); err != nil {
+			return nil, fmt.Errorf("cluster: cloud round %d: %w", p, err)
+		}
+		if err := c.redistribute(p); err != nil {
+			return nil, err
 		}
 	}
 
@@ -188,7 +277,7 @@ func (c *cloudNode) collectReports(p int) error {
 					got, numEdges, quorum, transport.ErrTimeout)
 			}
 		}
-		msg, err := c.ep.RecvTimeout(wait)
+		msg, err := recvInterruptible(c.ep, wait, c.opts.Interrupt)
 		if err != nil {
 			if errors.Is(err, transport.ErrTimeout) {
 				continue
@@ -257,8 +346,15 @@ func (c *cloudNode) admitReport(msg transport.Message, fresh []bool) (bool, erro
 		return false, nil
 	}
 	fresh[l] = true
-	c.lastY[l] = msg.Vectors[0]
-	c.lastX[l] = msg.Vectors[1]
+	// Copy into the standing buffers instead of rebinding the slots: the
+	// checkpoint registry captures lastY/lastX by reference, so the backing
+	// arrays registered at startup must keep holding the live state.
+	if err := c.lastY[l].CopyFrom(msg.Vectors[0]); err != nil {
+		return false, err
+	}
+	if err := c.lastX[l].CopyFrom(msg.Vectors[1]); err != nil {
+		return false, err
+	}
 	c.lastLoss[l] = msg.Scalars[ScalarLoss]
 	return true, nil
 }

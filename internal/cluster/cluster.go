@@ -52,6 +52,24 @@ type Options struct {
 	// stragglers after its quorum is reached before proceeding without them
 	// (default RecvTimeout; only meaningful with MinQuorum < 1).
 	StragglerDeadline time.Duration
+	// CheckpointDir enables crash recovery: every node persists its state
+	// into this directory (one snapshot file family per node ID) after each
+	// completed protocol unit — workers per edge interval, edges per
+	// aggregation round, the cloud per sync. Empty disables checkpointing.
+	CheckpointDir string
+	// Resume restarts the run from the checkpoints in CheckpointDir: each
+	// node reloads its newest valid generation and rejoins the protocol at
+	// the position it had saved, replaying at most one interval of local
+	// compute. Without Resume a run clears leftover generations and starts
+	// fresh. Snapshots from a different config or algorithm setup are
+	// refused (checkpoint.ErrMismatch).
+	Resume bool
+	// Interrupt, when non-nil, requests a graceful shutdown once it is
+	// closed: every node stops at its next interruptible point, nodes with
+	// checkpointing enabled leave their last completed snapshot behind, and
+	// Run fails with an error wrapping ErrInterrupted. A later run with
+	// Resume picks up from those snapshots.
+	Interrupt <-chan struct{}
 }
 
 func (o Options) withDefaults() Options {
@@ -79,6 +97,9 @@ func (o Options) validate() error {
 	}
 	if o.StragglerDeadline < 0 || o.RecvTimeout < 0 {
 		return fmt.Errorf("cluster: negative timeout")
+	}
+	if o.Resume && o.CheckpointDir == "" {
+		return fmt.Errorf("cluster: Resume requires CheckpointDir")
 	}
 	return nil
 }
@@ -158,15 +179,55 @@ func Run(cfg *fl.Config, net Network, opts Options) (*fl.Result, error) {
 		mu.Unlock()
 	}
 
+	// runDone closes once the cloud has produced its verdict; it bounds the
+	// lifetime of respawned workers so a restarted node that has nothing
+	// left to do can never outlive the run.
+	runDone := make(chan struct{})
+	rv, _ := net.(reviver)
+
 	for l := range cfg.Edges {
 		for i := range cfg.Edges[l] {
 			w := newWorkerNode(cfg, hn, l, i, x0, workerEPs[l][i], opts)
 			w.rec = rec
+			done := make(chan struct{})
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
+				defer close(done)
 				fail(w.run())
 			}()
+			if rv == nil || !opts.tolerant() || !rv.RestartPlanned(WorkerID(l, i)) {
+				continue
+			}
+			// Supervisor: once the original incarnation has died AND the
+			// fault plan's outage window has ended, respawn the worker from
+			// its checkpoint (Resume). It reloads its last snapshot — or
+			// starts from x⁰ when it crashed before ever saving — re-sends
+			// its stale report, and rejoins through the stale-rejection and
+			// fast-forward resync machinery like any straggler.
+			wg.Add(1)
+			go func(l, i int, ep transport.Endpoint, done <-chan struct{}) {
+				defer wg.Done()
+				<-done
+				for !rv.Revived(WorkerID(l, i)) {
+					select {
+					case <-runDone:
+						return // run finished before the outage ended
+					case <-time.After(5 * time.Millisecond):
+					}
+				}
+				ropts := opts
+				ropts.Resume = opts.CheckpointDir != ""
+				ropts.Interrupt = mergeInterrupt(opts.Interrupt, runDone)
+				rw := newWorkerNode(cfg, hn, l, i, x0, ep, ropts)
+				rw.rec = rec
+				if err := rw.run(); err != nil && !errors.Is(err, ErrInterrupted) {
+					// An interrupt here just means the run ended while the
+					// respawned worker was still catching up — expected, not
+					// a fault.
+					fail(err)
+				}
+			}(l, i, workerEPs[l][i], done)
 		}
 		e := newEdgeNode(cfg, hn, l, x0, edgeEPs[l], opts)
 		e.rec = rec
@@ -187,6 +248,7 @@ func Run(cfg *fl.Config, net Network, opts Options) (*fl.Result, error) {
 		mu.Lock()
 		result, cloudErr = res, err
 		mu.Unlock()
+		close(runDone)
 	}()
 
 	wg.Wait()

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"time"
 
+	"hieradmo/internal/checkpoint"
 	"hieradmo/internal/core"
 	"hieradmo/internal/fl"
 	"hieradmo/internal/tensor"
@@ -28,6 +29,7 @@ type edgeNode struct {
 	ep   transport.Endpoint
 	opts Options
 	rec  *faultRecorder
+	reg  *checkpoint.Registry
 
 	yMinus, yPlus, yPlusNext, xPlus tensor.Vector
 	// lastY is the worker momentum most recently redistributed to the
@@ -63,10 +65,72 @@ func newEdgeNode(cfg *fl.Config, hn *fl.Harness, l int, x0 tensor.Vector, ep tra
 	}
 }
 
+// initCheckpoint binds the edge's aggregation state — both momenta, the edge
+// model, the velocity-signal reference, the per-worker loss cache, and the
+// ride-ahead report stash — to its snapshot registry and applies the Resume
+// option. It returns the aggregation round to continue after.
+func (e *edgeNode) initCheckpoint() (int, error) {
+	reg, err := nodeRegistry(e.cfg, e.opts, EdgeID(e.l))
+	if err != nil || reg == nil {
+		return 0, err
+	}
+	reg.Vector("yMinus", e.yMinus)
+	reg.Vector("yPlus", e.yPlus)
+	reg.Vector("xPlus", e.xPlus)
+	reg.Vector("lastY", e.lastY)
+	reg.Vector("lastLosses", e.lastLosses)
+	dim := len(e.x0)
+	reg.Dynamic("pending",
+		func() []float64 { return encodePending(e.pending, 4, dim, parseWorkerIndex) },
+		func(flat []float64) error {
+			msgs, err := decodePending(flat, 4, dim, KindEdgeReport, func(i int) string { return WorkerID(e.l, i) })
+			if err != nil {
+				return err
+			}
+			e.pending = msgs
+			return nil
+		})
+	e.reg = reg
+	return restoreOrClear(reg, e.opts.Resume)
+}
+
+// redistribute sends the round-k edge update (lines 14–15, and 22–23 after a
+// cloud round) to every worker. Stragglers that missed the aggregation
+// resynchronize from it, mirroring how non-participants rejoin in the
+// simulation.
+func (e *edgeNode) redistribute(k int) error {
+	update := transport.Message{
+		Kind:    KindEdgeUpdate,
+		Round:   k * e.cfg.Tau,
+		Vectors: [][]float64{e.yMinus, e.xPlus},
+	}
+	for i := range e.cfg.Edges[e.l] {
+		if err := e.ep.Send(WorkerID(e.l, i), update); err != nil {
+			return fmt.Errorf("cluster: edge %d redistribute to %d: %w", e.l, i, err)
+		}
+	}
+	return nil
+}
+
 func (e *edgeNode) run() error {
-	numWorkers := len(e.cfg.Edges[e.l])
 	numRounds := e.cfg.T / e.cfg.Tau
-	for k := 1; k <= numRounds; k++ {
+	start, err := e.initCheckpoint()
+	if err != nil {
+		return fmt.Errorf("cluster: edge %d: %w", e.l, err)
+	}
+	if start > 0 {
+		// The snapshot was taken before the round's redistribution, so a
+		// crash can land between the two. Re-send the snapshotted round's
+		// update: workers already past it discard the duplicate as stale,
+		// workers still waiting on it adopt it and catch up.
+		if err := e.redistribute(start); err != nil {
+			return fmt.Errorf("cluster: edge %d resume: %w", e.l, err)
+		}
+	}
+	for k := start + 1; k <= numRounds; k++ {
+		if interrupted(e.opts.Interrupt) {
+			return fmt.Errorf("cluster: edge %d: %w", e.l, ErrInterrupted)
+		}
 		reports, idx, adopted, err := e.collectReports(k)
 		if err != nil {
 			return fmt.Errorf("cluster: edge %d round %d: %w", e.l, k, err)
@@ -96,21 +160,19 @@ func (e *edgeNode) run() error {
 				}
 			}
 		}
-		// Lines 14–15 (and 22–23 after a cloud round): redistribute. Every
-		// worker gets the update — stragglers that missed the aggregation
-		// resynchronize from it, mirroring how non-participants rejoin in
-		// the simulation.
-		update := transport.Message{
-			Kind:    KindEdgeUpdate,
-			Round:   k * e.cfg.Tau,
-			Vectors: [][]float64{e.yMinus, e.xPlus},
-		}
-		for i := 0; i < numWorkers; i++ {
-			if err := e.ep.Send(WorkerID(e.l, i), update); err != nil {
-				return fmt.Errorf("cluster: edge %d redistribute to %d: %w", e.l, i, err)
-			}
-		}
+		// Settle the round's remaining state and snapshot it BEFORE the
+		// redistribution: a resumed edge then re-sends the snapshotted
+		// round's update, so workers can never be stranded waiting for an
+		// update that died with the edge process. (lastY only feeds the next
+		// round's velocity signal, so moving its refresh ahead of the sends
+		// does not change any message.)
 		if err := e.lastY.CopyFrom(e.yMinus); err != nil {
+			return err
+		}
+		if err := saveSnapshot(e.reg, k); err != nil {
+			return fmt.Errorf("cluster: edge %d round %d: %w", e.l, k, err)
+		}
+		if err := e.redistribute(k); err != nil {
 			return err
 		}
 	}
@@ -195,7 +257,7 @@ func (e *edgeNode) collectReports(k int) ([]transport.Message, []int, int, error
 					got, numWorkers, quorum, transport.ErrTimeout)
 			}
 		}
-		msg, err := e.ep.RecvTimeout(wait)
+		msg, err := recvInterruptible(e.ep, wait, e.opts.Interrupt)
 		if err != nil {
 			if errors.Is(err, transport.ErrTimeout) {
 				continue // the loop re-evaluates quorum and deadlines
@@ -402,7 +464,7 @@ func (e *edgeNode) cloudSync(k int) (int, error) {
 			}
 			return 0, fmt.Errorf("cloud update: %w", transport.ErrTimeout)
 		}
-		msg, err := e.ep.RecvTimeout(wait)
+		msg, err := recvInterruptible(e.ep, wait, e.opts.Interrupt)
 		if err != nil {
 			if errors.Is(err, transport.ErrTimeout) {
 				continue

@@ -94,6 +94,7 @@ func (r *faultRecorder) mergeTransport(s transport.FaultStats) {
 	r.rep.Dropped += s.Dropped
 	r.rep.Retries += s.Retries
 	r.rep.Crashed = append(r.rep.Crashed, s.Crashed...)
+	r.rep.Restarted = append(r.rep.Restarted, s.Restarted...)
 	r.mu.Unlock()
 }
 

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"time"
 
+	"hieradmo/internal/checkpoint"
 	"hieradmo/internal/dataset"
 	"hieradmo/internal/fl"
 	"hieradmo/internal/rng"
@@ -28,6 +29,7 @@ type workerNode struct {
 	ep      transport.Endpoint
 	opts    Options
 	rec     *faultRecorder
+	reg     *checkpoint.Registry
 	sampler *rng.RNG
 
 	x, y          tensor.Vector
@@ -59,9 +61,43 @@ func newWorkerNode(cfg *fl.Config, hn *fl.Harness, l, i int, x0 tensor.Vector, e
 	}
 }
 
+// initCheckpoint binds the worker's complete mid-run state — model, momentum,
+// interval accumulators, batch-sampler stream, and resync cursor — to its
+// snapshot registry and applies the Resume option. It returns the iteration
+// the run should continue after (0 for a fresh start).
+func (w *workerNode) initCheckpoint() (int, error) {
+	reg, err := nodeRegistry(w.cfg, w.opts, WorkerID(w.l, w.i))
+	if err != nil || reg == nil {
+		return 0, err
+	}
+	reg.Vector("x", w.x)
+	reg.Vector("y", w.y)
+	reg.Vector("gradSum", w.gradSum)
+	reg.Vector("ySum", w.ySum)
+	reg.RNG("sampler", w.sampler)
+	reg.Float("lastLoss", &w.lastLoss)
+	reg.Int("syncedThrough", &w.syncedThrough)
+	w.reg = reg
+	return restoreOrClear(reg, w.opts.Resume)
+}
+
 func (w *workerNode) run() error {
 	edge := EdgeID(w.l)
-	for t := 1; t <= w.cfg.T; t++ {
+	start, err := w.initCheckpoint()
+	if err != nil {
+		return fmt.Errorf("cluster: worker {%d,%d}: %w", w.i, w.l, err)
+	}
+	for t := start + 1; t <= w.cfg.T; t++ {
+		if interrupted(w.opts.Interrupt) {
+			// Graceful shutdown: persist the state as of the last completed
+			// iteration. A resumed run replays the rest of the interval from
+			// here — deterministically, since the sampler position is part of
+			// the snapshot — and re-sends the interval report.
+			if err := saveSnapshot(w.reg, t-1); err != nil {
+				return fmt.Errorf("cluster: worker {%d,%d}: %w", w.i, w.l, err)
+			}
+			return fmt.Errorf("cluster: worker {%d,%d}: %w", w.i, w.l, ErrInterrupted)
+		}
 		if err := w.step(); err != nil {
 			return fmt.Errorf("cluster: worker {%d,%d} t=%d: %w", w.i, w.l, t, err)
 		}
@@ -72,6 +108,9 @@ func (w *workerNode) run() error {
 			// The last adopted update already covers this round: the edge
 			// would reject a report for it as stale. Keep training until the
 			// local iteration count catches up with the adopted state.
+			if err := saveSnapshot(w.reg, t); err != nil {
+				return fmt.Errorf("cluster: worker {%d,%d}: %w", w.i, w.l, err)
+			}
 			continue
 		}
 		// Lines 9/14–15: report interval state, receive the redistributed
@@ -87,6 +126,15 @@ func (w *workerNode) run() error {
 		}
 		if err := w.awaitUpdate(t); err != nil {
 			return err
+		}
+		// Snapshot after the boundary settles (update adopted or ridden out).
+		// An interrupt inside awaitUpdate deliberately skips this save: the
+		// resumed worker then replays the interval from the previous snapshot
+		// and re-sends the report, which keeps it bit-identical to a run that
+		// was never interrupted (the edge discards the duplicate as stale if
+		// it already processed the original).
+		if err := saveSnapshot(w.reg, t); err != nil {
+			return fmt.Errorf("cluster: worker {%d,%d}: %w", w.i, w.l, err)
 		}
 	}
 	return nil
@@ -109,7 +157,7 @@ func (w *workerNode) awaitUpdate(t int) error {
 			}
 			return fmt.Errorf("cluster: worker {%d,%d} await update: %w", w.i, w.l, transport.ErrTimeout)
 		}
-		msg, err := w.ep.RecvTimeout(wait)
+		msg, err := recvInterruptible(w.ep, wait, w.opts.Interrupt)
 		if err != nil {
 			if errors.Is(err, transport.ErrTimeout) {
 				continue

@@ -117,6 +117,14 @@ func (h *HierAdMo) Name() string {
 	return "HierAdMo-R"
 }
 
+// variant folds the run options living outside fl.Config into the
+// checkpoint fingerprint, so a snapshot never resumes under different
+// adaptation, participation, or quantization settings.
+func (h *HierAdMo) variant() string {
+	return fmt.Sprintf("adaptive=%v signal=%d ceiling=%g participation=%g quantBits=%d",
+		h.adaptive, h.signal, h.ceiling, h.participation, h.quantBits)
+}
+
 // workerState holds one worker's Algorithm-1 state. Every vector is owned
 // exclusively by its worker, so distinct workers step concurrently without
 // synchronization.
@@ -237,10 +245,41 @@ func (h *HierAdMo) Run(cfg *fl.Config) (*fl.Result, error) {
 		}
 	}
 
+	// Crash recovery: register every state vector and RNG stream that
+	// determines the trajectory, then resume after the last snapshotted
+	// iteration (start = 0 without a snapshot). Scratch vectors (grad,
+	// yPrev, yPlusNext, evalModel) are overwritten before use and stay out.
+	ck, err := fl.NewCheckpointer(hn, h.Name(), h.variant(), res)
+	if err != nil {
+		return nil, err
+	}
+	for l := range workers {
+		for i, w := range workers[l] {
+			ck.Vector(fmt.Sprintf("worker/%d/%d/x", l, i), w.x)
+			ck.Vector(fmt.Sprintf("worker/%d/%d/y", l, i), w.y)
+			ck.Vector(fmt.Sprintf("worker/%d/%d/gradSum", l, i), w.gradSum)
+			ck.Vector(fmt.Sprintf("worker/%d/%d/ySum", l, i), w.ySum)
+			ck.Vector(fmt.Sprintf("worker/%d/%d/yStart", l, i), w.yStart)
+		}
+		ck.Vector(fmt.Sprintf("edge/%d/xPlus", l), edges[l].xPlus)
+		ck.Vector(fmt.Sprintf("edge/%d/yPlus", l), edges[l].yPlus)
+		ck.Vector(fmt.Sprintf("edge/%d/yMinus", l), edges[l].yMinus)
+	}
+	ck.Vector("cloud/x", cloudX)
+	ck.Vector("cloud/y", cloudY)
+	ck.RNG("participation", partRNG)
+	if quantizer != nil {
+		ck.RNG("quantizer", quantizer.RNG())
+	}
+	start, err := ck.Restore()
+	if err != nil {
+		return nil, err
+	}
+
 	refs := flattenRefs(workers)
 	poolSize := hn.Workers()
 
-	for t := 1; t <= cfg.T; t++ {
+	for t := start + 1; t <= cfg.T; t++ {
 		// Worker momentum and model updates (lines 5–6, NAG form). The phase
 		// is embarrassingly parallel — each worker owns its state vectors and
 		// RNG stream — so it fans out over the goroutine pool; every
@@ -311,6 +350,10 @@ func (h *HierAdMo) Run(cfg *fl.Config) (*fl.Result, error) {
 			if err := hn.RecordPoint(res, t, evalModel); err != nil {
 				return nil, err
 			}
+		}
+
+		if err := ck.MaybeSnapshot(t); err != nil {
+			return nil, err
 		}
 	}
 

@@ -95,9 +95,12 @@ func PartitionClasses(d *Dataset, numShards, classesPerShard int, seed uint64) (
 		r.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
 	}
 
-	// Deal each class's samples evenly to its owners.
+	// Deal each class's samples evenly to its owners. Classes are walked in
+	// index order, NOT map order: shard contents must be reproducible across
+	// processes so a checkpointed run can be resumed bit-identically.
 	assigned := make([][]int, numShards)
-	for c, owners := range classOwners {
+	for c := 0; c < d.NumClasses; c++ {
+		owners := classOwners[c]
 		idx := byClass[c]
 		if len(owners) == 0 || len(idx) == 0 {
 			continue

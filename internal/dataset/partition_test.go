@@ -111,6 +111,14 @@ func TestPartitionClassesDeterministic(t *testing.T) {
 		if a[w].Len() != b[w].Len() {
 			t.Fatalf("worker %d sizes differ across identical seeds", w)
 		}
+		// Sample ORDER must match too, not just the contents: mini-batch
+		// streams index into the shard, so a reordered shard silently changes
+		// every batch — and with it any resumed run's trajectory.
+		for k := range a[w].Samples {
+			if &a[w].Samples[k].X[0] != &b[w].Samples[k].X[0] {
+				t.Fatalf("worker %d sample %d differs across identical seeds", w, k)
+			}
+		}
 	}
 }
 

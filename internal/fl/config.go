@@ -13,6 +13,7 @@ package fl
 import (
 	"errors"
 	"fmt"
+	"strings"
 
 	"hieradmo/internal/dataset"
 	"hieradmo/internal/model"
@@ -81,6 +82,15 @@ type Config struct {
 	// (0 = full test set). Curve shape is what matters; capping keeps large
 	// sweeps fast.
 	EvalSamples int
+
+	// CheckpointDir, when non-empty, enables crash recovery: the run
+	// periodically snapshots its complete state (model, momentum, RNG
+	// positions, round counter) there and resumes bit-exactly from the
+	// newest valid snapshot on the next start.
+	CheckpointDir string
+	// CheckpointEvery is the snapshot period in local iterations. Zero with
+	// CheckpointDir set defaults to Tau (one snapshot per edge round).
+	CheckpointEvery int
 }
 
 // Validate checks the configuration for structural errors.
@@ -112,6 +122,10 @@ func (c *Config) Validate() error {
 		return fmt.Errorf("%w: negative worker pool size %d", ErrConfig, c.Workers)
 	case c.EvalEvery < 0 || c.EvalSamples < 0:
 		return fmt.Errorf("%w: negative eval settings", ErrConfig)
+	case c.CheckpointEvery < 0:
+		return fmt.Errorf("%w: negative checkpoint period %d", ErrConfig, c.CheckpointEvery)
+	case c.CheckpointEvery > 0 && c.CheckpointDir == "":
+		return fmt.Errorf("%w: checkpoint period %d without a checkpoint directory", ErrConfig, c.CheckpointEvery)
 	}
 	for l, edge := range c.Edges {
 		if len(edge) == 0 {
@@ -124,6 +138,35 @@ func (c *Config) Validate() error {
 		}
 	}
 	return nil
+}
+
+// Fingerprint summarizes everything that determines the trajectory of a run
+// of the named algorithm: model identity and dimension, data topology and
+// shard sizes, every hyper-parameter, and the seed. A checkpoint written
+// under one fingerprint refuses to resume under a different one. The worker
+// pool size is deliberately excluded — results are bit-identical at every
+// pool size, so a run may legitimately resume with a different pool.
+func (c *Config) Fingerprint(algorithm string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "alg=%s model=%s dim=%d", algorithm, c.Model.Name(), c.Model.Dim())
+	fmt.Fprintf(&b, " edges=")
+	for l, edge := range c.Edges {
+		if l > 0 {
+			b.WriteByte('|')
+		}
+		for i, shard := range edge {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			fmt.Fprintf(&b, "%d", shard.Len())
+		}
+	}
+	fmt.Fprintf(&b, " test=%d", c.Test.Len())
+	fmt.Fprintf(&b, " eta=%g gamma=%g gammaEdge=%g tau=%d pi=%d T=%d",
+		c.Eta, c.Gamma, c.GammaEdge, c.Tau, c.Pi, c.T)
+	fmt.Fprintf(&b, " batch=%d clip=%g seed=%d evalEvery=%d evalSamples=%d",
+		c.BatchSize, c.ClipNorm, c.Seed, c.EvalEvery, c.EvalSamples)
+	return b.String()
 }
 
 // NumEdges returns L.

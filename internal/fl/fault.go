@@ -35,6 +35,8 @@ type FaultReport struct {
 	Retries int
 	// Crashed lists node IDs whose injected crash triggered during the run.
 	Crashed []string
+	// Restarted lists node IDs that crashed and came back during the run.
+	Restarted []string
 	// NodeErrors holds the rendered errors of nodes that dropped out of a
 	// run that still completed.
 	NodeErrors []string
@@ -48,7 +50,7 @@ func (f *FaultReport) Any() bool {
 	return len(f.MissingWorkers) > 0 || len(f.MissingEdges) > 0 ||
 		f.DuplicateReports > 0 || f.StaleMessages > 0 || f.Timeouts > 0 ||
 		f.Dropped > 0 || f.Retries > 0 || len(f.Crashed) > 0 ||
-		len(f.NodeErrors) > 0
+		len(f.Restarted) > 0 || len(f.NodeErrors) > 0
 }
 
 // TotalMissingWorkers sums the missing-worker counts over all rounds.
@@ -79,6 +81,9 @@ func (f *FaultReport) String() string {
 		f.Dropped, f.Retries, f.Timeouts, f.DuplicateReports, f.StaleMessages)
 	if len(f.Crashed) > 0 {
 		fmt.Fprintf(&b, "\n  crashed nodes: %s", strings.Join(f.Crashed, ", "))
+	}
+	if len(f.Restarted) > 0 {
+		fmt.Fprintf(&b, "\n  restarted nodes: %s", strings.Join(f.Restarted, ", "))
 	}
 	if len(f.MissingWorkers) > 0 {
 		fmt.Fprintf(&b, "\n  missing worker reports (%d total) at t=%s",

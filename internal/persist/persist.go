@@ -14,6 +14,7 @@ import (
 	"io"
 	"math"
 	"os"
+	"path/filepath"
 	"strconv"
 
 	"hieradmo/internal/fl"
@@ -45,17 +46,43 @@ func ReadResultJSON(r io.Reader) (*fl.Result, error) {
 	return &res, nil
 }
 
-// SaveResult writes a result to path as JSON.
-func SaveResult(path string, res *fl.Result) error {
-	f, err := os.Create(path)
+// writeFileAtomic writes the payload produced by write into path through a
+// temp file in the same directory, fsyncing before the rename: a crash at
+// any point leaves either the previous file or the complete new one, never
+// a truncated artifact. The file handle is closed exactly once on every
+// path.
+func writeFileAtomic(path string, write func(io.Writer) error) error {
+	f, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp*")
 	if err != nil {
 		return fmt.Errorf("persist: %w", err)
 	}
-	defer f.Close()
-	if err := WriteResultJSON(f, res); err != nil {
+	tmp := f.Name()
+	if err := write(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
 		return err
 	}
-	return f.Close()
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("persist: sync %s: %w", tmp, err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("persist: close %s: %w", tmp, err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("persist: rename: %w", err)
+	}
+	return nil
+}
+
+// SaveResult writes a result to path as JSON, atomically.
+func SaveResult(path string, res *fl.Result) error {
+	return writeFileAtomic(path, func(w io.Writer) error {
+		return WriteResultJSON(w, res)
+	})
 }
 
 // LoadResult reads a JSON result from path.
@@ -174,17 +201,11 @@ func ReadCheckpoint(r io.Reader) (tensor.Vector, error) {
 	return params, nil
 }
 
-// SaveCheckpoint writes params to path.
+// SaveCheckpoint writes params to path, atomically.
 func SaveCheckpoint(path string, params tensor.Vector) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return fmt.Errorf("persist: %w", err)
-	}
-	defer f.Close()
-	if err := WriteCheckpoint(f, params); err != nil {
-		return err
-	}
-	return f.Close()
+	return writeFileAtomic(path, func(w io.Writer) error {
+		return WriteCheckpoint(w, params)
+	})
 }
 
 // LoadCheckpoint reads params from path.

@@ -45,6 +45,10 @@ func New(bits int, seed uint64) (*Quantizer, error) {
 // Bits returns the configured width.
 func (q *Quantizer) Bits() int { return q.bits }
 
+// RNG exposes the stochastic-rounding stream so checkpointing can capture
+// and restore its position for bit-exact resume.
+func (q *Quantizer) RNG() *rng.RNG { return q.r }
+
 // Encoded is a compressed vector: int8 codes in [-levels, levels] plus the
 // scale that maps code "levels" back to the vector's max magnitude.
 type Encoded struct {

@@ -35,6 +35,28 @@ func (r *RNG) Split(label uint64) *RNG {
 	return &RNG{state: z ^ (z >> 31)}
 }
 
+// Snapshot is the complete serializable position of an RNG stream. Restoring
+// a snapshot resumes the stream bit-exactly, including the cached Box-Muller
+// spare, so checkpointed runs replay the same variate sequence they would
+// have drawn uninterrupted.
+type Snapshot struct {
+	State    uint64
+	Spare    float64
+	HasSpare bool
+}
+
+// Snapshot captures the generator's current position.
+func (r *RNG) Snapshot() Snapshot {
+	return Snapshot{State: r.state, Spare: r.spare, HasSpare: r.hasSpare}
+}
+
+// Restore rewinds (or fast-forwards) the generator to a captured position.
+func (r *RNG) Restore(s Snapshot) {
+	r.state = s.State
+	r.spare = s.Spare
+	r.hasSpare = s.HasSpare
+}
+
 // Uint64 returns the next 64 uniformly distributed bits.
 func (r *RNG) Uint64() uint64 {
 	r.state += 0x9e3779b97f4a7c15

@@ -36,6 +36,14 @@ type FaultPlan struct {
 	// ErrCrashed, and messages addressed to it are silently dropped (nobody
 	// is reading them anymore).
 	CrashAtRound map[string]int
+	// RestartAfterRounds bounds a CrashAtRound outage: a node that crashes
+	// at round r comes back at round r + RestartAfterRounds[id]. Traffic
+	// inside the outage window [r, r+Δ) is still black-holed, but the first
+	// message at or past the revival round — sent by the node or addressed
+	// to it — marks the node as restarted: its endpoint works again and the
+	// runtime may respawn it from its checkpoint. Nodes absent from the map
+	// stay down forever (the plain CrashAtRound semantics).
+	RestartAfterRounds map[string]int
 }
 
 // dropRate resolves the drop probability for one directed link.
@@ -52,6 +60,20 @@ func (p *FaultPlan) crashRound(id string) (int, bool) {
 	return r, ok
 }
 
+// reviveRound returns the round at which id's injected outage ends, or
+// false when the node crashes without a scheduled restart.
+func (p *FaultPlan) reviveRound(id string) (int, bool) {
+	r, ok := p.CrashAtRound[id]
+	if !ok {
+		return 0, false
+	}
+	d, ok := p.RestartAfterRounds[id]
+	if !ok || d <= 0 {
+		return 0, false
+	}
+	return r + d, true
+}
+
 // FaultyNetwork composes deterministic fault injection over any inner
 // Network (MemoryNetwork and TCPNetwork both work): per-link message drops,
 // per-message delays, and crash-at-round node failures. It generalizes the
@@ -65,6 +87,7 @@ type FaultyNetwork struct {
 	mu      sync.Mutex
 	links   map[Link]*rng.RNG
 	crashed map[string]bool
+	revived map[string]bool
 	stats   FaultStats
 }
 
@@ -75,6 +98,7 @@ func NewFaultyNetwork(inner Network, plan FaultPlan) *FaultyNetwork {
 		plan:    plan,
 		links:   make(map[Link]*rng.RNG),
 		crashed: make(map[string]bool),
+		revived: make(map[string]bool),
 	}
 }
 
@@ -97,6 +121,7 @@ func (n *FaultyNetwork) FaultStats() FaultStats {
 	n.mu.Lock()
 	stats := n.stats
 	stats.Crashed = append([]string(nil), n.stats.Crashed...)
+	stats.Restarted = append([]string(nil), n.stats.Restarted...)
 	n.mu.Unlock()
 	if sr, ok := n.inner.(StatsReporter); ok {
 		stats.merge(sr.FaultStats())
@@ -142,6 +167,46 @@ func (n *FaultyNetwork) isCrashed(id string) bool {
 	return n.crashed[id]
 }
 
+// markRevived records that id's outage window has ended (idempotently). The
+// crash is recorded too if nobody observed it before the revival round.
+func (n *FaultyNetwork) markRevived(id string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if !n.crashed[id] {
+		n.crashed[id] = true
+		n.stats.Crashed = append(n.stats.Crashed, id)
+	}
+	if !n.revived[id] {
+		n.revived[id] = true
+		n.stats.Restarted = append(n.stats.Restarted, id)
+	}
+}
+
+// Revived reports whether id's injected outage has ended: the node crashed
+// and traffic at or past its revival round has since been observed. The
+// cluster runtime polls this to decide when to respawn the node from its
+// checkpoint.
+func (n *FaultyNetwork) Revived(id string) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.revived[id]
+}
+
+// RestartPlanned reports whether the plan schedules id to come back after
+// its crash.
+func (n *FaultyNetwork) RestartPlanned(id string) bool {
+	_, ok := n.plan.reviveRound(id)
+	return ok
+}
+
+// isDown reports whether id is inside its outage: crashed and not (yet)
+// revived.
+func (n *FaultyNetwork) isDown(id string) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.crashed[id] && !n.revived[id]
+}
+
 type faultyEndpoint struct {
 	net   *FaultyNetwork
 	inner Endpoint
@@ -155,20 +220,34 @@ func (e *faultyEndpoint) Send(to string, msg Message) error {
 	n := e.net
 	// Crash-at-round: a node learns it is dead the moment it acts at or
 	// past its crash round; its peers' messages to it are black-holed from
-	// that round on (the process is no longer reading).
-	if r, ok := n.plan.crashRound(e.ID()); ok && (msg.Round >= r || n.isCrashed(e.ID())) {
-		n.markCrashed(e.ID())
-		return fmt.Errorf("transport: %q send at round %d: %w", e.ID(), msg.Round, ErrCrashed)
+	// that round on (the process is no longer reading). A scheduled restart
+	// bounds the outage: the first message at or past the revival round —
+	// the node's own or a peer's — flips it back to alive. A revived node
+	// sends freely at ANY round: the respawned process replays rounds from
+	// its checkpoint, and those catch-up sends belong to the new incarnation,
+	// not the outage.
+	if r, ok := n.plan.crashRound(e.ID()); ok && !n.Revived(e.ID()) {
+		if r2, restarts := n.plan.reviveRound(e.ID()); restarts && msg.Round >= r2 {
+			n.markRevived(e.ID())
+		} else if msg.Round >= r || n.isCrashed(e.ID()) {
+			n.markCrashed(e.ID())
+			return fmt.Errorf("transport: %q send at round %d: %w", e.ID(), msg.Round, ErrCrashed)
+		}
 	}
 	if r, ok := n.plan.crashRound(to); ok && msg.Round >= r {
-		// The destination's crash has observably happened (a peer reached the
-		// crash round first): record it so the node's own receives start
-		// failing and the fault report names it.
-		n.markCrashed(to)
-		n.mu.Lock()
-		n.stats.Dropped++
-		n.mu.Unlock()
-		return nil
+		if r2, restarts := n.plan.reviveRound(to); restarts && msg.Round >= r2 {
+			// Past the outage window: the restarted process is reading again.
+			n.markRevived(to)
+		} else if !n.Revived(to) {
+			// Inside the outage window (or crashed for good): record the
+			// crash so the node's own receives start failing and the fault
+			// report names it, then black-hole the message.
+			n.markCrashed(to)
+			n.mu.Lock()
+			n.stats.Dropped++
+			n.mu.Unlock()
+			return nil
+		}
 	}
 	link := Link{From: e.ID(), To: to}
 	drop := n.plan.dropRate(e.ID(), to)
@@ -195,14 +274,14 @@ func (e *faultyEndpoint) Send(to string, msg Message) error {
 }
 
 func (e *faultyEndpoint) Recv() (Message, error) {
-	if e.net.isCrashed(e.ID()) {
+	if e.net.isDown(e.ID()) {
 		return Message{}, fmt.Errorf("transport: %q recv: %w", e.ID(), ErrCrashed)
 	}
 	return e.inner.Recv()
 }
 
 func (e *faultyEndpoint) RecvTimeout(d time.Duration) (Message, error) {
-	if e.net.isCrashed(e.ID()) {
+	if e.net.isDown(e.ID()) {
 		return Message{}, fmt.Errorf("transport: %q recv: %w", e.ID(), ErrCrashed)
 	}
 	return e.inner.RecvTimeout(d)

@@ -149,6 +149,70 @@ func TestFaultyCrashAtRound(t *testing.T) {
 	}
 }
 
+func TestFaultyRestartAfterRounds(t *testing.T) {
+	// "a" crashes at round 3 and is scheduled to come back at round 3+2=5.
+	net := NewFaultyNetwork(NewMemoryNetwork(), FaultPlan{
+		Seed:               1,
+		CrashAtRound:       map[string]int{"a": 3},
+		RestartAfterRounds: map[string]int{"a": 2},
+	})
+	defer net.Close()
+	a, _ := net.Endpoint("a")
+	b, _ := net.Endpoint("b")
+
+	if !net.RestartPlanned("a") {
+		t.Fatal("RestartPlanned(a) = false with RestartAfterRounds set")
+	}
+	if net.RestartPlanned("b") {
+		t.Fatal("RestartPlanned(b) = true for an uncrashed node")
+	}
+
+	// The outage behaves exactly like a plain crash...
+	if err := a.Send("b", Message{Round: 3}); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("send at crash round = %v, want ErrCrashed", err)
+	}
+	if _, err := a.RecvTimeout(20 * time.Millisecond); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("in-outage recv = %v, want ErrCrashed", err)
+	}
+	// ...and traffic addressed to the node inside the window is black-holed.
+	if err := b.Send("a", Message{Round: 4}); err != nil {
+		t.Fatalf("in-outage send to crashed node: %v", err)
+	}
+	if net.Revived("a") {
+		t.Fatal("Revived(a) = true inside the outage window")
+	}
+
+	// A peer message at the revival round ends the outage and is delivered.
+	if err := b.Send("a", Message{Round: 5}); err != nil {
+		t.Fatalf("revival-round send: %v", err)
+	}
+	if !net.Revived("a") {
+		t.Fatal("Revived(a) = false after revival-round traffic")
+	}
+	if msg, err := a.RecvTimeout(time.Second); err != nil || msg.Round != 5 {
+		t.Fatalf("revived recv = %v, %v; want round 5", msg, err)
+	}
+	// The respawned incarnation replays from its checkpoint, so it may send
+	// rounds inside (or before) the old outage window — those must go through.
+	if err := a.Send("b", Message{Round: 2}); err != nil {
+		t.Fatalf("post-revival catch-up send: %v", err)
+	}
+	if msg, err := b.RecvTimeout(time.Second); err != nil || msg.Round != 2 {
+		t.Fatalf("catch-up delivery = %v, %v; want round 2", msg, err)
+	}
+
+	stats := net.FaultStats()
+	if len(stats.Crashed) != 1 || stats.Crashed[0] != "a" {
+		t.Errorf("Crashed = %v, want [a]", stats.Crashed)
+	}
+	if len(stats.Restarted) != 1 || stats.Restarted[0] != "a" {
+		t.Errorf("Restarted = %v, want [a]", stats.Restarted)
+	}
+	if stats.Dropped != 1 {
+		t.Errorf("Dropped = %d, want 1 (the in-outage black-holed send)", stats.Dropped)
+	}
+}
+
 func TestFaultyDelayStillDelivers(t *testing.T) {
 	net := NewFaultyNetwork(NewMemoryNetwork(), FaultPlan{Seed: 5, MaxDelay: 5 * time.Millisecond})
 	defer net.Close()

@@ -50,6 +50,9 @@ type FaultStats struct {
 	Retries int
 	// Crashed lists node IDs whose injected crash has triggered.
 	Crashed []string
+	// Restarted lists node IDs whose injected crash ended with a restart
+	// (the node came back after its configured outage window).
+	Restarted []string
 }
 
 // merge adds other's counters into s.
@@ -58,6 +61,7 @@ func (s *FaultStats) merge(other FaultStats) {
 	s.Delayed += other.Delayed
 	s.Retries += other.Retries
 	s.Crashed = append(s.Crashed, other.Crashed...)
+	s.Restarted = append(s.Restarted, other.Restarted...)
 }
 
 // StatsReporter is implemented by networks that track fault statistics;
