@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test vet check race recover bench benchall clean
+.PHONY: build test vet check race fuzz recover bench benchall clean
 
 build:
 	$(GO) build ./...
@@ -15,17 +15,26 @@ test:
 vet:
 	$(GO) vet ./...
 
-## check: the tier-1 gate — build, vet, the full test suite, and the
-## crash-recovery integration pass.
-check: build vet test recover
+## check: the tier-1 gate — build, vet, the full test suite, the
+## crash-recovery integration pass, and the race-detector sweep.
+check: build vet test recover race
 
 ## race: race-detect the distributed runtime, transport layers, checkpoint
-## snapshot/restore, and the parallel training paths (core/baseline worker
-## pools, pooled nn workspaces).
+## snapshot/restore, telemetry instruments (scraped concurrently with
+## writers), and the parallel training paths (core/baseline worker pools,
+## pooled nn workspaces).
 race:
 	$(GO) test -race -count=1 ./internal/cluster/... ./internal/transport/... \
 		./internal/checkpoint/... ./internal/parallel/... ./internal/core/... \
-		./internal/baseline/... ./internal/fl/... ./internal/nn/...
+		./internal/baseline/... ./internal/fl/... ./internal/nn/... \
+		./internal/telemetry/... ./cmd/tracecat/...
+
+## fuzz: short-budget fuzzing of the checkpoint snapshot decoder — every
+## input must yield a decoded state or a wrapped ErrFormat, never a panic
+## or an unbounded allocation. Override with FUZZTIME=1m for longer runs.
+FUZZTIME ?= 10s
+fuzz:
+	$(GO) test ./internal/checkpoint/ -fuzz FuzzOpenSnapshot -fuzztime $(FUZZTIME)
 
 ## recover: the crash-recovery integration suite — checkpoint format and
 ## corruption handling, bit-identical simulation resume, cluster

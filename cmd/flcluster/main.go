@@ -46,6 +46,7 @@ import (
 	"hieradmo/internal/core"
 	"hieradmo/internal/experiment"
 	"hieradmo/internal/persist"
+	"hieradmo/internal/telemetry"
 	"hieradmo/internal/transport"
 )
 
@@ -110,6 +111,9 @@ func run(args []string, interrupt <-chan struct{}) error {
 
 		checkpointDir = fs.String("checkpoint-dir", "", "snapshot every node's state into this directory after each completed round (enables crash recovery)")
 		resume        = fs.Bool("resume", false, "reload the newest snapshots from -checkpoint-dir and continue the interrupted run")
+
+		traceOut    = fs.String("trace-out", "", "write a JSONL event trace (one event per line) to this path")
+		metricsAddr = fs.String("metrics-addr", "", `serve Prometheus /metrics and /debug/pprof on this address (e.g. "127.0.0.1:9090"; ":0" picks a port)`)
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -150,6 +154,15 @@ func run(args []string, interrupt <-chan struct{}) error {
 	}, s)
 	if err != nil {
 		return err
+	}
+	sink, boundAddr, stopTelemetry, err := telemetry.Setup(*traceOut, *metricsAddr)
+	if err != nil {
+		return err
+	}
+	defer stopTelemetry()
+	cfg.Telemetry = sink
+	if boundAddr != "" {
+		fmt.Printf("telemetry: serving /metrics and /debug/pprof on http://%s\n", boundAddr)
 	}
 
 	var net cluster.Network

@@ -42,6 +42,7 @@ import (
 	"hieradmo/internal/cluster"
 	"hieradmo/internal/experiment"
 	"hieradmo/internal/fl"
+	"hieradmo/internal/telemetry"
 	"hieradmo/internal/transport"
 )
 
@@ -99,6 +100,9 @@ func run(args []string, interrupt <-chan struct{}) error {
 		recvTO        = fs.Duration("recv-timeout", 0, "receive timeout per blocking wait (default 60s)")
 		checkpointDir = fs.String("checkpoint-dir", "", "snapshot node state into this directory after every completed round (enables crash recovery)")
 		resume        = fs.Bool("resume", false, "reload the newest snapshot from -checkpoint-dir and rejoin the protocol")
+
+		traceOut    = fs.String("trace-out", "", "write this node's JSONL event trace to this path")
+		metricsAddr = fs.String("metrics-addr", "", `serve Prometheus /metrics and /debug/pprof on this address (e.g. "127.0.0.1:9090"; ":0" picks a port)`)
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -135,6 +139,14 @@ func run(args []string, interrupt <-chan struct{}) error {
 	if err != nil {
 		return err
 	}
+	sink, boundAddr, stopTelemetry, err := telemetry.Setup(*traceOut, *metricsAddr)
+	if err != nil {
+		return err
+	}
+	defer stopTelemetry()
+	if boundAddr != "" {
+		fmt.Fprintf(os.Stderr, "flnode: serving /metrics and /debug/pprof on http://%s\n", boundAddr)
+	}
 	opts := cluster.Options{
 		Adaptive:          !*reduced,
 		MinQuorum:         *minQuorum,
@@ -143,20 +155,34 @@ func run(args []string, interrupt <-chan struct{}) error {
 		CheckpointDir:     *checkpointDir,
 		Resume:            *resume,
 		Interrupt:         interrupt,
+		Telemetry:         sink,
+	}
+
+	// listen opens this node's endpoint and mirrors its send retries onto
+	// the sink (the multi-process counterpart of TCPNetwork.SetTelemetry).
+	listen := func(id string) (transport.Endpoint, error) {
+		ep, err := transport.ListenStatic(id, registry)
+		if err != nil {
+			return nil, err
+		}
+		if ts, ok := ep.(transport.TelemetrySetter); ok {
+			ts.SetTelemetry(sink)
+		}
+		return ep, nil
 	}
 
 	switch *role {
 	case "cloud":
-		return runCloud(cfg, registry, opts)
+		return runCloud(cfg, listen, opts)
 	case "edge":
-		ep, err := transport.ListenStatic(cluster.EdgeID(*edgeIdx), registry)
+		ep, err := listen(cluster.EdgeID(*edgeIdx))
 		if err != nil {
 			return err
 		}
 		defer ep.Close()
 		return cluster.RunEdgeNode(cfg, *edgeIdx, ep, opts)
 	case "worker":
-		ep, err := transport.ListenStatic(cluster.WorkerID(*edgeIdx, *workerIdx), registry)
+		ep, err := listen(cluster.WorkerID(*edgeIdx, *workerIdx))
 		if err != nil {
 			return err
 		}
@@ -167,8 +193,8 @@ func run(args []string, interrupt <-chan struct{}) error {
 	}
 }
 
-func runCloud(cfg *fl.Config, registry map[string]string, opts cluster.Options) error {
-	ep, err := transport.ListenStatic(cluster.CloudID, registry)
+func runCloud(cfg *fl.Config, listen func(string) (transport.Endpoint, error), opts cluster.Options) error {
+	ep, err := listen(cluster.CloudID)
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,125 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"hieradmo/internal/telemetry"
+)
+
+// writeTrace emits a small well-formed trace to a temp file and returns its
+// path.
+func writeTrace(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "run.trace")
+	tr, err := telemetry.NewFileTracer(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.Emit("run_start", telemetry.String("alg", "HierAdMo"), telemetry.Int("T", 8))
+	tr.Emit("worker_train", telemetry.Int("t", 1), telemetry.Int("edge", 0), telemetry.Int("worker", 0), telemetry.Float("loss", 0.5))
+	tr.Emit("edge_aggregate", telemetry.Int("t", 4), telemetry.Int("edge", 0), telemetry.Float("gamma", 0.25))
+	tr.Emit("quorum", telemetry.String("tier", "edge"), telemetry.Int("t", 4), telemetry.Int("missing", 1))
+	tr.Emit("stale_message", telemetry.String("node", "edge-0"))
+	tr.Emit("run_end", telemetry.Float("final_acc", 0.9), telemetry.Bool("ok", true))
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestPrettyPrintKeepsFieldOrder(t *testing.T) {
+	path := writeTrace(t)
+	var out strings.Builder
+	if err := run([]string{path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) != 6 {
+		t.Fatalf("printed %d lines, want 6:\n%s", len(lines), out.String())
+	}
+	if !strings.Contains(lines[2], "edge_aggregate") ||
+		!strings.Contains(lines[2], "t=4 edge=0 gamma=0.25") {
+		t.Errorf("edge_aggregate line lost its field order: %q", lines[2])
+	}
+	if !strings.HasPrefix(strings.TrimSpace(lines[0]), "1 ") {
+		t.Errorf("first line should lead with seq 1: %q", lines[0])
+	}
+	if !strings.Contains(lines[5], "ok=true") {
+		t.Errorf("bool field not rendered: %q", lines[5])
+	}
+}
+
+func TestEventAndNodeFilters(t *testing.T) {
+	path := writeTrace(t)
+	var out strings.Builder
+	if err := run([]string{"-ev", "quorum,stale_message", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(out.String(), "\n"); got != 2 {
+		t.Errorf("-ev filter kept %d lines, want 2:\n%s", got, out.String())
+	}
+
+	out.Reset()
+	if err := run([]string{"-node", "edge-0", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.TrimSpace(out.String()); !strings.Contains(got, "stale_message") || strings.Count(got, "\n") != 0 {
+		t.Errorf("-node filter should keep exactly the stale_message event:\n%s", got)
+	}
+}
+
+func TestCount(t *testing.T) {
+	path := writeTrace(t)
+	var out strings.Builder
+	if err := run([]string{"-count", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "1 quorum") {
+		t.Errorf("-count output missing quorum total:\n%s", out.String())
+	}
+}
+
+func TestCheckDetectsSeqGap(t *testing.T) {
+	path := writeTrace(t)
+	var out strings.Builder
+	if err := run([]string{"-check", path}, &out); err != nil {
+		t.Fatalf("well-formed trace failed -check: %v", err)
+	}
+	if out.Len() != 0 {
+		t.Errorf("-check printed output on success:\n%s", out.String())
+	}
+
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Drop the third line to open a gap in the sequence numbers.
+	lines := strings.SplitAfter(string(raw), "\n")
+	gapped := filepath.Join(t.TempDir(), "gapped.trace")
+	if err := os.WriteFile(gapped, []byte(strings.Join(append(lines[:2:2], lines[3:]...), "")), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-check", gapped}, &out); err == nil {
+		t.Error("-check accepted a trace with a sequence gap")
+	}
+}
+
+func TestRejectsMalformedLines(t *testing.T) {
+	bad := filepath.Join(t.TempDir(), "bad.trace")
+	if err := os.WriteFile(bad, []byte(`{"seq":1,"ev":"x","nested":{"a":1}}`+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := run([]string{bad}, &out); err == nil {
+		t.Error("nested field accepted")
+	}
+	if err := os.WriteFile(bad, []byte(`{"seq":2}`+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{bad}, &out); err == nil {
+		t.Error("line without ev accepted")
+	}
+}

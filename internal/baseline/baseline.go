@@ -18,6 +18,7 @@ import (
 
 	"hieradmo/internal/fl"
 	"hieradmo/internal/parallel"
+	"hieradmo/internal/telemetry"
 	"hieradmo/internal/tensor"
 )
 
@@ -94,6 +95,61 @@ func checkpointRun(hn *fl.Harness, name string, res *fl.Result, groups map[strin
 		return nil, 0, err
 	}
 	return ck, start, nil
+}
+
+// traceStart emits the run_start event for a baseline and hands back the
+// run's sink. All baseline events, like core's, are emitted from
+// sequential code only, so traces stay byte-identical at any worker-pool
+// size. The sink may be nil; every use below is nil-safe and free.
+func traceStart(hn *fl.Harness, name string, start int) *telemetry.Sink {
+	sink := hn.Sink()
+	if sink.Tracing() {
+		cfg := hn.Cfg()
+		sink.Emit("run_start",
+			telemetry.String("alg", name),
+			telemetry.Int("edges", cfg.NumEdges()),
+			telemetry.Int("workers", cfg.NumWorkers()),
+			telemetry.Int("tau", cfg.Tau),
+			telemetry.Int("pi", cfg.Pi),
+			telemetry.Int("T", cfg.T),
+			telemetry.Int64("seed", int64(cfg.Seed)),
+			telemetry.Int("start_t", start))
+	}
+	return sink
+}
+
+// traceEdgeAggregate records one edge-tier aggregation (HierFAVG/CFL).
+func traceEdgeAggregate(sink *telemetry.Sink, t, l, participants int) {
+	sink.M().EdgeAggregations.Inc()
+	if sink.Tracing() {
+		sink.Emit("edge_aggregate",
+			telemetry.Int("t", t),
+			telemetry.Int("edge", l),
+			telemetry.Int("participants", participants))
+	}
+}
+
+// traceCloudSync records one server/cloud synchronisation. Two-tier
+// baselines aggregate every worker directly, so reporters is the worker
+// count there and the edge count for the hierarchical ones.
+func traceCloudSync(sink *telemetry.Sink, t, reporters int) {
+	m := sink.M()
+	m.CloudSyncs.Inc()
+	m.Round.Set(float64(t))
+	if sink.Tracing() {
+		sink.Emit("cloud_aggregate",
+			telemetry.Int("t", t),
+			telemetry.Int("reporters", reporters))
+	}
+}
+
+// traceEnd emits the run_end event with the final result.
+func traceEnd(sink *telemetry.Sink, res *fl.Result) {
+	if sink.Tracing() {
+		sink.Emit("run_end",
+			telemetry.Float("final_acc", res.FinalAcc),
+			telemetry.Float("final_loss", res.FinalLoss))
+	}
 }
 
 // recordFlat appends a curve point for the weighted average of the flattened

@@ -52,6 +52,7 @@ func (FastSlowMo) Run(cfg *fl.Config) (*fl.Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	sink := traceStart(hn, "FastSlowMo", start)
 
 	for t := start + 1; t <= cfg.T; t++ {
 		err := forEachWorker(hn, workers, func(j int, w flatWorker) error {
@@ -107,6 +108,7 @@ func (FastSlowMo) Run(cfg *fl.Config) (*fl.Result, error) {
 					return nil, err
 				}
 			}
+			traceCloudSync(sink, t, len(workers))
 		}
 		if err := recordFlat(hn, res, t, workers, xs, scratch); err != nil {
 			return nil, err
@@ -118,5 +120,6 @@ func (FastSlowMo) Run(cfg *fl.Config) (*fl.Result, error) {
 	if err := hn.Finish(res, serverX); err != nil {
 		return nil, err
 	}
+	traceEnd(sink, res)
 	return res, nil
 }

@@ -56,6 +56,7 @@ func (FedADC) Run(cfg *fl.Config) (*fl.Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	sink := traceStart(hn, "FedADC", start)
 
 	for t := start + 1; t <= cfg.T; t++ {
 		// mom is frozen during the round, so the parallel steps only read it.
@@ -95,6 +96,7 @@ func (FedADC) Run(cfg *fl.Config) (*fl.Result, error) {
 					return nil, err
 				}
 			}
+			traceCloudSync(sink, t, len(workers))
 		}
 		if err := recordFlat(hn, res, t, workers, xs, scratch); err != nil {
 			return nil, err
@@ -106,5 +108,6 @@ func (FedADC) Run(cfg *fl.Config) (*fl.Result, error) {
 	if err := hn.Finish(res, server); err != nil {
 		return nil, err
 	}
+	traceEnd(sink, res)
 	return res, nil
 }

@@ -43,6 +43,7 @@ func (FedAvg) Run(cfg *fl.Config) (*fl.Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	sink := traceStart(hn, "FedAvg", start)
 
 	for t := start + 1; t <= cfg.T; t++ {
 		err := forEachWorker(hn, workers, func(j int, w flatWorker) error {
@@ -63,6 +64,7 @@ func (FedAvg) Run(cfg *fl.Config) (*fl.Result, error) {
 					return nil, err
 				}
 			}
+			traceCloudSync(sink, t, len(workers))
 		}
 		if err := recordFlat(hn, res, t, workers, xs, scratch); err != nil {
 			return nil, err
@@ -74,5 +76,6 @@ func (FedAvg) Run(cfg *fl.Config) (*fl.Result, error) {
 	if err := hn.Finish(res, server); err != nil {
 		return nil, err
 	}
+	traceEnd(sink, res)
 	return res, nil
 }

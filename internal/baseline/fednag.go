@@ -48,6 +48,7 @@ func (FedNAG) Run(cfg *fl.Config) (*fl.Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	sink := traceStart(hn, "FedNAG", start)
 
 	for t := start + 1; t <= cfg.T; t++ {
 		err := forEachWorker(hn, workers, func(j int, w flatWorker) error {
@@ -89,6 +90,7 @@ func (FedNAG) Run(cfg *fl.Config) (*fl.Result, error) {
 					return nil, err
 				}
 			}
+			traceCloudSync(sink, t, len(workers))
 		}
 		if err := recordFlat(hn, res, t, workers, xs, scratch); err != nil {
 			return nil, err
@@ -100,5 +102,6 @@ func (FedNAG) Run(cfg *fl.Config) (*fl.Result, error) {
 	if err := hn.Finish(res, serverX); err != nil {
 		return nil, err
 	}
+	traceEnd(sink, res)
 	return res, nil
 }

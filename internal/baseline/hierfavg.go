@@ -78,6 +78,7 @@ func (a *HierFAVG) Run(cfg *fl.Config) (*fl.Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	sink := traceStart(hn, a.Name(), start)
 
 	for t := start + 1; t <= cfg.T; t++ {
 		err := forEachWorker(hn, workers, func(_ int, w flatWorker) error {
@@ -103,6 +104,7 @@ func (a *HierFAVG) Run(cfg *fl.Config) (*fl.Result, error) {
 						return nil, err
 					}
 				}
+				traceEdgeAggregate(sink, t, l, len(xs[l]))
 			}
 		}
 		if t%(cfg.Tau*cfg.Pi) == 0 {
@@ -119,6 +121,7 @@ func (a *HierFAVG) Run(cfg *fl.Config) (*fl.Result, error) {
 					}
 				}
 			}
+			traceCloudSync(sink, t, len(edgeX))
 		}
 		if hn.ShouldEval(t) {
 			if err := hn.GlobalAverage(scratch, xs); err != nil {
@@ -135,5 +138,6 @@ func (a *HierFAVG) Run(cfg *fl.Config) (*fl.Result, error) {
 	if err := hn.Finish(res, cloudX); err != nil {
 		return nil, err
 	}
+	traceEnd(sink, res)
 	return res, nil
 }

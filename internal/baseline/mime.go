@@ -55,6 +55,7 @@ func (Mime) Run(cfg *fl.Config) (*fl.Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	sink := traceStart(hn, "Mime", start)
 
 	for t := start + 1; t <= cfg.T; t++ {
 		// mom is frozen during the round, so the parallel steps only read it.
@@ -93,6 +94,7 @@ func (Mime) Run(cfg *fl.Config) (*fl.Result, error) {
 				}
 				gradSums[j].Zero()
 			}
+			traceCloudSync(sink, t, len(workers))
 		}
 		if err := recordFlat(hn, res, t, workers, xs, scratch); err != nil {
 			return nil, err
@@ -104,5 +106,6 @@ func (Mime) Run(cfg *fl.Config) (*fl.Result, error) {
 	if err := hn.Finish(res, server); err != nil {
 		return nil, err
 	}
+	traceEnd(sink, res)
 	return res, nil
 }

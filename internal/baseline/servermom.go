@@ -66,6 +66,7 @@ func (a *serverMomentum) Run(cfg *fl.Config) (*fl.Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	sink := traceStart(hn, a.name, start)
 
 	for t := start + 1; t <= cfg.T; t++ {
 		err := forEachWorker(hn, workers, func(j int, w flatWorker) error {
@@ -105,6 +106,7 @@ func (a *serverMomentum) Run(cfg *fl.Config) (*fl.Result, error) {
 					return nil, err
 				}
 			}
+			traceCloudSync(sink, t, len(workers))
 		}
 		if err := recordFlat(hn, res, t, workers, xs, scratch); err != nil {
 			return nil, err
@@ -116,5 +118,6 @@ func (a *serverMomentum) Run(cfg *fl.Config) (*fl.Result, error) {
 	if err := hn.Finish(res, server); err != nil {
 		return nil, err
 	}
+	traceEnd(sink, res)
 	return res, nil
 }

@@ -20,6 +20,7 @@
 package checkpoint
 
 import (
+	"bytes"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -133,10 +134,14 @@ func Read(r io.Reader) (*State, error) {
 	if n > maxVectorLen*8 {
 		return nil, fmt.Errorf("%w: implausible payload length %d", ErrFormat, n)
 	}
-	payload := make([]byte, n)
-	if _, err := io.ReadFull(r, payload); err != nil {
-		return nil, fmt.Errorf("%w: payload: %v", ErrFormat, err)
+	// Grow the payload buffer from bytes actually read rather than trusting
+	// the declared length: a corrupt header must not force a multi-GiB
+	// allocation before the short read is detected.
+	var pbuf bytes.Buffer
+	if m, err := io.CopyN(&pbuf, r, int64(n)); err != nil {
+		return nil, fmt.Errorf("%w: payload: short read (%d of %d bytes): %v", ErrFormat, m, n, err)
 	}
+	payload := pbuf.Bytes()
 	var crc [4]byte
 	if _, err := io.ReadFull(r, crc[:]); err != nil {
 		return nil, fmt.Errorf("%w: crc: %v", ErrFormat, err)
@@ -301,7 +306,7 @@ func decodePayload(payload []byte) (*State, error) {
 		if err != nil {
 			return nil, err
 		}
-		if n > maxVectorLen {
+		if n > maxVectorLen || n*8 > uint64(len(d.buf)) {
 			return nil, fmt.Errorf("%w: implausible vector length %d for %q", ErrFormat, n, name)
 		}
 		v := make([]float64, n)

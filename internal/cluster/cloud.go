@@ -8,6 +8,7 @@ import (
 	"hieradmo/internal/checkpoint"
 	"hieradmo/internal/fl"
 	"hieradmo/internal/model"
+	"hieradmo/internal/telemetry"
 	"hieradmo/internal/tensor"
 	"hieradmo/internal/transport"
 )
@@ -117,7 +118,7 @@ func (c *cloudNode) initCheckpoint(res *fl.Result, weightedLoss *float64) (int, 
 			return nil
 		})
 	c.reg = reg
-	return restoreOrClear(reg, c.opts.Resume)
+	return restoreOrClear(reg, c.opts.Resume, c.opts.Telemetry, CloudID)
 }
 
 // redistribute sends the sync-p cloud update (lines 20–21) to every edge.
@@ -158,12 +159,17 @@ func (c *cloudNode) run() (*fl.Result, error) {
 		}
 	}
 
+	sink := c.opts.Telemetry
 	for p := start + 1; p <= numRounds; p++ {
 		if interrupted(c.opts.Interrupt) {
 			return nil, fmt.Errorf("cluster: cloud: %w", ErrInterrupted)
 		}
 		if err := c.collectReports(p); err != nil {
 			return nil, fmt.Errorf("cluster: cloud round %d: %w", p, err)
+		}
+		var syncStart time.Time
+		if sink != nil {
+			syncStart = time.Now()
 		}
 		if err := c.hn.CloudAverage(c.cloudY, c.lastY); err != nil { // line 18
 			return nil, err
@@ -174,6 +180,16 @@ func (c *cloudNode) run() (*fl.Result, error) {
 		weightedLoss = 0
 		for l, loss := range c.lastLoss {
 			weightedLoss += c.hn.EdgeWeights[l] * loss
+		}
+		if sink != nil {
+			sink.M().CloudSyncSeconds.Observe(time.Since(syncStart).Seconds())
+		}
+		sink.M().CloudSyncs.Inc()
+		sink.M().Round.Set(float64(p * c.cfg.Tau * c.cfg.Pi))
+		if sink.Tracing() {
+			sink.Emit("cloud_aggregate",
+				telemetry.Int("t", p*c.cfg.Tau*c.cfg.Pi),
+				telemetry.Int("edges", c.cfg.NumEdges()))
 		}
 		// Record the curve point and snapshot BEFORE redistributing, so a
 		// resume never loses this sync's measurement and can re-send the
@@ -189,8 +205,9 @@ func (c *cloudNode) run() (*fl.Result, error) {
 				TestAcc:   acc,
 				TrainLoss: weightedLoss,
 			})
+			c.recordEval(p*c.cfg.Tau*c.cfg.Pi, acc, weightedLoss, false)
 		}
-		if err := saveSnapshot(c.reg, p); err != nil {
+		if err := saveSnapshot(c.reg, p, c.opts.Telemetry, CloudID); err != nil {
 			return nil, fmt.Errorf("cluster: cloud round %d: %w", p, err)
 		}
 		if err := c.redistribute(p); err != nil {
@@ -205,7 +222,24 @@ func (c *cloudNode) run() (*fl.Result, error) {
 	res.FinalAcc = acc
 	res.FinalLoss = weightedLoss
 	res.Curve = append(res.Curve, fl.Point{Iter: c.cfg.T, TestAcc: acc, TrainLoss: weightedLoss})
+	c.recordEval(c.cfg.T, acc, weightedLoss, true)
 	return res, nil
+}
+
+// recordEval mirrors one accuracy measurement onto the telemetry sink.
+func (c *cloudNode) recordEval(t int, acc, loss float64, final bool) {
+	sink := c.opts.Telemetry
+	m := sink.M()
+	m.Evals.Inc()
+	m.TestAccuracy.Set(acc)
+	m.TrainLoss.Set(loss)
+	if sink.Tracing() {
+		sink.Emit("eval",
+			telemetry.Int("t", t),
+			telemetry.Float("acc", acc),
+			telemetry.Float("loss", loss),
+			telemetry.Bool("final", final))
+	}
 }
 
 // collectReports gathers the sync-p edge reports into lastY/lastX. Strict
@@ -236,7 +270,7 @@ func (c *cloudNode) collectReports(p int) error {
 			case msg.Round > want:
 				keep = append(keep, msg)
 			case msg.Round < want:
-				c.rec.stale()
+				c.rec.stale(CloudID)
 			default:
 				ok, err := c.admitReport(msg, fresh)
 				if err != nil {
@@ -288,7 +322,7 @@ func (c *cloudNode) collectReports(p int) error {
 			return err
 		}
 		if msg.Round < want {
-			c.rec.stale()
+			c.rec.stale(CloudID)
 			continue
 		}
 		if msg.Round > want {
@@ -342,7 +376,7 @@ func (c *cloudNode) admitReport(msg transport.Message, fresh []bool) (bool, erro
 			msg.From, len(msg.Vectors))
 	}
 	if fresh[l] {
-		c.rec.duplicate()
+		c.rec.duplicate(CloudID)
 		return false, nil
 	}
 	fresh[l] = true

@@ -9,6 +9,7 @@ import (
 
 	"hieradmo/internal/core"
 	"hieradmo/internal/fl"
+	"hieradmo/internal/telemetry"
 	"hieradmo/internal/transport"
 )
 
@@ -70,6 +71,13 @@ type Options struct {
 	// Run fails with an error wrapping ErrInterrupted. A later run with
 	// Resume picks up from those snapshots.
 	Interrupt <-chan struct{}
+	// Telemetry, when non-nil, receives metrics and trace events from every
+	// node and the transport layer (defaults to the config's Telemetry
+	// sink). Cluster trace events carry the emitting node's ID; unlike the
+	// single-threaded simulation their interleaving across nodes depends on
+	// scheduling, so cluster traces are ordered (per-event seq) but not
+	// byte-diffable between runs.
+	Telemetry *telemetry.Sink
 }
 
 func (o Options) withDefaults() Options {
@@ -135,11 +143,19 @@ func Run(cfg *fl.Config, net Network, opts Options) (*fl.Result, error) {
 	if err := opts.validate(); err != nil {
 		return nil, err
 	}
+	if opts.Telemetry == nil {
+		opts.Telemetry = cfg.Telemetry
+	}
 	hn, err := fl.NewHarness(cfg)
 	if err != nil {
 		return nil, err
 	}
 	defer net.Close()
+	// Let the transport count its own faults (drops, delays, retries) live
+	// on the sink; mergeTransport below only touches the FaultReport.
+	if ts, ok := net.(transport.TelemetrySetter); ok {
+		ts.SetTelemetry(opts.Telemetry)
+	}
 
 	// Create every endpoint before any node starts (TCP needs all
 	// addresses registered up front).
@@ -162,7 +178,17 @@ func Run(cfg *fl.Config, net Network, opts Options) (*fl.Result, error) {
 	}
 
 	x0 := hn.InitParams()
-	rec := newFaultRecorder()
+	rec := newFaultRecorder(opts.Telemetry)
+	if sink := opts.Telemetry; sink.Tracing() {
+		sink.Emit("run_start",
+			telemetry.String("alg", "HierAdMo/cluster"),
+			telemetry.Int("edges", cfg.NumEdges()),
+			telemetry.Int("workers", cfg.NumWorkers()),
+			telemetry.Int("tau", cfg.Tau),
+			telemetry.Int("pi", cfg.Pi),
+			telemetry.Int("T", cfg.T),
+			telemetry.Int64("seed", int64(cfg.Seed)))
+	}
 
 	var (
 		wg     sync.WaitGroup
@@ -275,6 +301,11 @@ func Run(cfg *fl.Config, net Network, opts Options) (*fl.Result, error) {
 		rec.nodeError(err)
 	}
 	result.FaultReport = rec.report()
+	if sink := opts.Telemetry; sink.Tracing() {
+		sink.Emit("run_end",
+			telemetry.Float("final_acc", result.FinalAcc),
+			telemetry.Float("final_loss", result.FinalLoss))
+	}
 	return result, nil
 }
 

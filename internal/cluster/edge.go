@@ -8,6 +8,7 @@ import (
 	"hieradmo/internal/checkpoint"
 	"hieradmo/internal/core"
 	"hieradmo/internal/fl"
+	"hieradmo/internal/telemetry"
 	"hieradmo/internal/tensor"
 	"hieradmo/internal/transport"
 )
@@ -91,7 +92,7 @@ func (e *edgeNode) initCheckpoint() (int, error) {
 			return nil
 		})
 	e.reg = reg
-	return restoreOrClear(reg, e.opts.Resume)
+	return restoreOrClear(reg, e.opts.Resume, e.opts.Telemetry, EdgeID(e.l))
 }
 
 // redistribute sends the round-k edge update (lines 14–15, and 22–23 after a
@@ -140,9 +141,10 @@ func (e *edgeNode) run() error {
 			// collecting: the adopted state supersedes this round's local
 			// aggregation, so skip it (and the sync the cloud already
 			// closed) and rejoin at the adopted round.
+			e.rec.fastforward(EdgeID(e.l), k*e.cfg.Tau, adopted)
 			k = adopted / e.cfg.Tau
 		} else {
-			if err := e.update(reports, idx); err != nil {
+			if err := e.update(reports, idx, k); err != nil {
 				return fmt.Errorf("cluster: edge %d round %d: %w", e.l, k, err)
 			}
 			if k%e.cfg.Pi == 0 {
@@ -156,6 +158,7 @@ func (e *edgeNode) run() error {
 					// round so the edge rejoins the cloud's cadence instead
 					// of trailing — and having every report rejected as
 					// stale — forever.
+					e.rec.fastforward(EdgeID(e.l), k*e.cfg.Tau, adopted)
 					k = r
 				}
 			}
@@ -169,7 +172,7 @@ func (e *edgeNode) run() error {
 		if err := e.lastY.CopyFrom(e.yMinus); err != nil {
 			return err
 		}
-		if err := saveSnapshot(e.reg, k); err != nil {
+		if err := saveSnapshot(e.reg, k, e.opts.Telemetry, EdgeID(e.l)); err != nil {
 			return fmt.Errorf("cluster: edge %d round %d: %w", e.l, k, err)
 		}
 		if err := e.redistribute(k); err != nil {
@@ -219,7 +222,7 @@ func (e *edgeNode) collectReports(k int) ([]transport.Message, []int, int, error
 			case msg.Round > want:
 				keep = append(keep, msg)
 			case msg.Round < want:
-				e.rec.stale()
+				e.rec.stale(EdgeID(e.l))
 			default:
 				ok, err := e.admitReport(msg, want, reports, seen)
 				if err != nil {
@@ -279,14 +282,14 @@ func (e *edgeNode) collectReports(k int) ([]transport.Message, []int, int, error
 				return nil, nil, msg.Round, nil
 			}
 			// A cloud update from a sync this edge already gave up on.
-			e.rec.stale()
+			e.rec.stale(EdgeID(e.l))
 			continue
 		}
 		if err := expectKind(msg, KindEdgeReport); err != nil {
 			return nil, nil, 0, err
 		}
 		if msg.Round < want {
-			e.rec.stale()
+			e.rec.stale(EdgeID(e.l))
 			continue
 		}
 		if msg.Round > want {
@@ -337,7 +340,7 @@ func (e *edgeNode) admitReport(msg transport.Message, want int, reports []transp
 		// A duplicate must not overwrite the slot twice while inflating the
 		// reporter count: reject it and keep counting distinct reporters
 		// only.
-		e.rec.duplicate()
+		e.rec.duplicate(EdgeID(e.l))
 		return false, nil
 	}
 	seen[i] = true
@@ -352,7 +355,12 @@ func (e *edgeNode) admitReport(msg transport.Message, want int, reports []transp
 // and arithmetic of the simulation's partial-participation path
 // (core.HierAdMo with WithParticipation), keeping matched cohorts
 // bit-identical.
-func (e *edgeNode) update(reports []transport.Message, idx []int) error {
+func (e *edgeNode) update(reports []transport.Message, idx []int, k int) error {
+	sink := e.opts.Telemetry
+	var aggStart time.Time
+	if sink != nil {
+		aggStart = time.Now()
+	}
 	numWorkers := len(e.cfg.Edges[e.l])
 	weights := make([]float64, len(idx))
 	for j, i := range idx {
@@ -384,6 +392,7 @@ func (e *edgeNode) update(reports []transport.Message, idx []int) error {
 	}
 
 	gammaEdge := e.cfg.GammaEdge
+	var cosVal float64
 	if e.opts.Adaptive {
 		signals := make([]tensor.Vector, len(idx))
 		if e.opts.Signal == core.SignalVelocity {
@@ -409,7 +418,27 @@ func (e *edgeNode) update(reports []transport.Message, idx []int) error {
 		if err != nil {
 			return err
 		}
+		cosVal = cos
 		gammaEdge = core.ClampGamma(cos, e.opts.Ceiling)
+		if gammaEdge == 0 {
+			sink.M().GammaZeroed.Inc()
+		}
+		sink.M().EdgeCosine.Set(cos)
+	}
+	sink.M().EdgeAggregations.Inc()
+	sink.M().GammaEdge.Set(gammaEdge)
+	if sink.Tracing() {
+		fields := []telemetry.Field{
+			telemetry.Int("t", k*e.cfg.Tau),
+			telemetry.Int("edge", e.l),
+			telemetry.Int("participants", len(idx)),
+			telemetry.Float("gamma", gammaEdge),
+			telemetry.String("node", EdgeID(e.l)),
+		}
+		if e.opts.Adaptive {
+			fields = append(fields, telemetry.Float("cos", cosVal))
+		}
+		sink.Emit("edge_aggregate", fields...)
 	}
 
 	if err := tensor.WeightedSum(e.yMinus, weights, ys); err != nil { // line 11
@@ -427,7 +456,13 @@ func (e *edgeNode) update(reports []transport.Message, idx []int) error {
 	if err := e.xPlus.AXPY(-gammaEdge, e.yPlus); err != nil {
 		return err
 	}
-	return e.yPlus.CopyFrom(e.yPlusNext)
+	if err := e.yPlus.CopyFrom(e.yPlusNext); err != nil {
+		return err
+	}
+	if sink != nil {
+		sink.M().EdgeAggSeconds.Observe(time.Since(aggStart).Seconds())
+	}
+	return nil
 }
 
 // cloudSync executes the edge side of lines 17–23: report to the cloud and
@@ -459,7 +494,7 @@ func (e *edgeNode) cloudSync(k int) (int, error) {
 				// Ride it out: keep local edge state for this sync. The
 				// cloud reuses this edge's last report, and the next sync
 				// reconverges both sides.
-				e.rec.timeout()
+				e.rec.timeout(EdgeID(e.l))
 				return 0, nil
 			}
 			return 0, fmt.Errorf("cloud update: %w", transport.ErrTimeout)
@@ -474,14 +509,14 @@ func (e *edgeNode) cloudSync(k int) (int, error) {
 		// Straggler reports from the aggregation this edge already closed
 		// can still trickle in while it waits on the cloud.
 		if msg.Kind == KindEdgeReport {
-			e.rec.stale()
+			e.rec.stale(EdgeID(e.l))
 			continue
 		}
 		if err := expectKind(msg, KindCloudUpdate); err != nil {
 			return 0, err
 		}
 		if msg.Round < want {
-			e.rec.stale()
+			e.rec.stale(EdgeID(e.l))
 			continue
 		}
 		if len(msg.Vectors) != 2 {

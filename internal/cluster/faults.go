@@ -4,22 +4,34 @@ import (
 	"sync"
 
 	"hieradmo/internal/fl"
+	"hieradmo/internal/telemetry"
 	"hieradmo/internal/transport"
 )
 
 // faultRecorder accumulates the fault observations of every node in a run
-// into one fl.FaultReport. All methods are nil-safe so the per-role entry
-// points can run without one.
+// into one fl.FaultReport, and mirrors each observation onto the run's
+// telemetry sink as it happens — counters live, one trace event per
+// tolerated fault. All methods are nil-safe so the per-role entry points
+// can run without one.
+//
+// Transport-level faults (drops, delays, retries) are counted live by the
+// transport layer itself (see transport.FaultyNetwork.SetTelemetry);
+// mergeTransport only folds their end-of-run totals into the FaultReport,
+// never into the sink, so nothing is double-counted.
 type faultRecorder struct {
-	mu  sync.Mutex
-	rep fl.FaultReport
+	mu   sync.Mutex
+	rep  fl.FaultReport
+	sink *telemetry.Sink // nil-safe, accessed without mu
 }
 
-func newFaultRecorder() *faultRecorder {
-	return &faultRecorder{rep: fl.FaultReport{
-		MissingWorkers: make(map[int]int),
-		MissingEdges:   make(map[int]int),
-	}}
+func newFaultRecorder(sink *telemetry.Sink) *faultRecorder {
+	return &faultRecorder{
+		rep: fl.FaultReport{
+			MissingWorkers: make(map[int]int),
+			MissingEdges:   make(map[int]int),
+		},
+		sink: sink,
+	}
 }
 
 // missingWorkers records that an edge quorum at iteration t proceeded
@@ -31,6 +43,15 @@ func (r *faultRecorder) missingWorkers(t, n int) {
 	r.mu.Lock()
 	r.rep.MissingWorkers[t] += n
 	r.mu.Unlock()
+	m := r.sink.M()
+	m.QuorumMet.Inc()
+	m.QuorumMissingWorkers.Add(int64(n))
+	if r.sink.Tracing() {
+		r.sink.Emit("quorum",
+			telemetry.String("tier", "edge"),
+			telemetry.Int("t", t),
+			telemetry.Int("missing", n))
+	}
 }
 
 // missingEdges records that the cloud sync at iteration t substituted n
@@ -42,36 +63,74 @@ func (r *faultRecorder) missingEdges(t, n int) {
 	r.mu.Lock()
 	r.rep.MissingEdges[t] += n
 	r.mu.Unlock()
+	m := r.sink.M()
+	m.QuorumMet.Inc()
+	m.QuorumMissingEdges.Add(int64(n))
+	if r.sink.Tracing() {
+		r.sink.Emit("quorum",
+			telemetry.String("tier", "cloud"),
+			telemetry.Int("t", t),
+			telemetry.Int("missing", n))
+	}
 }
 
-// duplicate records a rejected duplicate report.
-func (r *faultRecorder) duplicate() {
+// duplicate records a rejected duplicate report observed by node.
+func (r *faultRecorder) duplicate(node string) {
 	if r == nil {
 		return
 	}
 	r.mu.Lock()
 	r.rep.DuplicateReports++
 	r.mu.Unlock()
+	r.sink.M().DuplicateReports.Inc()
+	if r.sink.Tracing() {
+		r.sink.Emit("duplicate_report", telemetry.String("node", node))
+	}
 }
 
-// stale records a rejected stale-round message.
-func (r *faultRecorder) stale() {
+// stale records a rejected stale-round message observed by node.
+func (r *faultRecorder) stale(node string) {
 	if r == nil {
 		return
 	}
 	r.mu.Lock()
 	r.rep.StaleMessages++
 	r.mu.Unlock()
+	r.sink.M().StaleMessages.Inc()
+	if r.sink.Tracing() {
+		r.sink.Emit("stale_message", telemetry.String("node", node))
+	}
 }
 
-// timeout records a tolerated receive timeout.
-func (r *faultRecorder) timeout() {
+// timeout records a tolerated receive timeout at node.
+func (r *faultRecorder) timeout(node string) {
 	if r == nil {
 		return
 	}
 	r.mu.Lock()
 	r.rep.Timeouts++
 	r.mu.Unlock()
+	r.sink.M().Timeouts.Inc()
+	if r.sink.Tracing() {
+		r.sink.Emit("timeout", telemetry.String("node", node))
+	}
+}
+
+// fastforward records a node resynchronizing past rounds the protocol
+// completed without it (from its own round to the adopted one). Pure
+// telemetry: fast-forwards are recovery, not faults, so they stay out of
+// the FaultReport.
+func (r *faultRecorder) fastforward(node string, from, to int) {
+	if r == nil {
+		return
+	}
+	r.sink.M().FastForwards.Inc()
+	if r.sink.Tracing() {
+		r.sink.Emit("fastforward_resync",
+			telemetry.String("node", node),
+			telemetry.Int("from", from),
+			telemetry.Int("to", to))
+	}
 }
 
 // nodeError records the error of a node that dropped out of a run that kept

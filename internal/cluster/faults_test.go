@@ -81,7 +81,7 @@ func TestEdgeDuplicateReportRejected(t *testing.T) {
 
 	x0 := hn.InitParams()
 	e := newEdgeNode(cfg, hn, 0, x0, edgeEP, Options{}.withDefaults())
-	e.rec = newFaultRecorder()
+	e.rec = newFaultRecorder(nil)
 
 	report := func(ep transport.Endpoint) {
 		t.Helper()
@@ -119,7 +119,7 @@ func TestEdgeDuplicateReportRejected(t *testing.T) {
 		t.Errorf("DuplicateReports = %d, want 1", e.rec.rep.DuplicateReports)
 	}
 	// The aggregation over the collected slots must not touch nil vectors.
-	if err := e.update(reports, idx); err != nil {
+	if err := e.update(reports, idx, 1); err != nil {
 		t.Errorf("update after duplicate: %v", err)
 	}
 }
@@ -421,7 +421,7 @@ func TestEdgeAdoptsMidCollectCloudUpdate(t *testing.T) {
 		RecvTimeout:       2 * time.Second,
 	}.withDefaults()
 	e := newEdgeNode(cfg, hn, 0, x0, edgeEP, opts)
-	e.rec = newFaultRecorder()
+	e.rec = newFaultRecorder(nil)
 
 	// The cloud finished the second sync (round 2τπ) while this edge never
 	// saw a single round-τ report.
@@ -457,7 +457,7 @@ func TestEdgeAdoptsMidCollectCloudUpdate(t *testing.T) {
 	strict := newEdgeNode(cfg, hn, 0, x0, edgeEP, Options{
 		RecvTimeout: 200 * time.Millisecond,
 	}.withDefaults())
-	strict.rec = newFaultRecorder()
+	strict.rec = newFaultRecorder(nil)
 	if err := cloudEP.Send(EdgeID(0), update); err != nil {
 		t.Fatal(err)
 	}

@@ -18,6 +18,9 @@ import (
 // RunWorkerNode executes worker {i,ℓ} against ep until the configured T.
 func RunWorkerNode(cfg *fl.Config, l, i int, ep transport.Endpoint, opts Options) error {
 	opts = opts.withDefaults()
+	if opts.Telemetry == nil {
+		opts.Telemetry = cfg.Telemetry
+	}
 	if err := opts.validate(); err != nil {
 		return err
 	}
@@ -29,12 +32,16 @@ func RunWorkerNode(cfg *fl.Config, l, i int, ep transport.Endpoint, opts Options
 		return fmt.Errorf("cluster: no worker {%d,%d} in topology", i, l)
 	}
 	w := newWorkerNode(cfg, hn, l, i, hn.InitParams(), ep, opts)
+	w.rec = newFaultRecorder(opts.Telemetry)
 	return w.run()
 }
 
 // RunEdgeNode executes edge ℓ against ep.
 func RunEdgeNode(cfg *fl.Config, l int, ep transport.Endpoint, opts Options) error {
 	opts = opts.withDefaults()
+	if opts.Telemetry == nil {
+		opts.Telemetry = cfg.Telemetry
+	}
 	if err := opts.validate(); err != nil {
 		return err
 	}
@@ -46,6 +53,7 @@ func RunEdgeNode(cfg *fl.Config, l int, ep transport.Endpoint, opts Options) err
 		return fmt.Errorf("cluster: no edge %d in topology", l)
 	}
 	e := newEdgeNode(cfg, hn, l, hn.InitParams(), ep, opts)
+	e.rec = newFaultRecorder(opts.Telemetry)
 	return e.run()
 }
 
@@ -55,6 +63,9 @@ func RunEdgeNode(cfg *fl.Config, l int, ep transport.Endpoint, opts Options) err
 // multi-process deployment.
 func RunCloudNode(cfg *fl.Config, ep transport.Endpoint, opts Options) (*fl.Result, error) {
 	opts = opts.withDefaults()
+	if opts.Telemetry == nil {
+		opts.Telemetry = cfg.Telemetry
+	}
 	if err := opts.validate(); err != nil {
 		return nil, err
 	}
@@ -63,7 +74,7 @@ func RunCloudNode(cfg *fl.Config, ep transport.Endpoint, opts Options) (*fl.Resu
 		return nil, err
 	}
 	c := newCloudNode(cfg, hn, hn.InitParams(), ep, opts)
-	c.rec = newFaultRecorder()
+	c.rec = newFaultRecorder(opts.Telemetry)
 	res, err := c.run()
 	if err != nil {
 		return nil, err

@@ -7,6 +7,7 @@ import (
 
 	"hieradmo/internal/checkpoint"
 	"hieradmo/internal/fl"
+	"hieradmo/internal/telemetry"
 	"hieradmo/internal/transport"
 )
 
@@ -82,8 +83,10 @@ func nodeRegistry(cfg *fl.Config, opts Options, nodeID string) (*checkpoint.Regi
 
 // restoreOrClear applies the Resume option to a node's registry: resuming
 // loads the newest valid generation and returns its sequence number; a
-// fresh start clears leftover generations from a previous run instead.
-func restoreOrClear(reg *checkpoint.Registry, resume bool) (int, error) {
+// fresh start clears leftover generations from a previous run instead. An
+// actual resume (seq > 0) is mirrored onto the telemetry sink under the
+// node's ID.
+func restoreOrClear(reg *checkpoint.Registry, resume bool, sink *telemetry.Sink, node string) (int, error) {
 	if reg == nil {
 		return 0, nil
 	}
@@ -91,16 +94,34 @@ func restoreOrClear(reg *checkpoint.Registry, resume bool) (int, error) {
 		return 0, reg.Clear()
 	}
 	seq, _, err := reg.Restore()
+	if err == nil && seq > 0 {
+		sink.M().CheckpointResumes.Inc()
+		if sink.Tracing() {
+			sink.Emit("checkpoint_resume",
+				telemetry.String("node", node),
+				telemetry.Int("t", seq))
+		}
+	}
 	return seq, err
 }
 
 // saveSnapshot persists the node's registered state as generation seq; a
-// nil registry (checkpointing disabled) is a no-op.
-func saveSnapshot(reg *checkpoint.Registry, seq int) error {
+// nil registry (checkpointing disabled) is a no-op. Successful saves are
+// mirrored onto the telemetry sink under the node's ID.
+func saveSnapshot(reg *checkpoint.Registry, seq int, sink *telemetry.Sink, node string) error {
 	if reg == nil {
 		return nil
 	}
-	return reg.Save(seq)
+	if err := reg.Save(seq); err != nil {
+		return err
+	}
+	sink.M().CheckpointSaves.Inc()
+	if sink.Tracing() {
+		sink.Emit("checkpoint_save",
+			telemetry.String("node", node),
+			telemetry.Int("t", seq))
+	}
+	return nil
 }
 
 // encodePending flattens a ride-ahead report stash for snapshotting: one

@@ -78,7 +78,7 @@ func (w *workerNode) initCheckpoint() (int, error) {
 	reg.Float("lastLoss", &w.lastLoss)
 	reg.Int("syncedThrough", &w.syncedThrough)
 	w.reg = reg
-	return restoreOrClear(reg, w.opts.Resume)
+	return restoreOrClear(reg, w.opts.Resume, w.opts.Telemetry, WorkerID(w.l, w.i))
 }
 
 func (w *workerNode) run() error {
@@ -93,7 +93,7 @@ func (w *workerNode) run() error {
 			// iteration. A resumed run replays the rest of the interval from
 			// here — deterministically, since the sampler position is part of
 			// the snapshot — and re-sends the interval report.
-			if err := saveSnapshot(w.reg, t-1); err != nil {
+			if err := saveSnapshot(w.reg, t-1, w.opts.Telemetry, WorkerID(w.l, w.i)); err != nil {
 				return fmt.Errorf("cluster: worker {%d,%d}: %w", w.i, w.l, err)
 			}
 			return fmt.Errorf("cluster: worker {%d,%d}: %w", w.i, w.l, ErrInterrupted)
@@ -108,7 +108,7 @@ func (w *workerNode) run() error {
 			// The last adopted update already covers this round: the edge
 			// would reject a report for it as stale. Keep training until the
 			// local iteration count catches up with the adopted state.
-			if err := saveSnapshot(w.reg, t); err != nil {
+			if err := saveSnapshot(w.reg, t, w.opts.Telemetry, WorkerID(w.l, w.i)); err != nil {
 				return fmt.Errorf("cluster: worker {%d,%d}: %w", w.i, w.l, err)
 			}
 			continue
@@ -133,7 +133,7 @@ func (w *workerNode) run() error {
 		// and re-sends the report, which keeps it bit-identical to a run that
 		// was never interrupted (the edge discards the duplicate as stale if
 		// it already processed the original).
-		if err := saveSnapshot(w.reg, t); err != nil {
+		if err := saveSnapshot(w.reg, t, w.opts.Telemetry, WorkerID(w.l, w.i)); err != nil {
 			return fmt.Errorf("cluster: worker {%d,%d}: %w", w.i, w.l, err)
 		}
 	}
@@ -152,7 +152,7 @@ func (w *workerNode) awaitUpdate(t int) error {
 		wait := time.Until(deadline)
 		if wait <= 0 {
 			if w.opts.tolerant() {
-				w.rec.timeout()
+				w.rec.timeout(WorkerID(w.l, w.i))
 				return nil
 			}
 			return fmt.Errorf("cluster: worker {%d,%d} await update: %w", w.i, w.l, transport.ErrTimeout)
@@ -168,7 +168,7 @@ func (w *workerNode) awaitUpdate(t int) error {
 			return err
 		}
 		if msg.Round < t {
-			w.rec.stale()
+			w.rec.stale(WorkerID(w.l, w.i))
 			continue
 		}
 		if len(msg.Vectors) != 2 {
@@ -183,6 +183,11 @@ func (w *workerNode) awaitUpdate(t int) error {
 		}
 		w.gradSum.Zero()
 		w.ySum.Zero()
+		if msg.Round > t {
+			// A quorum moved on without this worker; it resynchronizes to the
+			// newer state and trains straight through to the adopted round.
+			w.rec.fastforward(WorkerID(w.l, w.i), t, msg.Round)
+		}
 		w.syncedThrough = msg.Round
 		return nil
 	}
@@ -218,5 +223,9 @@ func (w *workerNode) step() error {
 	if err := w.x.AXPY(w.cfg.Gamma, w.y); err != nil {
 		return err
 	}
-	return w.x.AXPY(-w.cfg.Gamma, yPrev)
+	if err := w.x.AXPY(-w.cfg.Gamma, yPrev); err != nil {
+		return err
+	}
+	w.opts.Telemetry.M().WorkerSteps.Inc()
+	return nil
 }

@@ -12,11 +12,13 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"hieradmo/internal/fl"
 	"hieradmo/internal/parallel"
 	"hieradmo/internal/quant"
 	"hieradmo/internal/rng"
+	"hieradmo/internal/telemetry"
 	"hieradmo/internal/tensor"
 )
 
@@ -276,10 +278,39 @@ func (h *HierAdMo) Run(cfg *fl.Config) (*fl.Result, error) {
 		return nil, err
 	}
 
+	// Telemetry. Counters and gauges are updated unconditionally (nil-safe,
+	// zero-cost on a nil sink); wall-clock reads and trace-field slices are
+	// gated so the nil-sink hot loop stays allocation-neutral. Every Emit
+	// below runs in sequential code — worker_train events are written from
+	// the edge's participant loop, not the goroutine pool — so the event
+	// order, and therefore the whole JSONL stream, is deterministic.
+	sink := hn.Sink()
+	m := sink.M()
+	if sink.Tracing() {
+		sink.Emit("run_start",
+			telemetry.String("alg", h.Name()),
+			telemetry.Int("edges", cfg.NumEdges()),
+			telemetry.Int("workers", cfg.NumWorkers()),
+			telemetry.Int("tau", cfg.Tau),
+			telemetry.Int("pi", cfg.Pi),
+			telemetry.Int("T", cfg.T),
+			telemetry.Int64("seed", int64(cfg.Seed)),
+			telemetry.Int("start_t", start))
+	}
+
 	refs := flattenRefs(workers)
 	poolSize := hn.Workers()
 
 	for t := start + 1; t <= cfg.T; t++ {
+		if sink.Tracing() && (t-1)%cfg.Tau == 0 {
+			sink.Emit("round_start",
+				telemetry.Int("k", (t-1)/cfg.Tau+1),
+				telemetry.Int("t", t))
+		}
+		var iterStart time.Time
+		if sink != nil {
+			iterStart = time.Now()
+		}
 		// Worker momentum and model updates (lines 5–6, NAG form). The phase
 		// is embarrassingly parallel — each worker owns its state vectors and
 		// RNG stream — so it fans out over the goroutine pool; every
@@ -291,6 +322,10 @@ func (h *HierAdMo) Run(cfg *fl.Config) (*fl.Result, error) {
 		}, parallel.WithWorkers(poolSize)); err != nil {
 			return nil, err
 		}
+		if sink != nil {
+			m.IterationSeconds.Observe(time.Since(iterStart).Seconds())
+		}
+		m.Round.Set(float64(t))
 
 		// Edge update every τ iterations (lines 7–16). The reductions stay
 		// sequential in edge-index order: they cost O(L·dim) against the
@@ -299,15 +334,26 @@ func (h *HierAdMo) Run(cfg *fl.Config) (*fl.Result, error) {
 		// gammaStats observer delivery deterministic.
 		if t%cfg.Tau == 0 {
 			for l := range edges {
+				var aggStart time.Time
+				if sink != nil {
+					aggStart = time.Now()
+				}
 				idx := h.sampleParticipants(partRNG, len(workers[l]))
-				if err := h.edgeUpdate(hn, cfg, l, edges[l], workers[l], idx, quantizer, x0); err != nil {
+				if err := h.edgeUpdate(hn, cfg, t, l, edges[l], workers[l], idx, quantizer, x0); err != nil {
 					return nil, err
+				}
+				if sink != nil {
+					m.EdgeAggSeconds.Observe(time.Since(aggStart).Seconds())
 				}
 			}
 		}
 
 		// Cloud update every τπ iterations (lines 17–24).
 		if t%(cfg.Tau*cfg.Pi) == 0 {
+			var syncStart time.Time
+			if sink != nil {
+				syncStart = time.Now()
+			}
 			yMinuses := make([]tensor.Vector, len(edges))
 			xPluses := make([]tensor.Vector, len(edges))
 			for l, e := range edges {
@@ -341,6 +387,21 @@ func (h *HierAdMo) Run(cfg *fl.Config) (*fl.Result, error) {
 					}
 				}
 			}
+			m.CloudSyncs.Inc()
+			if sink != nil {
+				m.CloudSyncSeconds.Observe(time.Since(syncStart).Seconds())
+			}
+			if sink.Tracing() {
+				sink.Emit("cloud_aggregate",
+					telemetry.Int("t", t),
+					telemetry.Int("edges", len(edges)))
+			}
+		}
+
+		if sink.Tracing() && t%cfg.Tau == 0 {
+			sink.Emit("round_end",
+				telemetry.Int("k", t/cfg.Tau),
+				telemetry.Int("t", t))
 		}
 
 		if hn.ShouldEval(t) {
@@ -360,6 +421,11 @@ func (h *HierAdMo) Run(cfg *fl.Config) (*fl.Result, error) {
 	// T is a multiple of τπ, so the final cloud model is the run's output.
 	if err := hn.Finish(res, cloudX); err != nil {
 		return nil, err
+	}
+	if sink.Tracing() {
+		sink.Emit("run_end",
+			telemetry.Float("final_acc", res.FinalAcc),
+			telemetry.Float("final_loss", res.FinalLoss))
 	}
 	return res, nil
 }
@@ -395,7 +461,20 @@ func (h *HierAdMo) sampleParticipants(r *rng.RNG, numWorkers int) []int {
 // edgeUpdate executes lines 9–15 of Algorithm 1 for edge ℓ at t = kτ over
 // the participating workers (idx; all workers under full participation).
 // Aggregation weights are the data weights renormalized over participants.
-func (h *HierAdMo) edgeUpdate(hn *fl.Harness, cfg *fl.Config, l int, e *edgeState, ws []*workerState, idx []int, quantizer *quant.Quantizer, x0 tensor.Vector) error {
+func (h *HierAdMo) edgeUpdate(hn *fl.Harness, cfg *fl.Config, t, l int, e *edgeState, ws []*workerState, idx []int, quantizer *quant.Quantizer, x0 tensor.Vector) error {
+	sink := hn.Sink()
+	if sink.Tracing() {
+		// The workers trained on the goroutine pool, but their per-step
+		// losses are re-read here, in fixed participant order, so the trace
+		// stays deterministic at every pool size.
+		for _, i := range idx {
+			sink.Emit("worker_train",
+				telemetry.Int("t", t),
+				telemetry.Int("edge", l),
+				telemetry.Int("worker", i),
+				telemetry.Float("loss", hn.LastLoss(l, i)))
+		}
+	}
 	weights := make([]float64, len(idx))
 	for j, i := range idx {
 		weights[j] = hn.WorkerWeights[l][i]
@@ -440,6 +519,7 @@ func (h *HierAdMo) edgeUpdate(hn *fl.Harness, cfg *fl.Config, l int, e *edgeStat
 	// direction rather than the arbitrary initial position; for the
 	// zero-initialized convex models this is exactly eq. (6). See DESIGN.md.
 	gammaEdge := cfg.GammaEdge
+	var cosVal float64
 	if h.adaptive {
 		signals := make([]tensor.Vector, len(idx))
 		for j, i := range idx {
@@ -463,9 +543,28 @@ func (h *HierAdMo) edgeUpdate(hn *fl.Harness, cfg *fl.Config, l int, e *edgeStat
 			return fmt.Errorf("core: edge %d adapt: %w", l, err)
 		}
 		gammaEdge = ClampGamma(cos, h.ceiling)
+		cosVal = cos
+		if gammaEdge == 0 {
+			sink.M().GammaZeroed.Inc()
+		}
+		sink.M().EdgeCosine.Set(cos)
 	}
 	if h.gammaStats != nil {
 		h.gammaStats(l, gammaEdge)
+	}
+	sink.M().EdgeAggregations.Inc()
+	sink.M().GammaEdge.Set(gammaEdge)
+	if sink.Tracing() {
+		fields := []telemetry.Field{
+			telemetry.Int("t", t),
+			telemetry.Int("edge", l),
+			telemetry.Int("participants", len(idx)),
+			telemetry.Float("gamma", gammaEdge),
+		}
+		if h.adaptive {
+			fields = append(fields, telemetry.Float("cos", cosVal))
+		}
+		sink.Emit("edge_aggregate", fields...)
 	}
 	if err := tensor.WeightedSum(e.yMinus, weights, ys); err != nil {
 		return err

@@ -7,6 +7,7 @@ import (
 
 	"hieradmo/internal/checkpoint"
 	"hieradmo/internal/rng"
+	"hieradmo/internal/telemetry"
 )
 
 // Checkpointer gives a simulation algorithm crash recovery with three calls:
@@ -24,6 +25,7 @@ type Checkpointer struct {
 	reg   *checkpoint.Registry
 	every int
 	t     int // total iterations, to skip the redundant final snapshot
+	sink  *telemetry.Sink
 }
 
 // NewCheckpointer prepares crash recovery for one Run invocation of the
@@ -53,6 +55,7 @@ func NewCheckpointer(h *Harness, algorithm, variant string, res *Result) (*Check
 		reg:   checkpoint.NewRegistry(mgr, fingerprint),
 		every: every,
 		t:     cfg.T,
+		sink:  h.sink,
 	}
 	for l := range h.samplers {
 		c.reg.Vector(fmt.Sprintf("harness/lastloss/%d", l), h.lastLoss[l])
@@ -148,6 +151,12 @@ func (c *Checkpointer) Restore() (startT int, err error) {
 	if err != nil {
 		return 0, fmt.Errorf("fl: resume: %w", err)
 	}
+	if seq > 0 {
+		c.sink.M().CheckpointResumes.Inc()
+		if c.sink.Tracing() {
+			c.sink.Emit("checkpoint_resume", telemetry.Int("t", seq))
+		}
+	}
 	return seq, nil
 }
 
@@ -159,5 +168,12 @@ func (c *Checkpointer) MaybeSnapshot(t int) error {
 	if c == nil || t%c.every != 0 || t == c.t {
 		return nil
 	}
-	return c.reg.Save(t)
+	if err := c.reg.Save(t); err != nil {
+		return err
+	}
+	c.sink.M().CheckpointSaves.Inc()
+	if c.sink.Tracing() {
+		c.sink.Emit("checkpoint_save", telemetry.Int("t", t))
+	}
+	return nil
 }

@@ -17,6 +17,7 @@ import (
 
 	"hieradmo/internal/dataset"
 	"hieradmo/internal/model"
+	"hieradmo/internal/telemetry"
 )
 
 // Default hyper-parameters mirroring the paper's experimental setup (§V-A).
@@ -91,6 +92,12 @@ type Config struct {
 	// CheckpointEvery is the snapshot period in local iterations. Zero with
 	// CheckpointDir set defaults to Tau (one snapshot per edge round).
 	CheckpointEvery int
+
+	// Telemetry, when non-nil, receives metrics and trace events from the
+	// run (see internal/telemetry). Nil disables observability at zero
+	// cost; results are bit-identical either way, so Telemetry is — like
+	// Workers — deliberately excluded from Fingerprint.
+	Telemetry *telemetry.Sink
 }
 
 // Validate checks the configuration for structural errors.

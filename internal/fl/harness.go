@@ -7,6 +7,7 @@ import (
 	"hieradmo/internal/model"
 	"hieradmo/internal/parallel"
 	"hieradmo/internal/rng"
+	"hieradmo/internal/telemetry"
 	"hieradmo/internal/tensor"
 )
 
@@ -25,6 +26,7 @@ type Harness struct {
 	samplers [][]*rng.RNG
 	lastLoss [][]float64
 	evalSet  *dataset.Dataset
+	sink     *telemetry.Sink
 }
 
 // NewHarness validates cfg and prepares the run state.
@@ -38,6 +40,7 @@ func NewHarness(cfg *Config) (*Harness, error) {
 		WorkerWeights: make([][]float64, cfg.NumEdges()),
 		samplers:      make([][]*rng.RNG, cfg.NumEdges()),
 		lastLoss:      make([][]float64, cfg.NumEdges()),
+		sink:          cfg.Telemetry,
 	}
 	total := 0
 	edgeTotals := make([]int, cfg.NumEdges())
@@ -78,6 +81,10 @@ func WorkerSampler(seed uint64, l, i int) *rng.RNG {
 
 // Cfg returns the validated configuration.
 func (h *Harness) Cfg() *Config { return h.cfg }
+
+// Sink returns the run's telemetry sink. It may be nil; every sink
+// method is nil-safe and free, so algorithms use it unconditionally.
+func (h *Harness) Sink() *telemetry.Sink { return h.sink }
 
 // Workers returns the effective goroutine-pool size for the parallel
 // local-training phase: cfg.Workers, defaulting to runtime.GOMAXPROCS(0)
@@ -124,11 +131,20 @@ func (h *Harness) Grad(l, i int, params, grad tensor.Vector) (float64, error) {
 	if h.cfg.ClipNorm > 0 {
 		if norm := grad.Norm(); norm > h.cfg.ClipNorm {
 			grad.Scale(h.cfg.ClipNorm / norm)
+			h.sink.M().GradClips.Inc()
 		}
 	}
+	h.sink.M().WorkerSteps.Inc()
 	h.lastLoss[l][i] = loss
 	return loss, nil
 }
+
+// LastLoss returns worker {i,ℓ}'s most recent mini-batch loss. Like
+// WeightedLoss it must only be read after the round's Grad calls have
+// been joined; trace emission uses it so worker_train events can be
+// written from sequential code (keeping event order deterministic) even
+// when the training itself ran on a goroutine pool.
+func (h *Harness) LastLoss(l, i int) float64 { return h.lastLoss[l][i] }
 
 // WeightedLoss returns the data-weighted average of every worker's latest
 // mini-batch loss — the curve's training-loss signal.
@@ -192,8 +208,26 @@ func (h *Harness) RecordPoint(res *Result, t int, params tensor.Vector) error {
 	if err != nil {
 		return fmt.Errorf("fl: eval at t=%d: %w", t, err)
 	}
-	res.Curve = append(res.Curve, Point{Iter: t, TestAcc: acc, TrainLoss: h.WeightedLoss()})
+	loss := h.WeightedLoss()
+	res.Curve = append(res.Curve, Point{Iter: t, TestAcc: acc, TrainLoss: loss})
+	h.recordEval(t, acc, loss, false)
 	return nil
+}
+
+// recordEval publishes one curve point to the sink: gauges always, a
+// trace event when tracing is on.
+func (h *Harness) recordEval(t int, acc, loss float64, final bool) {
+	m := h.sink.M()
+	m.Evals.Inc()
+	m.TestAccuracy.Set(acc)
+	m.TrainLoss.Set(loss)
+	if h.sink.Tracing() {
+		h.sink.Emit("eval",
+			telemetry.Int("t", t),
+			telemetry.Float("acc", acc),
+			telemetry.Float("loss", loss),
+			telemetry.Bool("final", final))
+	}
 }
 
 // Finish evaluates the final model on the full test set and appends the
@@ -206,6 +240,7 @@ func (h *Harness) Finish(res *Result, params tensor.Vector) error {
 	res.FinalAcc = acc
 	res.FinalLoss = h.WeightedLoss()
 	res.Curve = append(res.Curve, Point{Iter: h.cfg.T, TestAcc: acc, TrainLoss: res.FinalLoss})
+	h.recordEval(h.cfg.T, acc, res.FinalLoss, true)
 	return nil
 }
 

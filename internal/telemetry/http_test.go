@@ -1,0 +1,74 @@
+package telemetry
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestHandlerServesMetricsAndPprof(t *testing.T) {
+	reg := NewRegistry()
+	m := NewRunMetrics(reg)
+	m.WorkerSteps.Add(42)
+	m.GammaEdge.Set(0.75)
+	srv := httptest.NewServer(Handler(reg))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("/metrics Content-Type = %q", ct)
+	}
+	for _, want := range []string{
+		"# TYPE fl_worker_steps_total counter",
+		"fl_worker_steps_total 42",
+		"fl_gamma_edge 0.75",
+		"# TYPE fl_iteration_seconds histogram",
+	} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+
+	resp, err = http.Get(srv.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("/debug/pprof/ status %d", resp.StatusCode)
+	}
+}
+
+func TestServeBindsEphemeralPort(t *testing.T) {
+	reg := NewRegistry()
+	addr, stop, err := Serve("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("/metrics via Serve status %d", resp.StatusCode)
+	}
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := http.Get("http://" + addr + "/metrics"); err == nil {
+		t.Error("server still reachable after stop()")
+	}
+}

@@ -1,0 +1,302 @@
+// Package telemetry is the repo's zero-dependency observability layer:
+// atomic counters/gauges/histograms behind a registry with a
+// Prometheus-text exporter, a deterministic JSONL event tracer with
+// monotonic sequence numbers, and the Sink that ties both together for
+// the simulation (internal/core, internal/baseline) and the distributed
+// runtime (internal/cluster, internal/transport).
+//
+// Two invariants shape the design:
+//
+//   - Nil is free. Every instrument method is nil-safe and every Sink
+//     accessor works on a nil receiver, so instrumented hot loops cost
+//     zero allocations and zero branches beyond a nil check when
+//     telemetry is off. Training results stay bit-identical either way.
+//
+//   - Traces are diffable. Events carry a per-trace monotonic sequence
+//     number and never a wall-clock timestamp, so two runs of the same
+//     configuration produce byte-identical JSONL streams. Wall-clock
+//     only ever feeds metrics (histograms), never the trace.
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing integer metric. The zero value is
+// ready to use; all methods are nil-safe no-ops so call sites never need
+// an "is telemetry on" branch.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c == nil {
+		return
+	}
+	c.v.Add(1)
+}
+
+// Add adds n (negative n is ignored: counters only go up).
+func (c *Counter) Add(n int64) {
+	if c == nil || n <= 0 {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a float64 metric that can go up and down (last-write-wins).
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set records the current value.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Value returns the most recently set value.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram is a cumulative-bucket histogram of float64 observations,
+// matching the Prometheus exposition model (le upper bounds plus a +Inf
+// overflow bucket, observation sum, observation count).
+type Histogram struct {
+	bounds []float64 // sorted upper bounds, exclusive of +Inf
+	counts []atomic.Int64
+	inf    atomic.Int64
+	sum    atomic.Uint64 // float64 bits, CAS-updated
+	count  atomic.Int64
+}
+
+// DefSecondsBuckets are the default buckets for wall-clock histograms,
+// spanning sub-millisecond kernel work to multi-second cluster syncs.
+var DefSecondsBuckets = []float64{.0005, .001, .0025, .005, .01, .025, .05, .1, .25, .5, 1, 2.5, 5, 10}
+
+// Observe records one observation.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v)
+	if i < len(h.bounds) {
+		h.counts[i].Add(1)
+	} else {
+		h.inf.Add(1)
+	}
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			break
+		}
+	}
+	h.count.Add(1)
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of all observations.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sum.Load())
+}
+
+// metricKind discriminates the registry's instrument table.
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+)
+
+type metric struct {
+	name string
+	help string
+	kind metricKind
+	c    *Counter
+	g    *Gauge
+	h    *Histogram
+}
+
+// Registry owns a set of named instruments and renders them in the
+// Prometheus text exposition format. Registration order is preserved so
+// exports are deterministic. Registering a name twice returns the
+// existing instrument (panicking on a kind mismatch), which lets several
+// subsystems share one instrument safely.
+type Registry struct {
+	mu      sync.Mutex
+	metrics []*metric
+	byName  map[string]*metric
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]*metric)}
+}
+
+func (r *Registry) lookup(name string, kind metricKind) (*metric, bool) {
+	m, ok := r.byName[name]
+	if !ok {
+		return nil, false
+	}
+	if m.kind != kind {
+		panic(fmt.Sprintf("telemetry: metric %q re-registered with a different kind", name))
+	}
+	return m, true
+}
+
+// NewCounter registers (or returns the existing) counter under name.
+func (r *Registry) NewCounter(name, help string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.lookup(name, kindCounter); ok {
+		return m.c
+	}
+	m := &metric{name: name, help: help, kind: kindCounter, c: &Counter{}}
+	r.metrics = append(r.metrics, m)
+	r.byName[name] = m
+	return m.c
+}
+
+// NewGauge registers (or returns the existing) gauge under name.
+func (r *Registry) NewGauge(name, help string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.lookup(name, kindGauge); ok {
+		return m.g
+	}
+	m := &metric{name: name, help: help, kind: kindGauge, g: &Gauge{}}
+	r.metrics = append(r.metrics, m)
+	r.byName[name] = m
+	return m.g
+}
+
+// NewHistogram registers (or returns the existing) histogram under name.
+// buckets are upper bounds; they are copied and sorted. Nil buckets use
+// DefSecondsBuckets.
+func (r *Registry) NewHistogram(name, help string, buckets []float64) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.lookup(name, kindHistogram); ok {
+		return m.h
+	}
+	if buckets == nil {
+		buckets = DefSecondsBuckets
+	}
+	bounds := append([]float64(nil), buckets...)
+	sort.Float64s(bounds)
+	h := &Histogram{bounds: bounds, counts: make([]atomic.Int64, len(bounds))}
+	m := &metric{name: name, help: help, kind: kindHistogram, h: h}
+	r.metrics = append(r.metrics, m)
+	r.byName[name] = m
+	return m.h
+}
+
+// formatFloat renders a float the way Prometheus expects: shortest
+// round-trip representation, with +Inf spelled out.
+func formatFloat(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheus renders every registered instrument in the Prometheus
+// text exposition format, in registration order.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	snapshot := append([]*metric(nil), r.metrics...)
+	r.mu.Unlock()
+	for _, m := range snapshot {
+		if m.help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", m.name, m.help); err != nil {
+				return err
+			}
+		}
+		var err error
+		switch m.kind {
+		case kindCounter:
+			_, err = fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", m.name, m.name, m.c.Value())
+		case kindGauge:
+			_, err = fmt.Fprintf(w, "# TYPE %s gauge\n%s %s\n", m.name, m.name, formatFloat(m.g.Value()))
+		case kindHistogram:
+			err = writeHistogram(w, m.name, m.h)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeHistogram(w io.Writer, name string, h *Histogram) error {
+	if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", name); err != nil {
+		return err
+	}
+	var cum int64
+	for i, bound := range h.bounds {
+		cum += h.counts[i].Load()
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, formatFloat(bound), cum); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, h.Count()); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_sum %s\n%s_count %d\n", name, formatFloat(h.Sum()), name, h.Count())
+	return err
+}
+
+// Counter returns the registered counter by name (nil if absent or not a
+// counter). Intended for tests and scrapers that cross-check totals.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.byName[name]; ok && m.kind == kindCounter {
+		return m.c
+	}
+	return nil
+}
+
+// Gauge returns the registered gauge by name (nil if absent or not a
+// gauge).
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.byName[name]; ok && m.kind == kindGauge {
+		return m.g
+	}
+	return nil
+}

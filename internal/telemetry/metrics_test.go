@@ -1,0 +1,138 @@
+package telemetry
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterBasics(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(4)
+	c.Add(0)
+	c.Add(-3) // negative deltas are ignored: counters are monotonic
+	if got := c.Value(); got != 5 {
+		t.Errorf("Value() = %d, want 5", got)
+	}
+	var nilC *Counter
+	nilC.Inc() // must not panic
+	nilC.Add(7)
+	if got := nilC.Value(); got != 0 {
+		t.Errorf("nil Counter Value() = %d, want 0", got)
+	}
+}
+
+func TestGaugeBasics(t *testing.T) {
+	var g Gauge
+	g.Set(-2.5)
+	if got := g.Value(); got != -2.5 {
+		t.Errorf("Value() = %v, want -2.5", got)
+	}
+	var nilG *Gauge
+	nilG.Set(1)
+	if got := nilG.Value(); got != 0 {
+		t.Errorf("nil Gauge Value() = %v, want 0", got)
+	}
+}
+
+func TestHistogramBucketsAreLeInclusive(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.NewHistogram("h_seconds", "test", []float64{0.1, 1, 10})
+	for _, v := range []float64{0.1, 0.5, 1.0, 5, 100} {
+		h.Observe(v)
+	}
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	// Prometheus buckets are cumulative and le-inclusive: 0.1 lands in
+	// le="0.1", 1.0 in le="1".
+	for _, want := range []string{
+		`h_seconds_bucket{le="0.1"} 1`,
+		`h_seconds_bucket{le="1"} 3`,
+		`h_seconds_bucket{le="10"} 4`,
+		`h_seconds_bucket{le="+Inf"} 5`,
+		`h_seconds_count 5`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("export missing %q:\n%s", want, out)
+		}
+	}
+	if h.Count() != 5 {
+		t.Errorf("Count() = %d, want 5", h.Count())
+	}
+	if want := 0.1 + 0.5 + 1 + 5 + 100; math.Abs(h.Sum()-want) > 1e-9 {
+		t.Errorf("Sum() = %v, want %v", h.Sum(), want)
+	}
+	var nilH *Histogram
+	nilH.Observe(1) // must not panic
+}
+
+func TestRegistryIdempotentAndOrdered(t *testing.T) {
+	reg := NewRegistry()
+	a := reg.NewCounter("x_total", "first")
+	b := reg.NewCounter("x_total", "second registration returns the first")
+	if a != b {
+		t.Error("re-registering a counter returned a different instrument")
+	}
+	reg.NewGauge("g", "gauge")
+	a.Inc()
+
+	var buf1, buf2 strings.Builder
+	if err := reg.WritePrometheus(&buf1); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.WritePrometheus(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if buf1.String() != buf2.String() {
+		t.Error("two exports of an unchanged registry differ")
+	}
+	if x, g := strings.Index(buf1.String(), "x_total"), strings.Index(buf1.String(), "# HELP g "); x > g {
+		t.Error("export does not preserve registration order")
+	}
+	if reg.Counter("x_total") != a {
+		t.Error("Counter lookup returned a different instrument")
+	}
+	if reg.Counter("missing") != nil {
+		t.Error("Counter lookup invented an instrument")
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Error("registering x_total as a gauge should panic")
+		}
+	}()
+	reg.NewGauge("x_total", "kind mismatch")
+}
+
+func TestInstrumentsAreRaceFree(t *testing.T) {
+	reg := NewRegistry()
+	m := NewRunMetrics(reg)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				m.WorkerSteps.Inc()
+				m.GammaEdge.Set(float64(w))
+				m.IterationSeconds.Observe(float64(i) * 1e-4)
+			}
+		}(w)
+	}
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil { // export concurrently with writers
+		t.Fatal(err)
+	}
+	wg.Wait()
+	if got := m.WorkerSteps.Value(); got != 8000 {
+		t.Errorf("WorkerSteps = %d, want 8000", got)
+	}
+	if got := m.IterationSeconds.Count(); got != 8000 {
+		t.Errorf("IterationSeconds count = %d, want 8000", got)
+	}
+}

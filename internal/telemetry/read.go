@@ -1,0 +1,75 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// TraceEvent is one parsed JSONL trace line. Fields holds every key
+// except seq/ev, with numbers as float64 (encoding/json's default).
+type TraceEvent struct {
+	Seq    uint64
+	Ev     string
+	Fields map[string]any
+}
+
+// ReadTrace parses a JSONL trace stream into events, failing on the
+// first malformed line.
+func ReadTrace(r io.Reader) ([]TraceEvent, error) {
+	var events []TraceEvent
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var raw map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &raw); err != nil {
+			return nil, fmt.Errorf("telemetry: trace line %d: %w", line, err)
+		}
+		ev := TraceEvent{Fields: raw}
+		if seq, ok := raw["seq"].(float64); ok {
+			ev.Seq = uint64(seq)
+		} else {
+			return nil, fmt.Errorf("telemetry: trace line %d: missing seq", line)
+		}
+		if name, ok := raw["ev"].(string); ok {
+			ev.Ev = name
+		} else {
+			return nil, fmt.Errorf("telemetry: trace line %d: missing ev", line)
+		}
+		delete(raw, "seq")
+		delete(raw, "ev")
+		events = append(events, ev)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("telemetry: trace read: %w", err)
+	}
+	return events, nil
+}
+
+// ReadTraceFile reads a complete JSONL trace from disk.
+func ReadTraceFile(path string) ([]TraceEvent, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadTrace(f)
+}
+
+// CheckTrace verifies the diffability contract: sequence numbers start
+// at 1 and increase by exactly 1 per event.
+func CheckTrace(events []TraceEvent) error {
+	for i, ev := range events {
+		if ev.Seq != uint64(i)+1 {
+			return fmt.Errorf("telemetry: event %d has seq %d, want %d", i, ev.Seq, i+1)
+		}
+	}
+	return nil
+}

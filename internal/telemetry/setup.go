@@ -1,0 +1,44 @@
+package telemetry
+
+// Setup wires the observability CLI knobs shared by the commands into one
+// Sink: traceOut (when non-empty) streams JSONL events to that file, and
+// metricsAddr (when non-empty) serves Prometheus /metrics plus /debug/pprof
+// on that address. It returns the sink (nil when both knobs are empty — the
+// zero-cost fast path), the actually bound metrics address ("" when
+// disabled; useful with ":0"), and a cleanup that flushes the trace and
+// stops the server.
+func Setup(traceOut, metricsAddr string) (*Sink, string, func() error, error) {
+	if traceOut == "" && metricsAddr == "" {
+		return nil, "", func() error { return nil }, nil
+	}
+	var tr *Tracer
+	if traceOut != "" {
+		var err error
+		if tr, err = NewFileTracer(traceOut); err != nil {
+			return nil, "", nil, err
+		}
+	}
+	sink := New(nil, tr)
+	closeTrace := func() error {
+		if tr == nil {
+			return nil
+		}
+		return tr.Close()
+	}
+	if metricsAddr == "" {
+		return sink, "", closeTrace, nil
+	}
+	addr, stop, err := Serve(metricsAddr, sink.Registry())
+	if err != nil {
+		closeTrace()
+		return nil, "", nil, err
+	}
+	cleanup := func() error {
+		serr := stop()
+		if terr := closeTrace(); terr != nil {
+			return terr
+		}
+		return serr
+	}
+	return sink, addr, cleanup, nil
+}

@@ -1,0 +1,155 @@
+package telemetry
+
+// RunMetrics is the fixed instrument set shared by every tier of the
+// codebase: the in-process simulation (core + baselines), the
+// distributed cluster runtime, and the transport layer. All fields of
+// the zero value are nil, and every instrument method is nil-safe, so
+// noMetrics below serves as the universal "telemetry off" fast path.
+type RunMetrics struct {
+	// Simulation/training progress.
+	WorkerSteps      *Counter // fl_worker_steps_total
+	GradClips        *Counter // fl_grad_clips_total
+	EdgeAggregations *Counter // fl_edge_aggregations_total
+	CloudSyncs       *Counter // fl_cloud_syncs_total
+	Evals            *Counter // fl_evals_total
+	GammaZeroed      *Counter // fl_gamma_zeroed_total
+
+	Round        *Gauge // fl_round
+	GammaEdge    *Gauge // fl_gamma_edge
+	EdgeCosine   *Gauge // fl_edge_cosine
+	TestAccuracy *Gauge // fl_test_accuracy
+	TrainLoss    *Gauge // fl_train_loss
+
+	IterationSeconds *Histogram // fl_iteration_seconds
+	EdgeAggSeconds   *Histogram // fl_edge_aggregate_seconds
+	CloudSyncSeconds *Histogram // fl_cloud_sync_seconds
+
+	// Crash recovery.
+	CheckpointSaves   *Counter // fl_checkpoint_saves_total
+	CheckpointResumes *Counter // fl_checkpoint_resumes_total
+
+	// Cluster runtime fault handling.
+	QuorumMet            *Counter // fl_quorum_met_total
+	QuorumMissingWorkers *Counter // fl_quorum_missing_workers_total
+	QuorumMissingEdges   *Counter // fl_quorum_missing_edges_total
+	Timeouts             *Counter // fl_timeouts_total
+	StaleMessages        *Counter // fl_stale_messages_total
+	DuplicateReports     *Counter // fl_duplicate_reports_total
+	FastForwards         *Counter // fl_fastforward_resyncs_total
+
+	// Transport.
+	DroppedMessages *Counter // fl_dropped_messages_total
+	DelayedMessages *Counter // fl_delayed_messages_total
+	SendRetries     *Counter // fl_send_retries_total
+}
+
+// noMetrics backs the nil-sink fast path: every field is nil, and nil
+// instruments no-op, so "sink.M().WorkerSteps.Inc()" costs two nil
+// checks and zero allocations when telemetry is disabled.
+var noMetrics = &RunMetrics{}
+
+// NewRunMetrics registers the full instrument set in reg. Because
+// registration is idempotent per name, several sinks sharing one
+// registry share the underlying instruments.
+func NewRunMetrics(reg *Registry) *RunMetrics {
+	return &RunMetrics{
+		WorkerSteps:      reg.NewCounter("fl_worker_steps_total", "Local SGD/NAG worker steps taken."),
+		GradClips:        reg.NewCounter("fl_grad_clips_total", "Mini-batch gradients rescaled by the clip norm."),
+		EdgeAggregations: reg.NewCounter("fl_edge_aggregations_total", "Edge-tier aggregation rounds completed."),
+		CloudSyncs:       reg.NewCounter("fl_cloud_syncs_total", "Cloud-tier synchronisations completed."),
+		Evals:            reg.NewCounter("fl_evals_total", "Accuracy-curve evaluations performed."),
+		GammaZeroed:      reg.NewCounter("fl_gamma_zeroed_total", "Adaptive gamma_l clamps to zero (obtuse-angle rule)."),
+
+		Round:        reg.NewGauge("fl_round", "Most recently completed local iteration t."),
+		GammaEdge:    reg.NewGauge("fl_gamma_edge", "Most recent adaptive edge momentum gamma_l."),
+		EdgeCosine:   reg.NewGauge("fl_edge_cosine", "Most recent cosine driving the gamma_l adaptation."),
+		TestAccuracy: reg.NewGauge("fl_test_accuracy", "Most recent curve-point test accuracy."),
+		TrainLoss:    reg.NewGauge("fl_train_loss", "Most recent weighted training loss."),
+
+		IterationSeconds: reg.NewHistogram("fl_iteration_seconds", "Wall-clock per local iteration (all workers).", nil),
+		EdgeAggSeconds:   reg.NewHistogram("fl_edge_aggregate_seconds", "Wall-clock per edge aggregation.", nil),
+		CloudSyncSeconds: reg.NewHistogram("fl_cloud_sync_seconds", "Wall-clock per cloud synchronisation.", nil),
+
+		CheckpointSaves:   reg.NewCounter("fl_checkpoint_saves_total", "Snapshots written."),
+		CheckpointResumes: reg.NewCounter("fl_checkpoint_resumes_total", "Runs resumed from a snapshot."),
+
+		QuorumMet:            reg.NewCounter("fl_quorum_met_total", "Aggregations that proceeded on a partial quorum."),
+		QuorumMissingWorkers: reg.NewCounter("fl_quorum_missing_workers_total", "Worker reports missing at edge aggregations."),
+		QuorumMissingEdges:   reg.NewCounter("fl_quorum_missing_edges_total", "Edge reports missing at cloud aggregations."),
+		Timeouts:             reg.NewCounter("fl_timeouts_total", "Receive timeouts while collecting reports."),
+		StaleMessages:        reg.NewCounter("fl_stale_messages_total", "Messages rejected as stale (older round)."),
+		DuplicateReports:     reg.NewCounter("fl_duplicate_reports_total", "Duplicate reports rejected within a round."),
+		FastForwards:         reg.NewCounter("fl_fastforward_resyncs_total", "Nodes fast-forwarded to a newer round by a sync."),
+
+		DroppedMessages: reg.NewCounter("fl_dropped_messages_total", "Messages dropped by fault injection."),
+		DelayedMessages: reg.NewCounter("fl_delayed_messages_total", "Messages delayed by fault injection."),
+		SendRetries:     reg.NewCounter("fl_send_retries_total", "Transport-level send retries."),
+	}
+}
+
+// Sink is the single handle instrumented code holds: a metric set plus
+// an optional event tracer. A nil *Sink is fully functional and free —
+// M() returns the shared no-op metric set, Tracing() is false, Emit()
+// returns immediately.
+type Sink struct {
+	reg *Registry
+	m   *RunMetrics
+	tr  *Tracer
+}
+
+// New builds a Sink over reg (a fresh registry when nil) and an optional
+// tracer (nil disables event tracing but keeps metrics).
+func New(reg *Registry, tr *Tracer) *Sink {
+	if reg == nil {
+		reg = NewRegistry()
+	}
+	return &Sink{reg: reg, m: NewRunMetrics(reg), tr: tr}
+}
+
+// M returns the instrument set; on a nil sink it returns the shared
+// no-op set, so callers chain without nil checks:
+//
+//	sink.M().WorkerSteps.Inc()
+func (s *Sink) M() *RunMetrics {
+	if s == nil {
+		return noMetrics
+	}
+	return s.m
+}
+
+// Registry returns the sink's registry (nil on a nil sink); it feeds the
+// /metrics HTTP handler.
+func (s *Sink) Registry() *Registry {
+	if s == nil {
+		return nil
+	}
+	return s.reg
+}
+
+// Tracer returns the sink's tracer (nil when tracing is off).
+func (s *Sink) Tracer() *Tracer {
+	if s == nil {
+		return nil
+	}
+	return s.tr
+}
+
+// Tracing reports whether events are being recorded. Hot paths use it to
+// skip building field slices entirely when no tracer is attached:
+//
+//	if sink.Tracing() {
+//		sink.Emit("round_start", telemetry.Int("t", t))
+//	}
+func (s *Sink) Tracing() bool {
+	return s != nil && s.tr != nil
+}
+
+// Emit records one trace event; a no-op without a tracer. Callers on hot
+// paths should guard with Tracing() so the variadic field slice is never
+// materialized when tracing is off.
+func (s *Sink) Emit(ev string, fields ...Field) {
+	if s == nil || s.tr == nil {
+		return
+	}
+	s.tr.Emit(ev, fields...)
+}

@@ -1,0 +1,211 @@
+package telemetry
+
+import (
+	"bufio"
+	"io"
+	"math"
+	"os"
+	"strconv"
+	"sync"
+	"unicode/utf8"
+)
+
+// Field is one key/value pair of a trace event. Fields are serialized in
+// call order, so a given event type always renders its keys in the same
+// order and traces diff cleanly line-by-line.
+type Field struct {
+	key  string
+	kind fieldKind
+	s    string
+	i    int64
+	f    float64
+	b    bool
+}
+
+type fieldKind int
+
+const (
+	fieldString fieldKind = iota
+	fieldInt
+	fieldFloat
+	fieldBool
+)
+
+// String returns a string-valued field.
+func String(key, v string) Field { return Field{key: key, kind: fieldString, s: v} }
+
+// Int returns an integer-valued field.
+func Int(key string, v int) Field { return Field{key: key, kind: fieldInt, i: int64(v)} }
+
+// Int64 returns an int64-valued field.
+func Int64(key string, v int64) Field { return Field{key: key, kind: fieldInt, i: v} }
+
+// Float returns a float64-valued field. Non-finite values serialize as
+// JSON null so the stream stays parseable.
+func Float(key string, v float64) Field { return Field{key: key, kind: fieldFloat, f: v} }
+
+// Bool returns a boolean-valued field.
+func Bool(key string, v bool) Field { return Field{key: key, kind: fieldBool, b: v} }
+
+// Tracer writes one JSON object per event to an underlying stream:
+//
+//	{"seq":12,"ev":"edge_aggregate","t":8,"edge":0,"gamma":0.41,...}
+//
+// seq starts at 1 and increases by exactly 1 per event under the
+// tracer's lock, so a trace is totally ordered and two traces of the
+// same deterministic run are byte-identical. Tracer methods are safe for
+// concurrent use; the repo's deterministic call sites nevertheless emit
+// only from sequential code so event ORDER is reproducible too.
+type Tracer struct {
+	mu     sync.Mutex
+	w      *bufio.Writer
+	closer io.Closer
+	seq    uint64
+	err    error
+	buf    []byte
+}
+
+// NewTracer wraps w in a Tracer. The caller owns w's lifetime unless w
+// is also an io.Closer handed to NewFileTracer.
+func NewTracer(w io.Writer) *Tracer {
+	return &Tracer{w: bufio.NewWriter(w)}
+}
+
+// NewFileTracer creates (truncating) the JSONL trace file at path.
+func NewFileTracer(path string) (*Tracer, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	t := NewTracer(f)
+	t.closer = f
+	return t, nil
+}
+
+// Emit appends one event line. Write errors are sticky: the first one is
+// retained (see Err) and later emits become no-ops.
+func (t *Tracer) Emit(ev string, fields ...Field) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.err != nil {
+		return
+	}
+	t.seq++
+	b := t.buf[:0]
+	b = append(b, `{"seq":`...)
+	b = strconv.AppendUint(b, t.seq, 10)
+	b = append(b, `,"ev":`...)
+	b = appendJSONString(b, ev)
+	for _, f := range fields {
+		b = append(b, ',')
+		b = appendJSONString(b, f.key)
+		b = append(b, ':')
+		switch f.kind {
+		case fieldString:
+			b = appendJSONString(b, f.s)
+		case fieldInt:
+			b = strconv.AppendInt(b, f.i, 10)
+		case fieldFloat:
+			if math.IsNaN(f.f) || math.IsInf(f.f, 0) {
+				b = append(b, "null"...)
+			} else {
+				b = strconv.AppendFloat(b, f.f, 'g', -1, 64)
+			}
+		case fieldBool:
+			b = strconv.AppendBool(b, f.b)
+		}
+	}
+	b = append(b, '}', '\n')
+	t.buf = b
+	if _, err := t.w.Write(b); err != nil {
+		t.err = err
+	}
+}
+
+// Flush pushes buffered events to the underlying writer.
+func (t *Tracer) Flush() error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.err != nil {
+		return t.err
+	}
+	t.err = t.w.Flush()
+	return t.err
+}
+
+// Close flushes and, for file-backed tracers, closes the file.
+func (t *Tracer) Close() error {
+	if t == nil {
+		return nil
+	}
+	err := t.Flush()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closer != nil {
+		if cerr := t.closer.Close(); err == nil {
+			err = cerr
+		}
+		t.closer = nil
+	}
+	return err
+}
+
+// Err returns the first write error, if any.
+func (t *Tracer) Err() error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.err
+}
+
+// appendJSONString appends s as a JSON string literal. Event names and
+// field keys are plain ASCII identifiers in practice; the escape path
+// exists so arbitrary node names and error strings stay well-formed.
+func appendJSONString(b []byte, s string) []byte {
+	b = append(b, '"')
+	for i := 0; i < len(s); {
+		c := s[i]
+		if c >= 0x20 && c != '"' && c != '\\' && c < utf8.RuneSelf {
+			b = append(b, c)
+			i++
+			continue
+		}
+		if c < utf8.RuneSelf {
+			switch c {
+			case '"':
+				b = append(b, '\\', '"')
+			case '\\':
+				b = append(b, '\\', '\\')
+			case '\n':
+				b = append(b, '\\', 'n')
+			case '\r':
+				b = append(b, '\\', 'r')
+			case '\t':
+				b = append(b, '\\', 't')
+			default:
+				b = append(b, '\\', 'u', '0', '0', hexDigits[c>>4], hexDigits[c&0xf])
+			}
+			i++
+			continue
+		}
+		r, size := utf8.DecodeRuneInString(s[i:])
+		if r == utf8.RuneError && size == 1 {
+			b = append(b, '\\', 'u', 'f', 'f', 'f', 'd')
+			i++
+			continue
+		}
+		b = append(b, s[i:i+size]...)
+		i += size
+	}
+	return append(b, '"')
+}
+
+const hexDigits = "0123456789abcdef"

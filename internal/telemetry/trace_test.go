@@ -1,0 +1,149 @@
+package telemetry
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestEmitWritesOrderedJSONL(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(&buf)
+	tr.Emit("round_start", Int("k", 1), Int("t", 1))
+	tr.Emit("edge_aggregate",
+		Int("t", 4), Int("edge", 0), Int("participants", 2),
+		Float("gamma", 0.25), Float("cos", -0.5))
+	tr.Emit("eval", Float("acc", 0.875), Bool("final", true), String("note", `quote " and \ back`))
+	if err := tr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	want := `{"seq":1,"ev":"round_start","k":1,"t":1}
+{"seq":2,"ev":"edge_aggregate","t":4,"edge":0,"participants":2,"gamma":0.25,"cos":-0.5}
+{"seq":3,"ev":"eval","acc":0.875,"final":true,"note":"quote \" and \\ back"}
+`
+	if got := buf.String(); got != want {
+		t.Errorf("trace bytes mismatch:\n got: %q\nwant: %q", got, want)
+	}
+}
+
+func TestEmitNonFiniteFloatsBecomeNull(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(&buf)
+	tr.Emit("x", Float("nan", math.NaN()), Float("inf", math.Inf(1)))
+	if err := tr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := buf.String(), `{"seq":1,"ev":"x","nan":null,"inf":null}`+"\n"; got != want {
+		t.Errorf("got %q, want %q", got, want)
+	}
+	events, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatalf("null fields broke ReadTrace: %v", err)
+	}
+	if events[0].Fields["nan"] != nil {
+		t.Errorf("nan field = %v, want nil", events[0].Fields["nan"])
+	}
+}
+
+func TestReadTraceRoundTripAndCheck(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(&buf)
+	tr.Emit("a", Int("t", 1))
+	tr.Emit("b", String("node", "edge-0"))
+	tr.Emit("c")
+	if err := tr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	events, err := ReadTrace(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 3 {
+		t.Fatalf("ReadTrace returned %d events, want 3", len(events))
+	}
+	if events[1].Ev != "b" || events[1].Fields["node"] != "edge-0" {
+		t.Errorf("event 1 = %+v", events[1])
+	}
+	if err := CheckTrace(events); err != nil {
+		t.Errorf("CheckTrace on a well-formed trace: %v", err)
+	}
+	events[2].Seq = 7
+	if err := CheckTrace(events); err == nil {
+		t.Error("CheckTrace accepted a sequence gap")
+	}
+}
+
+func TestTracerConcurrentEmitKeepsSeqDense(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(&buf)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				tr.Emit("tick", Int("i", i))
+			}
+		}()
+	}
+	wg.Wait()
+	if err := tr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	events, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 800 {
+		t.Fatalf("got %d events, want 800", len(events))
+	}
+	if err := CheckTrace(events); err != nil {
+		t.Errorf("concurrent emits left a sequence gap: %v", err)
+	}
+}
+
+func TestTracerErrorIsSticky(t *testing.T) {
+	tr := NewTracer(failingWriter{})
+	for i := 0; i < 100; i++ { // enough to overflow the bufio buffer
+		tr.Emit("x", String("pad", strings.Repeat("y", 1024)))
+	}
+	if tr.Err() == nil {
+		t.Error("writer failure not surfaced via Err()")
+	}
+	if err := tr.Close(); err == nil {
+		t.Error("Close() swallowed the sticky error")
+	}
+}
+
+type failingWriter struct{}
+
+func (failingWriter) Write(p []byte) (int, error) {
+	return 0, errWriteRefused
+}
+
+var errWriteRefused = &writeRefusedError{}
+
+type writeRefusedError struct{}
+
+func (*writeRefusedError) Error() string { return "write refused" }
+
+func TestFileTracer(t *testing.T) {
+	path := t.TempDir() + "/t.trace"
+	tr, err := NewFileTracer(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.Emit("a", Int("t", 1))
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	events, err := readTraceFile(t, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 1 || events[0].Ev != "a" {
+		t.Errorf("file trace round-trip: %+v", events)
+	}
+}

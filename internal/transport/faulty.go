@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"hieradmo/internal/rng"
+	"hieradmo/internal/telemetry"
 )
 
 // Link identifies one directed sender→receiver pair for per-link fault
@@ -89,6 +90,19 @@ type FaultyNetwork struct {
 	crashed map[string]bool
 	revived map[string]bool
 	stats   FaultStats
+	sink    *telemetry.Sink
+}
+
+// SetTelemetry mirrors injected drops and delays onto sink's counters as
+// they happen, and forwards the sink to the inner network when it accepts
+// one (so TCP send retries are counted too). Call before the run starts.
+func (n *FaultyNetwork) SetTelemetry(sink *telemetry.Sink) {
+	n.mu.Lock()
+	n.sink = sink
+	n.mu.Unlock()
+	if ts, ok := n.inner.(TelemetrySetter); ok {
+		ts.SetTelemetry(sink)
+	}
 }
 
 // NewFaultyNetwork wraps inner with the given fault plan.
@@ -245,7 +259,9 @@ func (e *faultyEndpoint) Send(to string, msg Message) error {
 			n.markCrashed(to)
 			n.mu.Lock()
 			n.stats.Dropped++
+			sink := n.sink
 			n.mu.Unlock()
+			sink.M().DroppedMessages.Inc()
 			return nil
 		}
 	}
@@ -256,16 +272,23 @@ func (e *faultyEndpoint) Send(to string, msg Message) error {
 		n.mu.Lock()
 		r := n.linkRNG(link)
 		dropped := drop > 0 && r.Float64() < drop
-		if !dropped && n.plan.MaxDelay > 0 {
+		delayed := !dropped && n.plan.MaxDelay > 0
+		if delayed {
 			delay = time.Duration(r.Float64() * float64(n.plan.MaxDelay))
 			n.stats.Delayed++
 		}
 		if dropped {
 			n.stats.Dropped++
-			n.mu.Unlock()
+		}
+		sink := n.sink
+		n.mu.Unlock()
+		if dropped {
+			sink.M().DroppedMessages.Inc()
 			return nil // injected loss: sender sees success
 		}
-		n.mu.Unlock()
+		if delayed {
+			sink.M().DelayedMessages.Inc()
+		}
 	}
 	if delay > 0 {
 		time.Sleep(delay)

@@ -9,6 +9,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"hieradmo/internal/telemetry"
 )
 
 // Send-side retry policy for transient TCP failures (peer restarted, broken
@@ -31,7 +33,13 @@ type TCPNetwork struct {
 	closed bool
 	// retries aggregates send retries across all of the network's endpoints.
 	retries atomic.Int64
+	// sink, when set, counts send retries live (fl_send_retries_total).
+	sink atomic.Pointer[telemetry.Sink]
 }
+
+// SetTelemetry mirrors send retries onto sink's counters as they happen.
+// Applies to endpoints created afterwards, so call before Listen/Endpoint.
+func (n *TCPNetwork) SetTelemetry(sink *telemetry.Sink) { n.sink.Store(sink) }
 
 // FaultStats reports the send retries the network's endpoints performed.
 func (n *TCPNetwork) FaultStats() FaultStats {
@@ -70,6 +78,7 @@ func (n *TCPNetwork) Listen(id string) (Endpoint, error) {
 		resolve:  n.lookup,
 		retries:  &n.retries,
 	}
+	ep.sink.Store(n.sink.Load())
 	ep.wg.Add(1)
 	go ep.acceptLoop()
 	return ep, nil
@@ -124,7 +133,14 @@ type tcpEndpoint struct {
 	// retries counts send attempts repeated after a transient failure
 	// (shared with the owning TCPNetwork, endpoint-local for static nodes).
 	retries *atomic.Int64
+	// sink, when set, counts retries live on the telemetry sink too.
+	sink atomic.Pointer[telemetry.Sink]
 }
+
+// SetTelemetry mirrors this endpoint's send retries onto sink's counters
+// (fl_send_retries_total). Used by multi-process nodes (ListenStatic), where
+// there is no owning TCPNetwork to configure.
+func (e *tcpEndpoint) SetTelemetry(sink *telemetry.Sink) { e.sink.Store(sink) }
 
 var _ Endpoint = (*tcpEndpoint)(nil)
 
@@ -243,6 +259,7 @@ func (e *tcpEndpoint) Send(to string, msg Message) error {
 			if e.retries != nil {
 				e.retries.Add(1)
 			}
+			e.sink.Load().M().SendRetries.Inc()
 			select {
 			case <-e.closed:
 				return ErrClosed

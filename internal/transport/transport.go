@@ -12,6 +12,8 @@ package transport
 import (
 	"errors"
 	"time"
+
+	"hieradmo/internal/telemetry"
 )
 
 // Protocol errors callers can match.
@@ -68,6 +70,16 @@ func (s *FaultStats) merge(other FaultStats) {
 // callers may type-assert a Network to surface them after a run.
 type StatsReporter interface {
 	FaultStats() FaultStats
+}
+
+// TelemetrySetter is implemented by networks (and endpoints) that can mirror
+// their fault counters onto a telemetry sink live as faults happen —
+// injected drops and delays on FaultyNetwork, send retries on TCP transports.
+// Must be called before the run starts sending; a nil sink is a no-op. The
+// end-of-run FaultStats totals are unaffected either way, so callers that
+// fold FaultStats into a FaultReport never double-count.
+type TelemetrySetter interface {
+	SetTelemetry(*telemetry.Sink)
 }
 
 // Message is one protocol datagram. Vectors carry model-sized state (models,
