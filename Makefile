@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test vet check race fuzz recover bench benchall clean
+.PHONY: build test vet lint check race fuzz recover bench benchall clean
 
 build:
 	$(GO) build ./...
@@ -15,9 +15,19 @@ test:
 vet:
 	$(GO) vet ./...
 
-## check: the tier-1 gate — build, vet, the full test suite, the
-## crash-recovery integration pass, and the race-detector sweep.
-check: build vet test recover race
+## lint: formatting plus the two static-analysis gates — stock go vet and
+## the repo's own flvet suite (determinism, map-order, goroutine-policy,
+## wire-allocation, and nil-sink invariants; see DESIGN.md §11).
+lint:
+	@fmtout=$$(gofmt -l .); if [ -n "$$fmtout" ]; then \
+		echo "gofmt needed on:"; echo "$$fmtout"; exit 1; fi
+	$(GO) vet ./...
+	$(GO) run ./cmd/flvet ./...
+
+## check: the tier-1 gate — build, lint (gofmt + go vet + flvet), the full
+## test suite, the crash-recovery integration pass, and the race-detector
+## sweep.
+check: build lint test recover race
 
 ## race: race-detect the distributed runtime, transport layers, checkpoint
 ## snapshot/restore, telemetry instruments (scraped concurrently with
@@ -29,12 +39,17 @@ race:
 		./internal/baseline/... ./internal/fl/... ./internal/nn/... \
 		./internal/telemetry/... ./cmd/tracecat/...
 
-## fuzz: short-budget fuzzing of the checkpoint snapshot decoder — every
-## input must yield a decoded state or a wrapped ErrFormat, never a panic
-## or an unbounded allocation. Override with FUZZTIME=1m for longer runs.
+## fuzz: short-budget fuzzing of the byte-boundary decoders — the
+## checkpoint snapshot reader, the telemetry JSONL trace reader, and the
+## tracecat line parser. Every input must yield a decoded value or a
+## wrapped error, never a panic or an unbounded allocation. Override with
+## FUZZTIME=1m for longer runs.
 FUZZTIME ?= 10s
 fuzz:
 	$(GO) test ./internal/checkpoint/ -fuzz FuzzOpenSnapshot -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/telemetry/ -run '^$$' -fuzz 'FuzzReadTrace$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/telemetry/ -run '^$$' -fuzz FuzzReadTraceRoundTrip -fuzztime $(FUZZTIME)
+	$(GO) test ./cmd/tracecat/ -run '^$$' -fuzz FuzzParseLine -fuzztime $(FUZZTIME)
 
 ## recover: the crash-recovery integration suite — checkpoint format and
 ## corruption handling, bit-identical simulation resume, cluster

@@ -1,0 +1,45 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestListCheckers pins the suite the -list flag advertises.
+func TestListCheckers(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-list"}, &out, &errOut); code != 0 {
+		t.Fatalf("flvet -list exited %d: %s", code, errOut.String())
+	}
+	for _, name := range []string{"detwall", "maporder", "goexec", "wirealloc", "nilsink"} {
+		if !strings.Contains(out.String(), name) {
+			t.Errorf("-list output is missing checker %q:\n%s", name, out.String())
+		}
+	}
+}
+
+// TestUnknownFlag exercises the usage-error path.
+func TestUnknownFlag(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-frobnicate"}, &out, &errOut); code != 2 {
+		t.Fatalf("unknown flag exited %d, want 2", code)
+	}
+	if !strings.Contains(errOut.String(), "unknown flag") {
+		t.Errorf("stderr = %q, want an unknown-flag message", errOut.String())
+	}
+}
+
+// TestModuleIsClean is the driver-level self-gate: flvet over the whole
+// module must exit 0 with no findings, exactly as make lint runs it.
+func TestModuleIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the entire module")
+	}
+	var out, errOut strings.Builder
+	if code := run(nil, &out, &errOut); code != 0 {
+		t.Fatalf("flvet ./... exited %d:\n%s%s", code, out.String(), errOut.String())
+	}
+	if out.Len() != 0 {
+		t.Errorf("clean tree still printed findings:\n%s", out.String())
+	}
+}

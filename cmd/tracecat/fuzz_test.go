@@ -1,0 +1,65 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"hieradmo/internal/telemetry"
+)
+
+// FuzzParseLine throws arbitrary single lines at the token-walk parser.
+// The contract is total: parseLine either returns an event with a
+// non-empty name — whose String and field renderings never panic — or an
+// error, and it agrees with telemetry.ReadTrace about which event name a
+// line carries whenever both accept it.
+func FuzzParseLine(f *testing.F) {
+	var buf bytes.Buffer
+	tr := telemetry.NewTracer(&buf)
+	tr.Emit("edge_aggregate",
+		telemetry.Int("t", 3),
+		telemetry.String("node", "edge-0"),
+		telemetry.Float("gamma", 0.4375),
+		telemetry.Bool("clamped", true))
+	if err := tr.Flush(); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(bytes.TrimSpace(buf.Bytes()))
+	f.Add([]byte(`{"seq":1,"ev":"x","k":"v"}`))
+	f.Add([]byte(`{"seq":1,"ev":"x","n":null}`))
+	f.Add([]byte(`{"seq":1}`))                            // missing ev
+	f.Add([]byte(`{"seq":"1","ev":"x"}`))                 // seq of wrong type
+	f.Add([]byte(`{"seq":1,"ev":"x","o":{"k":1}}`))       // nested value
+	f.Add([]byte(`{"seq":1,"ev":"x"} trailing`))          // torn/concatenated write
+	f.Add([]byte(`{"seq":1,"ev":"x"}}`))                  // stray closing brace
+	f.Add([]byte(`{"seq":1,"ev":"x"}{"seq":2,"ev":"y"}`)) // two objects on one line
+	f.Add([]byte(`[1,2,3]`))
+	f.Add([]byte(`not json`))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, line []byte) {
+		e, err := parseLine(line)
+		if err != nil {
+			return
+		}
+		if e.ev == "" {
+			t.Fatalf("parseLine accepted %q with an empty event name", line)
+		}
+		if s := e.String(); !strings.Contains(s, e.ev) {
+			t.Fatalf("String() %q dropped the event name %q", s, e.ev)
+		}
+		_ = e.field("node")
+
+		// Cross-check against the structured reader: any single line tracecat
+		// accepts must parse to the same event name there too (seq is skipped —
+		// ReadTrace narrows it through float64).
+		events, rerr := telemetry.ReadTrace(bytes.NewReader(line))
+		if rerr != nil || len(events) != 1 {
+			return
+		}
+		if events[0].Ev != e.ev {
+			t.Fatalf("event name disagreement: tracecat %q vs telemetry %q for %q",
+				e.ev, events[0].Ev, line)
+		}
+	})
+}

@@ -198,6 +198,14 @@ func parseLine(line []byte) (event, error) {
 			e.fields = append(e.fields, field{key: key, val: val})
 		}
 	}
+	if _, err := dec.Token(); err != nil {
+		return event{}, err
+	}
+	// One event per line: trailing bytes after the closing brace mean a torn
+	// or concatenated write, not a trace line.
+	if _, err := dec.Token(); err != io.EOF {
+		return event{}, fmt.Errorf("trailing data after event object: %q", line)
+	}
 	if e.ev == "" {
 		return event{}, fmt.Errorf("trace line is missing the \"ev\" field: %q", line)
 	}

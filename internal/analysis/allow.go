@@ -1,0 +1,115 @@
+package analysis
+
+import (
+	"fmt"
+	"go/token"
+	"strings"
+)
+
+// directive is one parsed //flvet:allow comment. It suppresses findings by
+// the named checkers on its own line (trailing comment) or the line below
+// (annotation above the offending statement). Directives must carry a
+// reason after " -- ", and a directive that suppresses nothing is itself
+// reported, so exemptions stay tied to live findings.
+type directive struct {
+	file     string
+	line     int
+	checkers []string
+	pos      token.Position
+	used     bool
+}
+
+const directivePrefix = "//flvet:allow"
+
+// collectDirectives scans a package's comments for //flvet:allow
+// directives, returning the well-formed ones plus diagnostics for the
+// malformed ones.
+func collectDirectives(pkg *Package) ([]*directive, []Diagnostic) {
+	var dirs []*directive
+	var diags []Diagnostic
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, directivePrefix) {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				rest := strings.TrimPrefix(c.Text, directivePrefix)
+				if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+					continue // some other //flvet:allowX token, not ours
+				}
+				names, reason, ok := strings.Cut(rest, " -- ")
+				if !ok || strings.TrimSpace(reason) == "" {
+					diags = append(diags, Diagnostic{
+						Pos:     pos,
+						Checker: "flvet",
+						Message: `malformed directive: want "//flvet:allow <checker>[,<checker>...] -- <reason>"`,
+					})
+					continue
+				}
+				var checkers []string
+				for _, name := range strings.Split(names, ",") {
+					name = strings.TrimSpace(name)
+					if name == "" {
+						continue
+					}
+					if !checkerKnown(name) {
+						diags = append(diags, Diagnostic{
+							Pos:     pos,
+							Checker: "flvet",
+							Message: fmt.Sprintf("directive names unknown checker %q", name),
+						})
+						continue
+					}
+					checkers = append(checkers, name)
+				}
+				if len(checkers) == 0 {
+					continue // every name was diagnosed above
+				}
+				dirs = append(dirs, &directive{
+					file:     pos.Filename,
+					line:     pos.Line,
+					checkers: checkers,
+					pos:      pos,
+				})
+			}
+		}
+	}
+	return dirs, diags
+}
+
+// suppress drops diagnostics covered by a directive, marking the
+// directives it consumed as used.
+func suppress(diags []Diagnostic, dirs []*directive) []Diagnostic {
+	if len(dirs) == 0 {
+		return diags
+	}
+	kept := diags[:0]
+	for _, d := range diags {
+		if !suppressed(d, dirs) {
+			kept = append(kept, d)
+		}
+	}
+	return kept
+}
+
+func suppressed(d Diagnostic, dirs []*directive) bool {
+	hit := false
+	for _, dir := range dirs {
+		if dir.file != d.Pos.Filename {
+			continue
+		}
+		if d.Pos.Line != dir.line && d.Pos.Line != dir.line+1 {
+			continue
+		}
+		for _, name := range dir.checkers {
+			if name == d.Checker {
+				// Keep scanning: several directives may cover one line, and
+				// each that matches is legitimately "used".
+				dir.used = true
+				hit = true
+			}
+		}
+	}
+	return hit
+}

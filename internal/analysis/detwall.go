@@ -1,0 +1,56 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+)
+
+// detwall: determinism-critical packages must not read the wall clock or
+// the global math/rand stream. Wall-clock feeding a trace or a training
+// decision breaks byte-diffable golden runs; unseeded randomness breaks
+// bit-identical resume. The cluster and transport packages, whose timeout
+// machinery is wall-clock by definition, are exempted by policy; anything
+// else (e.g. histogram timings in core) must carry an explicit
+// //flvet:allow with its reason.
+var detwallChecker = &Checker{
+	Name: "detwall",
+	Doc:  "no time.Now/time.Since/time.Until or math/rand in determinism-critical packages",
+	Run:  runDetwall,
+}
+
+// bannedTimeFuncs are the wall-clock readers; time.Duration arithmetic and
+// timers gated behind the cluster policy are fine elsewhere.
+var bannedTimeFuncs = map[string]string{
+	"time.Now":   "reads the wall clock",
+	"time.Since": "reads the wall clock",
+	"time.Until": "reads the wall clock",
+}
+
+func runDetwall(p *Pass) {
+	for _, f := range p.Pkg.Files {
+		for _, spec := range f.Imports {
+			path, err := strconv.Unquote(spec.Path.Value)
+			if err != nil {
+				continue
+			}
+			if path == "math/rand" || path == "math/rand/v2" {
+				p.Reportf(spec.Pos(), "import of %s in determinism-critical package %s (use internal/rng, which is seeded and snapshotable)", path, p.Pkg.Path)
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := p.ObjectOf(sel.Sel).(*types.Func)
+			if !ok {
+				return true
+			}
+			if why, banned := bannedTimeFuncs[fn.FullName()]; banned {
+				p.Reportf(sel.Pos(), "%s %s in determinism-critical package %s (wall-clock must never feed traces or training state)", fn.FullName(), why, p.Pkg.Path)
+			}
+			return true
+		})
+	}
+}

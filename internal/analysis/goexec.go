@@ -1,0 +1,38 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// goexec: goroutines are spawned only through internal/parallel (whose
+// pool keeps reductions in fixed index order, the basis of bit-identical
+// results at any worker count) and the cluster runtime's supervised node
+// loops. A raw `go` statement or hand-rolled sync.WaitGroup anywhere else
+// is either a determinism hazard or a lifecycle leak, and must justify
+// itself with //flvet:allow.
+var goexecChecker = &Checker{
+	Name: "goexec",
+	Doc:  "no raw go statements or sync.WaitGroup outside internal/parallel and internal/cluster",
+	Run:  runGoexec,
+}
+
+func runGoexec(p *Pass) {
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.GoStmt:
+				p.Reportf(n.Pos(), "raw go statement in %s (use parallel.ForEach, or justify with //flvet:allow)", p.Pkg.Path)
+			case *ast.SelectorExpr:
+				tn, ok := p.ObjectOf(n.Sel).(*types.TypeName)
+				if !ok || tn.Pkg() == nil {
+					return true
+				}
+				if tn.Pkg().Path() == "sync" && tn.Name() == "WaitGroup" {
+					p.Reportf(n.Pos(), "sync.WaitGroup in %s (use parallel.ForEach, or justify with //flvet:allow)", p.Pkg.Path)
+				}
+			}
+			return true
+		})
+	}
+}

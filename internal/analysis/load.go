@@ -1,0 +1,261 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Package is one loaded, type-checked package: syntax trees with comments
+// plus the go/types information the checkers key on.
+type Package struct {
+	Path  string // import path
+	Name  string
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// listEntry is the subset of `go list -json` output the loader needs.
+type listEntry struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	Export     string
+	Standard   bool
+	DepOnly    bool
+	GoFiles    []string
+}
+
+// goList runs `go list -export -deps -json` in dir for the given patterns
+// and decodes the JSON stream. -export makes the build system produce
+// export data for every dependency, which is how the type checker resolves
+// imports without an x/tools loader.
+func goList(dir string, patterns []string) ([]listEntry, error) {
+	args := append([]string{
+		"list", "-export", "-deps",
+		"-json=ImportPath,Name,Dir,Export,Standard,DepOnly,GoFiles",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("analysis: go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	var entries []listEntry
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var e listEntry
+		if err := dec.Decode(&e); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("analysis: decode go list output: %v", err)
+		}
+		entries = append(entries, e)
+	}
+	return entries, nil
+}
+
+// exportImporter satisfies types.Importer by reading the compiler export
+// data `go list -export` produced for each dependency.
+func exportImporter(fset *token.FileSet, exports map[string]string) types.Importer {
+	return importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok || f == "" {
+			return nil, fmt.Errorf("analysis: no export data for %q", path)
+		}
+		return os.Open(f)
+	})
+}
+
+// ModuleRoot walks upward from dir to the enclosing go.mod and returns its
+// directory and module path.
+func ModuleRoot(dir string) (root, modulePath string, err error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for d := abs; ; {
+		data, err := os.ReadFile(filepath.Join(d, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				if rest, ok := strings.CutPrefix(strings.TrimSpace(line), "module "); ok {
+					mod := strings.TrimSpace(rest)
+					if unq, err := strconv.Unquote(mod); err == nil {
+						mod = unq
+					}
+					return d, mod, nil
+				}
+			}
+			return "", "", fmt.Errorf("analysis: %s/go.mod has no module directive", d)
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", "", fmt.Errorf("analysis: no go.mod found above %s", abs)
+		}
+		d = parent
+	}
+}
+
+// parseFiles parses the named files (with comments) into fset.
+func parseFiles(fset *token.FileSet, dir string, names []string) ([]*ast.File, error) {
+	files := make([]*ast.File, 0, len(names))
+	for _, name := range names {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// check type-checks one parsed package against the export-data importer.
+func check(fset *token.FileSet, imp types.Importer, path string, files []*ast.File) (*types.Package, *types.Info, error) {
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{Importer: imp, FakeImportC: true}
+	tpkg, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		return nil, nil, fmt.Errorf("analysis: type-check %s: %v", path, err)
+	}
+	return tpkg, info, nil
+}
+
+// LoadModule loads (parses and type-checks) every module package matching
+// the patterns (default ./...), rooted at the go.mod enclosing dir. Test
+// files are excluded: the invariants govern production code, and tests
+// legitimately use wall-clock deadlines and raw goroutines.
+func LoadModule(dir string, patterns ...string) ([]*Package, error) {
+	root, module, err := ModuleRoot(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	entries, err := goList(root, patterns)
+	if err != nil {
+		return nil, err
+	}
+	exports := make(map[string]string, len(entries))
+	for _, e := range entries {
+		exports[e.ImportPath] = e.Export
+	}
+	fset := token.NewFileSet()
+	imp := exportImporter(fset, exports)
+	var pkgs []*Package
+	for _, e := range entries {
+		inModule := e.ImportPath == module || strings.HasPrefix(e.ImportPath, module+"/")
+		if e.DepOnly || e.Standard || !inModule {
+			continue
+		}
+		files, err := parseFiles(fset, e.Dir, e.GoFiles)
+		if err != nil {
+			return nil, err
+		}
+		tpkg, info, err := check(fset, imp, e.ImportPath, files)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, &Package{
+			Path: e.ImportPath, Name: e.Name, Dir: e.Dir,
+			Fset: fset, Files: files, Types: tpkg, Info: info,
+		})
+	}
+	if len(pkgs) == 0 {
+		return nil, fmt.Errorf("analysis: no module packages matched %v", patterns)
+	}
+	return pkgs, nil
+}
+
+// LoadDir loads a single directory of Go files as one package under the
+// given import path, resolving its imports through the enclosing module's
+// build system. This is how the checker corpora under testdata (which `go
+// list ./...` deliberately ignores) are loaded.
+func LoadDir(dir, importPath string) (*Package, error) {
+	names, err := goFileNames(dir)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	files, err := parseFiles(fset, dir, names)
+	if err != nil {
+		return nil, err
+	}
+	imports := map[string]bool{}
+	for _, f := range files {
+		for _, spec := range f.Imports {
+			if p, err := strconv.Unquote(spec.Path.Value); err == nil {
+				imports[p] = true
+			}
+		}
+	}
+	exports := map[string]string{}
+	if len(imports) > 0 {
+		root, _, err := ModuleRoot(dir)
+		if err != nil {
+			return nil, err
+		}
+		patterns := make([]string, 0, len(imports))
+		for p := range imports {
+			patterns = append(patterns, p)
+		}
+		sort.Strings(patterns)
+		entries, err := goList(root, patterns)
+		if err != nil {
+			return nil, err
+		}
+		for _, e := range entries {
+			exports[e.ImportPath] = e.Export
+		}
+	}
+	tpkg, info, err := check(fset, exportImporter(fset, exports), importPath, files)
+	if err != nil {
+		return nil, err
+	}
+	return &Package{
+		Path: importPath, Name: files[0].Name.Name, Dir: dir,
+		Fset: fset, Files: files, Types: tpkg, Info: info,
+	}, nil
+}
+
+// goFileNames lists the non-test .go files in dir, sorted by name.
+func goFileNames(dir string) ([]string, error) {
+	des, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, de := range des {
+		name := de.Name()
+		if de.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		names = append(names, name)
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("analysis: no Go files in %s", dir)
+	}
+	return names, nil
+}

@@ -1,0 +1,117 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// nilsink: the telemetry contract is that a nil sink/instrument is fully
+// functional and free — hot loops call sink.M().WorkerSteps.Inc() with no
+// "is telemetry on" branch, and the golden bit-identity tests rely on the
+// nil path having zero effect. Every exported pointer-receiver method on
+// the instrument types must therefore begin with a nil-receiver guard
+// (either `if recv == nil { ... }` or a `return recv != nil && ...`
+// one-liner).
+var nilsinkChecker = &Checker{
+	Name: "nilsink",
+	Doc:  "telemetry instrument methods must begin with a nil-receiver guard",
+	Run:  runNilsink,
+}
+
+func runNilsink(p *Pass) {
+	guardTypes := map[string]bool{}
+	for _, name := range p.Policy.NilGuardTypes {
+		guardTypes[name] = true
+	}
+	for _, f := range p.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || fd.Body == nil || !fd.Name.IsExported() {
+				continue
+			}
+			tname, ptr := receiverType(fd)
+			if !ptr || !guardTypes[tname] {
+				continue
+			}
+			recv := receiverName(fd)
+			if recv == "" || len(fd.Body.List) == 0 || !startsWithNilGuard(fd.Body.List[0], recv) {
+				p.Reportf(fd.Pos(), "method (*%s).%s must begin with a nil-receiver guard: nil instruments are the telemetry-off fast path", tname, fd.Name.Name)
+			}
+		}
+	}
+}
+
+// receiverType returns the receiver's named type and whether it is a
+// pointer receiver.
+func receiverType(fd *ast.FuncDecl) (name string, ptr bool) {
+	if len(fd.Recv.List) == 0 {
+		return "", false
+	}
+	t := fd.Recv.List[0].Type
+	star, ok := t.(*ast.StarExpr)
+	if !ok {
+		return "", false
+	}
+	switch e := star.X.(type) {
+	case *ast.Ident:
+		return e.Name, true
+	case *ast.IndexExpr: // generic receiver
+		if id, ok := e.X.(*ast.Ident); ok {
+			return id.Name, true
+		}
+	}
+	return "", true
+}
+
+// receiverName returns the receiver variable's name ("" when unnamed — an
+// unnamed receiver cannot be nil-checked).
+func receiverName(fd *ast.FuncDecl) string {
+	if len(fd.Recv.List) == 0 || len(fd.Recv.List[0].Names) == 0 {
+		return ""
+	}
+	name := fd.Recv.List[0].Names[0].Name
+	if name == "_" {
+		return ""
+	}
+	return name
+}
+
+// startsWithNilGuard accepts the two guard shapes the codebase uses:
+//
+//	if recv == nil { return ... }        // early exit
+//	return recv != nil && <rest>         // boolean one-liner
+func startsWithNilGuard(stmt ast.Stmt, recv string) bool {
+	switch s := stmt.(type) {
+	case *ast.IfStmt:
+		return mentionsNilCompare(s.Cond, recv, token.EQL)
+	case *ast.ReturnStmt:
+		for _, res := range s.Results {
+			if mentionsNilCompare(res, recv, token.NEQ) || mentionsNilCompare(res, recv, token.EQL) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// mentionsNilCompare reports whether e contains `recv <op> nil` (either
+// operand order).
+func mentionsNilCompare(e ast.Expr, recv string, op token.Token) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		be, ok := n.(*ast.BinaryExpr)
+		if !ok || be.Op != op {
+			return true
+		}
+		if (isIdent(be.X, recv) && isIdent(be.Y, "nil")) || (isIdent(be.Y, recv) && isIdent(be.X, "nil")) {
+			found = true
+		}
+		return true
+	})
+	return found
+}
+
+func isIdent(e ast.Expr, name string) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == name
+}

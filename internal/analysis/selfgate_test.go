@@ -1,0 +1,29 @@
+package analysis
+
+import (
+	"testing"
+)
+
+// TestModuleSelfGate runs the full checker suite over the whole module
+// under the default policy and requires it to come back clean, so a plain
+// `go test ./...` catches any new invariant violation (or stale
+// //flvet:allow directive) even when make lint is skipped.
+func TestModuleSelfGate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the entire module")
+	}
+	_, module, err := ModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := LoadModule(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) < 20 {
+		t.Fatalf("loaded only %d packages; module discovery looks broken", len(pkgs))
+	}
+	for _, d := range Run(pkgs, Checkers(), DefaultPolicy(module)) {
+		t.Errorf("flvet finding: %s", d)
+	}
+}

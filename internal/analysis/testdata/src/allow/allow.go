@@ -1,0 +1,41 @@
+// Package allow is the golden corpus for the //flvet:allow directive
+// machinery: suppression on the same line and the line above, mandatory
+// reasons, unknown checker names, and unused directives.
+package allow
+
+import "time"
+
+// sameLine suppresses a finding with a trailing directive.
+func sameLine() time.Time {
+	return time.Now() //flvet:allow detwall -- corpus: trailing-directive form
+}
+
+// lineAbove suppresses with a directive on the preceding line.
+func lineAbove() time.Time {
+	//flvet:allow detwall -- corpus: annotation-above form
+	return time.Now()
+}
+
+// multiName directives may cover several checkers at once.
+func multiName(m map[string]float64) float64 {
+	var sum float64
+	start := time.Now() //flvet:allow detwall,maporder -- corpus: multi-checker directive (maporder half is unused on this line but detwall is consumed)
+	for _, v := range m {
+		sum += v // want "float accumulation inside range over a map"
+	}
+	return sum + time.Since(start).Seconds() // want "time.Since reads the wall clock"
+}
+
+// unguarded has no directive and must still be reported.
+func unguarded() time.Time {
+	return time.Now() // want "time.Now reads the wall clock"
+}
+
+//flvet:allow detwall -- corpus: nothing on the next line to suppress // want "unused flvet:allow directive"
+var idle = 0
+
+//flvet:allow detwall // want "malformed directive"
+var noReason = time.Now // want "time.Now reads the wall clock"
+
+//flvet:allow notachecker -- corpus: unknown checker name // want "unknown checker"
+var unknown = 0

@@ -1,0 +1,25 @@
+// Package detwall is the golden corpus for the detwall checker: wall-clock
+// reads and global math/rand are banned in determinism-critical packages.
+package detwall
+
+import (
+	"math/rand" // want "import of math/rand in determinism-critical package"
+	"time"
+)
+
+// readClock exercises every banned time function plus the allowed ones.
+func readClock() time.Duration {
+	start := time.Now()          // want "time.Now reads the wall clock"
+	elapsed := time.Since(start) // want "time.Since reads the wall clock"
+	_ = time.Until(start)        // want "time.Until reads the wall clock"
+	// Duration arithmetic and parsing carry no wall-clock and stay legal.
+	d, _ := time.ParseDuration("10ms")
+	return elapsed + d
+}
+
+// indirect references (not just calls) are caught too.
+var clock = time.Now // want "time.Now reads the wall clock"
+
+func roll() int {
+	return rand.Int()
+}

@@ -1,0 +1,29 @@
+// Package goexec is the golden corpus for the goexec checker: raw
+// goroutines and hand-rolled sync.WaitGroup belong to internal/parallel
+// and the cluster runtime only.
+package goexec
+
+import "sync"
+
+type pool struct {
+	wg sync.WaitGroup // want "sync.WaitGroup in flvet/corpus/goexec"
+}
+
+func fanOut(n int, fn func(int)) {
+	var wg sync.WaitGroup // want "sync.WaitGroup in flvet/corpus/goexec"
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) { // want "raw go statement in flvet/corpus/goexec"
+			defer wg.Done()
+			fn(i)
+		}(i)
+	}
+	wg.Wait()
+}
+
+// Mutexes and sync.Once are fine — only WaitGroup marks ad-hoc fan-out.
+func locked(mu *sync.Mutex, fn func()) {
+	mu.Lock()
+	defer mu.Unlock()
+	fn()
+}

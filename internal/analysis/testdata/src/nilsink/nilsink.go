@@ -1,0 +1,55 @@
+// Package nilsink is the golden corpus for the nilsink checker: exported
+// pointer-receiver methods on instrument types must begin with a
+// nil-receiver guard so a nil sink stays a free no-op.
+package nilsink
+
+import "sync/atomic"
+
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc keeps the guard: fine.
+func (c *Counter) Inc() {
+	if c == nil {
+		return
+	}
+	c.v.Add(1)
+}
+
+// Add dropped the guard: a nil counter would panic in the telemetry-off
+// fast path.
+func (c *Counter) Add(n int64) { // want "must begin with a nil-receiver guard"
+	c.v.Add(n)
+}
+
+// reset is unexported and may assume a non-nil receiver.
+func (c *Counter) reset() {
+	c.v.Store(0)
+}
+
+type Sink struct {
+	on bool
+}
+
+// Tracing uses the boolean one-liner guard shape: fine.
+func (s *Sink) Tracing() bool {
+	return s != nil && s.on
+}
+
+// Enabled checks the wrong thing first: flagged.
+func (s *Sink) Enabled() bool { // want "must begin with a nil-receiver guard"
+	if s.on {
+		return true
+	}
+	return false
+}
+
+// Value-receiver methods cannot be nil and are exempt.
+func (s Sink) Copy() Sink { return s }
+
+type Tracer struct{}
+
+// Unnamed receivers cannot be nil-checked: flagged.
+func (*Tracer) Emit(ev string) { // want "must begin with a nil-receiver guard"
+}

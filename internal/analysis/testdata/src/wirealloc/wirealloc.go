@@ -1,0 +1,52 @@
+// Package wirealloc is the golden corpus for the wirealloc checker: in
+// decoder packages, a make() sized from a decoded length field must be
+// preceded by a bounds check.
+package wirealloc
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+const maxEntries = 1 << 20
+
+// unchecked trusts a wire length outright — the class fuzzing caught in
+// the PR 4 checkpoint decoder.
+func unchecked(head []byte) []float64 {
+	n := binary.LittleEndian.Uint64(head)
+	return make([]float64, n) // want "make\(\) sized by n without a bounds check"
+}
+
+// uncheckedMap is the map-capacity form of the same bug.
+func uncheckedMap(head []byte) map[uint32]string {
+	n := binary.LittleEndian.Uint32(head)
+	return make(map[uint32]string, n) // want "make\(\) sized by n without a bounds check"
+}
+
+// guarded validates before allocating: the decoder idiom the rule is
+// built around.
+func guarded(head []byte) ([]float64, error) {
+	n := binary.LittleEndian.Uint64(head)
+	if n > maxEntries {
+		return nil, fmt.Errorf("implausible length %d", n)
+	}
+	return make([]float64, n), nil
+}
+
+// derived sizes stay guarded through arithmetic on the checked variable.
+func derived(head []byte) ([]byte, error) {
+	n := binary.LittleEndian.Uint32(head)
+	if n > maxEntries {
+		return nil, fmt.Errorf("implausible length %d", n)
+	}
+	return make([]byte, int(n)*8), nil
+}
+
+// inMemory sizes from data already held: len/cap, constants, and min() are
+// all bounded and never flagged.
+func inMemory(vectors [][]float64, n uint64) ([][]float64, []byte, []float64) {
+	clones := make([][]float64, len(vectors))
+	buf := make([]byte, 8+len(vectors)*8)
+	capped := make([]float64, 0, min(n, 1<<16))
+	return clones, buf, capped
+}

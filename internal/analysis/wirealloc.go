@@ -1,0 +1,149 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// wirealloc: in packages that decode wire or snapshot bytes, a make()
+// sized by anything other than a constant, a len/cap of in-memory data, or
+// a value that has passed a bounds check is an allocation an attacker (or
+// a corrupt file) controls — the exact class FuzzOpenSnapshot caught in
+// the PR 4 checkpoint decoder. The checker accepts a size expression
+// built from constants, len/cap, and min(); any other size must appear in
+// a comparison (an if-statement bounds check) earlier in the function.
+var wireallocChecker = &Checker{
+	Name: "wirealloc",
+	Doc:  "no make() sized from decoded length fields without a preceding bounds check",
+	Run:  runWirealloc,
+}
+
+func runWirealloc(p *Pass) {
+	for _, f := range p.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkAllocs(p, fd)
+		}
+	}
+}
+
+func checkAllocs(p *Pass, fd *ast.FuncDecl) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) < 2 {
+			return true
+		}
+		if id, ok := call.Fun.(*ast.Ident); !ok || id.Name != "make" || p.ObjectOf(id) != types.Universe.Lookup("make") {
+			return true
+		}
+		for _, size := range call.Args[1:] {
+			if boundedExpr(p, size) {
+				continue
+			}
+			roots := rootVars(p, size)
+			if len(roots) == 0 || !guardedBefore(p, fd, call.Pos(), roots) {
+				p.Reportf(size.Pos(), "make() sized by %s without a bounds check: a decoded length field must be validated before it sizes an allocation", exprString(size))
+			}
+		}
+		return true
+	})
+}
+
+// boundedExpr reports whether a size expression cannot exceed data already
+// in memory: constants, len/cap calls, min() over at least one bounded
+// argument, conversions of bounded expressions, and arithmetic over
+// bounded operands.
+func boundedExpr(p *Pass, e ast.Expr) bool {
+	if tv, ok := p.Pkg.Info.Types[e]; ok && tv.Value != nil {
+		return true // compile-time constant
+	}
+	switch e := e.(type) {
+	case *ast.ParenExpr:
+		return boundedExpr(p, e.X)
+	case *ast.UnaryExpr:
+		return boundedExpr(p, e.X)
+	case *ast.BinaryExpr:
+		return boundedExpr(p, e.X) && boundedExpr(p, e.Y)
+	case *ast.CallExpr:
+		if id, ok := e.Fun.(*ast.Ident); ok {
+			switch p.ObjectOf(id) {
+			case types.Universe.Lookup("len"), types.Universe.Lookup("cap"):
+				return true
+			case types.Universe.Lookup("min"):
+				for _, arg := range e.Args {
+					if boundedExpr(p, arg) {
+						return true
+					}
+				}
+				return false
+			}
+		}
+		// A conversion of a bounded expression stays bounded.
+		if tv, ok := p.Pkg.Info.Types[e.Fun]; ok && tv.IsType() && len(e.Args) == 1 {
+			return boundedExpr(p, e.Args[0])
+		}
+	}
+	return false
+}
+
+// rootVars collects the variables a size expression is computed from.
+func rootVars(p *Pass, e ast.Expr) []types.Object {
+	var roots []types.Object
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if v, ok := p.ObjectOf(id).(*types.Var); ok {
+				roots = append(roots, v)
+			}
+		}
+		return true
+	})
+	return roots
+}
+
+// guardedBefore reports whether, before pos inside fd, some if-statement
+// compares one of the root variables against a bound (<, <=, >, >=). This
+// is a heuristic — it does not prove the branch rejects bad values — but
+// it exactly matches the decoder idiom ("if n > maxLen { return ErrFormat }")
+// and makes the unchecked path impossible to write silently.
+func guardedBefore(p *Pass, fd *ast.FuncDecl, pos token.Pos, roots []types.Object) bool {
+	guarded := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		ifs, ok := n.(*ast.IfStmt)
+		if !ok || ifs.Pos() >= pos || guarded {
+			return !guarded
+		}
+		ast.Inspect(ifs.Cond, func(c ast.Node) bool {
+			be, ok := c.(*ast.BinaryExpr)
+			if !ok {
+				return true
+			}
+			switch be.Op {
+			case token.LSS, token.LEQ, token.GTR, token.GEQ:
+			default:
+				return true
+			}
+			for _, side := range []ast.Expr{be.X, be.Y} {
+				ast.Inspect(side, func(s ast.Node) bool {
+					id, ok := s.(*ast.Ident)
+					if !ok {
+						return true
+					}
+					obj := p.ObjectOf(id)
+					for _, r := range roots {
+						if obj == r {
+							guarded = true
+						}
+					}
+					return true
+				})
+			}
+			return true
+		})
+		return !guarded
+	})
+	return guarded
+}

@@ -309,7 +309,7 @@ func (h *HierAdMo) Run(cfg *fl.Config) (*fl.Result, error) {
 		}
 		var iterStart time.Time
 		if sink != nil {
-			iterStart = time.Now()
+			iterStart = time.Now() //flvet:allow detwall -- wall-clock feeds the timing histograms only, never the trace or training state
 		}
 		// Worker momentum and model updates (lines 5–6, NAG form). The phase
 		// is embarrassingly parallel — each worker owns its state vectors and
@@ -323,7 +323,7 @@ func (h *HierAdMo) Run(cfg *fl.Config) (*fl.Result, error) {
 			return nil, err
 		}
 		if sink != nil {
-			m.IterationSeconds.Observe(time.Since(iterStart).Seconds())
+			m.IterationSeconds.Observe(time.Since(iterStart).Seconds()) //flvet:allow detwall -- wall-clock feeds the timing histograms only, never the trace or training state
 		}
 		m.Round.Set(float64(t))
 
@@ -336,14 +336,14 @@ func (h *HierAdMo) Run(cfg *fl.Config) (*fl.Result, error) {
 			for l := range edges {
 				var aggStart time.Time
 				if sink != nil {
-					aggStart = time.Now()
+					aggStart = time.Now() //flvet:allow detwall -- wall-clock feeds the timing histograms only, never the trace or training state
 				}
 				idx := h.sampleParticipants(partRNG, len(workers[l]))
 				if err := h.edgeUpdate(hn, cfg, t, l, edges[l], workers[l], idx, quantizer, x0); err != nil {
 					return nil, err
 				}
 				if sink != nil {
-					m.EdgeAggSeconds.Observe(time.Since(aggStart).Seconds())
+					m.EdgeAggSeconds.Observe(time.Since(aggStart).Seconds()) //flvet:allow detwall -- wall-clock feeds the timing histograms only, never the trace or training state
 				}
 			}
 		}
@@ -352,7 +352,7 @@ func (h *HierAdMo) Run(cfg *fl.Config) (*fl.Result, error) {
 		if t%(cfg.Tau*cfg.Pi) == 0 {
 			var syncStart time.Time
 			if sink != nil {
-				syncStart = time.Now()
+				syncStart = time.Now() //flvet:allow detwall -- wall-clock feeds the timing histograms only, never the trace or training state
 			}
 			yMinuses := make([]tensor.Vector, len(edges))
 			xPluses := make([]tensor.Vector, len(edges))
@@ -389,7 +389,7 @@ func (h *HierAdMo) Run(cfg *fl.Config) (*fl.Result, error) {
 			}
 			m.CloudSyncs.Inc()
 			if sink != nil {
-				m.CloudSyncSeconds.Observe(time.Since(syncStart).Seconds())
+				m.CloudSyncSeconds.Observe(time.Since(syncStart).Seconds()) //flvet:allow detwall -- wall-clock feeds the timing histograms only, never the trace or training state
 			}
 			if sink.Tracing() {
 				sink.Emit("cloud_aggregate",

@@ -190,13 +190,20 @@ func ReadCheckpoint(r io.Reader) (tensor.Vector, error) {
 	if n > maxParams {
 		return nil, fmt.Errorf("%w: implausible parameter count %d", ErrFormat, n)
 	}
-	params := make(tensor.Vector, n)
+	// Grow the parameter slice from bytes actually read rather than trusting
+	// the declared count: a corrupt in-range length must not force a
+	// multi-GiB allocation before the short read is detected.
+	capHint := n
+	if capHint > 1<<16 {
+		capHint = 1 << 16
+	}
+	params := make(tensor.Vector, 0, capHint)
 	buf := make([]byte, 8)
-	for i := range params {
+	for i := uint64(0); i < n; i++ {
 		if _, err := io.ReadFull(br, buf); err != nil {
 			return nil, fmt.Errorf("%w: data at %d: %v", ErrFormat, i, err)
 		}
-		params[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf))
+		params = append(params, math.Float64frombits(binary.LittleEndian.Uint64(buf)))
 	}
 	return params, nil
 }

@@ -1,0 +1,107 @@
+package telemetry
+
+import (
+	"bytes"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// fuzzSeedTrace emits a representative trace through the production
+// Tracer: every field kind, JSON escapes, non-finite floats, and a
+// multi-event stream with dense sequence numbers.
+func fuzzSeedTrace(t testing.TB) []byte {
+	var buf bytes.Buffer
+	tr := NewTracer(&buf)
+	tr.Emit("round_start", Int("t", 1), String("node", "edge-0"))
+	tr.Emit("edge_aggregate", Float("gamma", 0.4375), Float("nan", math.NaN()), Bool("clamped", true))
+	tr.Emit("odd \"names\"", String("path", "a\\b\nc"), Int64("big", 1<<40))
+	if err := tr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// FuzzReadTrace throws arbitrary bytes at the JSONL trace reader. The
+// contract under fuzzing is total: for every input, ReadTrace either
+// returns parsed events — each with a non-empty name, seq/ev lifted out
+// of the field map — or an error; it never panics, and parsing is
+// deterministic (same bytes, same events).
+func FuzzReadTrace(f *testing.F) {
+	seed := fuzzSeedTrace(f)
+	f.Add(seed)
+	f.Add([]byte{})
+	f.Add([]byte("\n\n\n"))
+	f.Add(seed[:len(seed)/2])                                         // torn mid-line
+	f.Add([]byte(`{"seq":1,"ev":"x"}`))                               // minimal event
+	f.Add([]byte(`{"ev":"x"}`))                                       // missing seq
+	f.Add([]byte(`{"seq":1}`))                                        // missing ev
+	f.Add([]byte(`{"seq":"1","ev":"x"}`))                             // seq of wrong type
+	f.Add([]byte(`{"seq":2,"ev":"x"}` + "\n" + `{"seq":1,"ev":"y"}`)) // gap
+	f.Add([]byte(`{"seq":1,"ev":"x","nested":{"k":1}}`))              // nested field
+	f.Add([]byte(`not json at all`))
+	f.Add(bytes.Repeat([]byte("a"), 4096))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		events, err := ReadTrace(bytes.NewReader(data))
+		if err != nil {
+			if !strings.Contains(err.Error(), "telemetry:") {
+				t.Fatalf("error %q lost its package prefix", err)
+			}
+			return
+		}
+		for i, ev := range events {
+			if ev.Ev == "" {
+				t.Fatalf("event %d accepted with an empty name", i)
+			}
+			if _, dup := ev.Fields["seq"]; dup {
+				t.Fatalf("event %d kept seq inside Fields", i)
+			}
+			if _, dup := ev.Fields["ev"]; dup {
+				t.Fatalf("event %d kept ev inside Fields", i)
+			}
+		}
+		// CheckTrace must never panic on whatever ReadTrace accepted.
+		_ = CheckTrace(events)
+		again, err := ReadTrace(bytes.NewReader(data))
+		if err != nil {
+			t.Fatalf("second parse of accepted input failed: %v", err)
+		}
+		if !reflect.DeepEqual(events, again) {
+			t.Fatal("ReadTrace is not deterministic over the same bytes")
+		}
+	})
+}
+
+// FuzzReadTraceRoundTrip pins the producer/consumer pair: anything the
+// Tracer emits, ReadTrace accepts with dense sequence numbers.
+func FuzzReadTraceRoundTrip(f *testing.F) {
+	f.Add("round_start", "node", "edge-0", int64(7), 0.4375, true)
+	f.Add("odd \"ev\"\n", "k\\e\ty", "v\x00alue", int64(-1), math.Inf(1), false)
+	f.Add("", "", "", int64(0), math.NaN(), true)
+	f.Fuzz(func(t *testing.T, ev, key, sval string, ival int64, fval float64, bval bool) {
+		// "seq" and "ev" are the reserved keys the Tracer itself writes; a
+		// colliding caller key would shadow them in the decoded map.
+		if ev == "" || key == "seq" || key == "ev" {
+			t.Skip("reserved by the trace format")
+		}
+		var buf bytes.Buffer
+		tr := NewTracer(&buf)
+		tr.Emit(ev, String(key, sval), Int64("i", ival), Float("f", fval), Bool("b", bval))
+		tr.Emit(ev + "-2")
+		if err := tr.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		events, err := ReadTrace(&buf)
+		if err != nil {
+			t.Fatalf("ReadTrace rejected Tracer output: %v", err)
+		}
+		if len(events) != 2 {
+			t.Fatalf("got %d events, want 2", len(events))
+		}
+		if err := CheckTrace(events); err != nil {
+			t.Fatalf("Tracer output is not densely sequenced: %v", err)
+		}
+	})
+}

@@ -36,6 +36,6 @@ func Serve(addr string, reg *Registry) (string, func() error, error) {
 		return "", nil, fmt.Errorf("telemetry: listen %s: %w", addr, err)
 	}
 	srv := &http.Server{Handler: Handler(reg)}
-	go func() { _ = srv.Serve(ln) }()
+	go func() { _ = srv.Serve(ln) }() //flvet:allow goexec -- HTTP serve loop lives until shutdown; not a bounded fan-out
 	return ln.Addr().String(), srv.Close, nil
 }

@@ -38,7 +38,7 @@ func ReadTrace(r io.Reader) ([]TraceEvent, error) {
 		} else {
 			return nil, fmt.Errorf("telemetry: trace line %d: missing seq", line)
 		}
-		if name, ok := raw["ev"].(string); ok {
+		if name, ok := raw["ev"].(string); ok && name != "" {
 			ev.Ev = name
 		} else {
 			return nil, fmt.Errorf("telemetry: trace line %d: missing ev", line)

@@ -55,7 +55,9 @@ func Bool(key string, v bool) Field { return Field{key: key, kind: fieldBool, b:
 // tracer's lock, so a trace is totally ordered and two traces of the
 // same deterministic run are byte-identical. Tracer methods are safe for
 // concurrent use; the repo's deterministic call sites nevertheless emit
-// only from sequential code so event ORDER is reproducible too.
+// only from sequential code so event ORDER is reproducible too. Event
+// names must be non-empty and the field keys "seq" and "ev" are reserved
+// for the tracer itself (readers lift them out of the field map).
 type Tracer struct {
 	mu     sync.Mutex
 	w      *bufio.Writer

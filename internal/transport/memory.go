@@ -28,6 +28,7 @@ type MemoryNetwork struct {
 	faultRNG *rng.RNG
 	stats    FaultStats
 
+	//flvet:allow goexec -- transport-internal lifecycle tracking for injected-delay deliveries; no training data flows through it
 	wg sync.WaitGroup // tracks delayed deliveries
 }
 

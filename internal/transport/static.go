@@ -46,6 +46,6 @@ func ListenStatic(id string, registry map[string]string) (Endpoint, error) {
 		},
 	}
 	ep.wg.Add(1)
-	go ep.acceptLoop()
+	go ep.acceptLoop() //flvet:allow goexec -- accept loop lives for the endpoint's lifetime; transport owns its goroutines
 	return ep, nil
 }

@@ -80,7 +80,7 @@ func (n *TCPNetwork) Listen(id string) (Endpoint, error) {
 	}
 	ep.sink.Store(n.sink.Load())
 	ep.wg.Add(1)
-	go ep.acceptLoop()
+	go ep.acceptLoop() //flvet:allow goexec -- accept loop lives for the endpoint's lifetime; transport owns its goroutines
 	return ep, nil
 }
 
@@ -125,7 +125,8 @@ type tcpEndpoint struct {
 	inbox  chan Message
 	closed chan struct{}
 	once   sync.Once
-	wg     sync.WaitGroup
+	//flvet:allow goexec -- transport-internal lifecycle tracking for accept/read loops; Close waits for them, no training data order depends on it
+	wg sync.WaitGroup
 
 	connMu   sync.Mutex
 	conns    map[string]*tcpConn
@@ -157,7 +158,7 @@ func (e *tcpEndpoint) acceptLoop() {
 		e.accepted[conn] = struct{}{}
 		e.connMu.Unlock()
 		e.wg.Add(1)
-		go e.readLoop(conn)
+		go e.readLoop(conn) //flvet:allow goexec -- one read loop per accepted conn, joined by Close via the WaitGroup
 	}
 }
 
