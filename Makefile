@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test vet lint check race fuzz recover bench benchall clean
+.PHONY: build test vet lint check race fuzz recover bench benchdiff benchall churn clean
 
 build:
 	$(GO) build ./...
@@ -25,9 +25,9 @@ lint:
 	$(GO) run ./cmd/flvet ./...
 
 ## check: the tier-1 gate — build, lint (gofmt + go vet + flvet), the full
-## test suite, the crash-recovery integration pass, and the race-detector
-## sweep.
-check: build lint test recover race
+## test suite, the crash-recovery integration pass, the race-detector
+## sweep, and the perf gate against the committed benchmark baseline.
+check: build lint test recover race benchdiff
 
 ## race: race-detect the distributed runtime, transport layers, checkpoint
 ## snapshot/restore, telemetry instruments (scraped concurrently with
@@ -37,7 +37,7 @@ race:
 	$(GO) test -race -count=1 ./internal/cluster/... ./internal/transport/... \
 		./internal/checkpoint/... ./internal/parallel/... ./internal/core/... \
 		./internal/baseline/... ./internal/fl/... ./internal/nn/... \
-		./internal/telemetry/... ./cmd/tracecat/...
+		./internal/telemetry/... ./internal/membership/... ./cmd/tracecat/...
 
 ## fuzz: short-budget fuzzing of the byte-boundary decoders — the
 ## checkpoint snapshot reader, the telemetry JSONL trace reader, and the
@@ -69,9 +69,21 @@ bench:
 		| $(GO) run ./cmd/benchjson -out BENCH_core.json
 	@cat BENCH_core.json
 
+## benchdiff: the perf gate — rerun the core benchmarks and fail when any
+## ns/op regressed more than 10% against the committed BENCH_core.json.
+benchdiff:
+	$(GO) test -bench=. -benchmem -benchtime=3x -count=1 -run=^$$ ./internal/core \
+		| $(GO) run ./cmd/benchjson -baseline BENCH_core.json -max-regress 0.10
+
 ## benchall: every benchmark in the repo (experiment tables, kernels, nn).
 benchall:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ ./...
+
+## churn: the dynamic-membership study — static hierarchy vs the seeded
+## churn trace (late join + permanent leave + re-tiering) under each
+## gammaEdge migration policy, with accuracy and traffic side by side.
+churn:
+	$(GO) run ./cmd/hieradmo -exp churn
 
 clean:
 	$(GO) clean ./...

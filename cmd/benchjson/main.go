@@ -6,6 +6,12 @@
 // Usage:
 //
 //	go test -bench=. -benchmem ./internal/core | benchjson -out BENCH_core.json
+//
+// With -baseline it additionally diffs the fresh run against a committed
+// report and exits 1 when any benchmark's ns/op regressed by more than
+// -max-regress (default 10%) — the perf gate `make check` runs:
+//
+//	go test -bench=. -benchmem ./internal/core | benchjson -baseline BENCH_core.json
 package main
 
 import (
@@ -49,20 +55,41 @@ var (
 
 func main() {
 	out := flag.String("out", "", "write JSON to this file (default stdout)")
+	baseline := flag.String("baseline", "", "diff ns/op against this committed report and fail on regression")
+	maxRegress := flag.Float64("max-regress", 0.10, "tolerated fractional ns/op growth over the baseline")
 	flag.Parse()
-	if err := run(*out); err != nil {
+	if err := run(*out, *baseline, *maxRegress); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
 }
 
-func run(out string) error {
+func run(out, baseline string, maxRegress float64) error {
 	rep, err := parse(bufio.NewScanner(os.Stdin))
 	if err != nil {
 		return err
 	}
 	if len(rep.Benchmarks) == 0 {
 		return fmt.Errorf("no benchmark lines found on stdin")
+	}
+	if baseline != "" {
+		base, err := loadReport(baseline)
+		if err != nil {
+			return err
+		}
+		regressions := compare(rep, base, maxRegress)
+		for _, r := range regressions {
+			fmt.Fprintln(os.Stderr, "benchjson: regression:", r)
+		}
+		if len(regressions) > 0 {
+			return fmt.Errorf("%d benchmark(s) regressed more than %.0f%% over %s",
+				len(regressions), 100*maxRegress, baseline)
+		}
+		fmt.Fprintf(os.Stderr, "benchjson: no ns/op regression beyond %.0f%% vs %s\n",
+			100*maxRegress, baseline)
+	}
+	if out == "" && baseline != "" {
+		return nil // diff-only invocation: keep stdout clean for pipelines
 	}
 	buf, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -74,6 +101,42 @@ func run(out string) error {
 		return err
 	}
 	return os.WriteFile(out, buf, 0o644)
+}
+
+// loadReport reads a committed benchmark report.
+func loadReport(path string) (*report, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep report
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		return nil, fmt.Errorf("parse %s: %w", path, err)
+	}
+	return &rep, nil
+}
+
+// compare diffs cur against base by benchmark name and describes every
+// entry whose ns/op grew by more than maxRegress. Benchmarks present on
+// only one side are skipped: adding or retiring a benchmark is not a
+// regression.
+func compare(cur, base *report, maxRegress float64) []string {
+	baseBy := make(map[string]record, len(base.Benchmarks))
+	for _, b := range base.Benchmarks {
+		baseBy[b.Name] = b
+	}
+	var out []string
+	for _, c := range cur.Benchmarks {
+		b, ok := baseBy[c.Name]
+		if !ok || b.NsPerOp <= 0 {
+			continue
+		}
+		if growth := c.NsPerOp/b.NsPerOp - 1; growth > maxRegress {
+			out = append(out, fmt.Sprintf("%s: %.0f ns/op vs baseline %.0f (%+.1f%%)",
+				c.Name, c.NsPerOp, b.NsPerOp, 100*growth))
+		}
+	}
+	return out
 }
 
 func parse(sc *bufio.Scanner) (*report, error) {

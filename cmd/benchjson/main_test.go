@@ -1,0 +1,78 @@
+package main
+
+import (
+	"bufio"
+	"strings"
+	"testing"
+)
+
+const sampleBench = `goos: linux
+goarch: amd64
+pkg: hieradmo/internal/core
+cpu: Test CPU @ 2.10GHz
+BenchmarkHierAdMoCNN/workers=1         	       3	  32584745 ns/op	 1265472 B/op	     354 allocs/op
+BenchmarkHierAdMoCNN/workers=2         	       3	  34016881 ns/op	 1267712 B/op	     394 allocs/op
+PASS
+`
+
+func parseSample(t *testing.T, text string) *report {
+	t.Helper()
+	rep, err := parse(bufio.NewScanner(strings.NewReader(text)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+func TestParseBenchOutput(t *testing.T) {
+	rep := parseSample(t, sampleBench)
+	if rep.GoOS != "linux" || rep.Package != "hieradmo/internal/core" {
+		t.Errorf("headers = %q/%q", rep.GoOS, rep.Package)
+	}
+	if len(rep.Benchmarks) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2", len(rep.Benchmarks))
+	}
+	b := rep.Benchmarks[0]
+	if b.Name != "HierAdMoCNN/workers=1" || b.Workers != 1 ||
+		b.NsPerOp != 32584745 || b.AllocsOp != 354 {
+		t.Errorf("first record = %+v", b)
+	}
+}
+
+func TestCompareFlagsRegressions(t *testing.T) {
+	base := parseSample(t, sampleBench)
+	cur := parseSample(t, sampleBench)
+
+	if regs := compare(cur, base, 0.10); len(regs) != 0 {
+		t.Errorf("identical runs flagged: %v", regs)
+	}
+
+	// 5% slower: inside the budget.
+	cur.Benchmarks[0].NsPerOp *= 1.05
+	if regs := compare(cur, base, 0.10); len(regs) != 0 {
+		t.Errorf("5%% growth flagged at 10%% budget: %v", regs)
+	}
+
+	// 25% slower: a regression, and only that entry.
+	cur.Benchmarks[0].NsPerOp = base.Benchmarks[0].NsPerOp * 1.25
+	regs := compare(cur, base, 0.10)
+	if len(regs) != 1 || !strings.Contains(regs[0], "workers=1") {
+		t.Errorf("25%% growth yields %v, want one workers=1 regression", regs)
+	}
+
+	// Faster is never a regression.
+	cur.Benchmarks[0].NsPerOp = base.Benchmarks[0].NsPerOp * 0.5
+	if regs := compare(cur, base, 0.10); len(regs) != 0 {
+		t.Errorf("speedup flagged: %v", regs)
+	}
+}
+
+func TestCompareSkipsUnmatchedNames(t *testing.T) {
+	base := parseSample(t, sampleBench)
+	cur := parseSample(t, sampleBench)
+	cur.Benchmarks[0].Name = "BrandNewBenchmark"
+	cur.Benchmarks[0].NsPerOp = 1e12
+	if regs := compare(cur, base, 0.10); len(regs) != 0 {
+		t.Errorf("benchmark missing from baseline flagged: %v", regs)
+	}
+}

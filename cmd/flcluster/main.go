@@ -30,6 +30,14 @@
 //
 //	flcluster -checkpoint-dir ckpt            # ctrl-C mid-run → exit 3
 //	flcluster -checkpoint-dir ckpt -resume    # picks up where it stopped
+//
+// Dynamic membership: -churn-plan replays a deterministic join/leave trace
+// (a trace file, or an inline spec) and -retier-every re-clusters workers
+// across edges every k cloud syncs; -migration picks the γℓ carry rule on
+// cohort change. The whole trajectory is a pure function of the flags, so
+// a churn run is bit-identical across reruns and transports:
+//
+//	flcluster -churn-plan "join:worker-0-1@3,leave:worker-1-0@9" -retier-every 2
 package main
 
 import (
@@ -45,6 +53,7 @@ import (
 	"hieradmo/internal/cluster"
 	"hieradmo/internal/core"
 	"hieradmo/internal/experiment"
+	"hieradmo/internal/membership"
 	"hieradmo/internal/persist"
 	"hieradmo/internal/telemetry"
 	"hieradmo/internal/transport"
@@ -113,6 +122,10 @@ func run(args []string, interrupt <-chan struct{}) error {
 		checkpointDir = fs.String("checkpoint-dir", "", "snapshot every node's state into this directory after each completed round (enables crash recovery)")
 		resume        = fs.Bool("resume", false, "reload the newest snapshots from -checkpoint-dir and continue the interrupted run")
 
+		churnSpec   = fs.String("churn-plan", "", `churn trace file, or inline spec like "join:worker-0-1@3,leave:worker-1-0@9"`)
+		retierEvery = fs.Int("retier-every", 0, "re-tier workers across edges every this many cloud syncs (0 disables)")
+		migration   = fs.String("migration", "zero", "gammaEdge migration policy on cohort change: zero|carry|rescale")
+
 		traceOut    = fs.String("trace-out", "", "write a JSONL event trace (one event per line) to this path")
 		metricsAddr = fs.String("metrics-addr", "", `serve Prometheus /metrics and /debug/pprof on this address (e.g. "127.0.0.1:9090"; ":0" picks a port)`)
 	)
@@ -134,6 +147,17 @@ func run(args []string, interrupt <-chan struct{}) error {
 	}
 	if *verify && (*dropRate > 0 || len(crashes) > 0) {
 		return fmt.Errorf("-verify requires a fault-free run: bit-equivalence with the simulation only holds without drops or crashes")
+	}
+	churnPlan, err := loadChurnPlan(*churnSpec)
+	if err != nil {
+		return err
+	}
+	migrate, err := membership.ParseMigrationPolicy(*migration)
+	if err != nil {
+		return err
+	}
+	if *verify && (churnPlan != nil || *retierEvery > 0) {
+		return fmt.Errorf("-verify requires a static hierarchy: the in-process simulation has no membership dynamics to compare against")
 	}
 
 	var s experiment.Scale
@@ -195,6 +219,9 @@ func run(args []string, interrupt <-chan struct{}) error {
 		CheckpointDir:     *checkpointDir,
 		Resume:            *resume,
 		Interrupt:         interrupt,
+		ChurnPlan:         churnPlan,
+		RetierEvery:       *retierEvery,
+		Migration:         migrate,
 	})
 	if err != nil {
 		return err
@@ -202,6 +229,9 @@ func run(args []string, interrupt <-chan struct{}) error {
 	fmt.Println(res)
 	if res.FaultReport.Any() {
 		fmt.Println(res.FaultReport)
+	}
+	if res.Membership != nil {
+		fmt.Println(res.Membership)
 	}
 
 	if *verify {
@@ -238,6 +268,28 @@ func run(args []string, interrupt <-chan struct{}) error {
 		fmt.Println("curve written to", *saveCurve)
 	}
 	return nil
+}
+
+// loadChurnPlan resolves the -churn-plan flag: a path to a churn trace
+// file when one exists at that path, otherwise an inline event spec. Empty
+// means no churn (nil plan).
+func loadChurnPlan(spec string) (*membership.Plan, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	if f, err := os.Open(spec); err == nil {
+		defer f.Close()
+		plan, err := membership.ParseTrace(f)
+		if err != nil {
+			return nil, fmt.Errorf("churn trace %s: %w", spec, err)
+		}
+		return &plan, nil
+	}
+	plan, err := membership.ParseSpec(spec)
+	if err != nil {
+		return nil, err
+	}
+	return &plan, nil
 }
 
 // parseCrashSpec parses a comma-separated "node@round" list, e.g.

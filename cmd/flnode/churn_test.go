@@ -1,0 +1,62 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeStubRegistry gives run() a parseable registry so flag validation is
+// reached; the tests below all fail before any socket is opened.
+func writeStubRegistry(t *testing.T) string {
+	t.Helper()
+	p := filepath.Join(t.TempDir(), "reg.json")
+	if err := os.WriteFile(p, []byte(`{"cloud":"127.0.0.1:1"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestJoinRequiresWorkerRole(t *testing.T) {
+	err := run([]string{
+		"-role", "cloud", "-registry", writeStubRegistry(t),
+		"-churn-plan", "join:worker-0-1@3", "-join",
+	}, nil)
+	if err == nil || !strings.Contains(err.Error(), "worker role") {
+		t.Errorf("-join on cloud role = %v, want worker-role refusal", err)
+	}
+}
+
+func TestJoinRequiresChurnPlan(t *testing.T) {
+	err := run([]string{
+		"-role", "worker", "-edge", "0", "-index", "1",
+		"-registry", writeStubRegistry(t), "-join",
+	}, nil)
+	if err == nil || !strings.Contains(err.Error(), "churn-plan") {
+		t.Errorf("-join without plan = %v, want churn-plan requirement", err)
+	}
+}
+
+func TestJoinRequiresScheduledEntry(t *testing.T) {
+	// The plan joins worker-0-1; launching worker-1-0 with -join is a
+	// deployment mistake the flag must catch.
+	err := run([]string{
+		"-role", "worker", "-edge", "1", "-index", "0",
+		"-registry", writeStubRegistry(t),
+		"-churn-plan", "join:worker-0-1@3", "-join",
+	}, nil)
+	if err == nil || !strings.Contains(err.Error(), "no late join") {
+		t.Errorf("-join for unscheduled worker = %v, want no-late-join refusal", err)
+	}
+}
+
+func TestBadMigrationPolicy(t *testing.T) {
+	err := run([]string{
+		"-role", "cloud", "-registry", writeStubRegistry(t),
+		"-migration", "teleport",
+	}, nil)
+	if err == nil {
+		t.Error("unknown migration policy accepted")
+	}
+}

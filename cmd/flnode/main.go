@@ -28,6 +28,14 @@
 // SIGTERM requests a graceful shutdown — the node stops at its next
 // interruptible point and exits with code 3 (resumable); a second signal
 // aborts immediately with code 4.
+//
+// Dynamic membership: give every node the same -churn-plan (and
+// -retier-every / -migration) and the deployment replays the trace in
+// lockstep. A scheduled late joiner is simply started whenever convenient
+// with -join — it blocks until its edge admits it at the planned round:
+//
+//	flnode -role worker -edge 0 -index 1 -registry reg.json \
+//	    -churn-plan "join:worker-0-1@3" -join
 package main
 
 import (
@@ -42,6 +50,7 @@ import (
 	"hieradmo/internal/cluster"
 	"hieradmo/internal/experiment"
 	"hieradmo/internal/fl"
+	"hieradmo/internal/membership"
 	"hieradmo/internal/telemetry"
 	"hieradmo/internal/transport"
 )
@@ -102,6 +111,11 @@ func run(args []string, interrupt <-chan struct{}) error {
 		checkpointDir = fs.String("checkpoint-dir", "", "snapshot node state into this directory after every completed round (enables crash recovery)")
 		resume        = fs.Bool("resume", false, "reload the newest snapshot from -checkpoint-dir and rejoin the protocol")
 
+		churnSpec   = fs.String("churn-plan", "", `churn trace file, or inline spec like "join:worker-0-1@3,leave:worker-1-0@9" (must match across all nodes)`)
+		retierEvery = fs.Int("retier-every", 0, "re-tier workers across edges every this many cloud syncs (0 disables; must match across all nodes)")
+		migration   = fs.String("migration", "zero", "gammaEdge migration policy on cohort change: zero|carry|rescale (must match across all nodes)")
+		join        = fs.Bool("join", false, "require that the churn plan schedules this worker as a late joiner (worker role; the node then waits to be admitted mid-run)")
+
 		traceOut    = fs.String("trace-out", "", "write this node's JSONL event trace to this path")
 		metricsAddr = fs.String("metrics-addr", "", `serve Prometheus /metrics and /debug/pprof on this address (e.g. "127.0.0.1:9090"; ":0" picks a port)`)
 	)
@@ -148,6 +162,32 @@ func run(args []string, interrupt <-chan struct{}) error {
 	if boundAddr != "" {
 		fmt.Fprintf(os.Stderr, "flnode: serving /metrics and /debug/pprof on http://%s\n", boundAddr)
 	}
+	churnPlan, err := loadChurnPlan(*churnSpec)
+	if err != nil {
+		return err
+	}
+	migrate, err := membership.ParseMigrationPolicy(*migration)
+	if err != nil {
+		return err
+	}
+	if *join {
+		if *role != "worker" {
+			return fmt.Errorf("-join only applies to the worker role")
+		}
+		if churnPlan == nil {
+			return fmt.Errorf("-join needs a -churn-plan that schedules this worker's entry")
+		}
+		ref := membership.Ref{Edge: *edgeIdx, Index: *workerIdx}
+		scheduled := false
+		for _, ev := range churnPlan.Events {
+			if ev.Action == membership.ActionJoin && ev.Worker == ref && ev.Round > 1 {
+				scheduled = true
+			}
+		}
+		if !scheduled {
+			return fmt.Errorf("-join: the churn plan schedules no late join for %s", ref.NodeID())
+		}
+	}
 	opts := cluster.Options{
 		Adaptive:          !*reduced,
 		MinQuorum:         *minQuorum,
@@ -157,6 +197,9 @@ func run(args []string, interrupt <-chan struct{}) error {
 		Resume:            *resume,
 		Interrupt:         interrupt,
 		Telemetry:         sink,
+		ChurnPlan:         churnPlan,
+		RetierEvery:       *retierEvery,
+		Migration:         migrate,
 	}
 
 	// listen opens this node's endpoint and mirrors its send retries onto
@@ -205,5 +248,30 @@ func runCloud(cfg *fl.Config, listen func(string) (transport.Endpoint, error), o
 		return err
 	}
 	fmt.Println(res)
+	if res.Membership != nil {
+		fmt.Println(res.Membership)
+	}
 	return nil
+}
+
+// loadChurnPlan resolves the -churn-plan flag: a path to a churn trace
+// file when one exists at that path, otherwise an inline event spec. Empty
+// means no churn (nil plan).
+func loadChurnPlan(spec string) (*membership.Plan, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	if f, err := os.Open(spec); err == nil {
+		defer f.Close()
+		plan, err := membership.ParseTrace(f)
+		if err != nil {
+			return nil, fmt.Errorf("churn trace %s: %w", spec, err)
+		}
+		return &plan, nil
+	}
+	plan, err := membership.ParseSpec(spec)
+	if err != nil {
+		return nil, err
+	}
+	return &plan, nil
 }

@@ -50,7 +50,14 @@ func only(paths ...string) func(string) bool {
 //
 //   - detwall runs everywhere except internal/cluster and
 //     internal/transport, whose receive timeouts and straggler deadlines
-//     are wall-clock by design (failure detection cannot be deterministic);
+//     are wall-clock by design (failure detection cannot be deterministic).
+//     Within internal/cluster the exemption is narrower than it looks:
+//     deadline *arithmetic* (straggler grace, quorum horizons, interrupt
+//     slicing) goes through the injectable cluster.Options.Clock seam, so
+//     quorum-timing tests substitute a fake clock instead of scaling real
+//     sleeps; only the actual socket waits and duration metrics read the
+//     wall clock directly. New cluster code should reach for Options.now(),
+//     not time.Now(), whenever the value feeds a deadline comparison;
 //   - maporder runs everywhere: map iteration order must never reach a
 //     float reduction, an ordered accumulation, or the trace;
 //   - goexec runs everywhere except internal/parallel (the sanctioned

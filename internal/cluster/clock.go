@@ -1,0 +1,31 @@
+package cluster
+
+import "time"
+
+// Clock supplies the wall-clock readings behind receive deadlines,
+// straggler grace windows, and interrupt polling. Production runs use the
+// real system clock; tests inject a fake so quorum-timing behavior can be
+// exercised without real sleeps or flaky scaling margins.
+//
+// Only deadline *arithmetic* flows through the clock. Metric stopwatches
+// (aggregation and sync latency histograms) intentionally stay on
+// time.Now/time.Since: they measure real elapsed work, and skewing them
+// with a fake clock would corrupt the latency telemetry.
+type Clock interface {
+	Now() time.Time
+}
+
+// systemClock is the default Clock: the real wall clock.
+type systemClock struct{}
+
+func (systemClock) Now() time.Time { return time.Now() }
+
+// now reads the configured clock, falling back to the system clock so
+// zero-value Options (as built by tests that bypass withDefaults) keep
+// working.
+func (o Options) now() time.Time {
+	if o.Clock != nil {
+		return o.Clock.Now()
+	}
+	return time.Now()
+}

@@ -29,6 +29,7 @@ type cloudNode struct {
 	opts Options
 	rec  *faultRecorder
 	reg  *checkpoint.Registry
+	memb *membState
 
 	cloudX, cloudY tensor.Vector
 	// lastY/lastX hold each edge's most recent [y_ℓ−, x_ℓ+] report,
@@ -42,6 +43,9 @@ type cloudNode struct {
 	// edge that rode out a lost cloud update keeps going) until the cloud's
 	// own sync catches up with them.
 	pending []transport.Message
+	// epoch is the membership epoch of the last snapshotted sync; persisted
+	// so a resume can verify it restores the adapted topology.
+	epoch int
 }
 
 func newCloudNode(cfg *fl.Config, hn *fl.Harness, x0 tensor.Vector, ep transport.Endpoint, opts Options) *cloudNode {
@@ -106,6 +110,9 @@ func (c *cloudNode) initCheckpoint(res *fl.Result, weightedLoss *float64) (int, 
 			res.Curve = curve
 			return nil
 		})
+	if c.memb != nil {
+		reg.Int("membEpoch", &c.epoch)
+	}
 	dim := len(c.cloudX)
 	reg.Dynamic("pending",
 		func() []float64 { return encodePending(c.pending, 2, dim, parseEdgeIndex) },
@@ -150,11 +157,18 @@ func (c *cloudNode) run() (*fl.Result, error) {
 		return nil, fmt.Errorf("cluster: cloud: %w", err)
 	}
 	if start > 0 {
+		if c.memb != nil && c.epoch != c.memb.sched.EpochIndex(start*c.cfg.Pi) {
+			return nil, fmt.Errorf("cluster: cloud resume at sync %d: snapshot epoch %d, schedule says %d: membership schedule divergence",
+				start, c.epoch, c.memb.sched.EpochIndex(start*c.cfg.Pi))
+		}
 		// The snapshot precedes its sync's redistribution, so re-send that
 		// update on resume: edges already past the sync discard it as stale,
 		// edges still waiting on it adopt it (directly or via the
 		// mid-collect fast-forward) and catch up.
 		if err := c.redistribute(start); err != nil {
+			return nil, fmt.Errorf("cluster: cloud resume: %w", err)
+		}
+		if err := c.announceRetier(start, true); err != nil {
 			return nil, fmt.Errorf("cluster: cloud resume: %w", err)
 		}
 	}
@@ -171,21 +185,41 @@ func (c *cloudNode) run() (*fl.Result, error) {
 		if sink != nil {
 			syncStart = time.Now()
 		}
-		if err := c.hn.CloudAverage(c.cloudY, c.lastY); err != nil { // line 18
-			return nil, err
-		}
-		if err := c.hn.CloudAverage(c.cloudX, c.lastX); err != nil { // line 19
-			return nil, err
-		}
-		weightedLoss = 0
-		for l, loss := range c.lastLoss {
-			weightedLoss += c.hn.EdgeWeights[l] * loss
+		if c.memb != nil {
+			// Lines 18–19 over the live membership: the same Dℓ/D weights as
+			// the harness, recomputed per epoch over live workers only.
+			ew := c.memb.sched.EdgeWeights(p * c.cfg.Pi)
+			if err := tensor.WeightedSum(c.cloudY, ew, c.lastY); err != nil {
+				return nil, err
+			}
+			if err := tensor.WeightedSum(c.cloudX, ew, c.lastX); err != nil {
+				return nil, err
+			}
+			weightedLoss = 0
+			for l, loss := range c.lastLoss {
+				weightedLoss += ew[l] * loss
+			}
+		} else {
+			if err := c.hn.CloudAverage(c.cloudY, c.lastY); err != nil { // line 18
+				return nil, err
+			}
+			if err := c.hn.CloudAverage(c.cloudX, c.lastX); err != nil { // line 19
+				return nil, err
+			}
+			weightedLoss = 0
+			for l, loss := range c.lastLoss {
+				weightedLoss += c.hn.EdgeWeights[l] * loss
+			}
 		}
 		if sink != nil {
 			sink.M().CloudSyncSeconds.Observe(time.Since(syncStart).Seconds())
 		}
 		sink.M().CloudSyncs.Inc()
 		sink.M().Round.Set(float64(p * c.cfg.Tau * c.cfg.Pi))
+		if c.memb != nil {
+			sink.M().MembershipEpoch.Set(float64(c.memb.sched.EpochIndex(p * c.cfg.Pi)))
+			sink.M().LiveWorkers.Set(float64(c.memb.sched.LiveCount(p * c.cfg.Pi)))
+		}
 		if sink.Tracing() {
 			sink.Emit("cloud_aggregate",
 				telemetry.Int("t", p*c.cfg.Tau*c.cfg.Pi),
@@ -207,10 +241,16 @@ func (c *cloudNode) run() (*fl.Result, error) {
 			})
 			c.recordEval(p*c.cfg.Tau*c.cfg.Pi, acc, weightedLoss, false)
 		}
+		if c.memb != nil {
+			c.epoch = c.memb.sched.EpochIndex(p * c.cfg.Pi)
+		}
 		if err := saveSnapshot(c.reg, p, c.opts.Telemetry, CloudID); err != nil {
 			return nil, fmt.Errorf("cluster: cloud round %d: %w", p, err)
 		}
 		if err := c.redistribute(p); err != nil {
+			return nil, err
+		}
+		if err := c.announceRetier(p, false); err != nil {
 			return nil, err
 		}
 	}
@@ -224,6 +264,50 @@ func (c *cloudNode) run() (*fl.Result, error) {
 	res.Curve = append(res.Curve, fl.Point{Iter: c.cfg.T, TestAcc: acc, TrainLoss: weightedLoss})
 	c.recordEval(c.cfg.T, acc, weightedLoss, true)
 	return res, nil
+}
+
+// announceRetier broadcasts the REASSIGN control message after the sync-p
+// redistribution when a re-tiering takes effect at the next edge round. The
+// message carries the moved workers' (edge, index, newEdge) triples; edges
+// cross-check it against their own schedule, so it can never *cause* a
+// reassignment — only surface a configuration divergence. resend marks a
+// resume's repeat (re-announced, not re-counted).
+func (c *cloudNode) announceRetier(p int, resend bool) error {
+	if c.memb == nil {
+		return nil
+	}
+	sched := c.memb.sched
+	k := p * c.cfg.Pi
+	if k >= sched.K {
+		return nil
+	}
+	next := sched.EpochAt(k + 1)
+	if !next.Retier || next.Start != k+1 {
+		return nil
+	}
+	moved := sched.ReassignedAt(k + 1)
+	flat := make([]float64, 0, 3*len(moved))
+	for _, ref := range moved {
+		to, ok := sched.EdgeOf(k+1, ref)
+		if !ok {
+			return fmt.Errorf("cluster: cloud: reassigned worker %s has no edge at round %d", ref.NodeID(), k+1)
+		}
+		flat = append(flat, float64(ref.Edge), float64(ref.Index), float64(to))
+	}
+	msg := transport.Message{
+		Kind:    KindReassign,
+		Round:   k * c.cfg.Tau,
+		Vectors: [][]float64{flat},
+	}
+	for l := 0; l < c.cfg.NumEdges(); l++ {
+		if err := c.ep.Send(EdgeID(l), msg); err != nil {
+			return fmt.Errorf("cluster: cloud reassign to edge %d: %w", l, err)
+		}
+	}
+	if !resend {
+		c.rec.retier(k*c.cfg.Tau, len(moved))
+	}
+	return nil
 }
 
 // recordEval mirrors one accuracy measurement onto the telemetry sink.
@@ -283,7 +367,7 @@ func (c *cloudNode) collectReports(p int) error {
 		}
 		c.pending = keep
 	}
-	deadline := time.Now().Add(c.opts.RecvTimeout)
+	deadline := c.opts.now().Add(c.opts.RecvTimeout)
 	if c.opts.tolerant() {
 		// Same margin as the edge tier: a silent edge may itself be riding
 		// out a lost update for up to a full RecvTimeout before it recovers.
@@ -298,20 +382,20 @@ func (c *cloudNode) collectReports(p int) error {
 				// full straggler grace at the edge tier before the edge
 				// reports, so the cloud's window budgets π grace periods for
 				// the edge tier's waits on top of its own.
-				stragglerBy = time.Now().Add(time.Duration(c.cfg.Pi+1) * c.opts.StragglerDeadline)
+				stragglerBy = c.opts.now().Add(time.Duration(c.cfg.Pi+1) * c.opts.StragglerDeadline)
 			}
-			wait = time.Until(stragglerBy)
+			wait = stragglerBy.Sub(c.opts.now())
 			if wait <= 0 {
 				break
 			}
 		} else {
-			wait = time.Until(deadline)
+			wait = deadline.Sub(c.opts.now())
 			if wait <= 0 {
 				return fmt.Errorf("%d/%d edge reports (quorum %d): %w",
 					got, numEdges, quorum, transport.ErrTimeout)
 			}
 		}
-		msg, err := recvInterruptible(c.ep, wait, c.opts.Interrupt)
+		msg, err := recvInterruptible(c.ep, wait, c.opts)
 		if err != nil {
 			if errors.Is(err, transport.ErrTimeout) {
 				continue

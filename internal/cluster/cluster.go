@@ -9,6 +9,7 @@ import (
 
 	"hieradmo/internal/core"
 	"hieradmo/internal/fl"
+	"hieradmo/internal/membership"
 	"hieradmo/internal/telemetry"
 	"hieradmo/internal/transport"
 )
@@ -78,6 +79,32 @@ type Options struct {
 	// scheduling, so cluster traces are ordered (per-event seq) but not
 	// byte-diffable between runs.
 	Telemetry *telemetry.Sink
+
+	// ChurnPlan schedules deterministic worker joins (after round 1) and
+	// permanent leaves (before the final round). Nil or empty means no
+	// planned churn. Distinct from crash/restart fault injection: churn is
+	// part of the protocol — every node knows the plan, late joiners are
+	// admitted with fresh state, and leavers retire after a final
+	// aggregated report.
+	ChurnPlan *membership.Plan
+	// RetierEvery, when positive, re-clusters workers onto edges every
+	// RetierEvery cloud syncs, by label-distribution distance with ties
+	// broken by worker ID. Zero disables re-tiering.
+	RetierEvery int
+	// Migration selects how adaptive-γℓ edge momentum state migrates when
+	// an edge's cohort changes (default membership.MigrateZero, matching
+	// the paper's obtuse-angle reset semantics).
+	Migration membership.MigrationPolicy
+	// Clock injects the wall clock behind receive deadlines and straggler
+	// grace windows (default: the system clock). Tests use a fake clock so
+	// quorum-timing behavior doesn't depend on real sleep scaling.
+	Clock Clock
+}
+
+// churnEnabled reports whether this run has dynamic membership: a non-empty
+// churn plan or periodic re-tiering.
+func (o Options) churnEnabled() bool {
+	return (o.ChurnPlan != nil && !o.ChurnPlan.Empty()) || o.RetierEvery > 0
 }
 
 func (o Options) withDefaults() Options {
@@ -108,6 +135,12 @@ func (o Options) validate() error {
 	}
 	if o.Resume && o.CheckpointDir == "" {
 		return fmt.Errorf("cluster: Resume requires CheckpointDir")
+	}
+	if o.RetierEvery < 0 {
+		return fmt.Errorf("cluster: negative RetierEvery")
+	}
+	if o.Migration < membership.MigrateZero || o.Migration > membership.MigrateRescale {
+		return fmt.Errorf("cluster: unknown migration policy %d", o.Migration)
 	}
 	return nil
 }
@@ -147,6 +180,10 @@ func Run(cfg *fl.Config, net Network, opts Options) (*fl.Result, error) {
 		opts.Telemetry = cfg.Telemetry
 	}
 	hn, err := fl.NewHarness(cfg)
+	if err != nil {
+		return nil, err
+	}
+	memb, err := newMembership(*cfg, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -215,6 +252,7 @@ func Run(cfg *fl.Config, net Network, opts Options) (*fl.Result, error) {
 		for i := range cfg.Edges[l] {
 			w := newWorkerNode(cfg, hn, l, i, x0, workerEPs[l][i], opts)
 			w.rec = rec
+			w.memb = memb
 			done := make(chan struct{})
 			wg.Add(1)
 			go func() {
@@ -247,6 +285,7 @@ func Run(cfg *fl.Config, net Network, opts Options) (*fl.Result, error) {
 				ropts.Interrupt = mergeInterrupt(opts.Interrupt, runDone)
 				rw := newWorkerNode(cfg, hn, l, i, x0, ep, ropts)
 				rw.rec = rec
+				rw.memb = memb
 				if err := rw.run(); err != nil && !errors.Is(err, ErrInterrupted) {
 					// An interrupt here just means the run ended while the
 					// respawned worker was still catching up — expected, not
@@ -257,6 +296,7 @@ func Run(cfg *fl.Config, net Network, opts Options) (*fl.Result, error) {
 		}
 		e := newEdgeNode(cfg, hn, l, x0, edgeEPs[l], opts)
 		e.rec = rec
+		e.memb = memb
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
@@ -266,6 +306,7 @@ func Run(cfg *fl.Config, net Network, opts Options) (*fl.Result, error) {
 
 	c := newCloudNode(cfg, hn, x0, cloudEP, opts)
 	c.rec = rec
+	c.memb = memb
 	var cloudErr error
 	wg.Add(1)
 	go func() {
@@ -301,6 +342,7 @@ func Run(cfg *fl.Config, net Network, opts Options) (*fl.Result, error) {
 		rec.nodeError(err)
 	}
 	result.FaultReport = rec.report()
+	result.Membership = memb.flReport()
 	if sink := opts.Telemetry; sink.Tracing() {
 		sink.Emit("run_end",
 			telemetry.Float("final_acc", result.FinalAcc),

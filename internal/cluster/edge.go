@@ -3,11 +3,13 @@ package cluster
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"time"
 
 	"hieradmo/internal/checkpoint"
 	"hieradmo/internal/core"
 	"hieradmo/internal/fl"
+	"hieradmo/internal/membership"
 	"hieradmo/internal/telemetry"
 	"hieradmo/internal/tensor"
 	"hieradmo/internal/transport"
@@ -31,6 +33,7 @@ type edgeNode struct {
 	opts Options
 	rec  *faultRecorder
 	reg  *checkpoint.Registry
+	memb *membState
 
 	yMinus, yPlus, yPlusNext, xPlus tensor.Vector
 	// lastY is the worker momentum most recently redistributed to the
@@ -47,6 +50,12 @@ type edgeNode struct {
 	// worker that rode out a lost update keeps training) until the edge's
 	// own round catches up with them.
 	pending []transport.Message
+	// lossRef replaces lastLosses under dynamic membership: cohorts change
+	// between rounds, so losses are cached by worker ref, not position.
+	lossRef map[membership.Ref]float64
+	// epoch is the membership epoch of the last snapshotted round; persisted
+	// so a resume can verify it restores the adapted topology.
+	epoch int
 }
 
 func newEdgeNode(cfg *fl.Config, hn *fl.Harness, l int, x0 tensor.Vector, ep transport.Endpoint, opts Options) *edgeNode {
@@ -63,6 +72,7 @@ func newEdgeNode(cfg *fl.Config, hn *fl.Harness, l int, x0 tensor.Vector, ep tra
 		lastY:      x0.Clone(),
 		x0:         x0.Clone(),
 		lastLosses: make([]float64, len(cfg.Edges[l])),
+		lossRef:    make(map[membership.Ref]float64),
 	}
 }
 
@@ -81,33 +91,122 @@ func (e *edgeNode) initCheckpoint() (int, error) {
 	reg.Vector("lastY", e.lastY)
 	reg.Vector("lastLosses", e.lastLosses)
 	dim := len(e.x0)
-	reg.Dynamic("pending",
-		func() []float64 { return encodePending(e.pending, 4, dim, parseWorkerIndex) },
-		func(flat []float64) error {
-			msgs, err := decodePending(flat, 4, dim, KindEdgeReport, func(i int) string { return WorkerID(e.l, i) })
-			if err != nil {
-				return err
-			}
-			e.pending = msgs
-			return nil
-		})
+	if e.memb == nil {
+		reg.Dynamic("pending",
+			func() []float64 { return encodePending(e.pending, 4, dim, parseWorkerIndex) },
+			func(flat []float64) error {
+				msgs, err := decodePending(flat, 4, dim, KindEdgeReport, func(i int) string { return WorkerID(e.l, i) })
+				if err != nil {
+					return err
+				}
+				e.pending = msgs
+				return nil
+			})
+	} else {
+		// Under dynamic membership workers from any natal edge can report
+		// here, so the stash codec keys senders by their full ref, and the
+		// epoch plus ref-keyed loss cache join the snapshot so a resume
+		// restores the adapted topology.
+		reg.Int("membEpoch", &e.epoch)
+		reg.Dynamic("lossRef", e.encodeLosses, e.decodeLosses)
+		reg.Dynamic("pending",
+			func() []float64 { return encodePending(e.pending, 4, dim, encodeWorkerRef) },
+			func(flat []float64) error {
+				msgs, err := decodePending(flat, 4, dim, KindEdgeReport, decodeWorkerRef)
+				if err != nil {
+					return err
+				}
+				e.pending = msgs
+				return nil
+			})
+	}
 	e.reg = reg
 	return restoreOrClear(reg, e.opts.Resume, e.opts.Telemetry, EdgeID(e.l))
+}
+
+// encodeLosses flattens the ref-keyed loss cache as sorted
+// [edge, index, loss] triples for snapshotting.
+func (e *edgeNode) encodeLosses() []float64 {
+	refs := make([]membership.Ref, 0, len(e.lossRef))
+	for ref := range e.lossRef {
+		refs = append(refs, ref)
+	}
+	sort.Slice(refs, func(i, j int) bool { return refs[i].Less(refs[j]) })
+	out := make([]float64, 0, 3*len(refs))
+	for _, ref := range refs {
+		out = append(out, float64(ref.Edge), float64(ref.Index), e.lossRef[ref])
+	}
+	return out
+}
+
+func (e *edgeNode) decodeLosses(flat []float64) error {
+	if len(flat)%3 != 0 {
+		return fmt.Errorf("loss cache holds %d values, not a multiple of 3", len(flat))
+	}
+	e.lossRef = make(map[membership.Ref]float64, len(flat)/3)
+	for off := 0; off < len(flat); off += 3 {
+		ref := membership.Ref{Edge: int(flat[off]), Index: int(flat[off+1])}
+		e.lossRef[ref] = flat[off+2]
+	}
+	return nil
 }
 
 // redistribute sends the round-k edge update (lines 14–15, and 22–23 after a
 // cloud round) to every worker. Stragglers that missed the aggregation
 // resynchronize from it, mirroring how non-participants rejoin in the
 // simulation.
-func (e *edgeNode) redistribute(k int) error {
+func (e *edgeNode) redistribute(k int) error { return e.redistributeRound(k, false) }
+
+// redistributeRound does the sending; resend marks a resume's repeat of the
+// snapshotted round (membership transitions are then re-announced but not
+// re-counted in telemetry). Under dynamic membership the round-k update goes
+// to the round-k+1 cohort — newcomers (planned joiners and reassigned-in
+// workers) get it as an ADMIT carrying their starting state, and planned
+// leavers whose final report was just aggregated get a RETIRE.
+func (e *edgeNode) redistributeRound(k int, resend bool) error {
 	update := transport.Message{
 		Kind:    KindEdgeUpdate,
 		Round:   k * e.cfg.Tau,
 		Vectors: [][]float64{e.yMinus, e.xPlus},
 	}
-	for i := range e.cfg.Edges[e.l] {
-		if err := e.ep.Send(WorkerID(e.l, i), update); err != nil {
-			return fmt.Errorf("cluster: edge %d redistribute to %d: %w", e.l, i, err)
+	if e.memb == nil {
+		for i := range e.cfg.Edges[e.l] {
+			if err := e.ep.Send(WorkerID(e.l, i), update); err != nil {
+				return fmt.Errorf("cluster: edge %d redistribute to %d: %w", e.l, i, err)
+			}
+		}
+		return nil
+	}
+	sched := e.memb.sched
+	next := k + 1
+	if next > sched.K {
+		next = sched.K
+	}
+	prev := sched.Cohort(k, e.l)
+	for _, ref := range sched.Cohort(next, e.l) {
+		msg := update
+		if next > k && !refIn(prev, ref) {
+			msg.Kind = KindAdmit
+			if !resend {
+				e.rec.joined(ref.NodeID(), k*e.cfg.Tau, !refIn(sched.JoinsAt(next), ref))
+			}
+		}
+		if err := e.ep.Send(ref.NodeID(), msg); err != nil {
+			return fmt.Errorf("cluster: edge %d redistribute to %s: %w", e.l, ref.NodeID(), err)
+		}
+	}
+	if next > k {
+		retire := transport.Message{Kind: KindRetire, Round: k * e.cfg.Tau}
+		for _, ref := range sched.LeavesAfter(k) {
+			if l, ok := sched.EdgeOf(k, ref); !ok || l != e.l {
+				continue
+			}
+			if !resend {
+				e.rec.left(ref.NodeID(), k*e.cfg.Tau)
+			}
+			if err := e.ep.Send(ref.NodeID(), retire); err != nil {
+				return fmt.Errorf("cluster: edge %d retire %s: %w", e.l, ref.NodeID(), err)
+			}
 		}
 	}
 	return nil
@@ -120,11 +219,15 @@ func (e *edgeNode) run() error {
 		return fmt.Errorf("cluster: edge %d: %w", e.l, err)
 	}
 	if start > 0 {
+		if e.memb != nil && e.epoch != e.memb.sched.EpochIndex(start) {
+			return fmt.Errorf("cluster: edge %d resume at round %d: snapshot epoch %d, schedule says %d: membership schedule divergence",
+				e.l, start, e.epoch, e.memb.sched.EpochIndex(start))
+		}
 		// The snapshot was taken before the round's redistribution, so a
 		// crash can land between the two. Re-send the snapshotted round's
 		// update: workers already past it discard the duplicate as stale,
 		// workers still waiting on it adopt it and catch up.
-		if err := e.redistribute(start); err != nil {
+		if err := e.redistributeRound(start, true); err != nil {
 			return fmt.Errorf("cluster: edge %d resume: %w", e.l, err)
 		}
 	}
@@ -172,6 +275,9 @@ func (e *edgeNode) run() error {
 		if err := e.lastY.CopyFrom(e.yMinus); err != nil {
 			return err
 		}
+		if e.memb != nil {
+			e.epoch = e.memb.sched.EpochIndex(k)
+		}
 		if err := saveSnapshot(e.reg, k, e.opts.Telemetry, EdgeID(e.l)); err != nil {
 			return fmt.Errorf("cluster: edge %d round %d: %w", e.l, k, err)
 		}
@@ -203,7 +309,15 @@ func (e *edgeNode) run() error {
 // adopted on the spot and its round returned (third result) so the caller
 // fast-forwards instead of timing out on a round the protocol moved past.
 func (e *edgeNode) collectReports(k int) ([]transport.Message, []int, int, error) {
+	// Under dynamic membership the denominator is the round's live cohort,
+	// not the static worker set: quorum fractions and straggler accounting
+	// track who is actually scheduled to report.
+	var cohort []membership.Ref
 	numWorkers := len(e.cfg.Edges[e.l])
+	if e.memb != nil {
+		cohort = e.memb.sched.Cohort(k, e.l)
+		numWorkers = len(cohort)
+	}
 	want := k * e.cfg.Tau
 	quorum := numWorkers
 	if e.opts.tolerant() {
@@ -224,7 +338,7 @@ func (e *edgeNode) collectReports(k int) ([]transport.Message, []int, int, error
 			case msg.Round < want:
 				e.rec.stale(EdgeID(e.l))
 			default:
-				ok, err := e.admitReport(msg, want, reports, seen)
+				ok, err := e.admitReport(msg, want, reports, seen, cohort)
 				if err != nil {
 					return nil, nil, 0, err
 				}
@@ -235,7 +349,7 @@ func (e *edgeNode) collectReports(k int) ([]transport.Message, []int, int, error
 		}
 		e.pending = keep
 	}
-	deadline := time.Now().Add(e.opts.RecvTimeout)
+	deadline := e.opts.now().Add(e.opts.RecvTimeout)
 	if e.opts.tolerant() {
 		// A silent cohort may be riding out a lost update for up to a full
 		// RecvTimeout of its own; wait one straggler grace beyond that
@@ -247,25 +361,31 @@ func (e *edgeNode) collectReports(k int) ([]transport.Message, []int, int, error
 		var wait time.Duration
 		if got >= quorum {
 			if stragglerBy.IsZero() {
-				stragglerBy = time.Now().Add(e.opts.StragglerDeadline)
+				stragglerBy = e.opts.now().Add(e.opts.StragglerDeadline)
 			}
-			wait = time.Until(stragglerBy)
+			wait = stragglerBy.Sub(e.opts.now())
 			if wait <= 0 {
 				break // quorum reached, stragglers forfeited this round
 			}
 		} else {
-			wait = time.Until(deadline)
+			wait = deadline.Sub(e.opts.now())
 			if wait <= 0 {
 				return nil, nil, 0, fmt.Errorf("%d/%d reports (quorum %d): %w",
 					got, numWorkers, quorum, transport.ErrTimeout)
 			}
 		}
-		msg, err := recvInterruptible(e.ep, wait, e.opts.Interrupt)
+		msg, err := recvInterruptible(e.ep, wait, e.opts)
 		if err != nil {
 			if errors.Is(err, transport.ErrTimeout) {
 				continue // the loop re-evaluates quorum and deadlines
 			}
 			return nil, nil, 0, err
+		}
+		if msg.Kind == KindReassign {
+			if err := e.checkReassign(msg); err != nil {
+				return nil, nil, 0, err
+			}
+			continue
 		}
 		if msg.Kind == KindCloudUpdate {
 			if e.opts.tolerant() && msg.Round >= want && len(msg.Vectors) == 2 {
@@ -302,7 +422,7 @@ func (e *edgeNode) collectReports(k int) ([]transport.Message, []int, int, error
 			return nil, nil, 0, fmt.Errorf("cluster: report from %q for future round %d (want %d)",
 				msg.From, msg.Round, want)
 		}
-		ok, err := e.admitReport(msg, want, reports, seen)
+		ok, err := e.admitReport(msg, want, reports, seen, cohort)
 		if err != nil {
 			return nil, nil, 0, err
 		}
@@ -322,15 +442,39 @@ func (e *edgeNode) collectReports(k int) ([]transport.Message, []int, int, error
 
 // admitReport validates one round-want report and slots it into reports;
 // shared by live receives and the ride-ahead stash. It returns whether the
-// report counted as a new distinct reporter.
-func (e *edgeNode) admitReport(msg transport.Message, want int, reports []transport.Message, seen []bool) (bool, error) {
-	numWorkers := len(e.cfg.Edges[e.l])
-	i, err := parseWorkerIndex(msg.From)
-	if err != nil {
-		return false, err
-	}
-	if i < 0 || i >= numWorkers {
-		return false, fmt.Errorf("cluster: report from out-of-range worker %d", i)
+// report counted as a new distinct reporter. With a non-nil cohort (dynamic
+// membership) senders are slotted by their position in the round's cohort;
+// reports from workers outside it are rejected as stale.
+func (e *edgeNode) admitReport(msg transport.Message, want int, reports []transport.Message, seen []bool, cohort []membership.Ref) (bool, error) {
+	var i int
+	if cohort != nil {
+		ref, err := membership.ParseNodeID(msg.From)
+		if err != nil {
+			return false, fmt.Errorf("cluster: %v", err)
+		}
+		i = -1
+		for j, r := range cohort {
+			if r == ref {
+				i = j
+				break
+			}
+		}
+		if i < 0 {
+			// A worker not in this round's cohort (e.g. a just-reassigned
+			// worker's report that crossed the boundary) has nothing to
+			// contribute here.
+			e.rec.stale(EdgeID(e.l))
+			return false, nil
+		}
+	} else {
+		numWorkers := len(e.cfg.Edges[e.l])
+		var err error
+		if i, err = parseWorkerIndex(msg.From); err != nil {
+			return false, err
+		}
+		if i < 0 || i >= numWorkers {
+			return false, fmt.Errorf("cluster: report from out-of-range worker %d", i)
+		}
 	}
 	if len(msg.Vectors) != 4 {
 		return false, fmt.Errorf("cluster: report from %q carries %d vectors, want 4",
@@ -345,8 +489,36 @@ func (e *edgeNode) admitReport(msg transport.Message, want int, reports []transp
 	}
 	seen[i] = true
 	reports[i] = msg
-	e.lastLosses[i] = msg.Scalars[ScalarLoss]
+	if cohort != nil {
+		e.lossRef[cohort[i]] = msg.Scalars[ScalarLoss]
+	} else {
+		e.lastLosses[i] = msg.Scalars[ScalarLoss]
+	}
 	return true, nil
+}
+
+// checkReassign cross-checks a cloud REASSIGN announcement against the
+// locally computed schedule. Reassignment is never *decided* by messages —
+// every node derives the same schedule — so any disagreement means the
+// nodes were started with different churn configurations.
+func (e *edgeNode) checkReassign(msg transport.Message) error {
+	if e.memb == nil {
+		return fmt.Errorf("cluster: edge %d got reassign without dynamic membership", e.l)
+	}
+	if len(msg.Vectors) != 1 || len(msg.Vectors[0])%3 != 0 {
+		return fmt.Errorf("cluster: edge %d: malformed reassign payload", e.l)
+	}
+	k := msg.Round / e.cfg.Tau
+	flat := msg.Vectors[0]
+	for off := 0; off < len(flat); off += 3 {
+		ref := membership.Ref{Edge: int(flat[off]), Index: int(flat[off+1])}
+		to := int(flat[off+2])
+		if l, ok := e.memb.sched.EdgeOf(k+1, ref); !ok || l != to {
+			return fmt.Errorf("cluster: edge %d: reassign of %s to edge %d at round %d disagrees with the local schedule: membership schedule divergence",
+				e.l, ref.NodeID(), to, k+1)
+		}
+	}
+	return nil
 }
 
 // update executes Algorithm 1 lines 10–13 from the collected reports of the
@@ -363,8 +535,18 @@ func (e *edgeNode) update(reports []transport.Message, idx []int, k int) error {
 	}
 	numWorkers := len(e.cfg.Edges[e.l])
 	weights := make([]float64, len(idx))
-	for j, i := range idx {
-		weights[j] = e.hn.WorkerWeights[e.l][i]
+	if e.memb != nil {
+		// Per-epoch weights: the same D(i,ℓ)/Dℓ formula as the static
+		// harness, restricted to the round's live cohort.
+		cw := e.memb.sched.CohortWeights(k, e.l)
+		numWorkers = len(cw)
+		for j, i := range idx {
+			weights[j] = cw[i]
+		}
+	} else {
+		for j, i := range idx {
+			weights[j] = e.hn.WorkerWeights[e.l][i]
+		}
 	}
 	// Renormalize only under a partial cohort: at full strength the data
 	// weights are used verbatim so results stay bit-identical to the
@@ -425,6 +607,22 @@ func (e *edgeNode) update(reports []transport.Message, idx []int, k int) error {
 		}
 		sink.M().EdgeCosine.Set(cos)
 	}
+	// γℓ migration: on the first aggregation after this edge's cohort
+	// changed (join, leave, or re-tiering), the momentum factor carried
+	// from the old cohort is migrated per the configured policy. Zeroing —
+	// the default — mirrors the paper's obtuse-angle reset: with γℓ = 0
+	// line 13 collapses to the plain average, refreshing the momentum base.
+	if e.memb != nil {
+		if frac, changed := e.memb.sched.Overlap(k, e.l); changed {
+			switch e.memb.policy {
+			case membership.MigrateZero:
+				gammaEdge = 0
+			case membership.MigrateRescale:
+				gammaEdge *= frac
+			}
+			e.rec.migrated(EdgeID(e.l), k*e.cfg.Tau, e.memb.policy.String(), gammaEdge)
+		}
+	}
 	sink.M().EdgeAggregations.Inc()
 	sink.M().GammaEdge.Set(gammaEdge)
 	if sink.Tracing() {
@@ -473,8 +671,16 @@ func (e *edgeNode) update(reports []transport.Message, idx []int, k int) error {
 // caller can fast-forward past syncs the cloud already completed.
 func (e *edgeNode) cloudSync(k int) (int, error) {
 	var weightedLoss float64
-	for i, loss := range e.lastLosses {
-		weightedLoss += e.hn.WorkerWeights[e.l][i] * loss
+	if e.memb != nil {
+		cohort := e.memb.sched.Cohort(k, e.l)
+		cw := e.memb.sched.CohortWeights(k, e.l)
+		for j, ref := range cohort {
+			weightedLoss += cw[j] * e.lossRef[ref]
+		}
+	} else {
+		for i, loss := range e.lastLosses {
+			weightedLoss += e.hn.WorkerWeights[e.l][i] * loss
+		}
 	}
 	want := k * e.cfg.Tau
 	report := transport.Message{
@@ -486,9 +692,9 @@ func (e *edgeNode) cloudSync(k int) (int, error) {
 	if err := e.ep.Send(CloudID, report); err != nil {
 		return 0, err
 	}
-	deadline := time.Now().Add(e.opts.RecvTimeout)
+	deadline := e.opts.now().Add(e.opts.RecvTimeout)
 	for {
-		wait := time.Until(deadline)
+		wait := deadline.Sub(e.opts.now())
 		if wait <= 0 {
 			if e.opts.tolerant() {
 				// Ride it out: keep local edge state for this sync. The
@@ -499,7 +705,7 @@ func (e *edgeNode) cloudSync(k int) (int, error) {
 			}
 			return 0, fmt.Errorf("cloud update: %w", transport.ErrTimeout)
 		}
-		msg, err := recvInterruptible(e.ep, wait, e.opts.Interrupt)
+		msg, err := recvInterruptible(e.ep, wait, e.opts)
 		if err != nil {
 			if errors.Is(err, transport.ErrTimeout) {
 				continue
@@ -510,6 +716,14 @@ func (e *edgeNode) cloudSync(k int) (int, error) {
 		// can still trickle in while it waits on the cloud.
 		if msg.Kind == KindEdgeReport {
 			e.rec.stale(EdgeID(e.l))
+			continue
+		}
+		// A REASSIGN from an earlier sync can arrive out of order on a
+		// delaying transport; it is validation-only, so handle it here too.
+		if msg.Kind == KindReassign {
+			if err := e.checkReassign(msg); err != nil {
+				return 0, err
+			}
 			continue
 		}
 		if err := expectKind(msg, KindCloudUpdate); err != nil {

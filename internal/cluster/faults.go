@@ -133,6 +133,73 @@ func (r *faultRecorder) fastforward(node string, from, to int) {
 	}
 }
 
+// Membership observations below are pure telemetry: planned churn is part
+// of the protocol, not a fault, so none of them touches the FaultReport.
+// The schedule-derived fl.MembershipReport is the durable record.
+
+// joined records a worker admitted into an edge cohort at iteration t,
+// either as a planned join or as a re-tiering reassignment.
+func (r *faultRecorder) joined(node string, t int, reassigned bool) {
+	if r == nil {
+		return
+	}
+	m := r.sink.M()
+	ev := "membership_join"
+	if reassigned {
+		m.MembershipReassigns.Inc()
+		ev = "membership_reassign"
+	} else {
+		m.MembershipJoins.Inc()
+	}
+	if r.sink.Tracing() {
+		r.sink.Emit(ev,
+			telemetry.String("node", node),
+			telemetry.Int("t", t))
+	}
+}
+
+// left records a worker retired after its final report at iteration t.
+func (r *faultRecorder) left(node string, t int) {
+	if r == nil {
+		return
+	}
+	r.sink.M().MembershipLeaves.Inc()
+	if r.sink.Tracing() {
+		r.sink.Emit("membership_leave",
+			telemetry.String("node", node),
+			telemetry.Int("t", t))
+	}
+}
+
+// retier records a re-tiering step that changed the assignment, moving
+// `moved` workers effective at iteration t.
+func (r *faultRecorder) retier(t, moved int) {
+	if r == nil {
+		return
+	}
+	r.sink.M().MembershipRetiers.Inc()
+	if r.sink.Tracing() {
+		r.sink.Emit("membership_retier",
+			telemetry.Int("t", t),
+			telemetry.Int("moved", moved))
+	}
+}
+
+// migrated records a γℓ migration applied by an edge whose cohort changed.
+func (r *faultRecorder) migrated(node string, t int, policy string, gamma float64) {
+	if r == nil {
+		return
+	}
+	r.sink.M().GammaMigrations.Inc()
+	if r.sink.Tracing() {
+		r.sink.Emit("gamma_migration",
+			telemetry.String("node", node),
+			telemetry.Int("t", t),
+			telemetry.String("policy", policy),
+			telemetry.Float("gamma", gamma))
+	}
+}
+
 // nodeError records the error of a node that dropped out of a run that kept
 // going.
 func (r *faultRecorder) nodeError(err error) {

@@ -1,0 +1,125 @@
+package cluster
+
+import (
+	"fmt"
+
+	"hieradmo/internal/fl"
+	"hieradmo/internal/membership"
+)
+
+// membState bundles everything the nodes need for dynamic membership: the
+// precomputed schedule (the single source of truth for who is live and
+// where at every edge round) and the γℓ migration policy. A nil *membState
+// means static membership, and every membership-aware code path is gated on
+// that nil check so static runs stay byte-identical to the pre-churn
+// runtime.
+type membState struct {
+	sched  *membership.Schedule
+	policy membership.MigrationPolicy
+}
+
+// newMembership builds the shared membership state for a run, or nil when
+// the options describe a static run (empty plan, no re-tiering). Every node
+// — in-process or remote — calls this with the same (cfg, opts) and gets a
+// bit-identical schedule, which is the determinism anchor for the whole
+// subsystem.
+func newMembership(cfg fl.Config, opts Options) (*membState, error) {
+	if !opts.churnEnabled() {
+		return nil, nil
+	}
+	if cfg.Tau <= 0 || cfg.T%cfg.Tau != 0 {
+		return nil, fmt.Errorf("cluster: churn requires T divisible by tau")
+	}
+	plan := membership.Plan{}
+	if opts.ChurnPlan != nil {
+		plan = opts.ChurnPlan.Clone()
+	}
+	sched, err := membership.BuildSchedule(plan, workerStats(cfg), len(cfg.Edges),
+		cfg.T/cfg.Tau, cfg.Pi, opts.RetierEvery)
+	if err != nil {
+		return nil, err
+	}
+	return &membState{sched: sched, policy: opts.Migration}, nil
+}
+
+// workerStats derives the per-worker clustering statistics from the
+// configured shards: the data weight (shard size) and the label histogram
+// that drives re-tiering's distribution-distance clustering. Both are pure
+// functions of the dataset, so every node computes identical stats.
+func workerStats(cfg fl.Config) []membership.WorkerStat {
+	numClasses := 0
+	for _, edge := range cfg.Edges {
+		for _, shard := range edge {
+			if c := len(shard.ClassCounts()); c > numClasses {
+				numClasses = c
+			}
+		}
+	}
+	var stats []membership.WorkerStat
+	for l, edge := range cfg.Edges {
+		for i, shard := range edge {
+			hist := make([]float64, numClasses)
+			for c, n := range shard.ClassCounts() {
+				hist[c] = float64(n)
+			}
+			stats = append(stats, membership.WorkerStat{
+				Ref:    membership.Ref{Edge: l, Index: i},
+				Weight: float64(shard.Len()),
+				Hist:   hist,
+			})
+		}
+	}
+	return stats
+}
+
+// flReport converts the schedule's summary into the user-facing report
+// attached to fl.Result.
+func (m *membState) flReport() *fl.MembershipReport {
+	if m == nil {
+		return nil
+	}
+	s := m.sched.Summarize()
+	return &fl.MembershipReport{
+		Joins:           s.Joins,
+		Leaves:          s.Leaves,
+		Reassignments:   s.Reassignments,
+		Retierings:      s.Retierings,
+		Epochs:          s.Epochs,
+		InitialWorkers:  s.InitialWorkers,
+		FinalWorkers:    s.FinalWorkers,
+		MigrationPolicy: m.policy.String(),
+	}
+}
+
+// refStride packs a worker Ref into a single int for the checkpoint
+// pending-stash codec: natal edge in the high bits, index in the low. The
+// static codec uses the bare worker index, which is ambiguous once workers
+// from different natal edges can report to the same edge.
+const refStride = 1 << 16
+
+// encodeWorkerRef maps a worker node ID to its packed ref.
+func encodeWorkerRef(id string) (int, error) {
+	ref, err := membership.ParseNodeID(id)
+	if err != nil {
+		return 0, fmt.Errorf("cluster: %v", err)
+	}
+	if ref.Index >= refStride {
+		return 0, fmt.Errorf("cluster: worker index %d overflows ref encoding", ref.Index)
+	}
+	return ref.Edge*refStride + ref.Index, nil
+}
+
+// decodeWorkerRef is the inverse of encodeWorkerRef.
+func decodeWorkerRef(packed int) string {
+	return membership.Ref{Edge: packed / refStride, Index: packed % refStride}.NodeID()
+}
+
+// refIn reports whether ref appears in refs (cohorts are tiny, linear scan).
+func refIn(refs []membership.Ref, ref membership.Ref) bool {
+	for _, r := range refs {
+		if r == ref {
+			return true
+		}
+	}
+	return false
+}

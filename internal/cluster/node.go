@@ -31,8 +31,13 @@ func RunWorkerNode(cfg *fl.Config, l, i int, ep transport.Endpoint, opts Options
 	if l < 0 || l >= cfg.NumEdges() || i < 0 || i >= len(cfg.Edges[l]) {
 		return fmt.Errorf("cluster: no worker {%d,%d} in topology", i, l)
 	}
+	memb, err := newMembership(*cfg, opts)
+	if err != nil {
+		return err
+	}
 	w := newWorkerNode(cfg, hn, l, i, hn.InitParams(), ep, opts)
 	w.rec = newFaultRecorder(opts.Telemetry)
+	w.memb = memb
 	return w.run()
 }
 
@@ -52,8 +57,13 @@ func RunEdgeNode(cfg *fl.Config, l int, ep transport.Endpoint, opts Options) err
 	if l < 0 || l >= cfg.NumEdges() {
 		return fmt.Errorf("cluster: no edge %d in topology", l)
 	}
+	memb, err := newMembership(*cfg, opts)
+	if err != nil {
+		return err
+	}
 	e := newEdgeNode(cfg, hn, l, hn.InitParams(), ep, opts)
 	e.rec = newFaultRecorder(opts.Telemetry)
+	e.memb = memb
 	return e.run()
 }
 
@@ -73,12 +83,18 @@ func RunCloudNode(cfg *fl.Config, ep transport.Endpoint, opts Options) (*fl.Resu
 	if err != nil {
 		return nil, err
 	}
+	memb, err := newMembership(*cfg, opts)
+	if err != nil {
+		return nil, err
+	}
 	c := newCloudNode(cfg, hn, hn.InitParams(), ep, opts)
 	c.rec = newFaultRecorder(opts.Telemetry)
+	c.memb = memb
 	res, err := c.run()
 	if err != nil {
 		return nil, err
 	}
 	res.FaultReport = c.rec.report()
+	res.Membership = memb.flReport()
 	return res, nil
 }

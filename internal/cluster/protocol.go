@@ -31,6 +31,23 @@ const (
 	KindCloudReport = "cloud-report"
 	// KindCloudUpdate is cloud → edge, carrying the cloud-aggregated [y, x].
 	KindCloudUpdate = "cloud-update"
+
+	// Dynamic-membership control messages. ADMIT and RETIRE are edge →
+	// worker; REASSIGN is cloud → edge. None of them carries a membership
+	// *decision* — every node derives the same schedule from the churn plan,
+	// so the messages only synchronize when a transition takes effect.
+
+	// KindAdmit is edge → worker, admitting a joining or reassigned-in
+	// worker into the edge's cohort. It carries the same [y_ℓ−, x_ℓ+]
+	// payload as KindEdgeUpdate, giving the newcomer its starting state.
+	KindAdmit = "admit"
+	// KindRetire is edge → worker, acknowledging a planned permanent leave
+	// after the worker's final report was aggregated. No payload.
+	KindRetire = "retire"
+	// KindReassign is cloud → edge after a re-tiering step, carrying the
+	// flattened (edge, index, newEdge) triples of moved workers so edges
+	// can cross-check their locally computed schedule.
+	KindReassign = "reassign"
 )
 
 // Scalar keys used in messages.

@@ -7,6 +7,7 @@ import (
 
 	"hieradmo/internal/checkpoint"
 	"hieradmo/internal/fl"
+	"hieradmo/internal/membership"
 	"hieradmo/internal/telemetry"
 	"hieradmo/internal/transport"
 )
@@ -37,17 +38,18 @@ func interrupted(ch <-chan struct{}) bool {
 // recvInterruptible behaves like ep.RecvTimeout(wait), but when a shutdown
 // channel is configured it slices the wait so the interrupt is noticed
 // within interruptSlice even while blocked on a quiet socket. Callers see
-// ErrInterrupted in place of a message.
-func recvInterruptible(ep transport.Endpoint, wait time.Duration, interrupt <-chan struct{}) (transport.Message, error) {
-	if interrupt == nil {
+// ErrInterrupted in place of a message. Deadline arithmetic goes through
+// the options' clock; the actual socket wait is real time either way.
+func recvInterruptible(ep transport.Endpoint, wait time.Duration, opts Options) (transport.Message, error) {
+	if opts.Interrupt == nil {
 		return ep.RecvTimeout(wait)
 	}
-	deadline := time.Now().Add(wait)
+	deadline := opts.now().Add(wait)
 	for {
-		if interrupted(interrupt) {
+		if interrupted(opts.Interrupt) {
 			return transport.Message{}, ErrInterrupted
 		}
-		slice := time.Until(deadline)
+		slice := deadline.Sub(opts.now())
 		if slice <= 0 {
 			return transport.Message{}, transport.ErrTimeout
 		}
@@ -75,9 +77,18 @@ func nodeRegistry(cfg *fl.Config, opts Options, nodeID string) (*checkpoint.Regi
 	// The fingerprint covers everything that shapes the distributed
 	// trajectory: the full run config plus the algorithm options. Timeouts
 	// and quorum are operational knobs a restarted deployment may
-	// legitimately change, so they stay out.
+	// legitimately change, so they stay out. Static runs keep the exact
+	// pre-churn fingerprint so existing snapshot families stay valid.
 	fp := cfg.Fingerprint("cluster/hieradmo") +
 		fmt.Sprintf(" adaptive=%v signal=%d ceiling=%g", opts.Adaptive, opts.Signal, opts.Ceiling)
+	if opts.churnEnabled() {
+		plan := membership.Plan{}
+		if opts.ChurnPlan != nil {
+			plan = *opts.ChurnPlan
+		}
+		fp += fmt.Sprintf(" churn=%s retier=%d migrate=%s",
+			plan.Signature(), opts.RetierEvery, opts.Migration)
+	}
 	return checkpoint.NewRegistry(mgr, fp), nil
 }
 

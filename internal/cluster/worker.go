@@ -3,11 +3,11 @@ package cluster
 import (
 	"errors"
 	"fmt"
-	"time"
 
 	"hieradmo/internal/checkpoint"
 	"hieradmo/internal/dataset"
 	"hieradmo/internal/fl"
+	"hieradmo/internal/membership"
 	"hieradmo/internal/rng"
 	"hieradmo/internal/tensor"
 	"hieradmo/internal/transport"
@@ -30,6 +30,7 @@ type workerNode struct {
 	opts    Options
 	rec     *faultRecorder
 	reg     *checkpoint.Registry
+	memb    *membState
 	sampler *rng.RNG
 
 	x, y          tensor.Vector
@@ -81,13 +82,38 @@ func (w *workerNode) initCheckpoint() (int, error) {
 	return restoreOrClear(reg, w.opts.Resume, w.opts.Telemetry, WorkerID(w.l, w.i))
 }
 
+// ref is this worker's membership identity (its natal edge and index).
+func (w *workerNode) ref() membership.Ref {
+	return membership.Ref{Edge: w.l, Index: w.i}
+}
+
 func (w *workerNode) run() error {
-	edge := EdgeID(w.l)
 	start, err := w.initCheckpoint()
 	if err != nil {
 		return fmt.Errorf("cluster: worker {%d,%d}: %w", w.i, w.l, err)
 	}
-	for t := start + 1; t <= w.cfg.T; t++ {
+	// With dynamic membership the worker's lifetime is its scheduled span:
+	// a late joiner idles until its natal edge ADMITs it with fresh state,
+	// and a planned leaver trains only through its final round.
+	T := w.cfg.T
+	if w.memb != nil {
+		join, last, ok := w.memb.sched.Span(w.ref())
+		if !ok {
+			return nil
+		}
+		T = last * w.cfg.Tau
+		if start == 0 && join > 1 {
+			if start, err = w.awaitAdmit(join); err != nil {
+				return err
+			}
+			// Persist the adopted state so a crash between admission and
+			// the first boundary resumes from the join, not from scratch.
+			if err := saveSnapshot(w.reg, start, w.opts.Telemetry, WorkerID(w.l, w.i)); err != nil {
+				return fmt.Errorf("cluster: worker {%d,%d}: %w", w.i, w.l, err)
+			}
+		}
+	}
+	for t := start + 1; t <= T; t++ {
 		if interrupted(w.opts.Interrupt) {
 			// Graceful shutdown: persist the state as of the last completed
 			// iteration. A resumed run replays the rest of the interval from
@@ -114,7 +140,17 @@ func (w *workerNode) run() error {
 			continue
 		}
 		// Lines 9/14–15: report interval state, receive the redistributed
-		// momentum and model.
+		// momentum and model. Under dynamic membership the target edge is
+		// whatever the schedule assigns for this round.
+		edge := EdgeID(w.l)
+		if w.memb != nil {
+			l, ok := w.memb.sched.EdgeOf(t/w.cfg.Tau, w.ref())
+			if !ok {
+				return fmt.Errorf("cluster: worker {%d,%d} has no edge at round %d: membership schedule divergence",
+					w.i, w.l, t/w.cfg.Tau)
+			}
+			edge = EdgeID(l)
+		}
 		report := transport.Message{
 			Kind:    KindEdgeReport,
 			Round:   t,
@@ -124,7 +160,13 @@ func (w *workerNode) run() error {
 		if err := w.ep.Send(edge, report); err != nil {
 			return fmt.Errorf("cluster: worker {%d,%d} report: %w", w.i, w.l, err)
 		}
-		if err := w.awaitUpdate(t); err != nil {
+		if w.memb != nil && t == T && T < w.cfg.T {
+			// Planned permanent leave: the final report is aggregated, then
+			// the edge acknowledges with RETIRE and this worker exits.
+			if err := w.awaitRetire(t); err != nil {
+				return err
+			}
+		} else if err := w.awaitUpdate(t); err != nil {
 			return err
 		}
 		// Snapshot after the boundary settles (update adopted or ridden out).
@@ -147,9 +189,9 @@ func (w *workerNode) run() error {
 // is ridden out: the worker keeps its local state (and interval
 // accumulators) and continues training, like a simulation non-participant.
 func (w *workerNode) awaitUpdate(t int) error {
-	deadline := time.Now().Add(w.opts.RecvTimeout)
+	deadline := w.opts.now().Add(w.opts.RecvTimeout)
 	for {
-		wait := time.Until(deadline)
+		wait := deadline.Sub(w.opts.now())
 		if wait <= 0 {
 			if w.opts.tolerant() {
 				w.rec.timeout(WorkerID(w.l, w.i))
@@ -157,15 +199,20 @@ func (w *workerNode) awaitUpdate(t int) error {
 			}
 			return fmt.Errorf("cluster: worker {%d,%d} await update: %w", w.i, w.l, transport.ErrTimeout)
 		}
-		msg, err := recvInterruptible(w.ep, wait, w.opts.Interrupt)
+		msg, err := recvInterruptible(w.ep, wait, w.opts)
 		if err != nil {
 			if errors.Is(err, transport.ErrTimeout) {
 				continue
 			}
 			return fmt.Errorf("cluster: worker {%d,%d} await update: %w", w.i, w.l, err)
 		}
-		if err := expectKind(msg, KindEdgeUpdate); err != nil {
-			return err
+		// A worker reassigned to a new edge by re-tiering receives its
+		// boundary update from that edge as an ADMIT; the payload is the
+		// same as a regular update.
+		if !(w.memb != nil && msg.Kind == KindAdmit) {
+			if err := expectKind(msg, KindEdgeUpdate); err != nil {
+				return err
+			}
 		}
 		if msg.Round < t {
 			w.rec.stale(WorkerID(w.l, w.i))
@@ -190,6 +237,87 @@ func (w *workerNode) awaitUpdate(t int) error {
 		}
 		w.syncedThrough = msg.Round
 		return nil
+	}
+}
+
+// awaitAdmit blocks a late joiner until its natal edge admits it into the
+// cohort of its join round, carrying the edge's current [y, x] as starting
+// state. It returns the adopted round (the worker trains from there). An
+// edge that fast-forwarded past the join round admits with a later round;
+// a plain KindEdgeUpdate covering the join also counts (the edge considered
+// this worker a member already after a resync).
+func (w *workerNode) awaitAdmit(join int) (int, error) {
+	want := (join - 1) * w.cfg.Tau
+	deadline := w.opts.now().Add(w.opts.RecvTimeout)
+	for {
+		wait := deadline.Sub(w.opts.now())
+		if wait <= 0 {
+			return 0, fmt.Errorf("cluster: worker {%d,%d} await admit for round %d: %w",
+				w.i, w.l, join, transport.ErrTimeout)
+		}
+		msg, err := recvInterruptible(w.ep, wait, w.opts)
+		if err != nil {
+			if errors.Is(err, transport.ErrTimeout) {
+				continue
+			}
+			return 0, fmt.Errorf("cluster: worker {%d,%d} await admit: %w", w.i, w.l, err)
+		}
+		if msg.Kind != KindAdmit && msg.Kind != KindEdgeUpdate {
+			return 0, fmt.Errorf("cluster: worker {%d,%d} got %q from %q while awaiting admit",
+				w.i, w.l, msg.Kind, msg.From)
+		}
+		if msg.Round < want {
+			w.rec.stale(WorkerID(w.l, w.i))
+			continue
+		}
+		if len(msg.Vectors) != 2 {
+			return 0, fmt.Errorf("cluster: worker {%d,%d} admit carries %d vectors, want 2",
+				w.i, w.l, len(msg.Vectors))
+		}
+		if err := w.y.CopyFrom(msg.Vectors[0]); err != nil {
+			return 0, err
+		}
+		if err := w.x.CopyFrom(msg.Vectors[1]); err != nil {
+			return 0, err
+		}
+		w.gradSum.Zero()
+		w.ySum.Zero()
+		w.syncedThrough = msg.Round
+		return msg.Round, nil
+	}
+}
+
+// awaitRetire blocks a planned leaver until its edge acknowledges that the
+// final report at iteration t was aggregated. Leftover redistribution
+// traffic is skipped; in quorum mode a missing RETIRE is ridden out (the
+// worker has nothing left to do either way).
+func (w *workerNode) awaitRetire(t int) error {
+	deadline := w.opts.now().Add(w.opts.RecvTimeout)
+	for {
+		wait := deadline.Sub(w.opts.now())
+		if wait <= 0 {
+			if w.opts.tolerant() {
+				w.rec.timeout(WorkerID(w.l, w.i))
+				return nil
+			}
+			return fmt.Errorf("cluster: worker {%d,%d} await retire: %w", w.i, w.l, transport.ErrTimeout)
+		}
+		msg, err := recvInterruptible(w.ep, wait, w.opts)
+		if err != nil {
+			if errors.Is(err, transport.ErrTimeout) {
+				continue
+			}
+			return fmt.Errorf("cluster: worker {%d,%d} await retire: %w", w.i, w.l, err)
+		}
+		switch msg.Kind {
+		case KindRetire:
+			return nil
+		case KindEdgeUpdate, KindAdmit:
+			w.rec.stale(WorkerID(w.l, w.i))
+		default:
+			return fmt.Errorf("cluster: worker {%d,%d} got %q from %q while awaiting retire",
+				w.i, w.l, msg.Kind, msg.From)
+		}
 	}
 }
 

@@ -94,6 +94,7 @@ func Registry() map[string]Runner {
 		"quantization":           RunQuantizationSweep,
 		"gamma-trace":            RunGammaTrace,
 		"theory":                 RunTheoryBound,
+		"churn":                  RunChurn,
 	}
 }
 
@@ -107,5 +108,6 @@ func ExperimentIDs() []string {
 		"fig2h", "fig2i", "fig2j", "fig2k", "fig2l",
 		"ablation-signal", "ablation-clamp", "ablation-participation",
 		"ablation-arch", "dirichlet", "quantization", "gamma-trace", "theory",
+		"churn",
 	}
 }

@@ -1,0 +1,99 @@
+package experiment
+
+import (
+	"fmt"
+
+	"hieradmo/internal/cluster"
+	"hieradmo/internal/fl"
+	"hieradmo/internal/membership"
+	"hieradmo/internal/transport"
+)
+
+// churnColumns reports accuracy and communication cost side by side: churn
+// changes both the learning trajectory and how much traffic the hierarchy
+// moves, so the table keeps them in one row per variant.
+var churnColumns = []string{"acc@50%", "final", "messages", "payload-KB"}
+
+// ChurnTopology is the churn study's setup: six workers over two edges,
+// large enough that one leave never collapses a cohort.
+func ChurnTopology() []int { return []int{3, 3} }
+
+// ChurnPlan draws the study's seeded churn trace over the given topology:
+// one late join in the first half of the run and one permanent leave in the
+// second, a pure function of (seed, topology, K).
+func ChurnPlan(seed uint64, edges []int, k int) (membership.Plan, error) {
+	var refs []membership.Ref
+	for l, count := range edges {
+		for i := 0; i < count; i++ {
+			refs = append(refs, membership.Ref{Edge: l, Index: i})
+		}
+	}
+	return membership.Generate(membership.GenSpec{Seed: seed, Joins: 1, Leaves: 1}, refs, k)
+}
+
+// RunChurn compares the static hierarchy against the same run under a
+// seeded churn trace (join + leave) with cloud re-tiering every other sync,
+// one row per γℓ migration policy. Accuracy shows what churn costs the
+// model; the traffic columns what the membership protocol costs the wire.
+func RunChurn(s Scale) (*Table, error) {
+	cfg, err := BuildConfig(Workload{
+		Dataset: "mnist", Model: "logistic",
+		Edges:            ChurnTopology(),
+		ClassesPerWorker: 2,
+		Tau:              5, Pi: 2,
+	}, s)
+	if err != nil {
+		return nil, fmt.Errorf("churn: %w", err)
+	}
+	plan, err := ChurnPlan(s.Seed, ChurnTopology(), cfg.T/cfg.Tau)
+	if err != nil {
+		return nil, fmt.Errorf("churn: %w", err)
+	}
+
+	run := func(opts cluster.Options) (*fl.Result, int64, int64, error) {
+		net := transport.NewCountingNetwork(transport.NewMemoryNetwork())
+		defer net.Close()
+		res, err := cluster.Run(cfg, net, opts)
+		if err != nil {
+			return nil, 0, 0, err
+		}
+		msgs, bytes := net.Traffic()
+		return res, msgs, bytes, nil
+	}
+	cells := func(res *fl.Result, msgs, bytes int64) []string {
+		return []string{
+			Pct(res.AccuracyAt(cfg.T / 2)),
+			Pct(res.FinalAcc),
+			fmt.Sprintf("%d", msgs),
+			fmt.Sprintf("%.1f", float64(bytes)/1024),
+		}
+	}
+
+	tbl := &Table{
+		Title: fmt.Sprintf("Churn — static vs seeded trace %q with re-tiering every 2 syncs, logistic on MNIST, N=6 L=2",
+			plan.Signature()),
+		Columns: churnColumns,
+	}
+	res, msgs, bytes, err := run(cluster.Options{Adaptive: true})
+	if err != nil {
+		return nil, fmt.Errorf("churn static: %w", err)
+	}
+	tbl.AddRow("static", cells(res, msgs, bytes)...)
+
+	for _, pol := range []membership.MigrationPolicy{
+		membership.MigrateZero, membership.MigrateCarry, membership.MigrateRescale,
+	} {
+		p := plan.Clone()
+		res, msgs, bytes, err := run(cluster.Options{
+			Adaptive:    true,
+			ChurnPlan:   &p,
+			RetierEvery: 2,
+			Migration:   pol,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("churn %s: %w", pol, err)
+		}
+		tbl.AddRow("churn/"+pol.String(), cells(res, msgs, bytes)...)
+	}
+	return tbl, nil
+}

@@ -1,0 +1,39 @@
+package experiment
+
+import "testing"
+
+func TestRunChurn(t *testing.T) {
+	tbl, err := RunChurn(tinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 4 {
+		t.Fatalf("churn table rows = %d, want static + 3 migration policies", len(tbl.Rows))
+	}
+	if tbl.Rows[0].Label != "static" {
+		t.Fatalf("first row %q, want static", tbl.Rows[0].Label)
+	}
+	// The churn variants move membership traffic the static run does not:
+	// identical message counts would mean the plan was silently ignored.
+	static, zero := tbl.Rows[0].Cells, tbl.Rows[1].Cells
+	if static[2] == zero[2] && static[3] == zero[3] {
+		t.Errorf("static row %v and churn row %v report identical traffic", static, zero)
+	}
+
+	// Same scale, same trace: the experiment itself must be deterministic.
+	again, err := RunChurn(tinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range tbl.Rows {
+		if got, want := again.Rows[i].Cells, tbl.Rows[i].Cells; len(got) != len(want) {
+			t.Fatalf("row %d width changed across reruns", i)
+		} else {
+			for j := range want {
+				if got[j] != want[j] {
+					t.Errorf("row %d cell %d: %q != %q across reruns", i, j, got[j], want[j])
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,37 @@
+package fl
+
+import "fmt"
+
+// MembershipReport summarizes a cluster run's dynamic-membership
+// trajectory: how many workers joined late, left early, or were moved
+// between edges by re-tiering, and how the live population evolved. The
+// cluster runtime fills it from the precomputed membership schedule, so in
+// a fault-free run it always matches the churn trace exactly.
+type MembershipReport struct {
+	// Joins counts workers that joined after round 1.
+	Joins int
+	// Leaves counts workers that left before the final round.
+	Leaves int
+	// Reassignments counts worker moves caused by re-tiering.
+	Reassignments int
+	// Retierings counts re-tiering steps that changed the assignment.
+	Retierings int
+	// Epochs is the number of distinct worker→edge assignment intervals.
+	Epochs int
+	// InitialWorkers and FinalWorkers are the live worker counts at the
+	// first and last edge rounds.
+	InitialWorkers int
+	FinalWorkers   int
+	// MigrationPolicy names the γℓ migration rule in effect (zero, carry,
+	// or rescale).
+	MigrationPolicy string
+}
+
+// String renders the report for CLI output.
+func (m *MembershipReport) String() string {
+	if m == nil {
+		return "membership: static"
+	}
+	return fmt.Sprintf("membership: %d joins, %d leaves, %d reassignments over %d re-tierings; %d epochs; workers %d→%d; migration=%s",
+		m.Joins, m.Leaves, m.Reassignments, m.Retierings, m.Epochs, m.InitialWorkers, m.FinalWorkers, m.MigrationPolicy)
+}

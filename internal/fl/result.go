@@ -29,6 +29,10 @@ type Result struct {
 	// FaultReport describes the faults a degraded distributed run survived;
 	// nil for simulation runs and fault-free distributed runs.
 	FaultReport *FaultReport `json:",omitempty"`
+
+	// Membership summarizes planned churn and re-tiering for cluster runs
+	// with dynamic membership enabled; nil for static runs.
+	Membership *MembershipReport `json:",omitempty"`
 }
 
 // AccuracyAt returns the recorded accuracy of the last curve point at or

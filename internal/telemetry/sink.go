@@ -41,6 +41,15 @@ type RunMetrics struct {
 	DroppedMessages *Counter // fl_dropped_messages_total
 	DelayedMessages *Counter // fl_delayed_messages_total
 	SendRetries     *Counter // fl_send_retries_total
+
+	// Dynamic membership (churn and re-tiering).
+	MembershipJoins     *Counter // fl_membership_joins_total
+	MembershipLeaves    *Counter // fl_membership_leaves_total
+	MembershipReassigns *Counter // fl_membership_reassigns_total
+	MembershipRetiers   *Counter // fl_membership_retierings_total
+	GammaMigrations     *Counter // fl_membership_gamma_migrations_total
+	MembershipEpoch     *Gauge   // fl_membership_epoch
+	LiveWorkers         *Gauge   // fl_membership_live_workers
 }
 
 // noMetrics backs the nil-sink fast path: every field is nil, and nil
@@ -84,6 +93,14 @@ func NewRunMetrics(reg *Registry) *RunMetrics {
 		DroppedMessages: reg.NewCounter("fl_dropped_messages_total", "Messages dropped by fault injection."),
 		DelayedMessages: reg.NewCounter("fl_delayed_messages_total", "Messages delayed by fault injection."),
 		SendRetries:     reg.NewCounter("fl_send_retries_total", "Transport-level send retries."),
+
+		MembershipJoins:     reg.NewCounter("fl_membership_joins_total", "Workers admitted after round 1 (planned joins)."),
+		MembershipLeaves:    reg.NewCounter("fl_membership_leaves_total", "Workers retired before the final round (planned leaves)."),
+		MembershipReassigns: reg.NewCounter("fl_membership_reassigns_total", "Workers moved between edges by re-tiering."),
+		MembershipRetiers:   reg.NewCounter("fl_membership_retierings_total", "Re-tiering steps that changed the assignment."),
+		GammaMigrations:     reg.NewCounter("fl_membership_gamma_migrations_total", "Edge momentum migrations applied on cohort change."),
+		MembershipEpoch:     reg.NewGauge("fl_membership_epoch", "Membership epoch of the most recent cloud sync."),
+		LiveWorkers:         reg.NewGauge("fl_membership_live_workers", "Live workers at the most recent cloud sync."),
 	}
 }
 

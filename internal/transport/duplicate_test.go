@@ -1,0 +1,105 @@
+package transport
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestMemoryDuplicateEndpointRejected(t *testing.T) {
+	net := NewMemoryNetwork()
+	defer net.Close()
+	a, err := net.Endpoint("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := net.Endpoint("a"); !errors.Is(err, ErrDuplicateNode) {
+		t.Fatalf("second claim of a live ID: want ErrDuplicateNode, got %v", err)
+	}
+	// Closing the endpoint releases the claim; messages queued in between
+	// survive for the successor.
+	b, err := net.Endpoint("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Close(); err != nil {
+		t.Fatalf("double close should stay a no-op: %v", err)
+	}
+	if err := b.Send("a", Message{Kind: "ping", Round: 1}); err != nil {
+		t.Fatal(err)
+	}
+	a2, err := net.Endpoint("a")
+	if err != nil {
+		t.Fatalf("re-registering after close should work: %v", err)
+	}
+	msg, err := a2.RecvTimeout(time.Second)
+	if err != nil || msg.Kind != "ping" {
+		t.Fatalf("successor should see queued traffic: %v %v", msg, err)
+	}
+}
+
+func TestTCPDuplicateListenRejected(t *testing.T) {
+	net := NewTCPNetwork()
+	defer net.Close()
+	ep, err := net.Listen("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ep.Close()
+	if _, err := net.Listen("a"); !errors.Is(err, ErrDuplicateNode) {
+		t.Fatalf("duplicate TCP listen: want ErrDuplicateNode, got %v", err)
+	}
+}
+
+func TestStaticDuplicateBindRejected(t *testing.T) {
+	first, err := ListenStatic("n", map[string]string{"n": "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer first.Close()
+	// Rebinding the exact address the first endpoint holds must surface the
+	// typed duplicate error.
+	addr := first.(*tcpEndpoint).ln.Addr().String()
+	if _, err := ListenStatic("n", map[string]string{"n": addr}); !errors.Is(err, ErrDuplicateNode) {
+		t.Fatalf("duplicate static bind: want ErrDuplicateNode, got %v", err)
+	}
+}
+
+func TestCountingNetworkTraffic(t *testing.T) {
+	net := NewCountingNetwork(NewMemoryNetwork())
+	defer net.Close()
+	a, err := net.Endpoint("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := net.Endpoint("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := Message{Kind: "report", Round: 3, Vectors: [][]float64{{1, 2, 3}}, Scalars: map[string]float64{"loss": 0.5}}
+	if err := a.Send("b", msg); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.RecvTimeout(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	msgs, bytes := net.Traffic()
+	if msgs != 1 {
+		t.Fatalf("messages = %d, want 1", msgs)
+	}
+	// From "a" + To "b" + Kind "report" + round + 3 floats + "loss"+value.
+	want := int64(1 + 1 + 6 + 8 + 24 + 4 + 8)
+	if bytes != want {
+		t.Fatalf("bytes = %d, want %d", bytes, want)
+	}
+	// Failed sends are not counted.
+	if err := a.Send("nobody", msg); err == nil {
+		t.Fatal("send to unknown node should fail")
+	}
+	if msgs, _ := net.Traffic(); msgs != 1 {
+		t.Fatalf("failed send counted: %d", msgs)
+	}
+}

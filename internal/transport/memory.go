@@ -21,6 +21,10 @@ const inboxSize = 64
 type MemoryNetwork struct {
 	mu      sync.Mutex
 	inboxes map[string]chan Message
+	// claimed tracks node IDs with a live endpoint; a second Endpoint call
+	// for a claimed ID is rejected with ErrDuplicateNode until the first
+	// endpoint closes, so late joiners cannot shadow a running node.
+	claimed map[string]bool
 	closed  bool
 
 	dropRate float64
@@ -65,20 +69,28 @@ func WithDelay(maxDelay time.Duration, seed uint64) MemoryOption {
 
 // NewMemoryNetwork returns an empty hub.
 func NewMemoryNetwork(opts ...MemoryOption) *MemoryNetwork {
-	n := &MemoryNetwork{inboxes: make(map[string]chan Message)}
+	n := &MemoryNetwork{inboxes: make(map[string]chan Message), claimed: make(map[string]bool)}
 	for _, o := range opts {
 		o(n)
 	}
 	return n
 }
 
-// Endpoint registers (or retrieves) the endpoint for a node ID.
+// Endpoint registers the endpoint for a node ID. The ID stays claimed until
+// the returned endpoint closes; registering it again before then returns
+// ErrDuplicateNode. The node's inbox outlives the endpoint, so a later
+// (re-)registration — e.g. a planned late join after a clean close — sees
+// messages queued in between.
 func (n *MemoryNetwork) Endpoint(id string) (Endpoint, error) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	if n.closed {
 		return nil, ErrClosed
 	}
+	if n.claimed[id] {
+		return nil, fmt.Errorf("%w: %q", ErrDuplicateNode, id)
+	}
+	n.claimed[id] = true
 	if _, ok := n.inboxes[id]; !ok {
 		n.inboxes[id] = make(chan Message, inboxSize)
 	}
@@ -155,6 +167,9 @@ func (n *MemoryNetwork) deliver(msg Message) error {
 type memoryEndpoint struct {
 	net *MemoryNetwork
 	id  string
+	// released makes Close idempotent: only the first call gives the ID
+	// claim back (a second endpoint may hold it by then).
+	released bool
 }
 
 var _ Endpoint = (*memoryEndpoint)(nil)
@@ -212,7 +227,15 @@ func (e *memoryEndpoint) RecvTimeout(d time.Duration) (Message, error) {
 }
 
 func (e *memoryEndpoint) Close() error {
-	// Individual endpoints share hub lifetime; closing one is a no-op so
-	// sibling nodes keep running. The hub's Close tears everything down.
+	// Closing an endpoint releases its ID claim so the name can be taken
+	// again; the inbox stays open (sibling nodes keep running, and queued
+	// messages survive for a successor). The hub's Close tears everything
+	// down.
+	e.net.mu.Lock()
+	defer e.net.mu.Unlock()
+	if !e.released {
+		e.released = true
+		delete(e.net.claimed, e.id)
+	}
 	return nil
 }

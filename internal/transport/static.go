@@ -1,9 +1,11 @@
 package transport
 
 import (
+	"errors"
 	"fmt"
 	"net"
 	"sync/atomic"
+	"syscall"
 )
 
 // ListenStatic starts a TCP endpoint for a node whose peers live in OTHER
@@ -21,6 +23,12 @@ func ListenStatic(id string, registry map[string]string) (Endpoint, error) {
 	}
 	ln, err := net.Listen("tcp", bind)
 	if err != nil {
+		// An address in use means another process is live under this ID —
+		// the registry assigns one address per identity, so surface the
+		// typed duplicate error rather than a bare socket failure.
+		if errors.Is(err, syscall.EADDRINUSE) {
+			return nil, fmt.Errorf("%w: %q bound at %s: %v", ErrDuplicateNode, id, bind, err)
+		}
 		return nil, fmt.Errorf("transport: listen %q on %s: %w", id, bind, err)
 	}
 	// Copy the registry so later caller mutations cannot race the resolver.

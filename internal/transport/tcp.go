@@ -59,8 +59,11 @@ func (n *TCPNetwork) Listen(id string) (Endpoint, error) {
 	if n.closed {
 		return nil, ErrClosed
 	}
+	// A TCP node ID claim lasts for the network's lifetime: the listen
+	// address is published to peers on first registration, so reusing the
+	// ID on a different port would silently split its traffic.
 	if _, dup := n.addrs[id]; dup {
-		return nil, fmt.Errorf("transport: node %q already listening", id)
+		return nil, fmt.Errorf("%w: %q already listening", ErrDuplicateNode, id)
 	}
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {

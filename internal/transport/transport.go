@@ -27,6 +27,12 @@ var (
 	// ErrCrashed is returned by endpoints of a node a FaultPlan has crashed;
 	// the node's goroutine observes it and exits, simulating process death.
 	ErrCrashed = errors.New("transport: node crashed (injected fault)")
+	// ErrDuplicateNode is returned when a node ID registers while its
+	// previous registration is still live. Silently shadowing the old
+	// stream would let two processes split one identity's traffic, so
+	// late-joining nodes must either use a fresh ID or wait for the old
+	// endpoint to close.
+	ErrDuplicateNode = errors.New("transport: node already registered")
 )
 
 // Network is the transport factory a protocol runs over; MemoryNetwork,
