@@ -37,19 +37,23 @@ race:
 	$(GO) test -race -count=1 ./internal/cluster/... ./internal/transport/... \
 		./internal/checkpoint/... ./internal/parallel/... ./internal/core/... \
 		./internal/baseline/... ./internal/fl/... ./internal/nn/... \
+		./internal/tensor/... \
 		./internal/telemetry/... ./internal/membership/... ./cmd/tracecat/...
 
 ## fuzz: short-budget fuzzing of the byte-boundary decoders — the
 ## checkpoint snapshot reader, the telemetry JSONL trace reader, and the
-## tracecat line parser. Every input must yield a decoded value or a
-## wrapped error, never a panic or an unbounded allocation. Override with
-## FUZZTIME=1m for longer runs.
+## tracecat line parser — plus the conv-kernel equivalence target, which
+## asserts the im2col/GEMM forward+backward stays bitwise identical to the
+## retained naive reference on fuzzer-chosen shapes and data. Every input
+## must yield a decoded value or a wrapped error, never a panic or an
+## unbounded allocation. Override with FUZZTIME=1m for longer runs.
 FUZZTIME ?= 10s
 fuzz:
 	$(GO) test ./internal/checkpoint/ -fuzz FuzzOpenSnapshot -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/telemetry/ -run '^$$' -fuzz 'FuzzReadTrace$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/telemetry/ -run '^$$' -fuzz FuzzReadTraceRoundTrip -fuzztime $(FUZZTIME)
 	$(GO) test ./cmd/tracecat/ -run '^$$' -fuzz FuzzParseLine -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/nn/ -run '^$$' -fuzz FuzzConvGEMMEquivalence -fuzztime $(FUZZTIME)
 
 ## recover: the crash-recovery integration suite — checkpoint format and
 ## corruption handling, bit-identical simulation resume, cluster
@@ -63,17 +67,30 @@ recover:
 	$(GO) test -count=1 ./cmd/flcluster/ -run 'TestSigterm|TestDoubleSignal'
 
 ## bench: run the core benchmarks with -benchmem and record the perf
-## trajectory (ns/op, allocs/op, worker-pool size) in BENCH_core.json.
+## trajectory (ns/op, B/op, allocs/op, worker-pool size) in BENCH_core.json.
+## -count=3 repetitions are merged best-of-N by benchjson: the minimum is
+## the stable noise estimator on a shared box, where interference only ever
+## adds time (observed single-run spread on this host is >30%).
+BENCHFLAGS = -bench=. -benchmem -benchtime=10x -count=3 -run=^$$
 bench:
-	$(GO) test -bench=. -benchmem -benchtime=3x -count=1 -run=^$$ ./internal/core \
+	$(GO) test $(BENCHFLAGS) ./internal/core \
 		| $(GO) run ./cmd/benchjson -out BENCH_core.json
 	@cat BENCH_core.json
 
 ## benchdiff: the perf gate — rerun the core benchmarks and fail when any
-## ns/op regressed more than 10% against the committed BENCH_core.json.
+## ns/op, B/op, or allocs/op regressed beyond its budget against the
+## committed BENCH_core.json, or when a workers=N benchmark stops holding
+## its own against workers=1 (core-count-aware: on a single-core host the
+## pool must stay within 15% of serial; with cores available it must show
+## real speedup — see cmd/benchjson checkScaling). The ns/op budget is
+## looser than the byte/alloc budgets: B/op and allocs/op are deterministic
+## so 10% catches any real leak, while wall time on a shared single-core
+## box still spreads ~15% even best-of-3 — 25% is above the noise floor
+## yet far below the 2x-class regressions this gate exists to catch.
 benchdiff:
-	$(GO) test -bench=. -benchmem -benchtime=3x -count=1 -run=^$$ ./internal/core \
-		| $(GO) run ./cmd/benchjson -baseline BENCH_core.json -max-regress 0.10
+	$(GO) test $(BENCHFLAGS) ./internal/core \
+		| $(GO) run ./cmd/benchjson -baseline BENCH_core.json -max-regress 0.25 \
+			-max-bytes-regress 0.10 -max-alloc-regress 0.10 -check-scaling
 
 ## benchall: every benchmark in the repo (experiment tables, kernels, nn).
 benchall:

@@ -6,12 +6,28 @@ import (
 	"testing"
 )
 
+// sampleBench is a single-core run: Go omits the -N GOMAXPROCS suffix when
+// GOMAXPROCS == 1, and -count=2 repeats each benchmark line.
 const sampleBench = `goos: linux
 goarch: amd64
 pkg: hieradmo/internal/core
 cpu: Test CPU @ 2.10GHz
-BenchmarkHierAdMoCNN/workers=1         	       3	  32584745 ns/op	 1265472 B/op	     354 allocs/op
-BenchmarkHierAdMoCNN/workers=2         	       3	  34016881 ns/op	 1267712 B/op	     394 allocs/op
+BenchmarkHierAdMoCNN/workers=1         	       3	46504898 ns/op	 1266525 B/op	     405 allocs/op
+BenchmarkHierAdMoCNN/workers=8         	       3	45690611 ns/op	 1271832 B/op	     493 allocs/op
+BenchmarkHierAdMoCNN/workers=1         	       3	48000000 ns/op	 1266525 B/op	     410 allocs/op
+BenchmarkHierAdMoCNN/workers=8         	       3	44000000 ns/op	 1280000 B/op	     493 allocs/op
+BenchmarkEdgeCosine                    	   16588	     72171 ns/op	       0 B/op	       0 allocs/op
+PASS
+ok  	hieradmo/internal/core	5.123s
+`
+
+// sampleMulticore is the same family benchmarked on an 8-core host: names
+// carry the -8 suffix and the pool delivers a real speedup.
+const sampleMulticore = `goos: linux
+goarch: amd64
+pkg: hieradmo/internal/core
+BenchmarkHierAdMoCNN/workers=1-8       	       3	46504898 ns/op	 1266525 B/op	     405 allocs/op
+BenchmarkHierAdMoCNN/workers=8-8       	       6	 8000000 ns/op	 1271832 B/op	     493 allocs/op
 PASS
 `
 
@@ -24,18 +40,54 @@ func parseSample(t *testing.T, text string) *report {
 	return rep
 }
 
+func defaultTol() tolerances { return tolerances{ns: 0.10, bytes: 0.10, allocs: 0.10} }
+
 func TestParseBenchOutput(t *testing.T) {
 	rep := parseSample(t, sampleBench)
 	if rep.GoOS != "linux" || rep.Package != "hieradmo/internal/core" {
 		t.Errorf("headers = %q/%q", rep.GoOS, rep.Package)
 	}
+	if len(rep.Benchmarks) != 3 {
+		t.Fatalf("parsed %d merged benchmarks, want 3: %+v", len(rep.Benchmarks), rep.Benchmarks)
+	}
+	b := rep.Benchmarks[0]
+	if b.Name != "HierAdMoCNN/workers=1" || b.Workers != 1 || b.Procs != 1 {
+		t.Errorf("first record = %+v", b)
+	}
+	ec := rep.Benchmarks[2]
+	if ec.Name != "EdgeCosine" || ec.Workers != 0 || ec.NsPerOp != 72171 || ec.AllocsOp != 0 {
+		t.Errorf("EdgeCosine record = %+v", ec)
+	}
+}
+
+func TestParseMergesBestOfN(t *testing.T) {
+	rep := parseSample(t, sampleBench)
+	w1 := rep.Benchmarks[0]
+	if w1.Runs != 2 {
+		t.Fatalf("workers=1 merged %d runs, want 2", w1.Runs)
+	}
+	// min ns/op and min allocs/op come from different repetitions; best-of
+	// takes each dimension's minimum independently.
+	if w1.NsPerOp != 46504898 || w1.AllocsOp != 405 {
+		t.Errorf("workers=1 best-of = %+v, want ns 46504898 allocs 405", w1)
+	}
+	w8 := rep.Benchmarks[1]
+	if w8.NsPerOp != 44000000 || w8.BPerOp != 1271832 {
+		t.Errorf("workers=8 best-of = %+v, want ns 44000000 bytes 1271832", w8)
+	}
+}
+
+func TestParseStripsProcsSuffix(t *testing.T) {
+	rep := parseSample(t, sampleMulticore)
 	if len(rep.Benchmarks) != 2 {
 		t.Fatalf("parsed %d benchmarks, want 2", len(rep.Benchmarks))
 	}
-	b := rep.Benchmarks[0]
-	if b.Name != "HierAdMoCNN/workers=1" || b.Workers != 1 ||
-		b.NsPerOp != 32584745 || b.AllocsOp != 354 {
-		t.Errorf("first record = %+v", b)
+	w8 := rep.Benchmarks[1]
+	if w8.Name != "HierAdMoCNN/workers=8" {
+		t.Errorf("suffix not stripped: %q", w8.Name)
+	}
+	if w8.Procs != 8 || w8.Workers != 8 {
+		t.Errorf("procs/workers = %d/%d, want 8/8", w8.Procs, w8.Workers)
 	}
 }
 
@@ -43,27 +95,56 @@ func TestCompareFlagsRegressions(t *testing.T) {
 	base := parseSample(t, sampleBench)
 	cur := parseSample(t, sampleBench)
 
-	if regs := compare(cur, base, 0.10); len(regs) != 0 {
+	if regs := compare(cur, base, defaultTol()); len(regs) != 0 {
 		t.Errorf("identical runs flagged: %v", regs)
 	}
 
 	// 5% slower: inside the budget.
 	cur.Benchmarks[0].NsPerOp *= 1.05
-	if regs := compare(cur, base, 0.10); len(regs) != 0 {
+	if regs := compare(cur, base, defaultTol()); len(regs) != 0 {
 		t.Errorf("5%% growth flagged at 10%% budget: %v", regs)
 	}
 
 	// 25% slower: a regression, and only that entry.
 	cur.Benchmarks[0].NsPerOp = base.Benchmarks[0].NsPerOp * 1.25
-	regs := compare(cur, base, 0.10)
+	regs := compare(cur, base, defaultTol())
 	if len(regs) != 1 || !strings.Contains(regs[0], "workers=1") {
 		t.Errorf("25%% growth yields %v, want one workers=1 regression", regs)
 	}
 
 	// Faster is never a regression.
 	cur.Benchmarks[0].NsPerOp = base.Benchmarks[0].NsPerOp * 0.5
-	if regs := compare(cur, base, 0.10); len(regs) != 0 {
+	if regs := compare(cur, base, defaultTol()); len(regs) != 0 {
 		t.Errorf("speedup flagged: %v", regs)
+	}
+}
+
+func TestCompareFlagsAllocAndBytesRegressions(t *testing.T) {
+	base := parseSample(t, sampleBench)
+
+	// Injected alloc regression: the round loop starts allocating again.
+	cur := parseSample(t, sampleBench)
+	cur.Benchmarks[0].AllocsOp = base.Benchmarks[0].AllocsOp * 3
+	regs := compare(cur, base, defaultTol())
+	if len(regs) != 1 || !strings.Contains(regs[0], "allocs/op") {
+		t.Fatalf("tripled allocs/op yields %v, want one allocs/op regression", regs)
+	}
+
+	// Injected bytes regression, allocs unchanged: only the bytes gate fires.
+	cur = parseSample(t, sampleBench)
+	cur.Benchmarks[0].BPerOp = base.Benchmarks[0].BPerOp * 2
+	regs = compare(cur, base, defaultTol())
+	if len(regs) != 1 || !strings.Contains(regs[0], "B/op") {
+		t.Fatalf("doubled B/op yields %v, want one B/op regression", regs)
+	}
+
+	// The tolerances are independent: a loose alloc budget does not excuse
+	// a bytes regression, and a loose bytes budget clears it.
+	if regs := compare(cur, base, tolerances{ns: 0.10, bytes: 0.10, allocs: 10}); len(regs) != 1 {
+		t.Errorf("bytes gate silenced by alloc budget: %v", regs)
+	}
+	if regs := compare(cur, base, tolerances{ns: 0.10, bytes: 2.0, allocs: 0.10}); len(regs) != 0 {
+		t.Errorf("loose bytes budget still flags: %v", regs)
 	}
 }
 
@@ -72,7 +153,52 @@ func TestCompareSkipsUnmatchedNames(t *testing.T) {
 	cur := parseSample(t, sampleBench)
 	cur.Benchmarks[0].Name = "BrandNewBenchmark"
 	cur.Benchmarks[0].NsPerOp = 1e12
-	if regs := compare(cur, base, 0.10); len(regs) != 0 {
+	if regs := compare(cur, base, defaultTol()); len(regs) != 0 {
 		t.Errorf("benchmark missing from baseline flagged: %v", regs)
+	}
+}
+
+func TestCheckScalingSingleCore(t *testing.T) {
+	// On one core an 8-worker pool cannot beat one worker; the gate only
+	// demands it stay within the overhead budget.
+	rep := parseSample(t, sampleBench)
+	if f := checkScaling(rep, 2.0, 0.15); len(f) != 0 {
+		t.Errorf("near-parity on a single core flagged: %v", f)
+	}
+
+	// Injected scaling regression: the worker phase serializes AND adds
+	// contention, so workers=8 runs 1.5x the workers=1 time.
+	rep.Benchmarks[1].NsPerOp = rep.Benchmarks[0].NsPerOp * 1.5
+	f := checkScaling(rep, 2.0, 0.15)
+	if len(f) != 1 || !strings.Contains(f[0], "workers=8") {
+		t.Fatalf("1.5x slowdown yields %v, want one workers=8 failure", f)
+	}
+}
+
+func TestCheckScalingMulticore(t *testing.T) {
+	// 8 cores, 8 workers, ~5.8x speedup: well under the slack/usable
+	// threshold of 0.25x.
+	rep := parseSample(t, sampleMulticore)
+	if f := checkScaling(rep, 2.0, 0.15); len(f) != 0 {
+		t.Errorf("real speedup flagged: %v", f)
+	}
+
+	// The bug this gate exists for: flat scaling (ratio ~= 1) with cores
+	// available — the workers=8 run barely differs from workers=1.
+	rep.Benchmarks[1].NsPerOp = rep.Benchmarks[0].NsPerOp * 0.98
+	f := checkScaling(rep, 2.0, 0.15)
+	if len(f) != 1 {
+		t.Fatalf("flat scaling on 8 cores yields %v, want one failure", f)
+	}
+	if !strings.Contains(f[0], "want <= 0.25x") {
+		t.Errorf("failure %q does not state the 0.25x threshold", f[0])
+	}
+}
+
+func TestCheckScalingIgnoresFamiliesWithoutBaseline(t *testing.T) {
+	rep := parseSample(t, sampleMulticore)
+	rep.Benchmarks = rep.Benchmarks[1:] // drop workers=1
+	if f := checkScaling(rep, 2.0, 0.15); len(f) != 0 {
+		t.Errorf("family without a workers=1 baseline flagged: %v", f)
 	}
 }

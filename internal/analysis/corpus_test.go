@@ -176,6 +176,17 @@ func TestDefaultPolicyTable(t *testing.T) {
 		{"goexec", "hieradmo/internal/cluster", false},
 		{"goexec", "hieradmo/internal/transport", true},
 		{"goexec", "hieradmo/internal/core", true},
+		// The GEMM/conv kernel packages carry no exemptions: the hot loops
+		// must stay deterministic, map-order-free, and goroutine-free.
+		{"detwall", "hieradmo/internal/tensor", true},
+		{"detwall", "hieradmo/internal/nn", true},
+		{"maporder", "hieradmo/internal/tensor", true},
+		{"maporder", "hieradmo/internal/nn", true},
+		{"goexec", "hieradmo/internal/tensor", true},
+		{"goexec", "hieradmo/internal/nn", true},
+		{"wirealloc", "hieradmo/internal/tensor", false},
+		{"nilsink", "hieradmo/internal/tensor", false},
+		{"nilsink", "hieradmo/internal/nn", false},
 		{"wirealloc", "hieradmo/internal/checkpoint", true},
 		{"wirealloc", "hieradmo/internal/persist", true},
 		{"wirealloc", "hieradmo/internal/transport", true},

@@ -62,6 +62,13 @@ func only(paths ...string) func(string) bool {
 //     float reduction, an ordered accumulation, or the trace;
 //   - goexec runs everywhere except internal/parallel (the sanctioned
 //     worker pool) and internal/cluster (the supervised node runtime);
+//   - the kernel packages internal/tensor and internal/nn get no
+//     exemptions: the GEMM and im2col/backprop hot loops fall under
+//     detwall, maporder, and goexec like any other deterministic code —
+//     a kernel that read the wall clock, ranged a map into an
+//     accumulator, or spawned its own goroutines would break the
+//     bit-identity contract the golden traces pin (enforcement pinned in
+//     TestDefaultPolicyTable);
 //   - wirealloc runs on the packages that decode wire or snapshot bytes;
 //   - nilsink runs on internal/telemetry, over the instrument and sink
 //     types whose nil fast path the hot loops rely on.

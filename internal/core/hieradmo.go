@@ -199,6 +199,27 @@ type edgeState struct {
 	yPlusNext tensor.Vector // scratch for line 12
 }
 
+// edgeScratch is the preallocated working storage every edgeUpdate call
+// reuses: participant weights, the uplink slice headers, and — when the run
+// quantizes uploads or adapts γℓ — slab-backed payload and signal vectors.
+// Before this existed, every aggregation allocated fresh slices and cloned
+// model-sized vectors, which dominated the round loop's allocation profile.
+type edgeScratch struct {
+	weights  []float64
+	ys       []tensor.Vector
+	xs       []tensor.Vector
+	gradSums []tensor.Vector
+	ySums    []tensor.Vector
+	signals  []tensor.Vector
+	// sigBuf backs signals under adaptation; quantBuf holds the four
+	// quantized uplink copies per participant. Both live in the run's slab.
+	sigBuf   []tensor.Vector
+	quantBuf []tensor.Vector
+	// fullIdx is the precomputed 0..maxC-1 participant list used verbatim at
+	// full participation (the common case draws nothing from the RNG).
+	fullIdx []int
+}
+
 // Run implements fl.Algorithm.
 func (h *HierAdMo) Run(cfg *fl.Config) (*fl.Result, error) {
 	hn, err := fl.NewHarness(cfg)
@@ -210,32 +231,62 @@ func (h *HierAdMo) Run(cfg *fl.Config) (*fl.Result, error) {
 	x0 := hn.InitParams()
 	dim := len(x0)
 
+	// All run state — seven vectors per worker, four per edge, the cloud
+	// pair, the eval model, and the edge-scratch payload buffers — lives in
+	// one pooled slab, so repeated runs (benchmarks, sweeps, tests) recycle
+	// a single arena instead of re-allocating hundreds of model-sized
+	// vectors, and a worker's vectors stay cache-line aligned and disjoint
+	// from its neighbours'.
+	numWorkers, maxC := 0, 0
+	for l := range cfg.Edges {
+		n := len(cfg.Edges[l])
+		numWorkers += n
+		if n > maxC {
+			maxC = n
+		}
+	}
+	vecCount := 7*numWorkers + 4*cfg.NumEdges() + 3
+	if h.adaptive {
+		vecCount += maxC
+	}
+	if h.quantBits > 0 {
+		vecCount += 4 * maxC
+	}
+	slab := tensor.GetSlab(vecCount * tensor.Padded(dim))
+	defer tensor.PutSlab(slab)
+	newVec := func() tensor.Vector { return slab.Alloc(dim) }
+	cloneX0 := func() tensor.Vector {
+		v := slab.Alloc(dim)
+		copy(v, x0)
+		return v
+	}
+
 	workers := make([][]*workerState, cfg.NumEdges())
 	edges := make([]*edgeState, cfg.NumEdges())
 	for l := range cfg.Edges {
 		workers[l] = make([]*workerState, len(cfg.Edges[l]))
 		for i := range cfg.Edges[l] {
 			workers[l][i] = &workerState{
-				x:       x0.Clone(),
-				y:       x0.Clone(), // y⁰ = x⁰ (line 1)
-				gradSum: tensor.NewVector(dim),
-				ySum:    tensor.NewVector(dim),
-				yStart:  x0.Clone(),
-				grad:    tensor.NewVector(dim),
-				yPrev:   tensor.NewVector(dim),
+				x:       cloneX0(),
+				y:       cloneX0(), // y⁰ = x⁰ (line 1)
+				gradSum: newVec(),
+				ySum:    newVec(),
+				yStart:  cloneX0(),
+				grad:    newVec(),
+				yPrev:   newVec(),
 			}
 		}
 		edges[l] = &edgeState{
-			xPlus:     x0.Clone(), // x⁰_{ℓ+} = x⁰ (line 2)
-			yPlus:     x0.Clone(), // y⁰_{ℓ+} = x⁰_{ℓ+} (line 2)
-			yMinus:    x0.Clone(),
-			yPlusNext: tensor.NewVector(dim),
+			xPlus:     cloneX0(), // x⁰_{ℓ+} = x⁰ (line 2)
+			yPlus:     cloneX0(), // y⁰_{ℓ+} = x⁰_{ℓ+} (line 2)
+			yMinus:    cloneX0(),
+			yPlusNext: newVec(),
 		}
 	}
 
-	cloudX := x0.Clone()
-	cloudY := x0.Clone()
-	evalModel := tensor.NewVector(dim)
+	cloudX := cloneX0()
+	cloudY := cloneX0()
+	evalModel := newVec()
 	partRNG := rng.New(cfg.Seed).Split(0x9a47)
 
 	var quantizer *quant.Quantizer
@@ -244,6 +295,31 @@ func (h *HierAdMo) Run(cfg *fl.Config) (*fl.Result, error) {
 		quantizer, qerr = quant.New(h.quantBits, cfg.Seed)
 		if qerr != nil {
 			return nil, qerr
+		}
+	}
+
+	es := &edgeScratch{
+		weights:  make([]float64, maxC),
+		ys:       make([]tensor.Vector, maxC),
+		xs:       make([]tensor.Vector, maxC),
+		gradSums: make([]tensor.Vector, maxC),
+		ySums:    make([]tensor.Vector, maxC),
+		signals:  make([]tensor.Vector, maxC),
+		fullIdx:  make([]int, maxC),
+	}
+	for i := range es.fullIdx {
+		es.fullIdx[i] = i
+	}
+	if h.adaptive {
+		es.sigBuf = make([]tensor.Vector, maxC)
+		for i := range es.sigBuf {
+			es.sigBuf[i] = newVec()
+		}
+	}
+	if quantizer != nil {
+		es.quantBuf = make([]tensor.Vector, 4*maxC)
+		for i := range es.quantBuf {
+			es.quantBuf[i] = newVec()
 		}
 	}
 
@@ -301,6 +377,23 @@ func (h *HierAdMo) Run(cfg *fl.Config) (*fl.Result, error) {
 	refs := flattenRefs(workers)
 	poolSize := hn.Workers()
 
+	// The per-edge vector headers are stable for the whole run (every update
+	// rewrites contents in place), so the cloud-reduction inputs and the
+	// evaluation grid are assembled once, not per aggregation.
+	yMinuses := make([]tensor.Vector, len(edges))
+	xPluses := make([]tensor.Vector, len(edges))
+	for l, e := range edges {
+		yMinuses[l] = e.yMinus
+		xPluses[l] = e.xPlus
+	}
+	evalGrid := make([][]tensor.Vector, len(workers))
+	for l := range workers {
+		evalGrid[l] = make([]tensor.Vector, len(workers[l]))
+		for i, w := range workers[l] {
+			evalGrid[l][i] = w.x
+		}
+	}
+
 	for t := start + 1; t <= cfg.T; t++ {
 		if sink.Tracing() && (t-1)%cfg.Tau == 0 {
 			sink.Emit("round_start",
@@ -338,8 +431,15 @@ func (h *HierAdMo) Run(cfg *fl.Config) (*fl.Result, error) {
 				if sink != nil {
 					aggStart = time.Now() //flvet:allow detwall -- wall-clock feeds the timing histograms only, never the trace or training state
 				}
-				idx := h.sampleParticipants(partRNG, len(workers[l]))
-				if err := h.edgeUpdate(hn, cfg, t, l, edges[l], workers[l], idx, quantizer, x0); err != nil {
+				// Full participation includes everyone and draws nothing from
+				// the RNG, so the precomputed index list is used verbatim;
+				// partial participation keeps the allocating Perm path to
+				// preserve the historical RNG consumption exactly.
+				idx := es.fullIdx[:len(workers[l])]
+				if h.participation < 1 {
+					idx = h.sampleParticipants(partRNG, len(workers[l]))
+				}
+				if err := h.edgeUpdate(hn, cfg, t, l, edges[l], workers[l], idx, quantizer, x0, es); err != nil {
 					return nil, err
 				}
 				if sink != nil {
@@ -353,12 +453,6 @@ func (h *HierAdMo) Run(cfg *fl.Config) (*fl.Result, error) {
 			var syncStart time.Time
 			if sink != nil {
 				syncStart = time.Now() //flvet:allow detwall -- wall-clock feeds the timing histograms only, never the trace or training state
-			}
-			yMinuses := make([]tensor.Vector, len(edges))
-			xPluses := make([]tensor.Vector, len(edges))
-			for l, e := range edges {
-				yMinuses[l] = e.yMinus
-				xPluses[l] = e.xPlus
 			}
 			if err := hn.CloudAverage(cloudY, yMinuses); err != nil { // line 18
 				return nil, err
@@ -405,7 +499,9 @@ func (h *HierAdMo) Run(cfg *fl.Config) (*fl.Result, error) {
 		}
 
 		if hn.ShouldEval(t) {
-			if err := h.evalInto(hn, workers, evalModel); err != nil {
+			// The global data-weighted worker-model average is the evaluation
+			// point between aggregation instants.
+			if err := hn.GlobalAverage(evalModel, evalGrid); err != nil {
 				return nil, err
 			}
 			if err := hn.RecordPoint(res, t, evalModel); err != nil {
@@ -461,7 +557,9 @@ func (h *HierAdMo) sampleParticipants(r *rng.RNG, numWorkers int) []int {
 // edgeUpdate executes lines 9–15 of Algorithm 1 for edge ℓ at t = kτ over
 // the participating workers (idx; all workers under full participation).
 // Aggregation weights are the data weights renormalized over participants.
-func (h *HierAdMo) edgeUpdate(hn *fl.Harness, cfg *fl.Config, t, l int, e *edgeState, ws []*workerState, idx []int, quantizer *quant.Quantizer, x0 tensor.Vector) error {
+// All working storage comes from es; the only remaining allocations are the
+// gated trace fields.
+func (h *HierAdMo) edgeUpdate(hn *fl.Harness, cfg *fl.Config, t, l int, e *edgeState, ws []*workerState, idx []int, quantizer *quant.Quantizer, x0 tensor.Vector, es *edgeScratch) error {
 	sink := hn.Sink()
 	if sink.Tracing() {
 		// The workers trained on the goroutine pool, but their per-step
@@ -475,7 +573,7 @@ func (h *HierAdMo) edgeUpdate(hn *fl.Harness, cfg *fl.Config, t, l int, e *edgeS
 				telemetry.Float("loss", hn.LastLoss(l, i)))
 		}
 	}
-	weights := make([]float64, len(idx))
+	weights := es.weights[:len(idx)]
 	for j, i := range idx {
 		weights[j] = hn.WorkerWeights[l][i]
 	}
@@ -493,23 +591,34 @@ func (h *HierAdMo) edgeUpdate(hn *fl.Harness, cfg *fl.Config, t, l int, e *edgeS
 	}
 
 	// Assemble the uplink payload (Alg. 1 line 9); a configured quantizer
-	// compresses the shipped copies, never the workers' local state.
-	ys := make([]tensor.Vector, len(idx))
-	xs := make([]tensor.Vector, len(idx))
-	gradSums := make([]tensor.Vector, len(idx))
-	ySums := make([]tensor.Vector, len(idx))
+	// compresses shipped copies (in reusable slab vectors), never the
+	// workers' local state.
+	ys := es.ys[:len(idx)]
+	xs := es.xs[:len(idx)]
+	gradSums := es.gradSums[:len(idx)]
+	ySums := es.ySums[:len(idx)]
 	for j, i := range idx {
 		w := ws[i]
 		ys[j], xs[j], gradSums[j], ySums[j] = w.y, w.x, w.gradSum, w.ySum
 		if quantizer != nil {
-			ys[j] = ys[j].Clone()
-			xs[j] = xs[j].Clone()
-			gradSums[j] = gradSums[j].Clone()
-			ySums[j] = ySums[j].Clone()
-			quantizer.Roundtrip(ys[j])
-			quantizer.Roundtrip(xs[j])
-			quantizer.Roundtrip(gradSums[j])
-			quantizer.Roundtrip(ySums[j])
+			qy, qx, qg, qs := es.quantBuf[4*j], es.quantBuf[4*j+1], es.quantBuf[4*j+2], es.quantBuf[4*j+3]
+			if err := qy.CopyFrom(w.y); err != nil {
+				return err
+			}
+			if err := qx.CopyFrom(w.x); err != nil {
+				return err
+			}
+			if err := qg.CopyFrom(w.gradSum); err != nil {
+				return err
+			}
+			if err := qs.CopyFrom(w.ySum); err != nil {
+				return err
+			}
+			ys[j], xs[j], gradSums[j], ySums[j] = qy, qx, qg, qs
+			quantizer.Roundtrip(qy)
+			quantizer.Roundtrip(qx)
+			quantizer.Roundtrip(qg)
+			quantizer.Roundtrip(qs)
 		}
 	}
 
@@ -521,22 +630,26 @@ func (h *HierAdMo) edgeUpdate(hn *fl.Harness, cfg *fl.Config, t, l int, e *edgeS
 	gammaEdge := cfg.GammaEdge
 	var cosVal float64
 	if h.adaptive {
-		signals := make([]tensor.Vector, len(idx))
+		signals := es.signals[:len(idx)]
 		for j, i := range idx {
+			sig := es.sigBuf[j]
 			switch h.signal {
 			case SignalVelocity:
-				v := ys[j].Clone()
-				if err := v.Sub(ws[i].yStart); err != nil {
+				if err := sig.CopyFrom(ys[j]); err != nil {
 					return err
 				}
-				signals[j] = v
+				if err := sig.Sub(ws[i].yStart); err != nil {
+					return err
+				}
 			default:
-				centered := ySums[j].Clone()
-				if err := centered.AXPY(-float64(cfg.Tau), x0); err != nil {
+				if err := sig.CopyFrom(ySums[j]); err != nil {
 					return err
 				}
-				signals[j] = centered
+				if err := sig.AXPY(-float64(cfg.Tau), x0); err != nil {
+					return err
+				}
 			}
+			signals[j] = sig
 		}
 		cos, err := EdgeCosine(weights, gradSums, signals)
 		if err != nil {
@@ -606,17 +719,4 @@ func (h *HierAdMo) edgeUpdate(hn *fl.Harness, cfg *fl.Config, t, l int, e *edgeS
 		w.ySum.Zero()
 	}
 	return nil
-}
-
-// evalInto computes the global data-weighted average of the worker models,
-// the evaluation point between aggregation instants.
-func (h *HierAdMo) evalInto(hn *fl.Harness, workers [][]*workerState, dst tensor.Vector) error {
-	grid := make([][]tensor.Vector, len(workers))
-	for l := range workers {
-		grid[l] = make([]tensor.Vector, len(workers[l]))
-		for i, w := range workers[l] {
-			grid[l][i] = w.x
-		}
-	}
-	return hn.GlobalAverage(dst, grid)
 }

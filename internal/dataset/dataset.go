@@ -51,13 +51,25 @@ func (d *Dataset) Len() int { return len(d.Samples) }
 // Batch draws size samples uniformly with replacement using r. It returns an
 // error if the dataset is empty or size is not positive.
 func (d *Dataset) Batch(r *rng.RNG, size int) ([]Sample, error) {
+	return d.BatchInto(r, size, nil)
+}
+
+// BatchInto is Batch with a caller-owned buffer: buf is reused when its
+// capacity suffices and grown otherwise, so a training loop that feeds the
+// returned slice back in draws every batch after the first without
+// allocating. The RNG consumption is identical to Batch — the two are
+// interchangeable mid-stream.
+func (d *Dataset) BatchInto(r *rng.RNG, size int, buf []Sample) ([]Sample, error) {
 	if d.Len() == 0 {
 		return nil, ErrEmpty
 	}
 	if size <= 0 {
 		return nil, fmt.Errorf("dataset: batch size %d must be positive", size)
 	}
-	out := make([]Sample, size)
+	if cap(buf) < size {
+		buf = make([]Sample, size)
+	}
+	out := buf[:size]
 	for i := range out {
 		out[i] = d.Samples[r.Intn(d.Len())]
 	}

@@ -25,8 +25,12 @@ type Harness struct {
 
 	samplers [][]*rng.RNG
 	lastLoss [][]float64
-	evalSet  *dataset.Dataset
-	sink     *telemetry.Sink
+	// batchBufs[l][i] is worker {i,ℓ}'s reusable mini-batch buffer; like the
+	// sampler and lastLoss slot it is owned by that worker's goroutine, so
+	// Grad never allocates a batch after each worker's first call.
+	batchBufs [][][]dataset.Sample
+	evalSet   *dataset.Dataset
+	sink      *telemetry.Sink
 }
 
 // NewHarness validates cfg and prepares the run state.
@@ -40,6 +44,7 @@ func NewHarness(cfg *Config) (*Harness, error) {
 		WorkerWeights: make([][]float64, cfg.NumEdges()),
 		samplers:      make([][]*rng.RNG, cfg.NumEdges()),
 		lastLoss:      make([][]float64, cfg.NumEdges()),
+		batchBufs:     make([][][]dataset.Sample, cfg.NumEdges()),
 		sink:          cfg.Telemetry,
 	}
 	total := 0
@@ -55,6 +60,7 @@ func NewHarness(cfg *Config) (*Harness, error) {
 		h.WorkerWeights[l] = make([]float64, len(edge))
 		h.samplers[l] = make([]*rng.RNG, len(edge))
 		h.lastLoss[l] = make([]float64, len(edge))
+		h.batchBufs[l] = make([][]dataset.Sample, len(edge))
 		for i, shard := range edge {
 			h.WorkerWeights[l][i] = float64(shard.Len()) / float64(edgeTotals[l])
 			h.samplers[l][i] = WorkerSampler(cfg.Seed, l, i)
@@ -120,10 +126,11 @@ func (h *Harness) InitParams() tensor.Vector {
 // one goroutine per worker. WeightedLoss reads every lastLoss slot and must
 // only be called after the round's Grad calls have been joined.
 func (h *Harness) Grad(l, i int, params, grad tensor.Vector) (float64, error) {
-	batch, err := h.cfg.Edges[l][i].Batch(h.samplers[l][i], h.cfg.BatchSize)
+	batch, err := h.cfg.Edges[l][i].BatchInto(h.samplers[l][i], h.cfg.BatchSize, h.batchBufs[l][i])
 	if err != nil {
 		return 0, fmt.Errorf("fl: worker {%d,%d} batch: %w", i, l, err)
 	}
+	h.batchBufs[l][i] = batch
 	loss, err := h.cfg.Model.LossGrad(params, batch, grad)
 	if err != nil {
 		return 0, fmt.Errorf("fl: worker {%d,%d} gradient: %w", i, l, err)
@@ -202,9 +209,12 @@ func (h *Harness) ShouldEval(t int) bool {
 }
 
 // RecordPoint evaluates params on the (possibly capped) test subset and
-// appends a curve point for iteration t.
+// appends a curve point for iteration t. Evaluation fans out over the same
+// goroutine pool as local training — serial eval would bound the multicore
+// speedup of short-τ runs (Amdahl) even with a perfectly parallel worker
+// phase.
 func (h *Harness) RecordPoint(res *Result, t int, params tensor.Vector) error {
-	acc, err := model.Accuracy(h.cfg.Model, params, h.evalSet)
+	acc, err := model.AccuracyParallel(h.cfg.Model, params, h.evalSet, h.Workers())
 	if err != nil {
 		return fmt.Errorf("fl: eval at t=%d: %w", t, err)
 	}
@@ -233,7 +243,7 @@ func (h *Harness) recordEval(t int, acc, loss float64, final bool) {
 // Finish evaluates the final model on the full test set and appends the
 // terminal curve point at t = T.
 func (h *Harness) Finish(res *Result, params tensor.Vector) error {
-	acc, err := model.Accuracy(h.cfg.Model, params, h.cfg.Test)
+	acc, err := model.AccuracyParallel(h.cfg.Model, params, h.cfg.Test, h.Workers())
 	if err != nil {
 		return fmt.Errorf("fl: final eval: %w", err)
 	}

@@ -14,6 +14,7 @@ import (
 
 	"hieradmo/internal/dataset"
 	"hieradmo/internal/nn"
+	"hieradmo/internal/parallel"
 	"hieradmo/internal/rng"
 	"hieradmo/internal/tensor"
 )
@@ -129,6 +130,39 @@ func Accuracy(m Model, params tensor.Vector, ds *dataset.Dataset) (float64, erro
 			return 0, err
 		}
 		if pred == s.Label {
+			correct++
+		}
+	}
+	return float64(correct) / float64(ds.Len()), nil
+}
+
+// AccuracyParallel is Accuracy with the Predict calls fanned out over a
+// goroutine pool of the given size (≤ 1 falls back to the serial loop).
+// Every sample writes only its own hit slot and the reduction is an integer
+// count, so the result is identical to Accuracy at any pool size.
+func AccuracyParallel(m Model, params tensor.Vector, ds *dataset.Dataset, workers int) (float64, error) {
+	if workers <= 1 {
+		return Accuracy(m, params, ds)
+	}
+	if ds.Len() == 0 {
+		return 0, dataset.ErrEmpty
+	}
+	hits := make([]bool, ds.Len())
+	err := parallel.ForEach(ds.Len(), func(i int) error {
+		s := ds.Samples[i]
+		pred, err := m.Predict(params, s.X)
+		if err != nil {
+			return err
+		}
+		hits[i] = pred == s.Label
+		return nil
+	}, parallel.WithWorkers(workers))
+	if err != nil {
+		return 0, err
+	}
+	correct := 0
+	for _, hit := range hits {
+		if hit {
 			correct++
 		}
 	}

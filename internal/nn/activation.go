@@ -30,7 +30,7 @@ func (l *ReLU) ParamCount() int { return 0 }
 func (l *ReLU) Init(params []float64, r *rng.RNG) {}
 
 // Forward implements Layer.
-func (l *ReLU) Forward(params, in, out []float64) {
+func (l *ReLU) Forward(params, in, out, _ []float64) {
 	for i, x := range in {
 		if x > 0 {
 			out[i] = x
@@ -41,7 +41,10 @@ func (l *ReLU) Forward(params, in, out []float64) {
 }
 
 // Backward implements Layer.
-func (l *ReLU) Backward(params, in, gradOut, gradParams, gradIn []float64) {
+func (l *ReLU) Backward(params, in, _, gradOut, gradParams, gradIn, _ []float64) {
+	if gradIn == nil {
+		return
+	}
 	for i, x := range in {
 		if x > 0 {
 			gradIn[i] = gradOut[i]
@@ -80,9 +83,9 @@ func (l *Flatten) ParamCount() int { return 0 }
 func (l *Flatten) Init(params []float64, r *rng.RNG) {}
 
 // Forward implements Layer.
-func (l *Flatten) Forward(params, in, out []float64) { copy(out, in) }
+func (l *Flatten) Forward(params, in, out, _ []float64) { copy(out, in) }
 
 // Backward implements Layer.
-func (l *Flatten) Backward(params, in, gradOut, gradParams, gradIn []float64) {
-	copy(gradIn, gradOut)
+func (l *Flatten) Backward(params, in, _, gradOut, gradParams, gradIn, _ []float64) {
+	copy(gradIn, gradOut) // copy to a nil gradIn is a no-op
 }

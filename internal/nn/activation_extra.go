@@ -34,7 +34,7 @@ func (l *Sigmoid) ParamCount() int { return 0 }
 func (l *Sigmoid) Init(params []float64, r *rng.RNG) {}
 
 // Forward implements Layer.
-func (l *Sigmoid) Forward(params, in, out []float64) {
+func (l *Sigmoid) Forward(params, in, out, _ []float64) {
 	for i, x := range in {
 		out[i] = 1 / (1 + math.Exp(-x))
 	}
@@ -42,7 +42,10 @@ func (l *Sigmoid) Forward(params, in, out []float64) {
 
 // Backward implements Layer. σ'(x) = σ(x)(1−σ(x)), recomputed from the
 // saved input.
-func (l *Sigmoid) Backward(params, in, gradOut, gradParams, gradIn []float64) {
+func (l *Sigmoid) Backward(params, in, _, gradOut, gradParams, gradIn, _ []float64) {
+	if gradIn == nil {
+		return
+	}
 	for i, x := range in {
 		s := 1 / (1 + math.Exp(-x))
 		gradIn[i] = gradOut[i] * s * (1 - s)
@@ -77,14 +80,17 @@ func (l *Tanh) ParamCount() int { return 0 }
 func (l *Tanh) Init(params []float64, r *rng.RNG) {}
 
 // Forward implements Layer.
-func (l *Tanh) Forward(params, in, out []float64) {
+func (l *Tanh) Forward(params, in, out, _ []float64) {
 	for i, x := range in {
 		out[i] = math.Tanh(x)
 	}
 }
 
 // Backward implements Layer. tanh'(x) = 1 − tanh²(x).
-func (l *Tanh) Backward(params, in, gradOut, gradParams, gradIn []float64) {
+func (l *Tanh) Backward(params, in, _, gradOut, gradParams, gradIn, _ []float64) {
+	if gradIn == nil {
+		return
+	}
 	for i, x := range in {
 		th := math.Tanh(x)
 		gradIn[i] = gradOut[i] * (1 - th*th)
@@ -122,7 +128,7 @@ func (p *AvgPool2D) ParamCount() int { return 0 }
 func (p *AvgPool2D) Init(params []float64, r *rng.RNG) {}
 
 // Forward implements Layer.
-func (p *AvgPool2D) Forward(params, in, out []float64) {
+func (p *AvgPool2D) Forward(params, in, out, _ []float64) {
 	outSh := p.OutShape()
 	planeIn := p.in.H * p.in.W
 	planeOut := outSh.H * outSh.W
@@ -142,7 +148,10 @@ func (p *AvgPool2D) Forward(params, in, out []float64) {
 
 // Backward implements Layer: each input in a pooled window receives a
 // quarter of the output gradient.
-func (p *AvgPool2D) Backward(params, in, gradOut, gradParams, gradIn []float64) {
+func (p *AvgPool2D) Backward(params, in, _, gradOut, gradParams, gradIn, _ []float64) {
+	if gradIn == nil {
+		return
+	}
 	outSh := p.OutShape()
 	planeIn := p.in.H * p.in.W
 	planeOut := outSh.H * outSh.W
@@ -194,7 +203,7 @@ func (p *GlobalAvgPool) ParamCount() int { return 0 }
 func (p *GlobalAvgPool) Init(params []float64, r *rng.RNG) {}
 
 // Forward implements Layer.
-func (p *GlobalAvgPool) Forward(params, in, out []float64) {
+func (p *GlobalAvgPool) Forward(params, in, out, _ []float64) {
 	plane := p.in.H * p.in.W
 	inv := 1 / float64(plane)
 	for c := 0; c < p.in.C; c++ {
@@ -207,7 +216,10 @@ func (p *GlobalAvgPool) Forward(params, in, out []float64) {
 }
 
 // Backward implements Layer.
-func (p *GlobalAvgPool) Backward(params, in, gradOut, gradParams, gradIn []float64) {
+func (p *GlobalAvgPool) Backward(params, in, _, gradOut, gradParams, gradIn, _ []float64) {
+	if gradIn == nil {
+		return
+	}
 	plane := p.in.H * p.in.W
 	inv := 1 / float64(plane)
 	for c := 0; c < p.in.C; c++ {

@@ -59,7 +59,7 @@ func TestGradGlobalAvgPool(t *testing.T) {
 func TestSigmoidRange(t *testing.T) {
 	l := NewSigmoid(Shape3{C: 1, H: 1, W: 3})
 	out := make([]float64, 3)
-	l.Forward(nil, []float64{-1000, 0, 1000}, out)
+	l.Forward(nil, []float64{-1000, 0, 1000}, out, nil)
 	if out[0] < 0 || out[0] > 1e-9 {
 		t.Errorf("sigmoid(-1000) = %v", out[0])
 	}
@@ -74,7 +74,7 @@ func TestSigmoidRange(t *testing.T) {
 func TestTanhOddSymmetry(t *testing.T) {
 	l := NewTanh(Shape3{C: 1, H: 1, W: 2})
 	out := make([]float64, 2)
-	l.Forward(nil, []float64{0.7, -0.7}, out)
+	l.Forward(nil, []float64{0.7, -0.7}, out, nil)
 	if math.Abs(out[0]+out[1]) > 1e-12 {
 		t.Errorf("tanh not odd: %v vs %v", out[0], out[1])
 	}
@@ -83,7 +83,7 @@ func TestTanhOddSymmetry(t *testing.T) {
 func TestAvgPoolValues(t *testing.T) {
 	p := NewAvgPool2D(Shape3{C: 1, H: 2, W: 2})
 	out := make([]float64, 1)
-	p.Forward(nil, []float64{1, 2, 3, 6}, out)
+	p.Forward(nil, []float64{1, 2, 3, 6}, out, nil)
 	if out[0] != 3 {
 		t.Errorf("avg = %v, want 3", out[0])
 	}
@@ -92,7 +92,7 @@ func TestAvgPoolValues(t *testing.T) {
 func TestGlobalAvgPoolValues(t *testing.T) {
 	p := NewGlobalAvgPool(Shape3{C: 2, H: 1, W: 2})
 	out := make([]float64, 2)
-	p.Forward(nil, []float64{1, 3, 10, 20}, out)
+	p.Forward(nil, []float64{1, 3, 10, 20}, out, nil)
 	if out[0] != 2 || out[1] != 15 {
 		t.Errorf("gap = %v, want [2 15]", out)
 	}

@@ -4,6 +4,7 @@ import (
 	"math"
 
 	"hieradmo/internal/rng"
+	"hieradmo/internal/tensor"
 )
 
 // Dense is a fully connected layer: out = W·in + b. Parameters are laid out
@@ -44,39 +45,39 @@ func (d *Dense) Init(params []float64, r *rng.RNG) {
 	}
 }
 
-// Forward implements Layer.
-func (d *Dense) Forward(params, in, out []float64) {
+// denseZeroBias is the single-row zero bias for GEMM calls that compute a
+// plain matrix-vector product.
+var denseZeroBias = [1]float64{}
+
+// Forward implements Layer: out = W·in + b as a flat-accumulation GEMM over
+// the shared blocked kernel (the n = 1 column path — one dot product per
+// output row, bitwise identical to the former hand-rolled loop).
+func (d *Dense) Forward(params, in, out, _ []float64) {
 	w := params[:d.out*d.in]
 	b := params[d.out*d.in:]
-	for o := 0; o < d.out; o++ {
-		row := w[o*d.in : (o+1)*d.in]
-		s := b[o]
-		for i, x := range in {
-			s += row[i] * x
-		}
-		out[o] = s
-	}
+	tensor.GEMMBias(out, w, in, b, d.out, 1, d.in, 0)
 }
 
-// Backward implements Layer.
-func (d *Dense) Backward(params, in, gradOut, gradParams, gradIn []float64) {
+// Backward implements Layer through the shared kernels:
+//
+//	gb     += gradOut                    (plain accumulation)
+//	gradIn  = Wᵀ·gradOut                 (GEMMBias, row vector × W, zero bias)
+//	gW     += gradOut·inᵀ                (GEMMAddTransB with K = 1)
+//
+// Per destination element each kernel adds the same products in the same
+// ascending order as the former interleaved loop; the loop's skip of
+// zero-gradient rows is equivalent to adding the ±0 products the kernels
+// include (see the contract note in internal/tensor/gemm.go), so the
+// results are bitwise unchanged.
+func (d *Dense) Backward(params, in, _, gradOut, gradParams, gradIn, _ []float64) {
 	w := params[:d.out*d.in]
 	gw := gradParams[:d.out*d.in]
 	gb := gradParams[d.out*d.in:]
-	for i := range gradIn {
-		gradIn[i] = 0
-	}
-	for o := 0; o < d.out; o++ {
-		g := gradOut[o]
+	for o, g := range gradOut {
 		gb[o] += g
-		if g == 0 {
-			continue
-		}
-		row := w[o*d.in : (o+1)*d.in]
-		grow := gw[o*d.in : (o+1)*d.in]
-		for i, x := range in {
-			grow[i] += g * x
-			gradIn[i] += g * row[i]
-		}
 	}
+	if gradIn != nil {
+		tensor.GEMMBias(gradIn, gradOut, w, denseZeroBias[:], 1, d.in, d.out, 0)
+	}
+	tensor.GEMMAddTransB(gw, gradOut, in, d.out, d.in, 1)
 }

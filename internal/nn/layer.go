@@ -22,11 +22,29 @@ func (s Shape3) Size() int { return s.C * s.H * s.W }
 // Layer is one differentiable stage of a feed-forward network.
 //
 // Forward writes the activation for input in into out. Backward receives the
-// same params and in that Forward saw, the loss gradient with respect to the
-// layer output (gradOut), and must (a) accumulate the loss gradient with
-// respect to the layer parameters into gradParams and (b) overwrite gradIn
-// with the loss gradient with respect to the input. Slices are sized by the
+// same params and in that Forward saw, the activation out that Forward
+// produced, the loss gradient with respect to the layer output (gradOut),
+// and must (a) accumulate the loss gradient with respect to the layer
+// parameters into gradParams and (b) overwrite gradIn with the loss gradient
+// with respect to the input. Backward may clobber gradOut as working storage
+// (fused layers gate it in place); the Network never reads a gradient buffer
+// after handing it to the layer that consumes it. Slices are sized by the
 // Network; implementations must not retain them.
+//
+// scratch is per-call working storage owned by the calling goroutine's
+// workspace. Layers that need it implement ScratchSize() int (see
+// scratchLayer); everyone else receives nil. Scratch contents are undefined
+// when Forward runs, but the scratch handed to Backward is the region the
+// immediately preceding Forward call for the same input left behind,
+// untouched in between — Backward may reuse state cached there (im2col
+// patch matrices, pooling argmax indices) instead of recomputing it from
+// the saved input. Callers that invoke Backward directly must therefore run
+// the matching Forward first on the same scratch, which is exactly what
+// Network.LossGrad does.
+//
+// A nil gradIn tells Backward the caller does not need the input gradient
+// (the first layer of a network has nothing upstream); the layer must skip
+// computing it but still accumulate gradParams.
 type Layer interface {
 	// Name identifies the layer kind for diagnostics.
 	Name() string
@@ -38,7 +56,17 @@ type Layer interface {
 	// Init writes initial parameter values into params (len ParamCount).
 	Init(params []float64, r *rng.RNG)
 	// Forward computes out = f(params, in).
-	Forward(params, in, out []float64)
+	Forward(params, in, out, scratch []float64)
 	// Backward accumulates into gradParams and overwrites gradIn.
-	Backward(params, in, gradOut, gradParams, gradIn []float64)
+	Backward(params, in, out, gradOut, gradParams, gradIn, scratch []float64)
+}
+
+// scratchLayer is implemented by layers whose kernels need per-call working
+// storage (im2col patch buffers, padded planes, recomputed intermediate
+// activations). The Network sizes one scratch slice per layer instance in
+// every pooled workspace.
+type scratchLayer interface {
+	// ScratchSize is the float64 count of working storage one Forward or
+	// Backward call needs.
+	ScratchSize() int
 }

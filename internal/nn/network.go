@@ -11,7 +11,8 @@ import (
 // Network is a feed-forward stack of layers with a classification/regression
 // loss, operating over one flat parameter vector owned by the caller. The
 // Network itself is immutable after construction and safe for concurrent use;
-// per-call activation buffers come from an internal pool.
+// per-call activation, gradient, and kernel-scratch buffers come from an
+// internal pool, so the training loop is allocation-free in steady state.
 type Network struct {
 	layers  []Layer
 	offsets []int // parameter offset of each layer within the flat vector
@@ -21,12 +22,18 @@ type Network struct {
 }
 
 type workspace struct {
-	acts  [][]float64 // acts[0] aliases nothing; acts[i+1] = output of layer i
-	grads [][]float64 // activation gradients, same shapes as acts
+	acts    [][]float64 // acts[0] aliases nothing; acts[i+1] = output of layer i
+	grads   [][]float64 // activation gradients, same shapes as acts
+	scratch [][]float64 // per-layer kernel scratch (nil when the layer needs none)
 }
 
 // Sequential builds a network from layers and a loss, verifying that each
-// layer's input shape matches the previous layer's output shape.
+// layer's input shape matches the previous layer's output shape. A Conv2D
+// immediately followed by a ReLU is fused into one conv2d+relu layer: the
+// parameter layout, initialization stream, and every computed bit are
+// unchanged (the ReLU holds no parameters), but the pair costs one layer
+// slot, one workspace buffer, and one cache-warm in-place pass instead of
+// two.
 func Sequential(loss Loss, layers ...Layer) (*Network, error) {
 	if loss == nil {
 		return nil, fmt.Errorf("nn: nil loss")
@@ -34,8 +41,6 @@ func Sequential(loss Loss, layers ...Layer) (*Network, error) {
 	if len(layers) == 0 {
 		return nil, fmt.Errorf("nn: no layers")
 	}
-	offsets := make([]int, len(layers))
-	dim := 0
 	for i, l := range layers {
 		if i > 0 && layers[i-1].OutShape().Size() != l.InShape().Size() {
 			return nil, fmt.Errorf("nn: layer %d (%s) input %v does not match layer %d (%s) output %v",
@@ -46,24 +51,53 @@ func Sequential(loss Loss, layers ...Layer) (*Network, error) {
 				return nil, fmt.Errorf("nn: layer %d: %w", i, err)
 			}
 		}
+	}
+	fused := make([]Layer, 0, len(layers))
+	for i := 0; i < len(layers); i++ {
+		if i+1 < len(layers) {
+			if f := fuseConvReLU(layers[i], layers[i+1]); f != nil {
+				fused = append(fused, f)
+				i++
+				continue
+			}
+		}
+		fused = append(fused, layers[i])
+	}
+	offsets := make([]int, len(fused))
+	dim := 0
+	for i, l := range fused {
 		offsets[i] = dim
 		dim += l.ParamCount()
 	}
-	n := &Network{layers: layers, offsets: offsets, dim: dim, loss: loss}
+	n := &Network{layers: fused, offsets: offsets, dim: dim, loss: loss}
 	n.pool.New = func() any { return n.newWorkspace() }
 	return n, nil
 }
 
 func (n *Network) newWorkspace() *workspace {
 	ws := &workspace{
-		acts:  make([][]float64, len(n.layers)+1),
-		grads: make([][]float64, len(n.layers)+1),
+		acts:    make([][]float64, len(n.layers)+1),
+		grads:   make([][]float64, len(n.layers)+1),
+		scratch: make([][]float64, len(n.layers)),
 	}
 	ws.acts[0] = make([]float64, n.layers[0].InShape().Size())
 	ws.grads[0] = make([]float64, n.layers[0].InShape().Size())
 	for i, l := range n.layers {
 		ws.acts[i+1] = make([]float64, l.OutShape().Size())
 		ws.grads[i+1] = make([]float64, l.OutShape().Size())
+		if sl, ok := l.(scratchLayer); ok {
+			if sz := sl.ScratchSize(); sz > 0 {
+				ws.scratch[i] = make([]float64, sz)
+			}
+		}
+	}
+	return ws
+}
+
+func (n *Network) getWorkspace() *workspace {
+	ws, ok := n.pool.Get().(*workspace)
+	if !ok {
+		ws = n.newWorkspace()
 	}
 	return ws
 }
@@ -93,24 +127,35 @@ func (n *Network) layerParams(params tensor.Vector, i int) []float64 {
 	return params[n.offsets[i] : n.offsets[i]+n.layers[i].ParamCount()]
 }
 
+// checkForward validates the Forward/Predict argument lengths.
+func (n *Network) checkForward(params tensor.Vector, x []float64) error {
+	if len(params) != n.dim {
+		return fmt.Errorf("nn: %d params, want %d: %w", len(params), n.dim, tensor.ErrDimMismatch)
+	}
+	if len(x) != n.InputSize() {
+		return fmt.Errorf("nn: input %d, want %d: %w", len(x), n.InputSize(), tensor.ErrDimMismatch)
+	}
+	return nil
+}
+
+// forward runs the layer stack inside ws, leaving the output activation in
+// ws.acts[len(layers)].
+func (n *Network) forward(ws *workspace, params tensor.Vector, x []float64) {
+	copy(ws.acts[0], x)
+	for i, l := range n.layers {
+		l.Forward(n.layerParams(params, i), ws.acts[i], ws.acts[i+1], ws.scratch[i])
+	}
+}
+
 // Forward runs the network and returns the output activation. The returned
 // slice is freshly allocated and owned by the caller.
 func (n *Network) Forward(params tensor.Vector, x []float64) ([]float64, error) {
-	if len(params) != n.dim {
-		return nil, fmt.Errorf("nn: %d params, want %d: %w", len(params), n.dim, tensor.ErrDimMismatch)
+	if err := n.checkForward(params, x); err != nil {
+		return nil, err
 	}
-	if len(x) != n.InputSize() {
-		return nil, fmt.Errorf("nn: input %d, want %d: %w", len(x), n.InputSize(), tensor.ErrDimMismatch)
-	}
-	ws, ok := n.pool.Get().(*workspace)
-	if !ok {
-		ws = n.newWorkspace()
-	}
+	ws := n.getWorkspace()
 	defer n.pool.Put(ws)
-	copy(ws.acts[0], x)
-	for i, l := range n.layers {
-		l.Forward(n.layerParams(params, i), ws.acts[i], ws.acts[i+1])
-	}
+	n.forward(ws, params, x)
 	out := make([]float64, n.OutputSize())
 	copy(out, ws.acts[len(n.layers)])
 	return out, nil
@@ -124,37 +169,40 @@ func (n *Network) LossGrad(params tensor.Vector, x []float64, label int, grad te
 		return 0, fmt.Errorf("nn: params %d grad %d, want %d: %w",
 			len(params), len(grad), n.dim, tensor.ErrDimMismatch)
 	}
-	if len(x) != n.InputSize() {
-		return 0, fmt.Errorf("nn: input %d, want %d: %w", len(x), n.InputSize(), tensor.ErrDimMismatch)
+	if err := n.checkForward(params, x); err != nil {
+		return 0, err
 	}
 	if label < 0 || label >= n.OutputSize() {
 		return 0, fmt.Errorf("nn: label %d out of range [0,%d)", label, n.OutputSize())
 	}
-	ws, ok := n.pool.Get().(*workspace)
-	if !ok {
-		ws = n.newWorkspace()
-	}
+	ws := n.getWorkspace()
 	defer n.pool.Put(ws)
 
-	copy(ws.acts[0], x)
-	for i, l := range n.layers {
-		l.Forward(n.layerParams(params, i), ws.acts[i], ws.acts[i+1])
-	}
+	n.forward(ws, params, x)
 	last := len(n.layers)
 	loss := n.loss.LossGrad(ws.acts[last], label, ws.grads[last])
 	for i := len(n.layers) - 1; i >= 0; i-- {
 		l := n.layers[i]
 		gp := grad[n.offsets[i] : n.offsets[i]+l.ParamCount()]
-		l.Backward(n.layerParams(params, i), ws.acts[i], ws.grads[i+1], gp, ws.grads[i])
+		gi := ws.grads[i]
+		if i == 0 {
+			// Nothing consumes the input gradient; layers skip computing it.
+			gi = nil
+		}
+		l.Backward(n.layerParams(params, i), ws.acts[i], ws.acts[i+1],
+			ws.grads[i+1], gp, gi, ws.scratch[i])
 	}
 	return loss, nil
 }
 
-// Predict returns the argmax output class for x.
+// Predict returns the argmax output class for x without allocating: the
+// output activation stays inside the pooled workspace.
 func (n *Network) Predict(params tensor.Vector, x []float64) (int, error) {
-	out, err := n.Forward(params, x)
-	if err != nil {
+	if err := n.checkForward(params, x); err != nil {
 		return 0, err
 	}
-	return tensor.Vector(out).ArgMax(), nil
+	ws := n.getWorkspace()
+	defer n.pool.Put(ws)
+	n.forward(ws, params, x)
+	return tensor.Vector(ws.acts[len(n.layers)]).ArgMax(), nil
 }

@@ -4,11 +4,18 @@ import "hieradmo/internal/rng"
 
 // MaxPool2D is a 2×2 max pooling layer with stride 2. Odd trailing rows or
 // columns are dropped (floor semantics), matching common framework defaults.
+//
+// Forward records the argmax position of every window in scratch (one
+// float64-encoded plane index per output cell — exact for any realistic
+// plane size), so Backward is a pure scatter with no recomputation. Ties
+// route the gradient to the first maximal element in scan order, decided
+// once in Forward.
 type MaxPool2D struct {
 	in Shape3
 }
 
 var _ Layer = (*MaxPool2D)(nil)
+var _ scratchLayer = (*MaxPool2D)(nil)
 
 // NewMaxPool2D returns a 2×2/stride-2 max pool over inputs of shape in.
 func NewMaxPool2D(in Shape3) *MaxPool2D {
@@ -32,37 +39,45 @@ func (p *MaxPool2D) ParamCount() int { return 0 }
 // Init implements Layer (no parameters).
 func (p *MaxPool2D) Init(params []float64, r *rng.RNG) {}
 
+// ScratchSize implements scratchLayer: one saved argmax index per output
+// cell.
+func (p *MaxPool2D) ScratchSize() int { return p.OutShape().Size() }
+
 // Forward implements Layer.
-func (p *MaxPool2D) Forward(params, in, out []float64) {
+func (p *MaxPool2D) Forward(params, in, out, scratch []float64) {
 	outSh := p.OutShape()
 	planeIn := p.in.H * p.in.W
 	planeOut := outSh.H * outSh.W
 	for c := 0; c < p.in.C; c++ {
 		inPlane := in[c*planeIn : (c+1)*planeIn]
 		outPlane := out[c*planeOut : (c+1)*planeOut]
+		idxPlane := scratch[c*planeOut : (c+1)*planeOut]
 		for oy := 0; oy < outSh.H; oy++ {
+			base := 2 * oy * p.in.W
 			for ox := 0; ox < outSh.W; ox++ {
-				iy, ix := 2*oy, 2*ox
-				m := inPlane[iy*p.in.W+ix]
-				if v := inPlane[iy*p.in.W+ix+1]; v > m {
-					m = v
+				best := base + 2*ox
+				if idx := best + 1; inPlane[idx] > inPlane[best] {
+					best = idx
 				}
-				if v := inPlane[(iy+1)*p.in.W+ix]; v > m {
-					m = v
+				if idx := base + p.in.W + 2*ox; inPlane[idx] > inPlane[best] {
+					best = idx
 				}
-				if v := inPlane[(iy+1)*p.in.W+ix+1]; v > m {
-					m = v
+				if idx := base + p.in.W + 2*ox + 1; inPlane[idx] > inPlane[best] {
+					best = idx
 				}
-				outPlane[oy*outSh.W+ox] = m
+				outPlane[oy*outSh.W+ox] = inPlane[best]
+				idxPlane[oy*outSh.W+ox] = float64(best)
 			}
 		}
 	}
 }
 
-// Backward implements Layer. The max positions are recomputed from the saved
-// input so the layer stays stateless; ties route the gradient to the first
-// maximal element in scan order.
-func (p *MaxPool2D) Backward(params, in, gradOut, gradParams, gradIn []float64) {
+// Backward implements Layer: zero gradIn, then route each output gradient to
+// the window position Forward recorded in scratch.
+func (p *MaxPool2D) Backward(params, in, _, gradOut, gradParams, gradIn, scratch []float64) {
+	if gradIn == nil {
+		return
+	}
 	outSh := p.OutShape()
 	planeIn := p.in.H * p.in.W
 	planeOut := outSh.H * outSh.W
@@ -70,24 +85,11 @@ func (p *MaxPool2D) Backward(params, in, gradOut, gradParams, gradIn []float64) 
 		gradIn[i] = 0
 	}
 	for c := 0; c < p.in.C; c++ {
-		inPlane := in[c*planeIn : (c+1)*planeIn]
 		gInPlane := gradIn[c*planeIn : (c+1)*planeIn]
 		gOutPlane := gradOut[c*planeOut : (c+1)*planeOut]
-		for oy := 0; oy < outSh.H; oy++ {
-			for ox := 0; ox < outSh.W; ox++ {
-				iy, ix := 2*oy, 2*ox
-				best := iy*p.in.W + ix
-				if idx := iy*p.in.W + ix + 1; inPlane[idx] > inPlane[best] {
-					best = idx
-				}
-				if idx := (iy+1)*p.in.W + ix; inPlane[idx] > inPlane[best] {
-					best = idx
-				}
-				if idx := (iy+1)*p.in.W + ix + 1; inPlane[idx] > inPlane[best] {
-					best = idx
-				}
-				gInPlane[best] += gOutPlane[oy*outSh.W+ox]
-			}
+		idxPlane := scratch[c*planeOut : (c+1)*planeOut]
+		for o, g := range gOutPlane {
+			gInPlane[int(idxPlane[o])] += g
 		}
 	}
 }

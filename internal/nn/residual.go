@@ -1,51 +1,39 @@
 package nn
 
-import (
-	"sync"
-
-	"hieradmo/internal/rng"
-)
+import "hieradmo/internal/rng"
 
 // Residual is a ResNet-style basic block over a fixed channel count:
 //
 //	out = ReLU( conv2(ReLU(conv1(in))) + in )
 //
 // with both convolutions 3×3, padding 1, preserving the activation shape.
-// Parameters are conv1's block followed by conv2's block. Intermediate
-// activations are recomputed in Backward from the saved input so the layer
-// stays stateless; scratch buffers come from an internal pool to keep the
-// hot path allocation-free while remaining re-entrant.
+// Parameters are conv1's block followed by conv2's block. All working
+// storage comes from the caller's scratch region (ScratchSize), so the
+// layer owns no pool of its own and the whole network shares one workspace
+// per goroutine.
+//
+// Backward recomputes nothing: the branch activation r1 = ReLU(conv1(in))
+// and both convolutions' im2col patches survive in scratch from the matching
+// Forward call (see the persistence contract in layer.go), and the saved
+// output gates both ReLUs — out > 0 iff the skip sum was > 0, and r1 > 0 iff
+// conv1's pre-activation was > 0 for finite values. Bitwise identical to the
+// original double-recompute implementation.
 type Residual struct {
 	shape Shape3
 	conv1 *Conv2D
 	conv2 *Conv2D
-	pool  sync.Pool // *residualScratch
-}
-
-type residualScratch struct {
-	a1, r1, a2, gs, g1 []float64
 }
 
 var _ Layer = (*Residual)(nil)
+var _ scratchLayer = (*Residual)(nil)
 
 // NewResidual returns a basic residual block over activations of shape sh.
 func NewResidual(sh Shape3) *Residual {
-	l := &Residual{
+	return &Residual{
 		shape: sh,
 		conv1: NewConv2D(sh, sh.C, 3, 1),
 		conv2: NewConv2D(sh, sh.C, 3, 1),
 	}
-	size := sh.Size()
-	l.pool.New = func() any {
-		return &residualScratch{
-			a1: make([]float64, size),
-			r1: make([]float64, size),
-			a2: make([]float64, size),
-			gs: make([]float64, size),
-			g1: make([]float64, size),
-		}
-	}
-	return l
 }
 
 // Name implements Layer.
@@ -69,28 +57,28 @@ func (l *Residual) Init(params []float64, r *rng.RNG) {
 	l.conv2.Init(params[n1:], r)
 }
 
-func (l *Residual) scratch() *residualScratch {
-	s, ok := l.pool.Get().(*residualScratch)
-	if !ok {
-		s = l.pool.New().(*residualScratch)
-	}
-	return s
+// ScratchSize implements scratchLayer: three activation-sized planes (the
+// branch activation, the gated output gradient, the branch gradient) plus a
+// private scratch region per convolution, so both patch matrices survive
+// Forward for Backward to reuse.
+func (l *Residual) ScratchSize() int {
+	return 3*l.shape.Size() + l.conv1.ScratchSize() + l.conv2.ScratchSize()
 }
 
 // Forward implements Layer.
-func (l *Residual) Forward(params, in, out []float64) {
+func (l *Residual) Forward(params, in, out, scratch []float64) {
 	n1 := l.conv1.ParamCount()
-	s := l.scratch()
-	defer l.pool.Put(s)
-	l.conv1.Forward(params[:n1], in, s.a1)
-	for i, x := range s.a1 {
-		if x > 0 {
-			s.r1[i] = x
-		} else {
-			s.r1[i] = 0
+	size := l.shape.Size()
+	r1 := scratch[:size]
+	cs1 := scratch[3*size : 3*size+l.conv1.ScratchSize()]
+	cs2 := scratch[3*size+l.conv1.ScratchSize():]
+	l.conv1.Forward(params[:n1], in, r1, cs1)
+	for i, x := range r1 {
+		if !(x > 0) {
+			r1[i] = 0
 		}
 	}
-	l.conv2.Forward(params[n1:], s.r1, out)
+	l.conv2.Forward(params[n1:], r1, out, cs2)
 	for i := range out {
 		sum := out[i] + in[i]
 		if sum > 0 {
@@ -101,42 +89,40 @@ func (l *Residual) Forward(params, in, out []float64) {
 	}
 }
 
-// Backward implements Layer.
-func (l *Residual) Backward(params, in, gradOut, gradParams, gradIn []float64) {
+// Backward implements Layer. r1 (post-ReLU) still sits in scratch[:size] from
+// Forward, cs1 holds conv1's patch of in, and cs2 holds conv2's patch of r1 —
+// nothing is recomputed.
+func (l *Residual) Backward(params, in, out, gradOut, gradParams, gradIn, scratch []float64) {
 	n1 := l.conv1.ParamCount()
-	s := l.scratch()
-	defer l.pool.Put(s)
+	size := l.shape.Size()
+	r1 := scratch[:size]
+	gs := scratch[size : 2*size]
+	g1 := scratch[2*size : 3*size]
+	cs1 := scratch[3*size : 3*size+l.conv1.ScratchSize()]
+	cs2 := scratch[3*size+l.conv1.ScratchSize():]
 
-	l.conv1.Forward(params[:n1], in, s.a1)
-	for i, x := range s.a1 {
-		if x > 0 {
-			s.r1[i] = x
+	// Final ReLU gate off the saved output: out > 0 iff a2 + in > 0.
+	for i := range gs {
+		if out[i] > 0 {
+			gs[i] = gradOut[i]
 		} else {
-			s.r1[i] = 0
-		}
-	}
-	l.conv2.Forward(params[n1:], s.r1, s.a2)
-
-	// Final ReLU gate on the skip sum a2 + in.
-	for i := range s.gs {
-		if s.a2[i]+in[i] > 0 {
-			s.gs[i] = gradOut[i]
-		} else {
-			s.gs[i] = 0
+			gs[i] = 0
 		}
 	}
 
-	// Branch path: conv2, inner ReLU gate, conv1.
-	l.conv2.Backward(params[n1:], s.r1, s.gs, gradParams[n1:], s.g1)
-	for i := range s.g1 {
-		if s.a1[i] <= 0 {
-			s.g1[i] = 0
+	// Branch path: conv2, inner ReLU gate (r1 > 0 iff a1 > 0), conv1.
+	l.conv2.Backward(params[n1:], r1, nil, gs, gradParams[n1:], g1, cs2)
+	for i := range g1 {
+		if !(r1[i] > 0) {
+			g1[i] = 0
 		}
 	}
-	l.conv1.Backward(params[:n1], in, s.g1, gradParams[:n1], gradIn)
+	l.conv1.Backward(params[:n1], in, nil, g1, gradParams[:n1], gradIn, cs1)
 
 	// Skip path adds gs directly to the input gradient.
-	for i := range gradIn {
-		gradIn[i] += s.gs[i]
+	if gradIn != nil {
+		for i := range gradIn {
+			gradIn[i] += gs[i]
+		}
 	}
 }

@@ -1,0 +1,91 @@
+package tensor
+
+import (
+	"testing"
+
+	"hieradmo/internal/parallel"
+)
+
+func TestSlabAllocZeroedAndDisjoint(t *testing.T) {
+	s := GetSlab(Padded(5) + Padded(3) + Padded(8))
+	a := s.Alloc(5)
+	b := s.Alloc(3)
+	c := s.Alloc(8)
+	if len(a) != 5 || len(b) != 3 || len(c) != 8 {
+		t.Fatalf("lengths = %d/%d/%d", len(a), len(b), len(c))
+	}
+	for _, v := range [][]float64{a, b, c} {
+		for i, x := range v {
+			if x != 0 {
+				t.Fatalf("fresh slab vector not zeroed at %d: %v", i, x)
+			}
+		}
+	}
+	a.Fill(1)
+	b.Fill(2)
+	c.Fill(3)
+	if b[0] != 2 || c[0] != 3 {
+		t.Fatal("neighbouring allocations overlap")
+	}
+	// Capacity clamping: appending to a view must not bleed into c.
+	b = append(b, 99)
+	if c[0] != 3 {
+		t.Fatal("append to one view corrupted the next")
+	}
+	PutSlab(s)
+}
+
+func TestSlabReuseIsZeroed(t *testing.T) {
+	s := GetSlab(Padded(16))
+	s.Alloc(16).Fill(42)
+	PutSlab(s)
+	// The pool may or may not hand the same block back; either way the
+	// vectors must come out zeroed.
+	s2 := GetSlab(Padded(16))
+	v := s2.Alloc(16)
+	for i, x := range v {
+		if x != 0 {
+			t.Fatalf("recycled slab not zeroed at %d: %v", i, x)
+		}
+	}
+	PutSlab(s2)
+}
+
+func TestPaddedAlignsToCacheLine(t *testing.T) {
+	for n, want := range map[int]int{0: 0, 1: 8, 8: 8, 9: 16, 1500: 1504} {
+		if got := Padded(n); got != want {
+			t.Errorf("Padded(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+// TestSlabConcurrentVectors exercises the documented concurrency contract
+// under the race detector: distinct goroutines each own one slab-carved
+// vector and hammer it while others do the same.
+func TestSlabConcurrentVectors(t *testing.T) {
+	const workers, dim = 8, 1024
+	s := GetSlab(workers * Padded(dim))
+	vecs := make([]Vector, workers)
+	for i := range vecs {
+		vecs[i] = s.Alloc(dim)
+	}
+	if err := parallel.ForEach(len(vecs), func(i int) error {
+		v, seed := vecs[i], float64(i)
+		for iter := 0; iter < 50; iter++ {
+			for j := range v {
+				v[j] = seed + float64(j)
+			}
+			v.Scale(0.5)
+		}
+		return nil
+	}, parallel.WithWorkers(workers)); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range vecs {
+		want := float64(i) * 0.5
+		if v[0] != want {
+			t.Fatalf("worker %d vector clobbered: %v want %v", i, v[0], want)
+		}
+	}
+	PutSlab(s)
+}

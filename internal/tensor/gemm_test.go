@@ -1,0 +1,130 @@
+package tensor
+
+import (
+	"testing"
+
+	"hieradmo/internal/rng"
+)
+
+// naiveGEMMBias mirrors GEMMBias's documented reduction order with plain
+// scalar loops, so the test checks the blocked kernel bitwise, not within a
+// tolerance.
+func naiveGEMMBias(dst, a, b, bias []float64, m, n, k, kChunk int) {
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			acc := bias[i]
+			if kChunk > 0 {
+				for kc := 0; kc < k; kc += kChunk {
+					ke := kc + kChunk
+					if ke > k {
+						ke = k
+					}
+					var s float64
+					for kk := kc; kk < ke; kk++ {
+						s += a[i*k+kk] * b[kk*n+j]
+					}
+					acc += s
+				}
+			} else {
+				for kk := 0; kk < k; kk++ {
+					acc += a[i*k+kk] * b[kk*n+j]
+				}
+			}
+			dst[i*n+j] = acc
+		}
+	}
+}
+
+func fillRand(r *rng.RNG, v []float64) {
+	for i := range v {
+		v[i] = r.Norm()
+	}
+}
+
+func TestGEMMBiasMatchesScalarOrder(t *testing.T) {
+	r := rng.New(11)
+	for _, tc := range []struct{ m, n, k, kChunk int }{
+		{1, 1, 1, 0},
+		{1, 1, 1, 1},
+		{3, 4, 5, 0},
+		{3, 5, 6, 2},  // n not a multiple of the 4-wide block
+		{8, 64, 9, 9}, // conv-like: one chunk per input channel
+		{16, 16, 72, 9},
+		{2, 7, 10, 3}, // ragged final chunk
+		{4, 1, 12, 4}, // single column (the Dense n=1 path)
+	} {
+		a := make([]float64, tc.m*tc.k)
+		b := make([]float64, tc.k*tc.n)
+		bias := make([]float64, tc.m)
+		fillRand(r, a)
+		fillRand(r, b)
+		fillRand(r, bias)
+		got := make([]float64, tc.m*tc.n)
+		want := make([]float64, tc.m*tc.n)
+		GEMMBias(got, a, b, bias, tc.m, tc.n, tc.k, tc.kChunk)
+		naiveGEMMBias(want, a, b, bias, tc.m, tc.n, tc.k, tc.kChunk)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("%+v: dst[%d] = %x, want %x", tc, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestGEMMAddTransBAccumulates(t *testing.T) {
+	r := rng.New(23)
+	for _, tc := range []struct{ m, n, k int }{
+		{1, 1, 1},
+		{2, 3, 4},
+		{8, 72, 16}, // conv weight-gradient shape: outC × (inC·k·k) over P pixels
+		{3, 9, 5},   // n not a multiple of 4
+	} {
+		a := make([]float64, tc.m*tc.k)
+		b := make([]float64, tc.n*tc.k)
+		fillRand(r, a)
+		fillRand(r, b)
+		got := make([]float64, tc.m*tc.n)
+		want := make([]float64, tc.m*tc.n)
+		fillRand(r, got)
+		copy(want, got)
+		GEMMAddTransB(got, a, b, tc.m, tc.n, tc.k)
+		for i := 0; i < tc.m; i++ {
+			for j := 0; j < tc.n; j++ {
+				acc := want[i*tc.n+j]
+				for kk := 0; kk < tc.k; kk++ {
+					acc += a[i*tc.k+kk] * b[j*tc.k+kk]
+				}
+				want[i*tc.n+j] = acc
+			}
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("%+v: dst[%d] = %x, want %x", tc, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestGEMMZeroProductsAreIdentity pins the bit-identity contract the conv
+// path relies on: interleaving ±0 products (padding cells, zero gradients)
+// into a reduction never changes the accumulated bits, because chunk
+// accumulators start at +0.
+func TestGEMMZeroProductsAreIdentity(t *testing.T) {
+	// One row, chunked: chunk 0 = {-3·0, 0·5}, chunk 1 = {2·4, -2·4}
+	// (exact cancellation must give +0, keeping later adds bitwise stable).
+	a := []float64{-3, 0, 2, -2}
+	b := []float64{0, 5, 4, 4}
+	bias := []float64{1.5}
+	dst := make([]float64, 1)
+	GEMMBias(dst, a, []float64{b[0], b[1], b[2], b[3]}, bias, 1, 1, 4, 2)
+	// b laid out k×n with n=1: column vector — same slice.
+	if dst[0] != 1.5 {
+		t.Fatalf("dst = %v, want 1.5", dst[0])
+	}
+	// Dropping the zero-product terms entirely gives the same bits.
+	dst2 := make([]float64, 1)
+	GEMMBias(dst2, []float64{2, -2}, []float64{4, 4}, bias, 1, 1, 2, 2)
+	if dst[0] != dst2[0] {
+		t.Fatalf("zero products changed bits: %x vs %x", dst[0], dst2[0])
+	}
+}
