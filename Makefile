@@ -37,16 +37,19 @@ race:
 	$(GO) test -race -count=1 ./internal/cluster/... ./internal/transport/... \
 		./internal/checkpoint/... ./internal/parallel/... ./internal/core/... \
 		./internal/baseline/... ./internal/fl/... ./internal/nn/... \
-		./internal/tensor/... \
+		./internal/tensor/... ./internal/robust/... \
 		./internal/telemetry/... ./internal/membership/... ./cmd/tracecat/...
 
 ## fuzz: short-budget fuzzing of the byte-boundary decoders — the
 ## checkpoint snapshot reader, the telemetry JSONL trace reader, and the
 ## tracecat line parser — plus the conv-kernel equivalence target, which
 ## asserts the im2col/GEMM forward+backward stays bitwise identical to the
-## retained naive reference on fuzzer-chosen shapes and data. Every input
-## must yield a decoded value or a wrapped error, never a panic or an
-## unbounded allocation. Override with FUZZTIME=1m for longer runs.
+## retained naive reference on fuzzer-chosen shapes and data, and the
+## robust-aggregation targets, which assert median/trimmed-mean reject
+## (never propagate) non-finite reporter values on fuzzer-chosen cohorts.
+## Every input must yield a decoded value or a wrapped error, never a
+## panic or an unbounded allocation. Override with FUZZTIME=1m for longer
+## runs.
 FUZZTIME ?= 10s
 fuzz:
 	$(GO) test ./internal/checkpoint/ -fuzz FuzzOpenSnapshot -fuzztime $(FUZZTIME)
@@ -54,6 +57,8 @@ fuzz:
 	$(GO) test ./internal/telemetry/ -run '^$$' -fuzz FuzzReadTraceRoundTrip -fuzztime $(FUZZTIME)
 	$(GO) test ./cmd/tracecat/ -run '^$$' -fuzz FuzzParseLine -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/nn/ -run '^$$' -fuzz FuzzConvGEMMEquivalence -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/robust/ -run '^$$' -fuzz FuzzMedianAggregate -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/robust/ -run '^$$' -fuzz FuzzTrimmedMean -fuzztime $(FUZZTIME)
 
 ## recover: the crash-recovery integration suite — checkpoint format and
 ## corruption handling, bit-identical simulation resume, cluster

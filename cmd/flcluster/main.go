@@ -38,6 +38,18 @@
 // a churn run is bit-identical across reruns and transports:
 //
 //	flcluster -churn-plan "join:worker-0-1@3,leave:worker-1-0@9" -retier-every 2
+//
+// Byzantine robustness: -attack-plan injects deterministic adversarial
+// reports at the worker boundary (sign-flip, scaling, seeded noise, stale
+// replay) and -aggregator swaps the tier aggregation rule for a robust one
+// (median, trimmed mean, norm-clipping, cosine-outlier filter), per tier
+// if desired. The run prints an attack report with injected and rejected
+// counts; both knobs are pure functions of the flags, so Byzantine runs
+// replay bit-identically:
+//
+//	flcluster -attack-plan "signflip:worker-0-1@1" -aggregator median
+//	flcluster -attack-plan "noise:worker-1-0@2-6=0.5" \
+//	    -aggregator edge=trimmed,cloud=mean -trim 0.2
 package main
 
 import (
@@ -55,6 +67,7 @@ import (
 	"hieradmo/internal/experiment"
 	"hieradmo/internal/membership"
 	"hieradmo/internal/persist"
+	"hieradmo/internal/robust"
 	"hieradmo/internal/telemetry"
 	"hieradmo/internal/transport"
 )
@@ -122,6 +135,13 @@ func run(args []string, interrupt <-chan struct{}) error {
 		checkpointDir = fs.String("checkpoint-dir", "", "snapshot every node's state into this directory after each completed round (enables crash recovery)")
 		resume        = fs.Bool("resume", false, "reload the newest snapshots from -checkpoint-dir and continue the interrupted run")
 
+		attackSpec = fs.String("attack-plan", "", `Byzantine attack spec like "signflip:worker-0-1@1,noise:worker-1-0@2-6=0.5" (kinds: signflip|scale|noise|replay)`)
+		attackSeed = fs.Uint64("attack-seed", 1, "seed for the deterministic noise-attack draws")
+		aggregator = fs.String("aggregator", "mean", `aggregation rule (mean|median|trimmed|clip|cosine), or per tier like "edge=median,cloud=mean"`)
+		trim       = fs.Float64("trim", 0.2, "per-tail trim fraction for -aggregator trimmed, in [0, 0.5)")
+		clipNorm   = fs.Float64("clip", 10, "max L2 deviation norm for -aggregator clip")
+		cosMin     = fs.Float64("cos-min", 0, "minimum cosine against the cohort's median deviation for -aggregator cosine, in [-1, 1]")
+
 		churnSpec   = fs.String("churn-plan", "", `churn trace file, or inline spec like "join:worker-0-1@3,leave:worker-1-0@9"`)
 		retierEvery = fs.Int("retier-every", 0, "re-tier workers across edges every this many cloud syncs (0 disables)")
 		migration   = fs.String("migration", "zero", "gammaEdge migration policy on cohort change: zero|carry|rescale")
@@ -158,6 +178,17 @@ func run(args []string, interrupt <-chan struct{}) error {
 	}
 	if *verify && (churnPlan != nil || *retierEvery > 0) {
 		return fmt.Errorf("-verify requires a static hierarchy: the in-process simulation has no membership dynamics to compare against")
+	}
+	attackPlan, err := robust.ParsePlan(*attackSpec, *attackSeed)
+	if err != nil {
+		return err
+	}
+	edgeAgg, cloudAgg, err := robust.ParseTierSpecs(*aggregator, *trim, *clipNorm, *cosMin)
+	if err != nil {
+		return err
+	}
+	if *verify && (attackPlan != nil || edgeAgg.Robust() || cloudAgg.Robust()) {
+		return fmt.Errorf("-verify requires an undefended honest run: the in-process simulation has no attackers or robust aggregation to compare against")
 	}
 
 	var s experiment.Scale
@@ -222,6 +253,9 @@ func run(args []string, interrupt <-chan struct{}) error {
 		ChurnPlan:         churnPlan,
 		RetierEvery:       *retierEvery,
 		Migration:         migrate,
+		AttackPlan:        attackPlan,
+		EdgeAggregator:    edgeAgg,
+		CloudAggregator:   cloudAgg,
 	})
 	if err != nil {
 		return err
@@ -232,6 +266,9 @@ func run(args []string, interrupt <-chan struct{}) error {
 	}
 	if res.Membership != nil {
 		fmt.Println(res.Membership)
+	}
+	if res.AttackReport != nil {
+		fmt.Println(res.AttackReport)
 	}
 
 	if *verify {

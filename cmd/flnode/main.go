@@ -36,6 +36,12 @@
 //
 //	flnode -role worker -edge 0 -index 1 -registry reg.json \
 //	    -churn-plan "join:worker-0-1@3" -join
+//
+// Byzantine robustness: give every node the same -attack-plan /
+// -attack-seed / -aggregator flags and the deployment replays the same
+// adversarial scenario the single-process runtime would — attacking
+// workers corrupt their own outgoing reports, edges and the cloud apply
+// the selected robust rule to whatever arrives.
 package main
 
 import (
@@ -51,6 +57,7 @@ import (
 	"hieradmo/internal/experiment"
 	"hieradmo/internal/fl"
 	"hieradmo/internal/membership"
+	"hieradmo/internal/robust"
 	"hieradmo/internal/telemetry"
 	"hieradmo/internal/transport"
 )
@@ -115,6 +122,13 @@ func run(args []string, interrupt <-chan struct{}) error {
 		retierEvery = fs.Int("retier-every", 0, "re-tier workers across edges every this many cloud syncs (0 disables; must match across all nodes)")
 		migration   = fs.String("migration", "zero", "gammaEdge migration policy on cohort change: zero|carry|rescale (must match across all nodes)")
 		join        = fs.Bool("join", false, "require that the churn plan schedules this worker as a late joiner (worker role; the node then waits to be admitted mid-run)")
+
+		attackSpec = fs.String("attack-plan", "", `Byzantine attack spec like "signflip:worker-0-1@1" (kinds: signflip|scale|noise|replay; must match across all nodes)`)
+		attackSeed = fs.Uint64("attack-seed", 1, "seed for the deterministic noise-attack draws (must match across all nodes)")
+		aggregator = fs.String("aggregator", "mean", `aggregation rule (mean|median|trimmed|clip|cosine), or per tier like "edge=median,cloud=mean" (must match across all nodes)`)
+		trim       = fs.Float64("trim", 0.2, "per-tail trim fraction for -aggregator trimmed, in [0, 0.5) (must match across all nodes)")
+		clipNorm   = fs.Float64("clip", 10, "max L2 deviation norm for -aggregator clip (must match across all nodes)")
+		cosMin     = fs.Float64("cos-min", 0, "minimum cosine against the cohort's median deviation for -aggregator cosine, in [-1, 1] (must match across all nodes)")
 
 		traceOut    = fs.String("trace-out", "", "write this node's JSONL event trace to this path")
 		metricsAddr = fs.String("metrics-addr", "", `serve Prometheus /metrics and /debug/pprof on this address (e.g. "127.0.0.1:9090"; ":0" picks a port)`)
@@ -188,6 +202,14 @@ func run(args []string, interrupt <-chan struct{}) error {
 			return fmt.Errorf("-join: the churn plan schedules no late join for %s", ref.NodeID())
 		}
 	}
+	attackPlan, err := robust.ParsePlan(*attackSpec, *attackSeed)
+	if err != nil {
+		return err
+	}
+	edgeAgg, cloudAgg, err := robust.ParseTierSpecs(*aggregator, *trim, *clipNorm, *cosMin)
+	if err != nil {
+		return err
+	}
 	opts := cluster.Options{
 		Adaptive:          !*reduced,
 		MinQuorum:         *minQuorum,
@@ -200,6 +222,9 @@ func run(args []string, interrupt <-chan struct{}) error {
 		ChurnPlan:         churnPlan,
 		RetierEvery:       *retierEvery,
 		Migration:         migrate,
+		AttackPlan:        attackPlan,
+		EdgeAggregator:    edgeAgg,
+		CloudAggregator:   cloudAgg,
 	}
 
 	// listen opens this node's endpoint and mirrors its send retries onto
@@ -250,6 +275,9 @@ func runCloud(cfg *fl.Config, listen func(string) (transport.Endpoint, error), o
 	fmt.Println(res)
 	if res.Membership != nil {
 		fmt.Println(res.Membership)
+	}
+	if res.AttackReport != nil {
+		fmt.Println(res.AttackReport)
 	}
 	return nil
 }

@@ -187,6 +187,14 @@ func TestDefaultPolicyTable(t *testing.T) {
 		{"wirealloc", "hieradmo/internal/tensor", false},
 		{"nilsink", "hieradmo/internal/tensor", false},
 		{"nilsink", "hieradmo/internal/nn", false},
+		// The robust-aggregation package is pure sequential math on the
+		// aggregation hot path: the full determinism battery applies, and
+		// neither exemption class (wire decoders, telemetry internals) does.
+		{"detwall", "hieradmo/internal/robust", true},
+		{"maporder", "hieradmo/internal/robust", true},
+		{"goexec", "hieradmo/internal/robust", true},
+		{"wirealloc", "hieradmo/internal/robust", false},
+		{"nilsink", "hieradmo/internal/robust", false},
 		{"wirealloc", "hieradmo/internal/checkpoint", true},
 		{"wirealloc", "hieradmo/internal/persist", true},
 		{"wirealloc", "hieradmo/internal/transport", true},

@@ -8,6 +8,7 @@ import (
 	"hieradmo/internal/checkpoint"
 	"hieradmo/internal/fl"
 	"hieradmo/internal/model"
+	"hieradmo/internal/robust"
 	"hieradmo/internal/telemetry"
 	"hieradmo/internal/tensor"
 	"hieradmo/internal/transport"
@@ -46,6 +47,13 @@ type cloudNode struct {
 	// epoch is the membership epoch of the last snapshotted sync; persisted
 	// so a resume can verify it restores the adapted topology.
 	epoch int
+	// agg is the robust aggregation rule applied to edge reports, nil
+	// for plain mean (the original bit-exact CloudAverage path).
+	// prevY/prevX are its deviation references: cloudY/cloudX are both
+	// source and destination at a sync, so the previous values are
+	// copied out before the reduction.
+	agg          robust.Aggregator
+	prevY, prevX tensor.Vector
 }
 
 func newCloudNode(cfg *fl.Config, hn *fl.Harness, x0 tensor.Vector, ep transport.Endpoint, opts Options) *cloudNode {
@@ -65,6 +73,10 @@ func newCloudNode(cfg *fl.Config, hn *fl.Harness, x0 tensor.Vector, ep transport
 	for l := 0; l < numEdges; l++ {
 		c.lastY[l] = x0.Clone()
 		c.lastX[l] = x0.Clone()
+	}
+	if c.agg = newAggregator(opts.CloudAggregator); c.agg != nil {
+		c.prevY = tensor.NewVector(len(x0))
+		c.prevX = tensor.NewVector(len(x0))
 	}
 	return c
 }
@@ -185,7 +197,42 @@ func (c *cloudNode) run() (*fl.Result, error) {
 		if sink != nil {
 			syncStart = time.Now()
 		}
-		if c.memb != nil {
+		if c.agg != nil {
+			// Robust lines 18–19: reduce the edge reports under the
+			// configured rule. cloudY/cloudX are both previous state and
+			// destination, so the deviation references are copied out
+			// first.
+			ew := c.hn.EdgeWeights
+			if c.memb != nil {
+				ew = c.memb.sched.EdgeWeights(p * c.cfg.Pi)
+			}
+			if err := c.prevY.CopyFrom(c.cloudY); err != nil {
+				return nil, err
+			}
+			if err := c.prevX.CopyFrom(c.cloudX); err != nil {
+				return nil, err
+			}
+			st, err := c.agg.Aggregate(
+				[]tensor.Vector{c.cloudY, c.cloudX},
+				[]tensor.Vector{c.prevY, c.prevX},
+				ew,
+				[][]tensor.Vector{c.lastY, c.lastX})
+			if err != nil {
+				return nil, fmt.Errorf("cluster: cloud robust %s aggregation at sync %d: %w",
+					c.agg.Name(), p, err)
+			}
+			if len(st.Rejected) > 0 || len(st.Clipped) > 0 {
+				ids := make([]string, len(ew))
+				for l := range ids {
+					ids[l] = EdgeID(l)
+				}
+				c.rec.robust(CloudID, "cloud", p*c.cfg.Tau*c.cfg.Pi, st, ids)
+			}
+			weightedLoss = 0
+			for l, loss := range c.lastLoss {
+				weightedLoss += ew[l] * loss
+			}
+		} else if c.memb != nil {
 			// Lines 18–19 over the live membership: the same Dℓ/D weights as
 			// the harness, recomputed per epoch over live workers only.
 			ew := c.memb.sched.EdgeWeights(p * c.cfg.Pi)

@@ -10,6 +10,7 @@ import (
 	"hieradmo/internal/core"
 	"hieradmo/internal/fl"
 	"hieradmo/internal/membership"
+	"hieradmo/internal/robust"
 	"hieradmo/internal/telemetry"
 	"hieradmo/internal/transport"
 )
@@ -99,12 +100,59 @@ type Options struct {
 	// grace windows (default: the system clock). Tests use a fake clock so
 	// quorum-timing behavior doesn't depend on real sleep scaling.
 	Clock Clock
+
+	// AttackPlan injects deterministic Byzantine behaviour at the
+	// worker-report boundary (sign-flip, scale, noise, stale-replay; see
+	// internal/robust). Nil or empty attacks nobody. Attacks mutate what
+	// compromised workers send, never their local training state, and
+	// compose freely with transport fault plans and churn plans. Must
+	// match across every node of a multi-process run.
+	AttackPlan *robust.AttackPlan
+	// EdgeAggregator selects the aggregation rule edges apply to worker
+	// reports (default: plain weighted mean, the undefended HierAdMo
+	// rule — bit-identical to pre-robust builds).
+	EdgeAggregator robust.Spec
+	// CloudAggregator selects the aggregation rule the cloud applies to
+	// edge reports, independently of EdgeAggregator.
+	CloudAggregator robust.Spec
 }
 
 // churnEnabled reports whether this run has dynamic membership: a non-empty
 // churn plan or periodic re-tiering.
 func (o Options) churnEnabled() bool {
 	return (o.ChurnPlan != nil && !o.ChurnPlan.Empty()) || o.RetierEvery > 0
+}
+
+// robustEnabled reports whether this run departs from the undefended
+// baseline: a non-empty attack plan or a non-mean aggregator at either
+// tier. Baseline runs keep the original code paths (and checkpoint
+// fingerprints) untouched.
+func (o Options) robustEnabled() bool {
+	return !o.AttackPlan.Empty() || o.EdgeAggregator.Robust() || o.CloudAggregator.Robust()
+}
+
+// attackerFor returns the attack executor for node, or nil when the
+// run's plan never touches it (including plan-less runs).
+func (o Options) attackerFor(node string, nvec, dim int) *robust.Attacker {
+	if o.AttackPlan == nil {
+		return nil
+	}
+	return o.AttackPlan.Attacker(node, nvec, dim)
+}
+
+// newAggregator builds a tier's robust aggregator, or nil for plain
+// mean: the mean path keeps the tier's original WeightedSum arithmetic
+// so undefended runs are byte-identical to pre-robust builds. Specs are
+// vetted by Options.validate, so construction cannot fail here.
+func newAggregator(s robust.Spec) robust.Aggregator {
+	if !s.Robust() {
+		return nil
+	}
+	agg, err := robust.New(s)
+	if err != nil {
+		return nil
+	}
+	return agg
 }
 
 func (o Options) withDefaults() Options {
@@ -141,6 +189,15 @@ func (o Options) validate() error {
 	}
 	if o.Migration < membership.MigrateZero || o.Migration > membership.MigrateRescale {
 		return fmt.Errorf("cluster: unknown migration policy %d", o.Migration)
+	}
+	if err := o.AttackPlan.Validate(); err != nil {
+		return err
+	}
+	if err := o.EdgeAggregator.Validate(); err != nil {
+		return fmt.Errorf("cluster: edge aggregator: %w", err)
+	}
+	if err := o.CloudAggregator.Validate(); err != nil {
+		return fmt.Errorf("cluster: cloud aggregator: %w", err)
 	}
 	return nil
 }
@@ -343,6 +400,7 @@ func Run(cfg *fl.Config, net Network, opts Options) (*fl.Result, error) {
 	}
 	result.FaultReport = rec.report()
 	result.Membership = memb.flReport()
+	result.AttackReport = rec.attackReport(opts)
 	if sink := opts.Telemetry; sink.Tracing() {
 		sink.Emit("run_end",
 			telemetry.Float("final_acc", result.FinalAcc),

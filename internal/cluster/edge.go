@@ -10,6 +10,7 @@ import (
 	"hieradmo/internal/core"
 	"hieradmo/internal/fl"
 	"hieradmo/internal/membership"
+	"hieradmo/internal/robust"
 	"hieradmo/internal/telemetry"
 	"hieradmo/internal/tensor"
 	"hieradmo/internal/transport"
@@ -56,6 +57,9 @@ type edgeNode struct {
 	// epoch is the membership epoch of the last snapshotted round; persisted
 	// so a resume can verify it restores the adapted topology.
 	epoch int
+	// agg is the robust aggregation rule applied to worker reports, nil
+	// for plain mean (the original bit-exact WeightedSum path).
+	agg robust.Aggregator
 }
 
 func newEdgeNode(cfg *fl.Config, hn *fl.Harness, l int, x0 tensor.Vector, ep transport.Endpoint, opts Options) *edgeNode {
@@ -73,6 +77,7 @@ func newEdgeNode(cfg *fl.Config, hn *fl.Harness, l int, x0 tensor.Vector, ep tra
 		x0:         x0.Clone(),
 		lastLosses: make([]float64, len(cfg.Edges[l])),
 		lossRef:    make(map[membership.Ref]float64),
+		agg:        newAggregator(opts.EdgeAggregator),
 	}
 }
 
@@ -639,11 +644,31 @@ func (e *edgeNode) update(reports []transport.Message, idx []int, k int) error {
 		sink.Emit("edge_aggregate", fields...)
 	}
 
-	if err := tensor.WeightedSum(e.yMinus, weights, ys); err != nil { // line 11
-		return err
-	}
-	if err := tensor.WeightedSum(e.yPlusNext, weights, xs); err != nil { // line 12
-		return err
+	if e.agg == nil {
+		if err := tensor.WeightedSum(e.yMinus, weights, ys); err != nil { // line 11
+			return err
+		}
+		if err := tensor.WeightedSum(e.yPlusNext, weights, xs); err != nil { // line 12
+			return err
+		}
+	} else {
+		// Robust lines 11–12: the rule reduces the y and x streams
+		// together so a reporter rejected in one is rejected in both.
+		// Deviation references: lastY is the momentum redistributed at
+		// the previous boundary and xPlus still holds the previous model
+		// (line 13 below overwrites it only after the reduction).
+		st, err := e.agg.Aggregate(
+			[]tensor.Vector{e.yMinus, e.yPlusNext},
+			[]tensor.Vector{e.lastY, e.xPlus},
+			weights,
+			[][]tensor.Vector{ys, xs})
+		if err != nil {
+			return fmt.Errorf("cluster: edge %d robust %s aggregation at round %d: %w",
+				e.l, e.agg.Name(), k, err)
+		}
+		if len(st.Rejected) > 0 || len(st.Clipped) > 0 {
+			e.rec.robust(EdgeID(e.l), "edge", k*e.cfg.Tau, st, e.reporterIDs(idx, k))
+		}
 	}
 	if err := e.xPlus.CopyFrom(e.yPlusNext); err != nil { // line 13
 		return err
@@ -661,6 +686,25 @@ func (e *edgeNode) update(reports []transport.Message, idx []int, k int) error {
 		sink.M().EdgeAggSeconds.Observe(time.Since(aggStart).Seconds())
 	}
 	return nil
+}
+
+// reporterIDs maps the aggregation slots of idx (cohort positions) to
+// worker node IDs for robust-aggregation telemetry.
+func (e *edgeNode) reporterIDs(idx []int, k int) []string {
+	ids := make([]string, len(idx))
+	if e.memb != nil {
+		cohort := e.memb.sched.Cohort(k, e.l)
+		for j, i := range idx {
+			if i < len(cohort) {
+				ids[j] = WorkerID(cohort[i].Edge, cohort[i].Index)
+			}
+		}
+		return ids
+	}
+	for j, i := range idx {
+		ids[j] = WorkerID(e.l, i)
+	}
+	return ids
 }
 
 // cloudSync executes the edge side of lines 17–23: report to the cloud and

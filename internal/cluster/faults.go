@@ -4,6 +4,7 @@ import (
 	"sync"
 
 	"hieradmo/internal/fl"
+	"hieradmo/internal/robust"
 	"hieradmo/internal/telemetry"
 	"hieradmo/internal/transport"
 )
@@ -21,6 +22,7 @@ import (
 type faultRecorder struct {
 	mu   sync.Mutex
 	rep  fl.FaultReport
+	att  fl.AttackReport
 	sink *telemetry.Sink // nil-safe, accessed without mu
 }
 
@@ -200,6 +202,78 @@ func (r *faultRecorder) migrated(node string, t int, policy string, gamma float6
 	}
 }
 
+// injected records a Byzantine worker mutating its boundary report at
+// iteration t according to the run's attack plan. The injection is part
+// of the scenario, not a fault, so it accumulates into the AttackReport
+// rather than the FaultReport.
+func (r *faultRecorder) injected(node string, t int, kind string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	if r.att.Injected == nil {
+		r.att.Injected = make(map[string]int)
+	}
+	r.att.Injected[kind]++
+	r.mu.Unlock()
+	r.sink.M().AttackInjected.Inc()
+	if r.sink.Tracing() {
+		r.sink.Emit("attack_inject",
+			telemetry.String("node", node),
+			telemetry.Int("t", t),
+			telemetry.String("kind", kind))
+	}
+}
+
+// robust records what one robust aggregation did at node (an edge or the
+// cloud) for iteration t: every rejected reporter and every clipped
+// update becomes a counter bump and a trace event, so the telemetry
+// totals match the AttackReport exactly. ids maps the aggregation's
+// reporter slots to node IDs.
+func (r *faultRecorder) robust(node, tier string, t int, st robust.Stats, ids []string) {
+	if r == nil || (len(st.Rejected) == 0 && len(st.Clipped) == 0) {
+		return
+	}
+	r.mu.Lock()
+	if tier == "cloud" {
+		r.att.RejectedCloud += len(st.Rejected)
+	} else {
+		r.att.RejectedEdge += len(st.Rejected)
+	}
+	r.att.Clipped += len(st.Clipped)
+	r.mu.Unlock()
+	m := r.sink.M()
+	m.RobustRejected.Add(int64(len(st.Rejected)))
+	m.RobustClipped.Add(int64(len(st.Clipped)))
+	if len(st.Clipped) > 0 {
+		m.RobustClipNorm.Set(st.MaxNorm)
+	}
+	if !r.sink.Tracing() {
+		return
+	}
+	slot := func(j int) string {
+		if j < len(ids) {
+			return ids[j]
+		}
+		return ""
+	}
+	for _, j := range st.Rejected {
+		r.sink.Emit("robust_reject",
+			telemetry.String("node", node),
+			telemetry.String("tier", tier),
+			telemetry.Int("t", t),
+			telemetry.String("from", slot(j)))
+	}
+	for _, j := range st.Clipped {
+		r.sink.Emit("robust_clip",
+			telemetry.String("node", node),
+			telemetry.String("tier", tier),
+			telemetry.Int("t", t),
+			telemetry.String("from", slot(j)),
+			telemetry.Float("max_norm", st.MaxNorm))
+	}
+}
+
 // nodeError records the error of a node that dropped out of a run that kept
 // going.
 func (r *faultRecorder) nodeError(err error) {
@@ -235,5 +309,23 @@ func (r *faultRecorder) report() *fl.FaultReport {
 		return nil
 	}
 	rep := r.rep
+	return &rep
+}
+
+// attackReport returns the accumulated Byzantine-scenario report, or nil
+// for runs where the robust layer never engaged (no attacks injected,
+// nothing rejected or clipped, mean aggregation everywhere).
+func (r *faultRecorder) attackReport(opts Options) *fl.AttackReport {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.att.Any() && !opts.robustEnabled() {
+		return nil
+	}
+	rep := r.att
+	rep.EdgeAggregator = opts.EdgeAggregator.String()
+	rep.CloudAggregator = opts.CloudAggregator.String()
 	return &rep
 }

@@ -96,5 +96,9 @@ func RunCloudNode(cfg *fl.Config, ep transport.Endpoint, opts Options) (*fl.Resu
 	}
 	res.FaultReport = c.rec.report()
 	res.Membership = memb.flReport()
+	// In a multi-process deployment the cloud only sees its own tier:
+	// edge-tier rejections and worker-side injections live on those
+	// processes' sinks.
+	res.AttackReport = c.rec.attackReport(opts)
 	return res, nil
 }

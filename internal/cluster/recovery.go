@@ -89,6 +89,15 @@ func nodeRegistry(cfg *fl.Config, opts Options, nodeID string) (*checkpoint.Regi
 		fp += fmt.Sprintf(" churn=%s retier=%d migrate=%s",
 			plan.Signature(), opts.RetierEvery, opts.Migration)
 	}
+	if opts.robustEnabled() {
+		// Attack plan and aggregator choices shape the trajectory just
+		// like the algorithm options: resuming a Byzantine run under a
+		// different scenario is refused (checkpoint.ErrMismatch). The
+		// suffix is only added when the robust layer engages, so
+		// baseline snapshot families stay valid.
+		fp += fmt.Sprintf(" attack=%s agg-edge=%s agg-cloud=%s",
+			opts.AttackPlan.Signature(), opts.EdgeAggregator, opts.CloudAggregator)
+	}
 	return checkpoint.NewRegistry(mgr, fp), nil
 }
 

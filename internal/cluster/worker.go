@@ -9,6 +9,7 @@ import (
 	"hieradmo/internal/fl"
 	"hieradmo/internal/membership"
 	"hieradmo/internal/rng"
+	"hieradmo/internal/robust"
 	"hieradmo/internal/tensor"
 	"hieradmo/internal/transport"
 )
@@ -32,6 +33,9 @@ type workerNode struct {
 	reg     *checkpoint.Registry
 	memb    *membState
 	sampler *rng.RNG
+	// att mutates this worker's boundary reports when the run's attack
+	// plan marks it Byzantine; nil for honest workers.
+	att *robust.Attacker
 
 	x, y          tensor.Vector
 	gradSum, ySum tensor.Vector
@@ -54,6 +58,7 @@ func newWorkerNode(cfg *fl.Config, hn *fl.Harness, l, i int, x0 tensor.Vector, e
 		ep:      ep,
 		opts:    opts,
 		sampler: fl.WorkerSampler(cfg.Seed, l, i),
+		att:     opts.attackerFor(WorkerID(l, i), 4, len(x0)),
 		x:       x0.Clone(),
 		y:       x0.Clone(),
 		gradSum: tensor.NewVector(len(x0)),
@@ -78,6 +83,16 @@ func (w *workerNode) initCheckpoint() (int, error) {
 	reg.RNG("sampler", w.sampler)
 	reg.Float("lastLoss", &w.lastLoss)
 	reg.Int("syncedThrough", &w.syncedThrough)
+	if w.att != nil {
+		// The replay stash is the attacker's only mutable state; with it
+		// in the snapshot a resumed Byzantine worker re-sends exactly the
+		// bytes the uninterrupted run would have (the noise/flip/scale
+		// draws are already pure functions of seed, node, and round).
+		for ci, v := range w.att.PrevVectors() {
+			reg.Vector(fmt.Sprintf("attackPrev%d", ci), v)
+		}
+		reg.Int("attackPrevRound", w.att.PrevRoundPtr())
+	}
 	w.reg = reg
 	return restoreOrClear(reg, w.opts.Resume, w.opts.Telemetry, WorkerID(w.l, w.i))
 }
@@ -151,10 +166,24 @@ func (w *workerNode) run() error {
 			}
 			edge = EdgeID(l)
 		}
+		vecs := [][]float64{w.y, w.x, w.gradSum, w.ySum}
+		if w.att != nil {
+			// Byzantine boundary: the attack mutates only what goes on
+			// the wire — local training state stays honest, matching the
+			// compromised-client threat model (DESIGN.md §14).
+			mut, kind, hit, err := w.att.Apply(t/w.cfg.Tau, []tensor.Vector{w.y, w.x, w.gradSum, w.ySum})
+			if err != nil {
+				return fmt.Errorf("cluster: worker {%d,%d} attack: %w", w.i, w.l, err)
+			}
+			if hit {
+				w.rec.injected(WorkerID(w.l, w.i), t, kind)
+				vecs = [][]float64{mut[0], mut[1], mut[2], mut[3]}
+			}
+		}
 		report := transport.Message{
 			Kind:    KindEdgeReport,
 			Round:   t,
-			Vectors: [][]float64{w.y, w.x, w.gradSum, w.ySum},
+			Vectors: vecs,
 			Scalars: map[string]float64{ScalarLoss: w.lastLoss},
 		}
 		if err := w.ep.Send(edge, report); err != nil {

@@ -7,6 +7,7 @@ import (
 	"hieradmo/internal/dataset"
 	"hieradmo/internal/fl"
 	"hieradmo/internal/model"
+	"hieradmo/internal/robust"
 	"hieradmo/internal/tensor"
 )
 
@@ -70,6 +71,57 @@ func BenchmarkHierAdMoCNN(b *testing.B) {
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if _, err := New().Run(cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkRobustAggregate prices the Byzantine defenses against the
+// undefended mean on a realistic edge aggregation (8 reporters, 4096-dim
+// model, the two Algorithm-1 line-11/12 components). The robust rules are
+// slab-backed: after the first call every rule must run allocation-free,
+// so B/op and allocs/op are pinned at zero by the perf gate.
+func BenchmarkRobustAggregate(b *testing.B) {
+	const dim, n = 4096, 8
+	weights := make([]float64, n)
+	comps := make([][]tensor.Vector, 2)
+	for c := range comps {
+		comps[c] = make([]tensor.Vector, n)
+	}
+	for i := 0; i < n; i++ {
+		weights[i] = 1.0 / n
+		for c := range comps {
+			comps[c][i] = tensor.NewVector(dim)
+			for j := 0; j < dim; j++ {
+				comps[c][i][j] = float64((i+c)*dim+j%97) - 48
+			}
+		}
+	}
+	dsts := []tensor.Vector{tensor.NewVector(dim), tensor.NewVector(dim)}
+	prev := []tensor.Vector{tensor.NewVector(dim), tensor.NewVector(dim)}
+	for _, spec := range []robust.Spec{
+		{Kind: robust.Mean},
+		{Kind: robust.Median},
+		{Kind: robust.Trimmed, Trim: 0.25},
+		{Kind: robust.Clip, Clip: 100},
+		{Kind: robust.Cosine, CosMin: -0.5},
+	} {
+		b.Run(spec.String(), func(b *testing.B) {
+			agg, err := robust.New(spec)
+			if err != nil {
+				b.Fatal(err)
+			}
+			// Prime the aggregator's scratch slab so the measured loop is
+			// the steady state the cluster rounds run in.
+			if _, err := agg.Aggregate(dsts, prev, weights, comps); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := agg.Aggregate(dsts, prev, weights, comps); err != nil {
 					b.Fatal(err)
 				}
 			}

@@ -95,6 +95,7 @@ func Registry() map[string]Runner {
 		"gamma-trace":            RunGammaTrace,
 		"theory":                 RunTheoryBound,
 		"churn":                  RunChurn,
+		"byzantine":              RunByzantine,
 	}
 }
 
@@ -109,5 +110,6 @@ func ExperimentIDs() []string {
 		"ablation-signal", "ablation-clamp", "ablation-participation",
 		"ablation-arch", "dirichlet", "quantization", "gamma-trace", "theory",
 		"churn",
+		"byzantine",
 	}
 }

@@ -1,0 +1,88 @@
+package fl
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// AttackReport records a distributed run's Byzantine scenario: how many
+// adversarial updates were injected (by attack kind) and what the robust
+// aggregation layer did about them. A nil AttackReport on a Result means
+// the robust layer never engaged — no attack plan and plain mean
+// aggregation at both tiers.
+type AttackReport struct {
+	// Injected maps an attack kind (signflip, scale, noise, replay) to
+	// the number of boundary reports it mutated.
+	Injected map[string]int `json:",omitempty"`
+	// RejectedEdge counts worker reports excluded by edge-tier robust
+	// aggregation (non-finite values or cosine-filter outliers).
+	RejectedEdge int
+	// RejectedCloud counts edge reports excluded by cloud-tier robust
+	// aggregation.
+	RejectedCloud int
+	// Clipped counts updates whose deviation was norm-clipped before
+	// averaging.
+	Clipped int
+	// EdgeAggregator and CloudAggregator are the canonical names of the
+	// rules that ran at each tier (e.g. "median", "trimmed(0.2)").
+	EdgeAggregator  string
+	CloudAggregator string
+}
+
+// TotalInjected sums the injected-update counts over all attack kinds.
+func (a *AttackReport) TotalInjected() int {
+	if a == nil {
+		return 0
+	}
+	n := 0
+	for _, c := range a.Injected {
+		n += c
+	}
+	return n
+}
+
+// TotalRejected sums the rejections across both tiers.
+func (a *AttackReport) TotalRejected() int {
+	if a == nil {
+		return 0
+	}
+	return a.RejectedEdge + a.RejectedCloud
+}
+
+// Any reports whether the run saw at least one injection, rejection, or
+// clip.
+func (a *AttackReport) Any() bool {
+	if a == nil {
+		return false
+	}
+	return len(a.Injected) > 0 || a.RejectedEdge > 0 || a.RejectedCloud > 0 || a.Clipped > 0
+}
+
+// String renders a human-readable summary.
+func (a *AttackReport) String() string {
+	if a == nil {
+		return "no attack scenario"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "byzantine: aggregators edge=%s cloud=%s", a.EdgeAggregator, a.CloudAggregator)
+	if len(a.Injected) > 0 {
+		kinds := make([]string, 0, len(a.Injected))
+		for k := range a.Injected {
+			kinds = append(kinds, k)
+		}
+		sort.Strings(kinds)
+		parts := make([]string, len(kinds))
+		for i, k := range kinds {
+			parts[i] = fmt.Sprintf("%s(×%d)", k, a.Injected[k])
+		}
+		fmt.Fprintf(&b, "\n  injected updates (%d total): %s", a.TotalInjected(), strings.Join(parts, " "))
+	}
+	if a.RejectedEdge > 0 || a.RejectedCloud > 0 {
+		fmt.Fprintf(&b, "\n  rejected updates: %d at edges, %d at cloud", a.RejectedEdge, a.RejectedCloud)
+	}
+	if a.Clipped > 0 {
+		fmt.Fprintf(&b, "\n  clipped updates: %d", a.Clipped)
+	}
+	return b.String()
+}

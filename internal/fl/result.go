@@ -33,6 +33,11 @@ type Result struct {
 	// Membership summarizes planned churn and re-tiering for cluster runs
 	// with dynamic membership enabled; nil for static runs.
 	Membership *MembershipReport `json:",omitempty"`
+
+	// AttackReport summarizes injected Byzantine updates and robust
+	// aggregation decisions for cluster runs with the robust layer
+	// enabled; nil otherwise.
+	AttackReport *AttackReport `json:",omitempty"`
 }
 
 // AccuracyAt returns the recorded accuracy of the last curve point at or

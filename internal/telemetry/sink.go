@@ -50,6 +50,12 @@ type RunMetrics struct {
 	GammaMigrations     *Counter // fl_membership_gamma_migrations_total
 	MembershipEpoch     *Gauge   // fl_membership_epoch
 	LiveWorkers         *Gauge   // fl_membership_live_workers
+
+	// Byzantine robustness (attack injection and robust aggregation).
+	AttackInjected *Counter // fl_attack_injected_total
+	RobustRejected *Counter // fl_robust_rejected_total
+	RobustClipped  *Counter // fl_robust_clipped_total
+	RobustClipNorm *Gauge   // fl_robust_clip_norm
 }
 
 // noMetrics backs the nil-sink fast path: every field is nil, and nil
@@ -101,6 +107,11 @@ func NewRunMetrics(reg *Registry) *RunMetrics {
 		GammaMigrations:     reg.NewCounter("fl_membership_gamma_migrations_total", "Edge momentum migrations applied on cohort change."),
 		MembershipEpoch:     reg.NewGauge("fl_membership_epoch", "Membership epoch of the most recent cloud sync."),
 		LiveWorkers:         reg.NewGauge("fl_membership_live_workers", "Live workers at the most recent cloud sync."),
+
+		AttackInjected: reg.NewCounter("fl_attack_injected_total", "Byzantine boundary reports injected by the attack plan."),
+		RobustRejected: reg.NewCounter("fl_robust_rejected_total", "Reports excluded by robust aggregation (both tiers)."),
+		RobustClipped:  reg.NewCounter("fl_robust_clipped_total", "Updates norm-clipped by robust aggregation."),
+		RobustClipNorm: reg.NewGauge("fl_robust_clip_norm", "Largest pre-clip deviation norm in the most recent clipped aggregation."),
 	}
 }
 
