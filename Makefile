@@ -46,7 +46,10 @@ race:
 ## asserts the im2col/GEMM forward+backward stays bitwise identical to the
 ## retained naive reference on fuzzer-chosen shapes and data, and the
 ## robust-aggregation targets, which assert median/trimmed-mean reject
-## (never propagate) non-finite reporter values on fuzzer-chosen cohorts.
+## (never propagate) non-finite reporter values on fuzzer-chosen cohorts,
+## and the topology-spec parser, which must yield a tree or a typed error
+## (never a panic) on arbitrary spec strings, with String/Parse
+## round-tripping every accepted tree.
 ## Every input must yield a decoded value or a wrapped error, never a
 ## panic or an unbounded allocation. Override with FUZZTIME=1m for longer
 ## runs.
@@ -59,6 +62,7 @@ fuzz:
 	$(GO) test ./internal/nn/ -run '^$$' -fuzz FuzzConvGEMMEquivalence -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/robust/ -run '^$$' -fuzz FuzzMedianAggregate -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/robust/ -run '^$$' -fuzz FuzzTrimmedMean -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/topology/ -run '^$$' -fuzz FuzzParseTopology -fuzztime $(FUZZTIME)
 
 ## recover: the crash-recovery integration suite — checkpoint format and
 ## corruption handling, bit-identical simulation resume, cluster

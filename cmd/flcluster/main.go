@@ -50,6 +50,14 @@
 //	flcluster -attack-plan "signflip:worker-0-1@1" -aggregator median
 //	flcluster -attack-plan "noise:worker-1-0@2-6=0.5" \
 //	    -aggregator edge=trimmed,cloud=mean -trim 0.2
+//
+// N-tier topologies: -topology replaces the built-in cloud/edge/worker
+// triple with an arbitrary aggregation tree — depth, fan-out, per-level
+// sync periods τℓ, and per-level aggregation rules all come from the spec;
+// the training leaves regroup the workload's worker shards in order:
+//
+//	flcluster -model logistic \
+//	    -topology "cloud:tau=20/region*2:tau=10,agg=median/edge*2:tau=5/worker"
 package main
 
 import (
@@ -69,6 +77,7 @@ import (
 	"hieradmo/internal/persist"
 	"hieradmo/internal/robust"
 	"hieradmo/internal/telemetry"
+	"hieradmo/internal/topology"
 	"hieradmo/internal/transport"
 )
 
@@ -142,6 +151,8 @@ func run(args []string, interrupt <-chan struct{}) error {
 		clipNorm   = fs.Float64("clip", 10, "max L2 deviation norm for -aggregator clip")
 		cosMin     = fs.Float64("cos-min", 0, "minimum cosine against the cohort's median deviation for -aggregator cosine, in [-1, 1]")
 
+		topologySpec = fs.String("topology", "", `N-tier aggregation tree spec like "cloud:tau=20/region*2:tau=10,agg=median/edge*2:tau=5/worker" (empty = the built-in cloud/edge/worker triple; the tree's leaf count must equal the workload's workers)`)
+
 		churnSpec   = fs.String("churn-plan", "", `churn trace file, or inline spec like "join:worker-0-1@3,leave:worker-1-0@9"`)
 		retierEvery = fs.Int("retier-every", 0, "re-tier workers across edges every this many cloud syncs (0 disables)")
 		migration   = fs.String("migration", "zero", "gammaEdge migration policy on cohort change: zero|carry|rescale")
@@ -189,6 +200,15 @@ func run(args []string, interrupt <-chan struct{}) error {
 	}
 	if *verify && (attackPlan != nil || edgeAgg.Robust() || cloudAgg.Robust()) {
 		return fmt.Errorf("-verify requires an undefended honest run: the in-process simulation has no attackers or robust aggregation to compare against")
+	}
+	var topo *topology.Topology
+	if *topologySpec != "" {
+		if topo, err = topology.Parse(*topologySpec); err != nil {
+			return err
+		}
+		if *verify {
+			return fmt.Errorf("-verify only covers the built-in 3-tier runtime: the in-process simulation has no N-tier tree to compare against")
+		}
 	}
 
 	var s experiment.Scale
@@ -242,6 +262,9 @@ func run(args []string, interrupt <-chan struct{}) error {
 
 	fmt.Printf("distributed HierAdMo over %s: %d workers, %d edges, tau=%d pi=%d T=%d\n",
 		*transportName, cfg.NumWorkers(), cfg.NumEdges(), cfg.Tau, cfg.Pi, cfg.T)
+	if topo != nil {
+		fmt.Printf("topology: %s (depth %d, %d leaves)\n", topo, topo.Depth(), topo.NumLeaves())
+	}
 	res, err := cluster.Run(cfg, net, cluster.Options{
 		Adaptive:          !*reduced,
 		MinQuorum:         *minQuorum,
@@ -256,6 +279,7 @@ func run(args []string, interrupt <-chan struct{}) error {
 		AttackPlan:        attackPlan,
 		EdgeAggregator:    edgeAgg,
 		CloudAggregator:   cloudAgg,
+		Topology:          topo,
 	})
 	if err != nil {
 		return err

@@ -42,6 +42,16 @@
 // adversarial scenario the single-process runtime would — attacking
 // workers corrupt their own outgoing reports, edges and the cloud apply
 // the selected robust rule to whatever arrives.
+//
+// N-tier topologies: give every node the same -topology spec and launch one
+// "tier" role process per tree node, addressed by -level/-index; registry
+// keys are the spec's node IDs (name-index). Level 0 prints the result,
+// level depth-1 trains a leaf shard:
+//
+//	flnode -role tier -level 0 -index 0 -registry reg.json \
+//	    -topology "cloud:tau=20/edge*2:tau=10/worker*2"     # the root
+//	flnode -role tier -level 2 -index 3 -registry reg.json \
+//	    -topology "cloud:tau=20/edge*2:tau=10/worker*2"     # leaf worker-3
 package main
 
 import (
@@ -59,6 +69,7 @@ import (
 	"hieradmo/internal/membership"
 	"hieradmo/internal/robust"
 	"hieradmo/internal/telemetry"
+	"hieradmo/internal/topology"
 	"hieradmo/internal/transport"
 )
 
@@ -102,9 +113,11 @@ func installInterrupt(name string) <-chan struct{} {
 func run(args []string, interrupt <-chan struct{}) error {
 	fs := flag.NewFlagSet("flnode", flag.ContinueOnError)
 	var (
-		role          = fs.String("role", "", `node role: "cloud", "edge", or "worker"`)
+		role          = fs.String("role", "", `node role: "cloud", "edge", "worker", or "tier" (-topology deployments)`)
 		edgeIdx       = fs.Int("edge", 0, "edge index ℓ (edge and worker roles)")
-		workerIdx     = fs.Int("index", 0, "worker index i within the edge (worker role)")
+		workerIdx     = fs.Int("index", 0, "worker index i within the edge (worker role), or node index within the level (tier role)")
+		topologySpec  = fs.String("topology", "", `N-tier aggregation tree spec like "cloud:tau=20/edge*2:tau=10/worker*2" (tier role; must match across all nodes)`)
+		levelIdx      = fs.Int("level", 0, "tree level of this node, 0 = root (tier role)")
 		registryPath  = fs.String("registry", "", "path to the JSON node-ID → host:port registry")
 		datasetName   = fs.String("dataset", "mnist", "dataset: mnist|cifar10|imagenet|har")
 		modelName     = fs.String("model", "logistic", "model: linear|logistic|cnn|cnn-gap|vgg-mini|resnet-mini")
@@ -240,6 +253,36 @@ func run(args []string, interrupt <-chan struct{}) error {
 		return ep, nil
 	}
 
+	if *topologySpec != "" {
+		if *role != "tier" {
+			return fmt.Errorf("-topology deployments use -role tier (got %q)", *role)
+		}
+		topo, err := topology.Parse(*topologySpec)
+		if err != nil {
+			return err
+		}
+		opts.Topology = topo
+		if *levelIdx < 0 || *levelIdx >= topo.Depth() || *workerIdx < 0 || *workerIdx >= topo.Width(*levelIdx) {
+			return fmt.Errorf("no node at level %d index %d in topology %q", *levelIdx, *workerIdx, topo)
+		}
+		ep, err := listen(topo.NodeID(*levelIdx, *workerIdx))
+		if err != nil {
+			return err
+		}
+		defer ep.Close()
+		res, err := cluster.RunTreeNode(cfg, *levelIdx, *workerIdx, ep, opts)
+		if err != nil {
+			return err
+		}
+		if res != nil {
+			fmt.Println(res)
+			if res.AttackReport != nil {
+				fmt.Println(res.AttackReport)
+			}
+		}
+		return nil
+	}
+
 	switch *role {
 	case "cloud":
 		return runCloud(cfg, listen, opts)
@@ -257,8 +300,10 @@ func run(args []string, interrupt <-chan struct{}) error {
 		}
 		defer ep.Close()
 		return cluster.RunWorkerNode(cfg, *edgeIdx, *workerIdx, ep, opts)
+	case "tier":
+		return fmt.Errorf("-role tier requires -topology")
 	default:
-		return fmt.Errorf("unknown role %q (want cloud, edge, or worker)", *role)
+		return fmt.Errorf("unknown role %q (want cloud, edge, worker, or tier)", *role)
 	}
 }
 

@@ -195,6 +195,18 @@ func TestDefaultPolicyTable(t *testing.T) {
 		{"goexec", "hieradmo/internal/robust", true},
 		{"wirealloc", "hieradmo/internal/robust", false},
 		{"nilsink", "hieradmo/internal/robust", false},
+		// The topology package (tree-spec grammar + validation) is pure
+		// sequential parsing feeding the N-tier runtime's shape: the full
+		// determinism battery applies with no exemptions, and it decodes no
+		// wire bytes and holds no telemetry internals.
+		{"detwall", "hieradmo/internal/topology", true},
+		{"maporder", "hieradmo/internal/topology", true},
+		{"goexec", "hieradmo/internal/topology", true},
+		{"wirealloc", "hieradmo/internal/topology", false},
+		{"nilsink", "hieradmo/internal/topology", false},
+		// Same for the netsim tree environment that times those topologies.
+		{"detwall", "hieradmo/internal/netsim", true},
+		{"goexec", "hieradmo/internal/netsim", true},
 		{"wirealloc", "hieradmo/internal/checkpoint", true},
 		{"wirealloc", "hieradmo/internal/persist", true},
 		{"wirealloc", "hieradmo/internal/transport", true},

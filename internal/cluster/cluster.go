@@ -12,6 +12,7 @@ import (
 	"hieradmo/internal/membership"
 	"hieradmo/internal/robust"
 	"hieradmo/internal/telemetry"
+	"hieradmo/internal/topology"
 	"hieradmo/internal/transport"
 )
 
@@ -115,6 +116,19 @@ type Options struct {
 	// CloudAggregator selects the aggregation rule the cloud applies to
 	// edge reports, independently of EdgeAggregator.
 	CloudAggregator robust.Spec
+
+	// Topology, when non-nil, runs the config over an N-tier aggregation
+	// tree instead of the fixed cloud/edge/worker triple: per-level sync
+	// periods, per-level aggregation rules, and per-level momentum come
+	// from the spec (see internal/topology). The config's leaf shards
+	// (cfg.Edges flattened in order) are regrouped under the tree's
+	// fanout; its NumLeaves must equal cfg.NumWorkers(). Nil keeps the
+	// original 3-tier runtime untouched — byte-identical traces,
+	// checkpoints, and wire protocol. Tree runs do not yet compose with
+	// dynamic membership (ChurnPlan/RetierEvery) or with the 3-tier
+	// EdgeAggregator/CloudAggregator options (per-level rules live in the
+	// spec instead).
+	Topology *topology.Topology
 }
 
 // churnEnabled reports whether this run has dynamic membership: a non-empty
@@ -199,6 +213,14 @@ func (o Options) validate() error {
 	if err := o.CloudAggregator.Validate(); err != nil {
 		return fmt.Errorf("cluster: cloud aggregator: %w", err)
 	}
+	if o.Topology != nil {
+		if o.churnEnabled() {
+			return fmt.Errorf("cluster: Topology does not compose with dynamic membership")
+		}
+		if o.EdgeAggregator.Robust() || o.CloudAggregator.Robust() {
+			return fmt.Errorf("cluster: Topology runs configure aggregation per level in the spec, not via Edge/CloudAggregator")
+		}
+	}
 	return nil
 }
 
@@ -235,6 +257,9 @@ func Run(cfg *fl.Config, net Network, opts Options) (*fl.Result, error) {
 	}
 	if opts.Telemetry == nil {
 		opts.Telemetry = cfg.Telemetry
+	}
+	if opts.Topology != nil {
+		return runTree(cfg, net, opts)
 	}
 	hn, err := fl.NewHarness(cfg)
 	if err != nil {

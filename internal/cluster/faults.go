@@ -76,6 +76,39 @@ func (r *faultRecorder) missingEdges(t, n int) {
 	}
 }
 
+// missingTier records an N-tier aggregation at iteration t proceeding
+// without n of its children: leaf-parent quorums forfeit stragglers (the
+// edge semantics, counted under MissingWorkers), every other level
+// substitutes last reports (the cloud semantics, counted under
+// MissingEdges). The quorum trace event carries the level name and tier
+// index so depth-parametric runs stay attributable.
+func (r *faultRecorder) missingTier(level string, tier, t, n int, leaf bool) {
+	if r == nil || n == 0 {
+		return
+	}
+	r.mu.Lock()
+	if leaf {
+		r.rep.MissingWorkers[t] += n
+	} else {
+		r.rep.MissingEdges[t] += n
+	}
+	r.mu.Unlock()
+	m := r.sink.M()
+	m.QuorumMet.Inc()
+	if leaf {
+		m.QuorumMissingWorkers.Add(int64(n))
+	} else {
+		m.QuorumMissingEdges.Add(int64(n))
+	}
+	if r.sink.Tracing() {
+		r.sink.Emit("quorum",
+			telemetry.String("tier", level),
+			telemetry.Int("tier_index", tier),
+			telemetry.Int("t", t),
+			telemetry.Int("missing", n))
+	}
+}
+
 // duplicate records a rejected duplicate report observed by node.
 func (r *faultRecorder) duplicate(node string) {
 	if r == nil {
@@ -274,6 +307,61 @@ func (r *faultRecorder) robust(node, tier string, t int, st robust.Stats, ids []
 	}
 }
 
+// robustTier records what one robust aggregation did at a tree node: like
+// robust, but attributed to the node's tier index (and level name) instead
+// of the edge/cloud pair.
+func (r *faultRecorder) robustTier(node, level string, tier, t int, st robust.Stats, ids []string) {
+	if r == nil || (len(st.Rejected) == 0 && len(st.Clipped) == 0) {
+		return
+	}
+	r.mu.Lock()
+	if len(st.Rejected) > 0 {
+		if r.att.RejectedByTier == nil {
+			r.att.RejectedByTier = make(map[int]int)
+		}
+		r.att.RejectedByTier[tier] += len(st.Rejected)
+	}
+	if len(st.Clipped) > 0 {
+		if r.att.ClippedByTier == nil {
+			r.att.ClippedByTier = make(map[int]int)
+		}
+		r.att.ClippedByTier[tier] += len(st.Clipped)
+	}
+	r.mu.Unlock()
+	m := r.sink.M()
+	m.RobustRejected.Add(int64(len(st.Rejected)))
+	m.RobustClipped.Add(int64(len(st.Clipped)))
+	if len(st.Clipped) > 0 {
+		m.RobustClipNorm.Set(st.MaxNorm)
+	}
+	if !r.sink.Tracing() {
+		return
+	}
+	slot := func(j int) string {
+		if j < len(ids) {
+			return ids[j]
+		}
+		return ""
+	}
+	for _, j := range st.Rejected {
+		r.sink.Emit("robust_reject",
+			telemetry.String("node", node),
+			telemetry.String("tier", level),
+			telemetry.Int("tier_index", tier),
+			telemetry.Int("t", t),
+			telemetry.String("from", slot(j)))
+	}
+	for _, j := range st.Clipped {
+		r.sink.Emit("robust_clip",
+			telemetry.String("node", node),
+			telemetry.String("tier", level),
+			telemetry.Int("tier_index", tier),
+			telemetry.Int("t", t),
+			telemetry.String("from", slot(j)),
+			telemetry.Float("max_norm", st.MaxNorm))
+	}
+}
+
 // nodeError records the error of a node that dropped out of a run that kept
 // going.
 func (r *faultRecorder) nodeError(err error) {
@@ -327,5 +415,31 @@ func (r *faultRecorder) attackReport(opts Options) *fl.AttackReport {
 	rep := r.att
 	rep.EdgeAggregator = opts.EdgeAggregator.String()
 	rep.CloudAggregator = opts.CloudAggregator.String()
+	return &rep
+}
+
+// attackReportTree is the N-tier counterpart of attackReport: activity is
+// attributed by tier index and the per-level rules come from the topology
+// spec. Returns nil when no attack was injected and every level aggregates
+// with plain mean.
+func (r *faultRecorder) attackReportTree(opts Options) *fl.AttackReport {
+	if r == nil {
+		return nil
+	}
+	robustLevel := false
+	aggs := make([]string, 0, opts.Topology.Depth()-1)
+	for _, lv := range opts.Topology.Levels[:opts.Topology.Depth()-1] {
+		aggs = append(aggs, lv.Agg.String())
+		if lv.Agg.Robust() {
+			robustLevel = true
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.att.Any() && !robustLevel && opts.AttackPlan.Empty() {
+		return nil
+	}
+	rep := r.att
+	rep.TierAggregators = aggs
 	return &rep
 }

@@ -48,6 +48,18 @@ const (
 	// flattened (edge, index, newEdge) triples of moved workers so edges
 	// can cross-check their locally computed schedule.
 	KindReassign = "reassign"
+
+	// N-tier tree protocol (Options.Topology). The default 3-tier runtime
+	// keeps the kinds above untouched, so unchanged configs speak the exact
+	// pre-tree wire protocol.
+
+	// KindTierReport is child → parent at the child's parent-sync boundary:
+	// training leaves send [y, x, Σ∇F, Σy] and their latest mini-batch loss;
+	// aggregating levels send [y_ℓ−, x_ℓ+] and their weighted loss.
+	KindTierReport = "tier-report"
+	// KindTierUpdate is parent → child after an aggregation, carrying the
+	// level's [y_ℓ−, x_ℓ+].
+	KindTierUpdate = "tier-update"
 )
 
 // Scalar keys used in messages.

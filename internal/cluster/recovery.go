@@ -98,6 +98,13 @@ func nodeRegistry(cfg *fl.Config, opts Options, nodeID string) (*checkpoint.Regi
 		fp += fmt.Sprintf(" attack=%s agg-edge=%s agg-cloud=%s",
 			opts.AttackPlan.Signature(), opts.EdgeAggregator, opts.CloudAggregator)
 	}
+	if opts.Topology != nil {
+		// The canonical spec string pins the whole tree shape — depth,
+		// fan-out, per-level periods, rules, and momentum — so a snapshot
+		// can never be resumed under a different topology. Default 3-tier
+		// runs (nil Topology) keep their exact pre-tree fingerprints.
+		fp += " topology=" + opts.Topology.String()
+	}
 	return checkpoint.NewRegistry(mgr, fp), nil
 }
 

@@ -133,19 +133,6 @@ func TestClusterInterruptResume(t *testing.T) {
 		t.Fatal("interrupted run left no snapshots behind")
 	}
 
-	// Resuming under different algorithm options must be refused: those
-	// snapshots belong to a different trajectory. (Nodes that never got to
-	// save — here the cloud, killed in its first sync — have nothing to
-	// mismatch against and only learn of the refusal by losing their peers,
-	// so keep the failure path on a short timeout.)
-	wrong := opts
-	wrong.Resume = true
-	wrong.Ceiling = 0.5
-	wrong.RecvTimeout = deadlineScale * 500 * time.Millisecond
-	if _, err := Run(cfg, transport.NewMemoryNetwork(), wrong); !errors.Is(err, checkpoint.ErrMismatch) {
-		t.Fatalf("resume under changed options = %v, want wrapped checkpoint.ErrMismatch", err)
-	}
-
 	ropts := opts
 	ropts.Resume = true
 	res, err := Run(cfg, transport.NewMemoryNetwork(), ropts)
@@ -163,6 +150,20 @@ func TestClusterInterruptResume(t *testing.T) {
 		if res.Curve[i] != ref.Curve[i] {
 			t.Errorf("curve point %d: resumed %+v != reference %+v", i, res.Curve[i], ref.Curve[i])
 		}
+	}
+
+	// Resuming under different algorithm options must be refused: those
+	// snapshots belong to a different trajectory. Checked after the good
+	// resume, when every node has a snapshot to mismatch against instantly.
+	// Against the interrupted run's partial snapshot set, a subtree whose
+	// nodes all missed their first save can complete a round and overwrite
+	// good snapshots with wrong-options ones before the refusal propagates.
+	wrong := opts
+	wrong.Resume = true
+	wrong.Ceiling = 0.5
+	wrong.RecvTimeout = deadlineScale * 500 * time.Millisecond
+	if _, err := Run(cfg, transport.NewMemoryNetwork(), wrong); !errors.Is(err, checkpoint.ErrMismatch) {
+		t.Fatalf("resume under changed options = %v, want wrapped checkpoint.ErrMismatch", err)
 	}
 }
 

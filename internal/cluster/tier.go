@@ -1,0 +1,1209 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"hieradmo/internal/checkpoint"
+	"hieradmo/internal/core"
+	"hieradmo/internal/dataset"
+	"hieradmo/internal/fl"
+	"hieradmo/internal/model"
+	"hieradmo/internal/rng"
+	"hieradmo/internal/robust"
+	"hieradmo/internal/telemetry"
+	"hieradmo/internal/tensor"
+	"hieradmo/internal/topology"
+	"hieradmo/internal/transport"
+)
+
+// treeSpec is the precomputed static shape of an N-tier run, shared by every
+// node: the validated topology, the flattened leaf shards, the data-size
+// child weights of every aggregating node, and each level's resolved
+// momentum configuration. It is pure derived data — building one performs no
+// I/O and every process of a multi-process deployment derives the identical
+// spec from the shared config and topology.
+type treeSpec struct {
+	topo *topology.Topology
+	cfg  *fl.Config
+	// shards holds the training leaves' datasets, cfg.Edges flattened in
+	// order: the tree regroups the same shards under its own fanout.
+	shards []*dataset.Dataset
+	// weights[i][j][c] is the data weight of child c under node j of
+	// aggregating level i: the child subtree's sample count over the
+	// node's. At the leaf-parent these are exactly the harness
+	// WorkerWeights (D(i,ℓ)/Dℓ), and at the root over a 3-tier shape
+	// exactly the EdgeWeights (Dℓ/D), so matched shapes aggregate with
+	// bit-identical coefficients.
+	weights [][][]float64
+	// gamma[i]/adapt[i] are level i's resolved momentum factor and
+	// adaptive-γℓ toggle; momentum[i] marks levels that execute the
+	// Algorithm 1 line-13 momentum update at all. Non-momentum levels
+	// (γℓ = 0, not adaptive) keep the plain-average arithmetic of the
+	// original cloud, bit for bit.
+	gamma    []float64
+	adapt    []bool
+	momentum []bool
+}
+
+// newTreeSpec validates a topology against the run config and resolves the
+// per-level configuration.
+func newTreeSpec(cfg *fl.Config, opts Options) (*treeSpec, error) {
+	topo := opts.Topology
+	if err := topo.Validate(); err != nil {
+		return nil, err
+	}
+	if err := topo.AlignsWith(cfg.T); err != nil {
+		return nil, err
+	}
+	if topo.NumLeaves() != cfg.NumWorkers() {
+		return nil, fmt.Errorf("cluster: topology %q has %d leaves for %d configured workers",
+			topo, topo.NumLeaves(), cfg.NumWorkers())
+	}
+	ts := &treeSpec{topo: topo, cfg: cfg}
+	for _, edge := range cfg.Edges {
+		ts.shards = append(ts.shards, edge...)
+	}
+	depth := topo.Depth()
+	// Subtree sample counts, integer-exact, leaves up.
+	sizes := make([][]int, depth)
+	sizes[depth-1] = make([]int, len(ts.shards))
+	for j, shard := range ts.shards {
+		sizes[depth-1][j] = shard.Len()
+	}
+	for i := depth - 2; i >= 0; i-- {
+		fan := topo.Levels[i+1].Fanout
+		sizes[i] = make([]int, topo.Width(i))
+		for j := range sizes[i] {
+			for c := 0; c < fan; c++ {
+				sizes[i][j] += sizes[i+1][j*fan+c]
+			}
+		}
+	}
+	ts.weights = make([][][]float64, depth-1)
+	for i := 0; i < depth-1; i++ {
+		fan := topo.Levels[i+1].Fanout
+		ts.weights[i] = make([][]float64, topo.Width(i))
+		for j := range ts.weights[i] {
+			if sizes[i][j] == 0 {
+				return nil, fmt.Errorf("cluster: topology node %s covers no samples", topo.NodeID(i, j))
+			}
+			w := make([]float64, fan)
+			for c := range w {
+				w[c] = float64(sizes[i+1][j*fan+c]) / float64(sizes[i][j])
+			}
+			ts.weights[i][j] = w
+		}
+	}
+	lp := topo.LeafParent()
+	ts.gamma = make([]float64, depth-1)
+	ts.adapt = make([]bool, depth-1)
+	ts.momentum = make([]bool, depth-1)
+	for i := 0; i < depth-1; i++ {
+		lv := topo.Levels[i]
+		if lv.HasGamma {
+			ts.gamma[i] = lv.Gamma
+		} else if i == lp {
+			ts.gamma[i] = cfg.GammaEdge
+		}
+		if i == lp {
+			if lv.HasAdapt {
+				ts.adapt[i] = lv.Adapt
+			} else {
+				ts.adapt[i] = opts.Adaptive
+			}
+		}
+		ts.momentum[i] = ts.adapt[i] || ts.gamma[i] != 0
+	}
+	return ts, nil
+}
+
+func (ts *treeSpec) depth() int      { return ts.topo.Depth() }
+func (ts *treeSpec) leafParent() int { return ts.topo.LeafParent() }
+func (ts *treeSpec) tau(i int) int   { return ts.topo.Levels[i].Tau }
+
+// fanout returns the number of children per node at aggregating level i.
+func (ts *treeSpec) fanout(i int) int { return ts.topo.Levels[i+1].Fanout }
+
+// childID returns the transport ID of child c of node j at level i.
+func (ts *treeSpec) childID(i, j, c int) string {
+	return ts.topo.NodeID(i+1, j*ts.fanout(i)+c)
+}
+
+// parentID returns the transport ID of the parent of node j at level i.
+func (ts *treeSpec) parentID(i, j int) string {
+	return ts.topo.NodeID(i-1, j/ts.topo.Levels[i].Fanout)
+}
+
+// leafSampler keys the training leaf's mini-batch stream by its (parent,
+// position) coordinates, the tree generalization of the harness's (edge,
+// worker) keying: a 3-tier topology matching the config shape reproduces the
+// simulation's exact batch sequences.
+func (ts *treeSpec) leafSampler(j int) *rng.RNG {
+	fan := ts.fanout(ts.leafParent())
+	return fl.WorkerSampler(ts.cfg.Seed, j/fan, j%fan)
+}
+
+// tierNode is one aggregating node of an N-tier run, parameterized by its
+// level: it collects child reports every τℓ iterations, applies the level's
+// aggregation rule and momentum update, redistributes the result, and — on
+// every level but the root — synchronizes with its own parent every
+// τ_{ℓ−1}/τℓ rounds. The root additionally owns the accuracy curve and the
+// run Result.
+//
+// Two collection semantics exist, chosen by what the children are. The
+// leaf-parent level collects training-leaf reports and renormalizes data
+// weights over the survivors of a partial round — the original edge
+// behavior. Every other level's children are aggregators with durable state,
+// so a missing child's last report is substituted for at most one
+// consecutive round — the original cloud behavior. Matched 3-tier shapes
+// therefore execute the exact arithmetic of the role-specific cloud/edge
+// implementations, bit for bit.
+type tierNode struct {
+	cfg  *fl.Config
+	hn   *fl.Harness
+	ts   *treeSpec
+	lvl  int
+	idx  int
+	ep   transport.Endpoint
+	opts Options
+	rec  *faultRecorder
+	reg  *checkpoint.Registry
+
+	yMinus, yPlus, yPlusNext, xPlus tensor.Vector
+	// lastY is the state most recently redistributed to the children, the
+	// velocity-signal reference and the robust deviation reference at
+	// momentum levels.
+	lastY tensor.Vector
+	// x0 is the shared initialization, the gauge reference for the Σy
+	// adaptation signal.
+	x0 tensor.Vector
+	// lastLosses holds each child's most recently reported loss.
+	lastLosses []float64
+	// pending stashes reports from children running ahead of this node.
+	pending []transport.Message
+	// agg is the level's robust aggregation rule, nil for plain mean (the
+	// bit-exact WeightedSum path). prevY/prevX are the deviation references
+	// at non-momentum levels, where the previous state would otherwise be
+	// overwritten mid-reduction.
+	agg          robust.Aggregator
+	prevY, prevX tensor.Vector
+
+	// lastYRep/lastXRep/missStreak implement the substitution semantics at
+	// levels whose children are aggregators; nil at the leaf-parent.
+	lastYRep, lastXRep []tensor.Vector
+	missStreak         []int
+
+	// res and weightedLoss live on the root (res == nil elsewhere).
+	res          *fl.Result
+	weightedLoss float64
+}
+
+func newTierNode(cfg *fl.Config, hn *fl.Harness, ts *treeSpec, lvl, idx int, x0 tensor.Vector, ep transport.Endpoint, opts Options) *tierNode {
+	n := &tierNode{
+		cfg:        cfg,
+		hn:         hn,
+		ts:         ts,
+		lvl:        lvl,
+		idx:        idx,
+		ep:         ep,
+		opts:       opts,
+		yMinus:     x0.Clone(),
+		yPlus:      x0.Clone(),
+		yPlusNext:  tensor.NewVector(len(x0)),
+		xPlus:      x0.Clone(),
+		lastY:      x0.Clone(),
+		x0:         x0.Clone(),
+		lastLosses: make([]float64, ts.fanout(lvl)),
+	}
+	if lvl != ts.leafParent() {
+		fan := ts.fanout(lvl)
+		n.lastYRep = make([]tensor.Vector, fan)
+		n.lastXRep = make([]tensor.Vector, fan)
+		n.missStreak = make([]int, fan)
+		for c := 0; c < fan; c++ {
+			n.lastYRep[c] = x0.Clone()
+			n.lastXRep[c] = x0.Clone()
+		}
+	}
+	if n.agg = newAggregator(ts.topo.Levels[lvl].Agg); n.agg != nil && !ts.momentum[lvl] {
+		n.prevY = tensor.NewVector(len(x0))
+		n.prevX = tensor.NewVector(len(x0))
+	}
+	return n
+}
+
+func (n *tierNode) id() string { return n.ts.topo.NodeID(n.lvl, n.idx) }
+
+// childSlot resolves a sender ID to its position under this node.
+func (n *tierNode) childSlot(from string) (int, error) {
+	lvl, idx, err := n.ts.topo.ParseNodeID(from)
+	if err != nil {
+		return 0, fmt.Errorf("cluster: %v", err)
+	}
+	if lvl != n.lvl+1 {
+		return 0, fmt.Errorf("cluster: %s got a report from %q of level %d, want level %d",
+			n.id(), from, lvl, n.lvl+1)
+	}
+	pos := idx - n.idx*n.ts.fanout(n.lvl)
+	if pos < 0 || pos >= n.ts.fanout(n.lvl) {
+		return 0, fmt.Errorf("cluster: %s got a report from %q, another node's child", n.id(), from)
+	}
+	return pos, nil
+}
+
+// nvPerReport is the vector count a child report carries: training leaves
+// send their two accumulators alongside [y, x].
+func (n *tierNode) nvPerReport() int {
+	if n.lvl == n.ts.leafParent() {
+		return 4
+	}
+	return 2
+}
+
+// initCheckpoint binds the node's aggregation state to its snapshot registry
+// (the topology string is part of the fingerprint, so snapshots never cross
+// tree shapes) and applies the Resume option.
+func (n *tierNode) initCheckpoint() (int, error) {
+	reg, err := nodeRegistry(n.cfg, n.opts, n.id())
+	if err != nil || reg == nil {
+		return 0, err
+	}
+	reg.Vector("yMinus", n.yMinus)
+	reg.Vector("yPlus", n.yPlus)
+	reg.Vector("xPlus", n.xPlus)
+	reg.Vector("lastY", n.lastY)
+	reg.Vector("lastLosses", n.lastLosses)
+	for c := range n.lastYRep {
+		reg.Vector(fmt.Sprintf("lastY/%d", c), n.lastYRep[c])
+		reg.Vector(fmt.Sprintf("lastX/%d", c), n.lastXRep[c])
+		reg.Int(fmt.Sprintf("missStreak/%d", c), &n.missStreak[c])
+	}
+	if n.res != nil {
+		res := n.res
+		reg.Float("weightedLoss", &n.weightedLoss)
+		reg.Dynamic("curve",
+			func() []float64 {
+				flat := make([]float64, 0, 3*len(res.Curve))
+				for _, pt := range res.Curve {
+					flat = append(flat, float64(pt.Iter), pt.TestAcc, pt.TrainLoss)
+				}
+				return flat
+			},
+			func(flat []float64) error {
+				if len(flat)%3 != 0 {
+					return fmt.Errorf("curve holds %d values, not triples", len(flat))
+				}
+				curve := make([]fl.Point, 0, len(flat)/3)
+				for i := 0; i+2 < len(flat); i += 3 {
+					iter := int(flat[i])
+					if float64(iter) != flat[i] {
+						return fmt.Errorf("curve iteration %v is not an integer", flat[i])
+					}
+					curve = append(curve, fl.Point{Iter: iter, TestAcc: flat[i+1], TrainLoss: flat[i+2]})
+				}
+				res.Curve = curve
+				return nil
+			})
+	}
+	nv, dim := n.nvPerReport(), len(n.x0)
+	reg.Dynamic("pending",
+		func() []float64 {
+			return encodePending(n.pending, nv, dim, func(id string) (int, error) { return n.childSlot(id) })
+		},
+		func(flat []float64) error {
+			msgs, err := decodePending(flat, nv, dim, KindTierReport,
+				func(c int) string { return n.ts.childID(n.lvl, n.idx, c) })
+			if err != nil {
+				return err
+			}
+			n.pending = msgs
+			return nil
+		})
+	n.reg = reg
+	return restoreOrClear(reg, n.opts.Resume, n.opts.Telemetry, n.id())
+}
+
+// redistribute sends the round-k update to every child.
+func (n *tierNode) redistribute(k int) error {
+	update := transport.Message{
+		Kind:    KindTierUpdate,
+		Round:   k * n.ts.tau(n.lvl),
+		Vectors: [][]float64{n.yMinus, n.xPlus},
+	}
+	for c := 0; c < n.ts.fanout(n.lvl); c++ {
+		if err := n.ep.Send(n.ts.childID(n.lvl, n.idx, c), update); err != nil {
+			return fmt.Errorf("cluster: %s redistribute to child %d: %w", n.id(), c, err)
+		}
+	}
+	return nil
+}
+
+// run executes the node until T. The root returns the run Result; every
+// other level returns (nil, nil) on success.
+func (n *tierNode) run() (*fl.Result, error) {
+	tau := n.ts.tau(n.lvl)
+	numRounds := n.cfg.T / tau
+	if n.lvl == 0 {
+		name := "HierAdMo/tree"
+		if !n.ts.adapt[n.ts.leafParent()] {
+			name = "HierAdMo-R/tree"
+		}
+		n.res = n.hn.NewResult(name)
+	}
+	start, err := n.initCheckpoint()
+	if err != nil {
+		return nil, fmt.Errorf("cluster: %s: %w", n.id(), err)
+	}
+	if start > 0 {
+		// The snapshot precedes its round's redistribution, so re-send that
+		// round's update on resume: children already past it discard the
+		// duplicate as stale, children still waiting adopt it and catch up.
+		if err := n.redistribute(start); err != nil {
+			return nil, fmt.Errorf("cluster: %s resume: %w", n.id(), err)
+		}
+	}
+	for k := start + 1; k <= numRounds; k++ {
+		if interrupted(n.opts.Interrupt) {
+			return nil, fmt.Errorf("cluster: %s: %w", n.id(), ErrInterrupted)
+		}
+		adopted, reports, idx, err := n.collect(k)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: %s round %d: %w", n.id(), k, err)
+		}
+		if adopted > 0 {
+			// The parent completed round `adopted` while this node was still
+			// collecting: the adopted state supersedes this round's local
+			// aggregation, so rejoin at the adopted round.
+			n.rec.fastforward(n.id(), k*tau, adopted)
+			k = adopted / tau
+		} else {
+			if err := n.update(reports, idx, k); err != nil {
+				return nil, fmt.Errorf("cluster: %s round %d: %w", n.id(), k, err)
+			}
+			if n.lvl > 0 && k%n.ts.topo.SyncsPerParent(n.lvl) == 0 {
+				adopted, err := n.parentSync(k)
+				if err != nil {
+					return nil, fmt.Errorf("cluster: %s round %d: %w", n.id(), k, err)
+				}
+				if r := adopted / tau; r > k {
+					n.rec.fastforward(n.id(), k*tau, adopted)
+					k = r
+				}
+			}
+			if n.res != nil && k < numRounds && n.cfg.EvalEvery > 0 {
+				acc, err := model.Accuracy(n.cfg.Model, n.xPlus, n.hn.EvalSet())
+				if err != nil {
+					return nil, fmt.Errorf("cluster: %s eval round %d: %w", n.id(), k, err)
+				}
+				n.res.Curve = append(n.res.Curve, fl.Point{
+					Iter:      k * tau,
+					TestAcc:   acc,
+					TrainLoss: n.weightedLoss,
+				})
+				n.recordEval(k*tau, acc, n.weightedLoss, false)
+			}
+		}
+		// Settle lastY and snapshot BEFORE the redistribution, mirroring the
+		// 3-tier runtime: a resumed node re-sends the snapshotted round's
+		// update, so children can never be stranded waiting on one that died
+		// with this process.
+		if err := n.lastY.CopyFrom(n.yMinus); err != nil {
+			return nil, err
+		}
+		if err := saveSnapshot(n.reg, k, n.opts.Telemetry, n.id()); err != nil {
+			return nil, fmt.Errorf("cluster: %s round %d: %w", n.id(), k, err)
+		}
+		if err := n.redistribute(k); err != nil {
+			return nil, err
+		}
+	}
+	if n.res == nil {
+		return nil, nil
+	}
+	acc, err := model.Accuracy(n.cfg.Model, n.xPlus, n.cfg.Test)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: %s final eval: %w", n.id(), err)
+	}
+	n.res.FinalAcc = acc
+	n.res.FinalLoss = n.weightedLoss
+	n.res.Curve = append(n.res.Curve, fl.Point{Iter: n.cfg.T, TestAcc: acc, TrainLoss: n.weightedLoss})
+	n.recordEval(n.cfg.T, acc, n.weightedLoss, true)
+	return n.res, nil
+}
+
+// recordEval mirrors one root accuracy measurement onto the telemetry sink.
+func (n *tierNode) recordEval(t int, acc, loss float64, final bool) {
+	sink := n.opts.Telemetry
+	m := sink.M()
+	m.Evals.Inc()
+	m.TestAccuracy.Set(acc)
+	m.TrainLoss.Set(loss)
+	if sink.Tracing() {
+		sink.Emit("eval",
+			telemetry.Int("t", t),
+			telemetry.Float("acc", acc),
+			telemetry.Float("loss", loss),
+			telemetry.Bool("final", final))
+	}
+}
+
+// collect gathers the round-k child reports under the level's semantics. The
+// third/fourth results (report slots and sorted present indices) are only
+// used at the leaf-parent level; substitution levels adopt reports into
+// their standing lastYRep/lastXRep buffers instead. A positive first result
+// is the round of a parent update adopted mid-collect (the parent moved on
+// without this node); the caller fast-forwards to it.
+func (n *tierNode) collect(k int) (int, []transport.Message, []int, error) {
+	if n.lvl == n.ts.leafParent() {
+		return n.collectLeafReports(k)
+	}
+	adopted, err := n.collectSubstituted(k)
+	return adopted, nil, nil, err
+}
+
+// adoptParentUpdate handles a KindTierUpdate arriving while this node
+// collects child reports. An update for the current round or later means the
+// parent already completed a sync without this node: adopt it (tolerant mode
+// only) and return its round. Stale updates are counted and skipped.
+func (n *tierNode) adoptParentUpdate(msg transport.Message, want int) (int, error) {
+	if n.lvl > 0 && n.opts.tolerant() && msg.Round >= want && len(msg.Vectors) == 2 {
+		if err := n.yMinus.CopyFrom(msg.Vectors[0]); err != nil {
+			return 0, err
+		}
+		if err := n.xPlus.CopyFrom(msg.Vectors[1]); err != nil {
+			return 0, err
+		}
+		return msg.Round, nil
+	}
+	n.rec.stale(n.id())
+	return 0, nil
+}
+
+// collectLeafReports is the leaf-parent collection: the original edge
+// behavior. Strict mode requires the full cohort within RecvTimeout; quorum
+// mode grants stragglers StragglerDeadline of grace from quorum attainment,
+// then proceeds with the survivors. Duplicates and stale rounds are rejected
+// and counted; future-round reports (leaves that rode out a lost update) are
+// stashed in quorum mode.
+func (n *tierNode) collectLeafReports(k int) (int, []transport.Message, []int, error) {
+	numChildren := n.ts.fanout(n.lvl)
+	want := k * n.ts.tau(n.lvl)
+	quorum := numChildren
+	if n.opts.tolerant() {
+		quorum = quorumCount(n.opts.MinQuorum, numChildren)
+	}
+	reports := make([]transport.Message, numChildren)
+	seen := make([]bool, numChildren)
+	got := 0
+	if len(n.pending) > 0 {
+		keep := n.pending[:0]
+		for _, msg := range n.pending {
+			switch {
+			case msg.Round > want:
+				keep = append(keep, msg)
+			case msg.Round < want:
+				n.rec.stale(n.id())
+			default:
+				ok, err := n.admitLeafReport(msg, reports, seen)
+				if err != nil {
+					return 0, nil, nil, err
+				}
+				if ok {
+					got++
+				}
+			}
+		}
+		n.pending = keep
+	}
+	deadline := n.opts.now().Add(n.opts.RecvTimeout)
+	if n.opts.tolerant() {
+		deadline = deadline.Add(n.opts.StragglerDeadline)
+	}
+	var stragglerBy time.Time
+	for got < numChildren {
+		var wait time.Duration
+		if got >= quorum {
+			if stragglerBy.IsZero() {
+				stragglerBy = n.opts.now().Add(n.opts.StragglerDeadline)
+			}
+			wait = stragglerBy.Sub(n.opts.now())
+			if wait <= 0 {
+				break // quorum reached, stragglers forfeited this round
+			}
+		} else {
+			wait = deadline.Sub(n.opts.now())
+			if wait <= 0 {
+				return 0, nil, nil, fmt.Errorf("%d/%d reports (quorum %d): %w",
+					got, numChildren, quorum, transport.ErrTimeout)
+			}
+		}
+		msg, err := recvInterruptible(n.ep, wait, n.opts)
+		if err != nil {
+			if errors.Is(err, transport.ErrTimeout) {
+				continue
+			}
+			return 0, nil, nil, err
+		}
+		if msg.Kind == KindTierUpdate {
+			adopted, err := n.adoptParentUpdate(msg, want)
+			if err != nil || adopted > 0 {
+				return adopted, nil, nil, err
+			}
+			continue
+		}
+		if err := expectKind(msg, KindTierReport); err != nil {
+			return 0, nil, nil, err
+		}
+		if msg.Round < want {
+			n.rec.stale(n.id())
+			continue
+		}
+		if msg.Round > want {
+			if n.opts.tolerant() {
+				n.pending = append(n.pending, msg)
+				continue
+			}
+			return 0, nil, nil, fmt.Errorf("cluster: report from %q for future round %d (want %d)",
+				msg.From, msg.Round, want)
+		}
+		ok, err := n.admitLeafReport(msg, reports, seen)
+		if err != nil {
+			return 0, nil, nil, err
+		}
+		if ok {
+			got++
+		}
+	}
+	idx := make([]int, 0, got)
+	for i, ok := range seen {
+		if ok {
+			idx = append(idx, i)
+		}
+	}
+	n.rec.missingTier(n.ts.topo.Levels[n.lvl].Name, n.lvl, want, numChildren-got, true)
+	return 0, reports, idx, nil
+}
+
+// admitLeafReport validates one current-round leaf report and slots it.
+func (n *tierNode) admitLeafReport(msg transport.Message, reports []transport.Message, seen []bool) (bool, error) {
+	i, err := n.childSlot(msg.From)
+	if err != nil {
+		return false, err
+	}
+	if len(msg.Vectors) != 4 {
+		return false, fmt.Errorf("cluster: report from %q carries %d vectors, want 4",
+			msg.From, len(msg.Vectors))
+	}
+	if seen[i] {
+		n.rec.duplicate(n.id())
+		return false, nil
+	}
+	seen[i] = true
+	reports[i] = msg
+	n.lastLosses[i] = msg.Scalars[ScalarLoss]
+	return true, nil
+}
+
+// collectSubstituted is the collection at levels whose children are
+// aggregators: the original cloud behavior. Fresh reports land in the
+// standing lastYRep/lastXRep buffers; a missing child's previous state is
+// substituted for at most one consecutive round before the run fails fast.
+// The straggler window budgets one grace period per intervening child round
+// plus this node's own.
+func (n *tierNode) collectSubstituted(k int) (int, error) {
+	numChildren := n.ts.fanout(n.lvl)
+	want := k * n.ts.tau(n.lvl)
+	quorum := numChildren
+	if n.opts.tolerant() {
+		quorum = quorumCount(n.opts.MinQuorum, numChildren)
+	}
+	fresh := make([]bool, numChildren)
+	got := 0
+	if len(n.pending) > 0 {
+		keep := n.pending[:0]
+		for _, msg := range n.pending {
+			switch {
+			case msg.Round > want:
+				keep = append(keep, msg)
+			case msg.Round < want:
+				n.rec.stale(n.id())
+			default:
+				ok, err := n.admitSubReport(msg, fresh)
+				if err != nil {
+					return 0, err
+				}
+				if ok {
+					got++
+				}
+			}
+		}
+		n.pending = keep
+	}
+	deadline := n.opts.now().Add(n.opts.RecvTimeout)
+	if n.opts.tolerant() {
+		deadline = deadline.Add(n.opts.StragglerDeadline)
+	}
+	childRounds := n.ts.tau(n.lvl) / n.ts.tau(n.lvl+1)
+	var stragglerBy time.Time
+	for got < numChildren {
+		var wait time.Duration
+		if got >= quorum {
+			if stragglerBy.IsZero() {
+				stragglerBy = n.opts.now().Add(time.Duration(childRounds+1) * n.opts.StragglerDeadline)
+			}
+			wait = stragglerBy.Sub(n.opts.now())
+			if wait <= 0 {
+				break
+			}
+		} else {
+			wait = deadline.Sub(n.opts.now())
+			if wait <= 0 {
+				return 0, fmt.Errorf("%d/%d child reports (quorum %d): %w",
+					got, numChildren, quorum, transport.ErrTimeout)
+			}
+		}
+		msg, err := recvInterruptible(n.ep, wait, n.opts)
+		if err != nil {
+			if errors.Is(err, transport.ErrTimeout) {
+				continue
+			}
+			return 0, err
+		}
+		if msg.Kind == KindTierUpdate {
+			adopted, err := n.adoptParentUpdate(msg, want)
+			if err != nil || adopted > 0 {
+				return adopted, err
+			}
+			continue
+		}
+		if err := expectKind(msg, KindTierReport); err != nil {
+			return 0, err
+		}
+		if msg.Round < want {
+			n.rec.stale(n.id())
+			continue
+		}
+		if msg.Round > want {
+			if n.opts.tolerant() {
+				n.pending = append(n.pending, msg)
+				continue
+			}
+			return 0, fmt.Errorf("cluster: report from %q for future round %d (want %d)",
+				msg.From, msg.Round, want)
+		}
+		ok, err := n.admitSubReport(msg, fresh)
+		if err != nil {
+			return 0, err
+		}
+		if ok {
+			got++
+		}
+	}
+	missing := 0
+	for c, ok := range fresh {
+		if ok {
+			n.missStreak[c] = 0
+			continue
+		}
+		missing++
+		n.missStreak[c]++
+		if n.missStreak[c] > 1 {
+			return 0, fmt.Errorf("cluster: child %s missed %d consecutive rounds of %s: quorum unreachable: %w",
+				n.ts.childID(n.lvl, n.idx, c), n.missStreak[c], n.id(), transport.ErrTimeout)
+		}
+	}
+	n.rec.missingTier(n.ts.topo.Levels[n.lvl].Name, n.lvl, want, missing, false)
+	return 0, nil
+}
+
+// admitSubReport validates one current-round aggregator report and adopts
+// its state into the standing buffers (they are checkpoint-registered by
+// reference, so the backing arrays must keep holding the live state).
+func (n *tierNode) admitSubReport(msg transport.Message, fresh []bool) (bool, error) {
+	c, err := n.childSlot(msg.From)
+	if err != nil {
+		return false, err
+	}
+	if len(msg.Vectors) != 2 {
+		return false, fmt.Errorf("cluster: report from %q carries %d vectors, want 2",
+			msg.From, len(msg.Vectors))
+	}
+	if fresh[c] {
+		n.rec.duplicate(n.id())
+		return false, nil
+	}
+	fresh[c] = true
+	if err := n.lastYRep[c].CopyFrom(msg.Vectors[0]); err != nil {
+		return false, err
+	}
+	if err := n.lastXRep[c].CopyFrom(msg.Vectors[1]); err != nil {
+		return false, err
+	}
+	n.lastLosses[c] = msg.Scalars[ScalarLoss]
+	return true, nil
+}
+
+// update executes the level's aggregation for round k: the Algorithm 1
+// line 10–13 update at momentum levels (with optional γℓ adaptation at the
+// leaf-parent), or the plain line 18–19 average at non-momentum levels —
+// each the exact arithmetic of the original role it generalizes.
+func (n *tierNode) update(reports []transport.Message, idx []int, k int) error {
+	sink := n.opts.Telemetry
+	var aggStart time.Time
+	if sink != nil {
+		aggStart = time.Now()
+	}
+	full := n.ts.weights[n.lvl][n.idx]
+	leafP := n.lvl == n.ts.leafParent()
+	var (
+		weights         []float64
+		ys, xs          []tensor.Vector
+		gradSums, ySums []tensor.Vector
+		participants    int
+	)
+	if leafP {
+		weights = make([]float64, len(idx))
+		for j, i := range idx {
+			weights[j] = full[i]
+		}
+		// Renormalize only under a partial cohort: at full strength the
+		// data weights are used verbatim, bit-identical to the simulation.
+		if len(idx) < len(full) {
+			var wsum float64
+			for _, w := range weights {
+				wsum += w
+			}
+			for j := range weights {
+				weights[j] /= wsum
+			}
+		}
+		ys = make([]tensor.Vector, len(idx))
+		xs = make([]tensor.Vector, len(idx))
+		gradSums = make([]tensor.Vector, len(idx))
+		ySums = make([]tensor.Vector, len(idx))
+		for j, i := range idx {
+			msg := reports[i]
+			ys[j] = msg.Vectors[0]
+			xs[j] = msg.Vectors[1]
+			gradSums[j] = msg.Vectors[2]
+			ySums[j] = msg.Vectors[3]
+		}
+		participants = len(idx)
+	} else {
+		weights = full
+		ys, xs = n.lastYRep, n.lastXRep
+		participants = len(full)
+	}
+
+	gamma := n.ts.gamma[n.lvl]
+	var cosVal float64
+	adaptive := n.ts.adapt[n.lvl]
+	if adaptive {
+		signals := make([]tensor.Vector, len(ys))
+		if n.opts.Signal == core.SignalVelocity {
+			for j := range ys {
+				v := ys[j].Clone()
+				if err := v.Sub(n.lastY); err != nil {
+					return err
+				}
+				signals[j] = v
+			}
+		} else {
+			// Σy centred at the shared initialization, matching the
+			// simulation's gauge (see internal/core).
+			for j := range ySums {
+				centered := ySums[j].Clone()
+				if err := centered.AXPY(-float64(n.ts.tau(n.lvl)), n.x0); err != nil {
+					return err
+				}
+				signals[j] = centered
+			}
+		}
+		cos, err := core.EdgeCosine(weights, gradSums, signals)
+		if err != nil {
+			return err
+		}
+		cosVal = cos
+		gamma = core.ClampGamma(cos, n.opts.Ceiling)
+		if gamma == 0 {
+			sink.M().GammaZeroed.Inc()
+		}
+		sink.M().EdgeCosine.Set(cos)
+	}
+	if n.lvl == 0 {
+		sink.M().CloudSyncs.Inc()
+		sink.M().Round.Set(float64(k * n.ts.tau(0)))
+	} else {
+		sink.M().EdgeAggregations.Inc()
+	}
+	if leafP {
+		sink.M().GammaEdge.Set(gamma)
+	}
+	if sink.Tracing() {
+		fields := []telemetry.Field{
+			telemetry.Int("t", k*n.ts.tau(n.lvl)),
+			telemetry.Int("tier", n.lvl),
+			telemetry.String("level", n.ts.topo.Levels[n.lvl].Name),
+			telemetry.String("node", n.id()),
+			telemetry.Int("participants", participants),
+			telemetry.Float("gamma", gamma),
+		}
+		if adaptive {
+			fields = append(fields, telemetry.Float("cos", cosVal))
+		}
+		sink.Emit("tier_aggregate", fields...)
+	}
+
+	if n.agg == nil {
+		if err := tensor.WeightedSum(n.yMinus, weights, ys); err != nil {
+			return err
+		}
+		if err := tensor.WeightedSum(n.yPlusNext, weights, xs); err != nil {
+			return err
+		}
+	} else {
+		// The rule reduces the y and x streams together so a reporter
+		// rejected in one is rejected in both. Deviation references: at
+		// momentum levels, the state last redistributed (lastY) and the
+		// standing model (xPlus, overwritten only below); at non-momentum
+		// levels the previous aggregate is copied out first, since yMinus
+		// is both reference and destination.
+		refY, refX := n.lastY, n.xPlus
+		if !n.ts.momentum[n.lvl] {
+			if err := n.prevY.CopyFrom(n.yMinus); err != nil {
+				return err
+			}
+			if err := n.prevX.CopyFrom(n.xPlus); err != nil {
+				return err
+			}
+			refY, refX = n.prevY, n.prevX
+		}
+		st, err := n.agg.Aggregate(
+			[]tensor.Vector{n.yMinus, n.yPlusNext},
+			[]tensor.Vector{refY, refX},
+			weights,
+			[][]tensor.Vector{ys, xs})
+		if err != nil {
+			return fmt.Errorf("cluster: %s robust %s aggregation at round %d: %w",
+				n.id(), n.agg.Name(), k, err)
+		}
+		if len(st.Rejected) > 0 || len(st.Clipped) > 0 {
+			ids := make([]string, len(ys))
+			if leafP {
+				for j, i := range idx {
+					ids[j] = n.ts.childID(n.lvl, n.idx, i)
+				}
+			} else {
+				for c := range ids {
+					ids[c] = n.ts.childID(n.lvl, n.idx, c)
+				}
+			}
+			n.rec.robustTier(n.id(), n.ts.topo.Levels[n.lvl].Name, n.lvl,
+				k*n.ts.tau(n.lvl), st, ids)
+		}
+	}
+	if err := n.xPlus.CopyFrom(n.yPlusNext); err != nil {
+		return err
+	}
+	if n.ts.momentum[n.lvl] {
+		if err := n.xPlus.AXPY(gamma, n.yPlusNext); err != nil {
+			return err
+		}
+		if err := n.xPlus.AXPY(-gamma, n.yPlus); err != nil {
+			return err
+		}
+	}
+	if err := n.yPlus.CopyFrom(n.yPlusNext); err != nil {
+		return err
+	}
+	// The weighted loss over the full child weights: stragglers contribute
+	// their most recently reported value, exactly like the original tiers.
+	n.weightedLoss = 0
+	for c, loss := range n.lastLosses {
+		n.weightedLoss += full[c] * loss
+	}
+	if sink != nil {
+		if n.lvl == 0 {
+			sink.M().CloudSyncSeconds.Observe(time.Since(aggStart).Seconds())
+		} else {
+			sink.M().EdgeAggSeconds.Observe(time.Since(aggStart).Seconds())
+		}
+	}
+	return nil
+}
+
+// parentSync reports [y_ℓ−, x_ℓ+] and the level's weighted loss to the
+// parent at a boundary round, then adopts the parent's update. In quorum
+// mode a lost update is ridden out, or — if a later round's update arrives —
+// adopted from there; the returned round lets the caller fast-forward.
+func (n *tierNode) parentSync(k int) (int, error) {
+	want := k * n.ts.tau(n.lvl)
+	report := transport.Message{
+		Kind:    KindTierReport,
+		Round:   want,
+		Vectors: [][]float64{n.yMinus, n.xPlus},
+		Scalars: map[string]float64{ScalarLoss: n.weightedLoss},
+	}
+	parent := n.ts.parentID(n.lvl, n.idx)
+	if err := n.ep.Send(parent, report); err != nil {
+		return 0, err
+	}
+	deadline := n.opts.now().Add(n.opts.RecvTimeout)
+	for {
+		wait := deadline.Sub(n.opts.now())
+		if wait <= 0 {
+			if n.opts.tolerant() {
+				// Ride it out: keep local state for this sync; the parent
+				// substitutes this node's last report and the next sync
+				// reconverges both sides.
+				n.rec.timeout(n.id())
+				return 0, nil
+			}
+			return 0, fmt.Errorf("parent update: %w", transport.ErrTimeout)
+		}
+		msg, err := recvInterruptible(n.ep, wait, n.opts)
+		if err != nil {
+			if errors.Is(err, transport.ErrTimeout) {
+				continue
+			}
+			return 0, err
+		}
+		// Straggler reports from the round this node already closed can
+		// still trickle in while it waits on its parent.
+		if msg.Kind == KindTierReport {
+			n.rec.stale(n.id())
+			continue
+		}
+		if err := expectKind(msg, KindTierUpdate); err != nil {
+			return 0, err
+		}
+		if msg.Round < want {
+			n.rec.stale(n.id())
+			continue
+		}
+		if len(msg.Vectors) != 2 {
+			return 0, fmt.Errorf("cluster: parent update carries %d vectors, want 2", len(msg.Vectors))
+		}
+		if err := n.yMinus.CopyFrom(msg.Vectors[0]); err != nil {
+			return 0, err
+		}
+		return msg.Round, n.xPlus.CopyFrom(msg.Vectors[1])
+	}
+}
+
+// treeLeaf is one training leaf of an N-tier run: the exact worker NAG of
+// the 3-tier runtime (Algorithm 1 lines 5–6), reporting its interval state
+// to its parent every leaf-parent period.
+type treeLeaf struct {
+	cfg     *fl.Config
+	ts      *treeSpec
+	j       int // global leaf index
+	shard   *dataset.Dataset
+	ep      transport.Endpoint
+	opts    Options
+	rec     *faultRecorder
+	reg     *checkpoint.Registry
+	sampler *rng.RNG
+	att     *robust.Attacker
+
+	x, y          tensor.Vector
+	gradSum, ySum tensor.Vector
+	grad          tensor.Vector
+	lastLoss      float64
+	syncedThrough int
+}
+
+func newTreeLeaf(cfg *fl.Config, ts *treeSpec, j int, x0 tensor.Vector, ep transport.Endpoint, opts Options) *treeLeaf {
+	return &treeLeaf{
+		cfg:     cfg,
+		ts:      ts,
+		j:       j,
+		shard:   ts.shards[j],
+		ep:      ep,
+		opts:    opts,
+		sampler: ts.leafSampler(j),
+		att:     opts.attackerFor(ts.topo.NodeID(ts.depth()-1, j), 4, len(x0)),
+		x:       x0.Clone(),
+		y:       x0.Clone(),
+		gradSum: tensor.NewVector(len(x0)),
+		ySum:    tensor.NewVector(len(x0)),
+		grad:    tensor.NewVector(len(x0)),
+	}
+}
+
+func (w *treeLeaf) id() string { return w.ts.topo.NodeID(w.ts.depth()-1, w.j) }
+
+func (w *treeLeaf) initCheckpoint() (int, error) {
+	reg, err := nodeRegistry(w.cfg, w.opts, w.id())
+	if err != nil || reg == nil {
+		return 0, err
+	}
+	reg.Vector("x", w.x)
+	reg.Vector("y", w.y)
+	reg.Vector("gradSum", w.gradSum)
+	reg.Vector("ySum", w.ySum)
+	reg.RNG("sampler", w.sampler)
+	reg.Float("lastLoss", &w.lastLoss)
+	reg.Int("syncedThrough", &w.syncedThrough)
+	if w.att != nil {
+		for ci, v := range w.att.PrevVectors() {
+			reg.Vector(fmt.Sprintf("attackPrev%d", ci), v)
+		}
+		reg.Int("attackPrevRound", w.att.PrevRoundPtr())
+	}
+	w.reg = reg
+	return restoreOrClear(reg, w.opts.Resume, w.opts.Telemetry, w.id())
+}
+
+func (w *treeLeaf) run() error {
+	start, err := w.initCheckpoint()
+	if err != nil {
+		return fmt.Errorf("cluster: %s: %w", w.id(), err)
+	}
+	bTau := w.ts.tau(w.ts.leafParent())
+	parent := w.ts.parentID(w.ts.depth()-1, w.j)
+	for t := start + 1; t <= w.cfg.T; t++ {
+		if interrupted(w.opts.Interrupt) {
+			if err := saveSnapshot(w.reg, t-1, w.opts.Telemetry, w.id()); err != nil {
+				return fmt.Errorf("cluster: %s: %w", w.id(), err)
+			}
+			return fmt.Errorf("cluster: %s: %w", w.id(), ErrInterrupted)
+		}
+		if err := w.step(); err != nil {
+			return fmt.Errorf("cluster: %s t=%d: %w", w.id(), t, err)
+		}
+		if t%bTau != 0 {
+			continue
+		}
+		if t <= w.syncedThrough {
+			// The last adopted update already covers this round; the parent
+			// would reject a report for it as stale.
+			if err := saveSnapshot(w.reg, t, w.opts.Telemetry, w.id()); err != nil {
+				return fmt.Errorf("cluster: %s: %w", w.id(), err)
+			}
+			continue
+		}
+		vecs := [][]float64{w.y, w.x, w.gradSum, w.ySum}
+		if w.att != nil {
+			// Byzantine boundary: the attack mutates only what goes on the
+			// wire — local training state stays honest (DESIGN.md §14).
+			mut, kind, hit, err := w.att.Apply(t/bTau, []tensor.Vector{w.y, w.x, w.gradSum, w.ySum})
+			if err != nil {
+				return fmt.Errorf("cluster: %s attack: %w", w.id(), err)
+			}
+			if hit {
+				w.rec.injected(w.id(), t, kind)
+				vecs = [][]float64{mut[0], mut[1], mut[2], mut[3]}
+			}
+		}
+		report := transport.Message{
+			Kind:    KindTierReport,
+			Round:   t,
+			Vectors: vecs,
+			Scalars: map[string]float64{ScalarLoss: w.lastLoss},
+		}
+		if err := w.ep.Send(parent, report); err != nil {
+			return fmt.Errorf("cluster: %s report: %w", w.id(), err)
+		}
+		if err := w.awaitUpdate(t); err != nil {
+			return err
+		}
+		// Snapshot after the boundary settles; an interrupt inside
+		// awaitUpdate deliberately skips this save so the resumed leaf
+		// replays the interval and re-sends the report, bit-identical to an
+		// uninterrupted run.
+		if err := saveSnapshot(w.reg, t, w.opts.Telemetry, w.id()); err != nil {
+			return fmt.Errorf("cluster: %s: %w", w.id(), err)
+		}
+	}
+	return nil
+}
+
+// awaitUpdate blocks for the parent's redistributed [y, x] after the report
+// at iteration t; the semantics mirror the 3-tier worker exactly (stale
+// skipped, later rounds fast-forwarded to, timeouts ridden out in quorum
+// mode).
+func (w *treeLeaf) awaitUpdate(t int) error {
+	deadline := w.opts.now().Add(w.opts.RecvTimeout)
+	for {
+		wait := deadline.Sub(w.opts.now())
+		if wait <= 0 {
+			if w.opts.tolerant() {
+				w.rec.timeout(w.id())
+				return nil
+			}
+			return fmt.Errorf("cluster: %s await update: %w", w.id(), transport.ErrTimeout)
+		}
+		msg, err := recvInterruptible(w.ep, wait, w.opts)
+		if err != nil {
+			if errors.Is(err, transport.ErrTimeout) {
+				continue
+			}
+			return fmt.Errorf("cluster: %s await update: %w", w.id(), err)
+		}
+		if err := expectKind(msg, KindTierUpdate); err != nil {
+			return err
+		}
+		if msg.Round < t {
+			w.rec.stale(w.id())
+			continue
+		}
+		if len(msg.Vectors) != 2 {
+			return fmt.Errorf("cluster: %s update carries %d vectors, want 2",
+				w.id(), len(msg.Vectors))
+		}
+		if err := w.y.CopyFrom(msg.Vectors[0]); err != nil {
+			return err
+		}
+		if err := w.x.CopyFrom(msg.Vectors[1]); err != nil {
+			return err
+		}
+		w.gradSum.Zero()
+		w.ySum.Zero()
+		if msg.Round > t {
+			w.rec.fastforward(w.id(), t, msg.Round)
+		}
+		w.syncedThrough = msg.Round
+		return nil
+	}
+}
+
+// step performs one NAG iteration — operation for operation the 3-tier
+// worker's (and hence the simulation's) arithmetic.
+func (w *treeLeaf) step() error {
+	batch, err := w.shard.Batch(w.sampler, w.cfg.BatchSize)
+	if err != nil {
+		return err
+	}
+	loss, err := w.cfg.Model.LossGrad(w.x, batch, w.grad)
+	if err != nil {
+		return err
+	}
+	w.lastLoss = loss
+	if err := w.gradSum.Add(w.grad); err != nil {
+		return err
+	}
+	yPrev := w.y.Clone()
+	if err := w.y.CopyFrom(w.x); err != nil {
+		return err
+	}
+	if err := w.y.AXPY(-w.cfg.Eta, w.grad); err != nil {
+		return err
+	}
+	if err := w.ySum.Add(w.y); err != nil {
+		return err
+	}
+	if err := w.x.CopyFrom(w.y); err != nil {
+		return err
+	}
+	if err := w.x.AXPY(w.cfg.Gamma, w.y); err != nil {
+		return err
+	}
+	if err := w.x.AXPY(-w.cfg.Gamma, yPrev); err != nil {
+		return err
+	}
+	w.opts.Telemetry.M().WorkerSteps.Inc()
+	return nil
+}

@@ -1,0 +1,184 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"hieradmo/internal/fl"
+	"hieradmo/internal/telemetry"
+	"hieradmo/internal/transport"
+)
+
+// runTree executes the config over the N-tier aggregation tree of
+// opts.Topology: one goroutine per training leaf and per aggregating node,
+// exchanging KindTierReport/KindTierUpdate messages over the network. The
+// root returns the run Result. Options have already been defaulted and
+// validated by Run.
+func runTree(cfg *fl.Config, net Network, opts Options) (*fl.Result, error) {
+	hn, err := fl.NewHarness(cfg)
+	if err != nil {
+		return nil, err
+	}
+	ts, err := newTreeSpec(cfg, opts)
+	if err != nil {
+		return nil, err
+	}
+	defer net.Close()
+	if tset, ok := net.(transport.TelemetrySetter); ok {
+		tset.SetTelemetry(opts.Telemetry)
+	}
+
+	// Create every endpoint before any node starts (TCP needs all addresses
+	// registered up front). eps[i][j] is level i, node j.
+	topo := ts.topo
+	eps := make([][]transport.Endpoint, topo.Depth())
+	for i := range eps {
+		eps[i] = make([]transport.Endpoint, topo.Width(i))
+		for j := range eps[i] {
+			if eps[i][j], err = net.Endpoint(topo.NodeID(i, j)); err != nil {
+				return nil, fmt.Errorf("cluster: %s endpoint: %w", topo.NodeID(i, j), err)
+			}
+		}
+	}
+
+	x0 := hn.InitParams()
+	rec := newFaultRecorder(opts.Telemetry)
+	if sink := opts.Telemetry; sink.Tracing() {
+		sink.Emit("run_start",
+			telemetry.String("alg", "HierAdMo/tree"),
+			telemetry.String("topology", topo.String()),
+			telemetry.Int("depth", topo.Depth()),
+			telemetry.Int("leaves", topo.NumLeaves()),
+			telemetry.Int("T", cfg.T),
+			telemetry.Int64("seed", int64(cfg.Seed)))
+	}
+
+	var (
+		wg      sync.WaitGroup
+		mu      sync.Mutex
+		errs    []error
+		result  *fl.Result
+		rootErr error
+	)
+	fail := func(err error) {
+		if err == nil {
+			return
+		}
+		mu.Lock()
+		errs = append(errs, err)
+		mu.Unlock()
+	}
+
+	leafLvl := topo.Depth() - 1
+	for j := 0; j < topo.NumLeaves(); j++ {
+		w := newTreeLeaf(cfg, ts, j, x0, eps[leafLvl][j], opts)
+		w.rec = rec
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			fail(w.run())
+		}()
+	}
+	for i := leafLvl - 1; i > 0; i-- {
+		for j := 0; j < topo.Width(i); j++ {
+			n := newTierNode(cfg, hn, ts, i, j, x0, eps[i][j], opts)
+			n.rec = rec
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				_, err := n.run()
+				fail(err)
+			}()
+		}
+	}
+	root := newTierNode(cfg, hn, ts, 0, 0, x0, eps[0][0], opts)
+	root.rec = rec
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		res, err := root.run()
+		mu.Lock()
+		result, rootErr = res, err
+		mu.Unlock()
+	}()
+
+	wg.Wait()
+	for _, lvl := range eps {
+		for _, ep := range lvl {
+			if cerr := ep.Close(); cerr != nil {
+				fail(fmt.Errorf("cluster: close %s: %w", ep.ID(), cerr))
+			}
+		}
+	}
+	if sr, ok := net.(transport.StatsReporter); ok {
+		rec.mergeTransport(sr.FaultStats())
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	// Same verdict semantics as the 3-tier Run: strict mode fails on any
+	// node error, tolerant mode only when the root produced no result; the
+	// joined error always carries every node's failure.
+	if rootErr != nil || result == nil || (len(errs) > 0 && !opts.tolerant()) {
+		all := append([]error{rootErr}, errs...)
+		return nil, fmt.Errorf("cluster: tree run failed: %w", errors.Join(all...))
+	}
+	for _, err := range errs {
+		rec.nodeError(err)
+	}
+	result.FaultReport = rec.report()
+	result.AttackReport = rec.attackReportTree(opts)
+	if sink := opts.Telemetry; sink.Tracing() {
+		sink.Emit("run_end",
+			telemetry.Float("final_acc", result.FinalAcc),
+			telemetry.Float("final_loss", result.FinalLoss))
+	}
+	return result, nil
+}
+
+// RunTreeNode executes one node of an N-tier deployment against ep: the
+// tree counterpart of RunWorkerNode/RunEdgeNode/RunCloudNode for
+// multi-process runs (cmd/flnode). level/idx address the node in
+// opts.Topology (level topo.Depth()-1 is a training leaf; level 0 returns
+// the run result, every other level returns nil on success).
+func RunTreeNode(cfg *fl.Config, level, idx int, ep transport.Endpoint, opts Options) (*fl.Result, error) {
+	opts = opts.withDefaults()
+	if opts.Telemetry == nil {
+		opts.Telemetry = cfg.Telemetry
+	}
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	if opts.Topology == nil {
+		return nil, fmt.Errorf("cluster: RunTreeNode requires Options.Topology")
+	}
+	hn, err := fl.NewHarness(cfg)
+	if err != nil {
+		return nil, err
+	}
+	ts, err := newTreeSpec(cfg, opts)
+	if err != nil {
+		return nil, err
+	}
+	topo := ts.topo
+	if level < 0 || level >= topo.Depth() || idx < 0 || idx >= topo.Width(level) {
+		return nil, fmt.Errorf("cluster: no node at level %d index %d in topology %q", level, idx, topo)
+	}
+	rec := newFaultRecorder(opts.Telemetry)
+	if level == topo.Depth()-1 {
+		w := newTreeLeaf(cfg, ts, idx, hn.InitParams(), ep, opts)
+		w.rec = rec
+		return nil, w.run()
+	}
+	n := newTierNode(cfg, hn, ts, level, idx, hn.InitParams(), ep, opts)
+	n.rec = rec
+	res, err := n.run()
+	if err != nil || res == nil {
+		return nil, err
+	}
+	// Like RunCloudNode, a multi-process root only sees its own tier's
+	// observations; lower tiers' faults live on their processes' sinks.
+	res.FaultReport = rec.report()
+	res.AttackReport = rec.attackReportTree(opts)
+	return res, nil
+}

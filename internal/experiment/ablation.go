@@ -96,6 +96,7 @@ func Registry() map[string]Runner {
 		"theory":                 RunTheoryBound,
 		"churn":                  RunChurn,
 		"byzantine":              RunByzantine,
+		"depth":                  RunDepth,
 	}
 }
 
@@ -111,5 +112,6 @@ func ExperimentIDs() []string {
 		"ablation-arch", "dirichlet", "quantization", "gamma-trace", "theory",
 		"churn",
 		"byzantine",
+		"depth",
 	}
 }

@@ -1,0 +1,38 @@
+package experiment
+
+import "testing"
+
+// TestRunDepth runs the depth study at tiny scale: one row per tree depth,
+// every cell filled, and the cluster runs behind it deterministic — a rerun
+// reproduces the table exactly.
+func TestRunDepth(t *testing.T) {
+	tbl, err := RunDepth(tinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != len(DepthTopologies()) {
+		t.Fatalf("depth table has %d rows, want %d", len(tbl.Rows), len(DepthTopologies()))
+	}
+	for _, row := range tbl.Rows {
+		if len(row.Cells) != len(tbl.Columns) {
+			t.Fatalf("row %s has %d cells for %d columns", row.Label, len(row.Cells), len(tbl.Columns))
+		}
+		for i, c := range row.Cells {
+			if c == "" {
+				t.Errorf("row %s cell %d empty", row.Label, i)
+			}
+		}
+	}
+	again, err := RunDepth(tinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range tbl.Rows {
+		for j := range tbl.Rows[i].Cells {
+			if tbl.Rows[i].Cells[j] != again.Rows[i].Cells[j] {
+				t.Errorf("row %d cell %d: %q != %q across reruns",
+					i, j, tbl.Rows[i].Cells[j], again.Rows[i].Cells[j])
+			}
+		}
+	}
+}

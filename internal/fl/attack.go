@@ -28,6 +28,19 @@ type AttackReport struct {
 	// rules that ran at each tier (e.g. "median", "trimmed(0.2)").
 	EdgeAggregator  string
 	CloudAggregator string
+
+	// N-tier tree runs (a cluster Topology) attribute robust-layer activity
+	// to tier indices (0 = root) instead of the edge/cloud pair; the fields
+	// above stay zero/empty there and vice versa.
+
+	// RejectedByTier maps a tier index to the number of child reports its
+	// robust aggregations excluded.
+	RejectedByTier map[int]int `json:",omitempty"`
+	// ClippedByTier maps a tier index to the number of child updates its
+	// robust aggregations norm-clipped.
+	ClippedByTier map[int]int `json:",omitempty"`
+	// TierAggregators lists the canonical rule name per tier, root first.
+	TierAggregators []string `json:",omitempty"`
 }
 
 // TotalInjected sums the injected-update counts over all attack kinds.
@@ -42,12 +55,29 @@ func (a *AttackReport) TotalInjected() int {
 	return n
 }
 
-// TotalRejected sums the rejections across both tiers.
+// TotalRejected sums the rejections across all tiers, whichever attribution
+// the run used.
 func (a *AttackReport) TotalRejected() int {
 	if a == nil {
 		return 0
 	}
-	return a.RejectedEdge + a.RejectedCloud
+	n := a.RejectedEdge + a.RejectedCloud
+	for _, c := range a.RejectedByTier {
+		n += c
+	}
+	return n
+}
+
+// TotalClipped sums the clips across all tiers.
+func (a *AttackReport) TotalClipped() int {
+	if a == nil {
+		return 0
+	}
+	n := a.Clipped
+	for _, c := range a.ClippedByTier {
+		n += c
+	}
+	return n
 }
 
 // Any reports whether the run saw at least one injection, rejection, or
@@ -56,7 +86,7 @@ func (a *AttackReport) Any() bool {
 	if a == nil {
 		return false
 	}
-	return len(a.Injected) > 0 || a.RejectedEdge > 0 || a.RejectedCloud > 0 || a.Clipped > 0
+	return len(a.Injected) > 0 || a.TotalRejected() > 0 || a.TotalClipped() > 0
 }
 
 // String renders a human-readable summary.
@@ -65,7 +95,11 @@ func (a *AttackReport) String() string {
 		return "no attack scenario"
 	}
 	var b strings.Builder
-	fmt.Fprintf(&b, "byzantine: aggregators edge=%s cloud=%s", a.EdgeAggregator, a.CloudAggregator)
+	if len(a.TierAggregators) > 0 {
+		fmt.Fprintf(&b, "byzantine: tier aggregators %s", strings.Join(a.TierAggregators, "/"))
+	} else {
+		fmt.Fprintf(&b, "byzantine: aggregators edge=%s cloud=%s", a.EdgeAggregator, a.CloudAggregator)
+	}
 	if len(a.Injected) > 0 {
 		kinds := make([]string, 0, len(a.Injected))
 		for k := range a.Injected {
@@ -81,8 +115,29 @@ func (a *AttackReport) String() string {
 	if a.RejectedEdge > 0 || a.RejectedCloud > 0 {
 		fmt.Fprintf(&b, "\n  rejected updates: %d at edges, %d at cloud", a.RejectedEdge, a.RejectedCloud)
 	}
+	if len(a.RejectedByTier) > 0 {
+		fmt.Fprintf(&b, "\n  rejected updates by tier: %s", formatByTier(a.RejectedByTier))
+	}
 	if a.Clipped > 0 {
 		fmt.Fprintf(&b, "\n  clipped updates: %d", a.Clipped)
 	}
+	if len(a.ClippedByTier) > 0 {
+		fmt.Fprintf(&b, "\n  clipped updates by tier: %s", formatByTier(a.ClippedByTier))
+	}
 	return b.String()
+}
+
+// formatByTier renders a tier-indexed counter map in ascending tier order
+// (map iteration order is not deterministic).
+func formatByTier(m map[int]int) string {
+	tiers := make([]int, 0, len(m))
+	for i := range m {
+		tiers = append(tiers, i)
+	}
+	sort.Ints(tiers)
+	parts := make([]string, len(tiers))
+	for j, i := range tiers {
+		parts[j] = fmt.Sprintf("tier%d(×%d)", i, m[i])
+	}
+	return strings.Join(parts, " ")
 }

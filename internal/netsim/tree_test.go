@@ -1,0 +1,107 @@
+package netsim
+
+import (
+	"testing"
+
+	"hieradmo/internal/topology"
+)
+
+func simTopo(t *testing.T, spec string) *topology.Topology {
+	t.Helper()
+	topo, err := topology.Parse(spec)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", spec, err)
+	}
+	return topo
+}
+
+// TestSimulateTreeMatchesThreeTier pins the tree simulator's degenerate
+// case: a three-level topology with matched periods, devices, and links must
+// reproduce SimulateThreeTier's timeline bit for bit — same draw sequence,
+// same barriers, same spreading.
+func TestSimulateTreeMatchesThreeTier(t *testing.T) {
+	const tau, pi, T = 2, 3, 24
+	legacy := PaperTestbed([]int{2, 2}, 11)
+	payload := ModelPayload(104, true)
+	ref, err := SimulateThreeTier(legacy, payload, T, tau, pi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := PaperTreeTestbed(simTopo(t, "cloud:tau=6/edge*2:tau=2/worker*2"), 11)
+	tl, err := SimulateTree(env, payload, T)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tl) != len(ref) {
+		t.Fatalf("tree timeline has %d points, three-tier %d", len(tl), len(ref))
+	}
+	for i := range tl {
+		if tl[i] != ref[i] {
+			t.Fatalf("timeline[%d]: tree %v != three-tier %v (must be bit-identical)", i, tl[i], ref[i])
+		}
+	}
+}
+
+// TestSimulateTreeDeterministic checks that reruns of a four-level
+// environment draw identical timelines.
+func TestSimulateTreeDeterministic(t *testing.T) {
+	topo := simTopo(t, "cloud:tau=8/region*2:tau=4/edge*2:tau=2/worker*2")
+	payload := ModelPayload(104, true)
+	a, err := SimulateTree(PaperTreeTestbed(topo, 7), payload, 48)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SimulateTree(PaperTreeTestbed(topo, 7), payload, 48)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("timeline[%d]: %v != %v across reruns", i, a[i], b[i])
+		}
+	}
+	if a.Total() <= 0 {
+		t.Fatal("four-level run took no simulated time")
+	}
+}
+
+// TestSimulateTreeDepthAmortizesWAN is the asymmetry the depth experiment
+// measures: with the same 8 leaves and horizon, a deeper tree pays the
+// expensive root uplink less often per iteration, so inserting a regional
+// tier between LAN and WAN must not slow the run down at equal local work.
+func TestSimulateTreeDepthAmortizesWAN(t *testing.T) {
+	payload := ModelPayload(104, true)
+	const T = 48
+	flat, err := SimulateTree(PaperTreeTestbed(simTopo(t, "cloud:tau=2/worker*8"), 3), payload, T)
+	if err != nil {
+		t.Fatal(err)
+	}
+	three, err := SimulateTree(PaperTreeTestbed(simTopo(t, "cloud:tau=8/edge*4:tau=2/worker*2"), 3), payload, T)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if three.Total() >= flat.Total() {
+		t.Errorf("three-level run (%v) not faster than two-level (%v) despite WAN amortization",
+			three.Total(), flat.Total())
+	}
+}
+
+// TestSimulateTreeValidation pins the environment error paths.
+func TestSimulateTreeValidation(t *testing.T) {
+	topo := simTopo(t, "cloud:tau=4/edge*2:tau=2/worker*2")
+	payload := ModelPayload(104, true)
+	good := PaperTreeTestbed(topo, 1)
+	if _, err := SimulateTree(good, payload, 23); err == nil {
+		t.Error("misaligned horizon accepted")
+	}
+	short := *good
+	short.Leaves = short.Leaves[:2]
+	if _, err := SimulateTree(&short, payload, 24); err == nil {
+		t.Error("missing leaf profiles accepted")
+	}
+	unlinked := *good
+	unlinked.Links = unlinked.Links[:1]
+	if _, err := SimulateTree(&unlinked, payload, 24); err == nil {
+		t.Error("missing link profiles accepted")
+	}
+}
