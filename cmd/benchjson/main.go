@@ -148,6 +148,11 @@ func loadReport(path string) (*report, error) {
 	if err := json.Unmarshal(raw, &rep); err != nil {
 		return nil, fmt.Errorf("parse %s: %w", path, err)
 	}
+	if len(rep.Benchmarks) == 0 {
+		// Schema-valid JSON with no records would make every comparison
+		// vacuously pass — the silent form of a missing baseline.
+		return nil, fmt.Errorf("baseline %s contains no benchmark records; regenerate it with -out", path)
+	}
 	return &rep, nil
 }
 

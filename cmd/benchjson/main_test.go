@@ -2,6 +2,8 @@ package main
 
 import (
 	"bufio"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -200,5 +202,43 @@ func TestCheckScalingIgnoresFamiliesWithoutBaseline(t *testing.T) {
 	rep.Benchmarks = rep.Benchmarks[1:] // drop workers=1
 	if f := checkScaling(rep, 2.0, 0.15); len(f) != 0 {
 		t.Errorf("family without a workers=1 baseline flagged: %v", f)
+	}
+}
+
+// TestLoadReportRejectsBadBaselines pins the gate's failure modes: a
+// missing file, malformed JSON, and — the silent one — schema-valid JSON
+// with zero benchmark records, which would make every comparison pass
+// vacuously.
+func TestLoadReportRejectsBadBaselines(t *testing.T) {
+	dir := t.TempDir()
+
+	if _, err := loadReport(filepath.Join(dir, "missing.json")); err == nil {
+		t.Error("missing baseline loaded without error")
+	}
+
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte("{nope"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadReport(bad); err == nil {
+		t.Error("malformed baseline loaded without error")
+	}
+
+	empty := filepath.Join(dir, "empty.json")
+	if err := os.WriteFile(empty, []byte(`{"benchmarks":[]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadReport(empty); err == nil {
+		t.Error("zero-record baseline loaded without error")
+	} else if !strings.Contains(err.Error(), "no benchmark records") {
+		t.Errorf("zero-record error = %v", err)
+	}
+
+	good := filepath.Join(dir, "good.json")
+	if err := os.WriteFile(good, []byte(`{"benchmarks":[{"name":"X","iterations":1,"ns_per_op":1,"b_per_op":0,"allocs_per_op":0}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadReport(good); err != nil {
+		t.Errorf("valid baseline rejected: %v", err)
 	}
 }

@@ -1,8 +1,13 @@
 package main
 
 import (
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
+
+	"hieradmo/internal/analysis"
 )
 
 // TestListCheckers pins the suite the -list flag advertises.
@@ -11,7 +16,10 @@ func TestListCheckers(t *testing.T) {
 	if code := run([]string{"-list"}, &out, &errOut); code != 0 {
 		t.Fatalf("flvet -list exited %d: %s", code, errOut.String())
 	}
-	for _, name := range []string{"detwall", "maporder", "goexec", "wirealloc", "nilsink"} {
+	for _, name := range []string{
+		"detwall", "maporder", "fporder", "goexec",
+		"wirealloc", "nilsink", "ckptstate", "allocfree",
+	} {
 		if !strings.Contains(out.String(), name) {
 			t.Errorf("-list output is missing checker %q:\n%s", name, out.String())
 		}
@@ -41,5 +49,85 @@ func TestModuleIsClean(t *testing.T) {
 	}
 	if out.Len() != 0 {
 		t.Errorf("clean tree still printed findings:\n%s", out.String())
+	}
+}
+
+// TestBaselineFlagErrors pins the hard-failure paths of the ratchet: a
+// missing file, a malformed file, and the mutually-exclusive flag pair
+// must all exit 2 before any analysis runs its course.
+func TestBaselineFlagErrors(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the entire module")
+	}
+	t.Run("missing", func(t *testing.T) {
+		var out, errOut strings.Builder
+		path := filepath.Join(t.TempDir(), "nope.json")
+		if code := run([]string{"-baseline", path, "./internal/tensor"}, &out, &errOut); code != 2 {
+			t.Fatalf("missing baseline exited %d, want 2: %s", code, errOut.String())
+		}
+		if !strings.Contains(errOut.String(), "-write-baseline") {
+			t.Errorf("stderr = %q, want a hint to run -write-baseline", errOut.String())
+		}
+	})
+	t.Run("malformed", func(t *testing.T) {
+		var out, errOut strings.Builder
+		path := filepath.Join(t.TempDir(), "bad.json")
+		if err := os.WriteFile(path, []byte("{not json"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if code := run([]string{"-baseline", path, "./internal/tensor"}, &out, &errOut); code != 2 {
+			t.Fatalf("malformed baseline exited %d, want 2: %s", code, errOut.String())
+		}
+		if !strings.Contains(errOut.String(), "malformed") {
+			t.Errorf("stderr = %q, want a malformed-JSON message", errOut.String())
+		}
+	})
+	t.Run("exclusive", func(t *testing.T) {
+		var out, errOut strings.Builder
+		if code := run([]string{"-baseline", "a.json", "-write-baseline", "b.json"}, &out, &errOut); code != 2 {
+			t.Fatalf("flag pair exited %d, want 2", code)
+		}
+	})
+	t.Run("missing-value", func(t *testing.T) {
+		var out, errOut strings.Builder
+		if code := run([]string{"-baseline"}, &out, &errOut); code != 2 {
+			t.Fatalf("valueless -baseline exited %d, want 2", code)
+		}
+	})
+}
+
+// TestJSONOutput runs one clean package under -json and requires a
+// parseable (possibly empty) findings array on stdout.
+func TestJSONOutput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the entire module")
+	}
+	var out, errOut strings.Builder
+	if code := run([]string{"-json", "./internal/tensor"}, &out, &errOut); code != 0 {
+		t.Fatalf("flvet -json exited %d:\n%s%s", code, out.String(), errOut.String())
+	}
+	var findings []analysis.Finding
+	if err := json.Unmarshal([]byte(out.String()), &findings); err != nil {
+		t.Fatalf("stdout is not a findings array: %v\n%s", err, out.String())
+	}
+	if len(findings) != 0 {
+		t.Errorf("clean package produced findings: %v", findings)
+	}
+}
+
+// TestWriteAndApplyBaseline round-trips the ratchet on a clean package:
+// writing a baseline then checking against it must pass and leave the
+// file intact (an empty baseline has nothing to shrink).
+func TestWriteAndApplyBaseline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the entire module")
+	}
+	path := filepath.Join(t.TempDir(), "base.json")
+	var out, errOut strings.Builder
+	if code := run([]string{"-write-baseline", path, "./internal/tensor"}, &out, &errOut); code != 0 {
+		t.Fatalf("-write-baseline exited %d: %s", code, errOut.String())
+	}
+	if code := run([]string{"-baseline", path, "./internal/tensor"}, &out, &errOut); code != 0 {
+		t.Fatalf("-baseline recheck exited %d:\n%s%s", code, out.String(), errOut.String())
 	}
 }

@@ -1,6 +1,7 @@
 package analysis
 
 import (
+	"errors"
 	"fmt"
 	"go/token"
 	"strings"
@@ -21,6 +22,62 @@ type directive struct {
 
 const directivePrefix = "//flvet:allow"
 
+// Typed parse failures for //flvet:allow comments. ParseAllowDirective
+// returns exactly one of these (possibly wrapped) for every rejected
+// input, so callers — and the fuzzer — can distinguish "not a directive"
+// from "a directive written wrong".
+var (
+	// ErrNotDirective: the comment is not a flvet:allow directive at all
+	// (wrong prefix, or a longer //flvet:allowX token). Not an error to
+	// report — the comment simply isn't ours.
+	ErrNotDirective = errors.New("not a flvet:allow directive")
+	// ErrMalformedDirective: the directive lacks the mandatory
+	// " -- <reason>" clause.
+	ErrMalformedDirective = errors.New(`malformed directive: want "//flvet:allow <checker>[,<checker>...] -- <reason>"`)
+	// ErrUnknownChecker: a listed checker name is not in the suite.
+	ErrUnknownChecker = errors.New("directive names unknown checker")
+	// ErrNoCheckers: the name list is empty after trimming.
+	ErrNoCheckers = errors.New("directive names no checkers")
+)
+
+// ParseAllowDirective parses a single comment's text. On success it
+// returns the named checkers (all known, at least one). Otherwise it
+// returns an error wrapping one of ErrNotDirective, ErrMalformedDirective,
+// ErrUnknownChecker, or ErrNoCheckers. It never panics, for any input.
+func ParseAllowDirective(text string) ([]string, error) {
+	if !strings.HasPrefix(text, directivePrefix) {
+		return nil, ErrNotDirective
+	}
+	rest := strings.TrimPrefix(text, directivePrefix)
+	if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+		return nil, ErrNotDirective // some other //flvet:allowX token, not ours
+	}
+	names, reason, ok := strings.Cut(rest, " -- ")
+	if !ok || strings.TrimSpace(reason) == "" {
+		return nil, ErrMalformedDirective
+	}
+	var checkers []string
+	var errs []error
+	for _, name := range strings.Split(names, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		if !checkerKnown(name) {
+			errs = append(errs, fmt.Errorf("%w %q", ErrUnknownChecker, name))
+			continue
+		}
+		checkers = append(checkers, name)
+	}
+	if len(errs) > 0 {
+		return checkers, errors.Join(errs...)
+	}
+	if len(checkers) == 0 {
+		return nil, ErrNoCheckers
+	}
+	return checkers, nil
+}
+
 // collectDirectives scans a package's comments for //flvet:allow
 // directives, returning the well-formed ones plus diagnostics for the
 // malformed ones.
@@ -30,41 +87,32 @@ func collectDirectives(pkg *Package) ([]*directive, []Diagnostic) {
 	for _, f := range pkg.Files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
-				if !strings.HasPrefix(c.Text, directivePrefix) {
+				checkers, err := ParseAllowDirective(c.Text)
+				if errors.Is(err, ErrNotDirective) {
 					continue
 				}
 				pos := pkg.Fset.Position(c.Pos())
-				rest := strings.TrimPrefix(c.Text, directivePrefix)
-				if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
-					continue // some other //flvet:allowX token, not ours
-				}
-				names, reason, ok := strings.Cut(rest, " -- ")
-				if !ok || strings.TrimSpace(reason) == "" {
+				switch {
+				case errors.Is(err, ErrMalformedDirective):
 					diags = append(diags, Diagnostic{
 						Pos:     pos,
 						Checker: "flvet",
-						Message: `malformed directive: want "//flvet:allow <checker>[,<checker>...] -- <reason>"`,
+						Message: err.Error(),
 					})
 					continue
-				}
-				var checkers []string
-				for _, name := range strings.Split(names, ",") {
-					name = strings.TrimSpace(name)
-					if name == "" {
-						continue
-					}
-					if !checkerKnown(name) {
+				case errors.Is(err, ErrUnknownChecker):
+					for _, line := range strings.Split(err.Error(), "\n") {
 						diags = append(diags, Diagnostic{
 							Pos:     pos,
 							Checker: "flvet",
-							Message: fmt.Sprintf("directive names unknown checker %q", name),
+							Message: line,
 						})
+					}
+					if len(checkers) == 0 {
 						continue
 					}
-					checkers = append(checkers, name)
-				}
-				if len(checkers) == 0 {
-					continue // every name was diagnosed above
+				case errors.Is(err, ErrNoCheckers):
+					continue // nothing named, nothing to do
 				}
 				dirs = append(dirs, &directive{
 					file:     pos.Filename,

@@ -14,7 +14,16 @@
 //   - wirealloc: no allocations sized from decoded wire/snapshot length
 //     fields without a bounds check (the class FuzzOpenSnapshot caught);
 //   - nilsink: telemetry instrument methods keep their nil-receiver guard,
-//     preserving the "nil sink is free" contract.
+//     preserving the "nil sink is free" contract;
+//   - ckptstate: every mutable stateful field of a struct registered with
+//     internal/checkpoint.Registry is covered by a registration call
+//     (cross-package, on the call-graph substrate in callgraph.go);
+//   - allocfree: functions pinned as hot-path roots (worker step, GEMM and
+//     conv kernels, robust.Aggregator implementations) do not allocate in
+//     steady state, reported at the frontier with a witness chain;
+//   - fporder: float reductions iterate in fixed index order — no plain
+//     self-assign accumulation over map ranges, no channel-receive-order
+//     accumulation, no goroutine fan-in outside internal/parallel.
 //
 // A finding is suppressed by an exemption directive on the offending line
 // (or the line above):
@@ -58,11 +67,13 @@ type Checker struct {
 
 // Pass is the per-(checker, package) invocation context handed to
 // Checker.Run: the package's syntax and type information plus the policy
-// in force, and the Reportf sink for findings.
+// in force, the whole-program substrate for the cross-package checkers,
+// and the Reportf sink for findings.
 type Pass struct {
 	Fset   *token.FileSet
 	Pkg    *Package
 	Policy Policy
+	Prog   *Program
 
 	checker string
 	diags   *[]Diagnostic
@@ -88,9 +99,12 @@ func Checkers() []*Checker {
 	return []*Checker{
 		detwallChecker,
 		maporderChecker,
+		fporderChecker,
 		goexecChecker,
 		wireallocChecker,
 		nilsinkChecker,
+		ckptstateChecker,
+		allocfreeChecker,
 	}
 }
 
@@ -112,6 +126,7 @@ func checkerKnown(name string) bool {
 func Run(pkgs []*Package, checkers []*Checker, pol Policy) []Diagnostic {
 	var diags []Diagnostic
 	var dirs []*directive
+	prog := NewProgram(pkgs)
 	for _, pkg := range pkgs {
 		ds, derrs := collectDirectives(pkg)
 		dirs = append(dirs, ds...)
@@ -120,20 +135,60 @@ func Run(pkgs []*Package, checkers []*Checker, pol Policy) []Diagnostic {
 			if !pol.Applies(c.Name, pkg.Path) {
 				continue
 			}
-			pass := &Pass{Fset: pkg.Fset, Pkg: pkg, Policy: pol, checker: c.Name, diags: &diags}
+			pass := &Pass{Fset: pkg.Fset, Pkg: pkg, Policy: pol, Prog: prog, checker: c.Name, diags: &diags}
 			c.Run(pass)
 		}
 	}
+	all := append([]Diagnostic(nil), diags...) // pre-suppression view, for relocation hints
 	diags = suppress(diags, dirs)
 	for _, d := range dirs {
 		if !d.used {
 			diags = append(diags, Diagnostic{
 				Pos:     d.pos,
 				Checker: "flvet",
-				Message: fmt.Sprintf("unused flvet:allow directive for %q (nothing to suppress here)", d.checkers),
+				Message: fmt.Sprintf("unused flvet:allow directive for %q (nothing to suppress here%s)",
+					d.checkers, nearestFindingHint(all, d)),
 			})
 		}
 	}
+	sortDiags(diags)
+	return diags
+}
+
+// nearestFindingHint locates the finding the stale directive probably
+// meant to cover: the closest diagnostic (by line distance) in the same
+// file from any checker the directive names.
+func nearestFindingHint(all []Diagnostic, d *directive) string {
+	bestLine, bestDist := 0, -1
+	var bestChecker string
+	for _, diag := range all {
+		if diag.Pos.Filename != d.file {
+			continue
+		}
+		match := false
+		for _, name := range d.checkers {
+			if name == diag.Checker {
+				match = true
+			}
+		}
+		if !match {
+			continue
+		}
+		dist := diag.Pos.Line - d.line
+		if dist < 0 {
+			dist = -dist
+		}
+		if bestDist < 0 || dist < bestDist {
+			bestDist, bestLine, bestChecker = dist, diag.Pos.Line, diag.Checker
+		}
+	}
+	if bestDist < 0 {
+		return "; no matching findings anywhere in this file"
+	}
+	return fmt.Sprintf("; nearest %s finding in this file is on line %d", bestChecker, bestLine)
+}
+
+func sortDiags(diags []Diagnostic) {
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -147,5 +202,4 @@ func Run(pkgs []*Package, checkers []*Checker, pol Policy) []Diagnostic {
 		}
 		return a.Checker < b.Checker
 	})
-	return diags
 }

@@ -125,6 +125,36 @@ func TestWireallocCorpus(t *testing.T) {
 }
 func TestNilsinkCorpus(t *testing.T) { runCorpus(t, "nilsink", corpusPolicy("nilsink")) }
 
+// TestFporderCorpus covers the reduction-order shapes beyond maporder:
+// plain map-range accumulation, channel receives, goroutine fan-in.
+func TestFporderCorpus(t *testing.T) { runCorpus(t, "fporder", corpusPolicy("fporder")) }
+
+// TestCkptstateCorpus pins the corpus's own Registry type so coverage,
+// forwarders, constructor exclusion, and directives all exercise the
+// same machinery the real checkpoint registry goes through.
+func TestCkptstateCorpus(t *testing.T) {
+	pol := corpusPolicy("ckptstate")
+	pol.CkptRegistries = []string{"flvet/corpus/ckptstate.Registry"}
+	runCorpus(t, "ckptstate", pol)
+}
+
+// TestAllocfreeCorpus pins corpus roots by concrete name and through an
+// interface row, covering direct sites, transitive witnesses, tail
+// calls, boxing, append growth, and the cold-path exemptions.
+func TestAllocfreeCorpus(t *testing.T) {
+	pol := corpusPolicy("allocfree")
+	pol.HotFuncs = []string{
+		"flvet/corpus/allocfree.Step",
+		"(*flvet/corpus/allocfree.Engine).Tick",
+		"flvet/corpus/allocfree.Scale",
+		"flvet/corpus/allocfree.Mix",
+		"flvet/corpus/allocfree.Clone",
+		"flvet/corpus/allocfree.Warm",
+	}
+	pol.HotIfaces = []string{"flvet/corpus/allocfree.Agg.Combine"}
+	runCorpus(t, "allocfree", pol)
+}
+
 // TestAllowCorpus exercises the directive machinery: suppression in both
 // placements, mandatory reasons, unknown names, unused directives.
 func TestAllowCorpus(t *testing.T) {
@@ -147,7 +177,10 @@ func TestCheckerDocs(t *testing.T) {
 			t.Errorf("checkerKnown(%q) = false", c.Name)
 		}
 	}
-	for _, name := range []string{"detwall", "maporder", "goexec", "wirealloc", "nilsink"} {
+	for _, name := range []string{
+		"detwall", "maporder", "fporder", "goexec",
+		"wirealloc", "nilsink", "ckptstate", "allocfree",
+	} {
 		if !seen[name] {
 			t.Errorf("suite is missing checker %q", name)
 		}
@@ -213,6 +246,25 @@ func TestDefaultPolicyTable(t *testing.T) {
 		{"wirealloc", "hieradmo/internal/core", false},
 		{"nilsink", "hieradmo/internal/telemetry", true},
 		{"nilsink", "hieradmo/internal/core", false},
+		// fporder runs everywhere except internal/parallel, whose reducers
+		// are the sanctioned fixed-order primitives.
+		{"fporder", "hieradmo/internal/core", true},
+		{"fporder", "hieradmo/internal/cluster", true},
+		{"fporder", "hieradmo/internal/robust", true},
+		{"fporder", "hieradmo/internal/tensor", true},
+		{"fporder", "hieradmo/internal/parallel", false},
+		// ckptstate and allocfree are whole-program dataflow checkers with
+		// no package exemptions at all: registration completeness and the
+		// pinned hot roots are enforced wherever they appear — including
+		// the kernel, robust-aggregation, and core packages.
+		{"ckptstate", "hieradmo/internal/core", true},
+		{"ckptstate", "hieradmo/internal/cluster", true},
+		{"ckptstate", "hieradmo/internal/checkpoint", true},
+		{"ckptstate", "hieradmo/internal/parallel", true},
+		{"allocfree", "hieradmo/internal/core", true},
+		{"allocfree", "hieradmo/internal/tensor", true},
+		{"allocfree", "hieradmo/internal/nn", true},
+		{"allocfree", "hieradmo/internal/robust", true},
 	}
 	for _, c := range cases {
 		if got := pol.Applies(c.checker, c.pkg); got != c.want {
@@ -222,5 +274,32 @@ func TestDefaultPolicyTable(t *testing.T) {
 	want := []string{"Counter", "Gauge", "Histogram", "Sink", "Tracer"}
 	if fmt.Sprint(pol.NilGuardTypes) != fmt.Sprint(want) {
 		t.Errorf("NilGuardTypes = %v, want %v", pol.NilGuardTypes, want)
+	}
+
+	// The dataflow pin tables: the checkpoint registry type, the exact
+	// hot roots, and the interface row that pins every robust aggregator.
+	// Renaming any of these without updating the policy is itself a
+	// finding (allocfree's missing-root rule), and this test keeps the
+	// table from silently shrinking.
+	if fmt.Sprint(pol.CkptRegistries) != fmt.Sprint([]string{"hieradmo/internal/checkpoint.Registry"}) {
+		t.Errorf("CkptRegistries = %v", pol.CkptRegistries)
+	}
+	wantHot := []string{
+		"(*hieradmo/internal/core.workerState).step",
+		"(*hieradmo/internal/core.HierAdMo).edgeUpdate",
+		"(*hieradmo/internal/cluster.workerNode).step",
+		"(*hieradmo/internal/cluster.treeLeaf).step",
+		"hieradmo/internal/tensor.GEMMBias",
+		"hieradmo/internal/tensor.GEMMAddTransB",
+		"(*hieradmo/internal/nn.Conv2D).Forward",
+		"(*hieradmo/internal/nn.Conv2D).Backward",
+		"(*hieradmo/internal/nn.convReLU).Forward",
+		"(*hieradmo/internal/nn.convReLU).Backward",
+	}
+	if fmt.Sprint(pol.HotFuncs) != fmt.Sprint(wantHot) {
+		t.Errorf("HotFuncs = %v, want %v", pol.HotFuncs, wantHot)
+	}
+	if fmt.Sprint(pol.HotIfaces) != fmt.Sprint([]string{"hieradmo/internal/robust.Aggregator.Aggregate"}) {
+		t.Errorf("HotIfaces = %v", pol.HotIfaces)
 	}
 }

@@ -1,0 +1,159 @@
+// Machine-readable findings and the committed-baseline ratchet.
+//
+// `flvet -json` emits findings as a JSON array for diffing across PRs;
+// `flvet -baseline analysis_baseline.json` compares findings against a
+// committed baseline: findings present in the baseline pass (they are
+// accepted debt), new findings fail, and fixed findings shrink the file
+// on the next run. That lets a strict checker land before the codebase
+// is at zero findings, while guaranteeing the count only ratchets down.
+//
+// Baseline entries key on (file, checker, message) with a count —
+// deliberately not line numbers, so unrelated edits to a file do not
+// churn the baseline. Messages contain only base filenames (see
+// Program.shortPos), keeping the file machine-independent.
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Finding is the JSON form of a Diagnostic.
+type Finding struct {
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Col     int    `json:"col"`
+	Checker string `json:"checker"`
+	Message string `json:"message"`
+}
+
+// FindingsOf converts diagnostics, relativizing file paths to relTo so
+// JSON artifacts and baselines stay machine-independent.
+func FindingsOf(diags []Diagnostic, relTo string) []Finding {
+	out := make([]Finding, 0, len(diags))
+	for _, d := range diags {
+		file := d.Pos.Filename
+		if relTo != "" {
+			if rel, err := filepath.Rel(relTo, file); err == nil && !strings.HasPrefix(rel, "..") {
+				file = filepath.ToSlash(rel)
+			}
+		}
+		out = append(out, Finding{
+			File: file, Line: d.Pos.Line, Col: d.Pos.Column,
+			Checker: d.Checker, Message: d.Message,
+		})
+	}
+	return out
+}
+
+// WriteFindingsJSON writes the findings array as indented JSON.
+func WriteFindingsJSON(path string, fs []Finding) error {
+	data, err := json.MarshalIndent(fs, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// MarshalFindings renders the findings array (for stdout emission).
+func MarshalFindings(fs []Finding) ([]byte, error) {
+	if fs == nil {
+		fs = []Finding{}
+	}
+	data, err := json.MarshalIndent(fs, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}
+
+// baselineEntry is one accepted finding class in the committed baseline.
+type baselineEntry struct {
+	File    string `json:"file"`
+	Checker string `json:"checker"`
+	Message string `json:"message"`
+	Count   int    `json:"count"`
+}
+
+// baselineFile is the on-disk shape of analysis_baseline.json.
+type baselineFile struct {
+	Findings []baselineEntry `json:"findings"`
+}
+
+func baselineKey(file, checker, message string) string {
+	return file + "\x00" + checker + "\x00" + message
+}
+
+// LoadBaseline reads a committed baseline. A missing or malformed file is
+// an error, never an empty baseline: silently treating it as empty would
+// bypass the ratchet exactly when it matters.
+func LoadBaseline(path string) (map[string]int, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("baseline %s: %w (run flvet -write-baseline %s to create it)", path, err, path)
+	}
+	var bf baselineFile
+	if err := json.Unmarshal(data, &bf); err != nil {
+		return nil, fmt.Errorf("baseline %s: malformed JSON: %w", path, err)
+	}
+	base := make(map[string]int, len(bf.Findings))
+	for _, e := range bf.Findings {
+		if e.Count <= 0 {
+			return nil, fmt.Errorf("baseline %s: entry %q/%q has non-positive count %d", path, e.File, e.Checker, e.Count)
+		}
+		base[baselineKey(e.File, e.Checker, e.Message)] += e.Count
+	}
+	return base, nil
+}
+
+// ApplyBaseline splits findings into fresh (not covered by the baseline)
+// and returns how many baseline slots went unused (stale entries that
+// should shrink the committed file).
+func ApplyBaseline(fs []Finding, base map[string]int) (fresh []Finding, stale int) {
+	remaining := make(map[string]int, len(base))
+	for k, v := range base {
+		remaining[k] = v
+	}
+	for _, f := range fs {
+		k := baselineKey(f.File, f.Checker, f.Message)
+		if remaining[k] > 0 {
+			remaining[k]--
+			continue
+		}
+		fresh = append(fresh, f)
+	}
+	for _, v := range remaining {
+		stale += v
+	}
+	return fresh, stale
+}
+
+// WriteBaseline writes the current findings as the new baseline, sorted
+// and aggregated by (file, checker, message).
+func WriteBaseline(path string, fs []Finding) error {
+	counts := map[string]*baselineEntry{}
+	var keys []string
+	for _, f := range fs {
+		k := baselineKey(f.File, f.Checker, f.Message)
+		if e, ok := counts[k]; ok {
+			e.Count++
+			continue
+		}
+		counts[k] = &baselineEntry{File: f.File, Checker: f.Checker, Message: f.Message, Count: 1}
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	bf := baselineFile{Findings: make([]baselineEntry, 0, len(keys))}
+	for _, k := range keys {
+		bf.Findings = append(bf.Findings, *counts[k])
+	}
+	data, err := json.MarshalIndent(bf, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

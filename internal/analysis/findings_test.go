@@ -1,0 +1,117 @@
+package analysis
+
+import (
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func fakeFinding(file, checker, msg string) Finding {
+	return Finding{File: file, Line: 1, Col: 1, Checker: checker, Message: msg}
+}
+
+// TestFindingsOfRelativizes keeps JSON artifacts machine-independent:
+// paths under relTo become slash-separated relative paths, paths outside
+// stay absolute.
+func TestFindingsOfRelativizes(t *testing.T) {
+	diags := []Diagnostic{
+		{Pos: token.Position{Filename: filepath.Join("/repo", "internal", "core", "a.go"), Line: 3, Column: 7},
+			Checker: "detwall", Message: "m"},
+		{Pos: token.Position{Filename: "/elsewhere/b.go", Line: 1, Column: 1},
+			Checker: "detwall", Message: "m"},
+	}
+	fs := FindingsOf(diags, "/repo")
+	if fs[0].File != "internal/core/a.go" {
+		t.Errorf("relative path = %q", fs[0].File)
+	}
+	if fs[0].Line != 3 || fs[0].Col != 7 {
+		t.Errorf("position = %d:%d, want 3:7", fs[0].Line, fs[0].Col)
+	}
+	if fs[1].File != "/elsewhere/b.go" {
+		t.Errorf("outside path = %q, want untouched", fs[1].File)
+	}
+}
+
+// TestBaselineRatchet exercises the multiset semantics end-to-end:
+// covered findings pass, extra occurrences of a known class are fresh,
+// and fixed classes surface as stale slots.
+func TestBaselineRatchet(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "base.json")
+	base := []Finding{
+		fakeFinding("a.go", "maporder", "msg1"),
+		fakeFinding("a.go", "maporder", "msg1"), // same class twice → count 2
+		fakeFinding("b.go", "detwall", "msg2"),
+	}
+	if err := WriteBaseline(path, base); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := loaded[baselineKey("a.go", "maporder", "msg1")]; n != 2 {
+		t.Errorf("aggregated count = %d, want 2", n)
+	}
+
+	// Current run: one msg1 fixed, msg2 still present, one brand-new.
+	now := []Finding{
+		fakeFinding("a.go", "maporder", "msg1"),
+		fakeFinding("b.go", "detwall", "msg2"),
+		fakeFinding("c.go", "goexec", "msg3"),
+	}
+	fresh, stale := ApplyBaseline(now, loaded)
+	if len(fresh) != 1 || fresh[0].File != "c.go" {
+		t.Errorf("fresh = %v, want only c.go", fresh)
+	}
+	if stale != 1 {
+		t.Errorf("stale = %d, want 1 (the fixed msg1 slot)", stale)
+	}
+
+	// A fully-covered run is clean with nothing stale.
+	fresh, stale = ApplyBaseline(base, loaded)
+	if len(fresh) != 0 || stale != 0 {
+		t.Errorf("covered run: fresh=%v stale=%d, want none", fresh, stale)
+	}
+}
+
+// TestLoadBaselineErrors pins the hard-error contract: a baseline that
+// cannot be read is never an empty baseline.
+func TestLoadBaselineErrors(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := LoadBaseline(filepath.Join(dir, "missing.json")); err == nil {
+		t.Error("missing baseline loaded without error")
+	} else if !strings.Contains(err.Error(), "-write-baseline") {
+		t.Errorf("missing-file error %q lacks the -write-baseline hint", err)
+	}
+
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte("{oops"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadBaseline(bad); err == nil || !strings.Contains(err.Error(), "malformed") {
+		t.Errorf("malformed baseline error = %v", err)
+	}
+
+	zero := filepath.Join(dir, "zero.json")
+	if err := os.WriteFile(zero, []byte(`{"findings":[{"file":"a.go","checker":"detwall","message":"m","count":0}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadBaseline(zero); err == nil || !strings.Contains(err.Error(), "non-positive") {
+		t.Errorf("zero-count baseline error = %v", err)
+	}
+}
+
+// TestMarshalFindingsEmpty keeps `flvet -json` emitting a JSON array —
+// never "null" — when the tree is clean.
+func TestMarshalFindingsEmpty(t *testing.T) {
+	data, err := MarshalFindings(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.TrimSpace(string(data)); got != "[]" {
+		t.Errorf("empty findings marshal to %q, want []", got)
+	}
+}

@@ -1,0 +1,216 @@
+// The fporder checker: float64 reductions must run in a fixed index
+// order. Floating-point addition is not associative, so any reduction
+// whose visit order can vary — map iteration, channel-receive order,
+// goroutine fan-in — silently breaks the bit-identity contract that the
+// golden traces and the workers=N equivalence tests pin.
+//
+// It generalizes maporder (which owns compound assignments inside
+// range-over-map) to the remaining reduction shapes:
+//
+//   - plain self-referential accumulation (`s = s + v`) inside a
+//     range-over-map, which the compound-token check misses;
+//   - any float accumulation inside a range over a channel, or fed
+//     directly from a channel receive (`s += <-ch`): receive order is
+//     scheduler-dependent;
+//   - float accumulation into a captured variable inside a closure
+//     launched by `go` or handed to internal/parallel: goroutine fan-in
+//     reorders the reduction. Writes to per-iteration slots
+//     (`out[i] = ...` where i is the closure's own parameter) are the
+//     sanctioned shape and pass.
+//
+// internal/parallel itself is exempt by policy: its reducers are the
+// sanctioned primitives the rest of the repo is steered toward.
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+var fporderChecker = &Checker{
+	Name: "fporder",
+	Doc:  "float reductions iterate in fixed index order: no map/channel-order or goroutine fan-in accumulation",
+	Run:  runFporder,
+}
+
+func runFporder(p *Pass) {
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.RangeStmt:
+				t := p.TypeOf(n.X)
+				if isMapType(t) {
+					checkMapRangePlain(p, n)
+				} else if isChanType(t) {
+					checkChanRange(p, n)
+				}
+			case *ast.AssignStmt:
+				if lhs := accumTarget(p, n, true); lhs != nil && containsRecv(n.Rhs) {
+					p.Reportf(n.Pos(), "float accumulation fed by a channel receive: receive order is scheduler-dependent (collect into an indexed slice, then reduce in fixed order)")
+				}
+			case *ast.GoStmt:
+				if lit, ok := n.Call.Fun.(*ast.FuncLit); ok {
+					checkClosureAccum(p, lit)
+				}
+			case *ast.CallExpr:
+				if calleeInParallel(p, n) {
+					for _, arg := range n.Args {
+						if lit, ok := arg.(*ast.FuncLit); ok {
+							checkClosureAccum(p, lit)
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// checkMapRangePlain flags `s = s + v` float accumulation inside a
+// range-over-map; the compound-token form is maporder's finding.
+func checkMapRangePlain(p *Pass, rs *ast.RangeStmt) {
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		if lhs := accumTarget(p, as, false); lhs != nil {
+			p.Reportf(as.Pos(), "float accumulation inside range over a map: result depends on iteration order (iterate sorted keys or an indexed slice)")
+		}
+		return true
+	})
+}
+
+// checkChanRange flags float accumulation inside a range over a channel.
+func checkChanRange(p *Pass, rs *ast.RangeStmt) {
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		if containsRecv(as.Rhs) {
+			return true // the standalone receive rule owns this site
+		}
+		if lhs := accumTarget(p, as, true); lhs != nil {
+			p.Reportf(as.Pos(), "float accumulation inside range over a channel: receive order is scheduler-dependent (collect into an indexed slice, then reduce in fixed order)")
+		}
+		return true
+	})
+}
+
+// checkClosureAccum flags float accumulation into captured (shared)
+// targets inside a concurrently-executed closure. A target is shared
+// when no identifier in it resolves to a binding local to the closure —
+// `out[i] += v` with i a closure parameter writes a per-iteration slot
+// and passes.
+func checkClosureAccum(p *Pass, lit *ast.FuncLit) {
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		lhs := accumTarget(p, as, true)
+		if lhs == nil {
+			return true
+		}
+		localPart := false
+		ast.Inspect(lhs, func(m ast.Node) bool {
+			id, ok := m.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			if obj := p.ObjectOf(id); obj != nil &&
+				obj.Pos() >= lit.Pos() && obj.Pos() < lit.End() {
+				localPart = true
+			}
+			return true
+		})
+		if !localPart {
+			p.Reportf(as.Pos(), "float accumulation into captured %s inside a concurrent closure: goroutine fan-in reorders the reduction (accumulate per index, then combine in fixed order)", exprString(lhs))
+		}
+		return true
+	})
+}
+
+// accumTarget returns the target of a single-assignment float
+// accumulation: `x op= v` (when compound is true) or `x = x op v` with an
+// arithmetic op and a self-reference anywhere in the expression.
+func accumTarget(p *Pass, as *ast.AssignStmt, compound bool) ast.Expr {
+	if len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+		return nil
+	}
+	lhs := as.Lhs[0]
+	switch as.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+		if compound && isFloat(p.TypeOf(lhs)) {
+			return lhs
+		}
+	case token.ASSIGN:
+		be, ok := ast.Unparen(as.Rhs[0]).(*ast.BinaryExpr)
+		if !ok || !isFloat(p.TypeOf(lhs)) {
+			return nil
+		}
+		switch be.Op {
+		case token.ADD, token.SUB, token.MUL, token.QUO:
+		default:
+			return nil
+		}
+		selfRef := false
+		ast.Inspect(be, func(m ast.Node) bool {
+			if e, ok := m.(ast.Expr); ok && sameExpr(p, lhs, e) {
+				selfRef = true
+			}
+			return true
+		})
+		if selfRef {
+			return lhs
+		}
+	}
+	return nil
+}
+
+// containsRecv reports whether any expression contains a channel receive.
+func containsRecv(exprs []ast.Expr) bool {
+	for _, e := range exprs {
+		found := false
+		ast.Inspect(e, func(n ast.Node) bool {
+			if u, ok := n.(*ast.UnaryExpr); ok && u.Op == token.ARROW {
+				found = true
+			}
+			return true
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+func isChanType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Chan)
+	return ok
+}
+
+// calleeInParallel reports whether the call statically resolves into the
+// sanctioned worker-pool package (…/internal/parallel).
+func calleeInParallel(p *Pass, call *ast.CallExpr) bool {
+	var obj types.Object
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj = p.ObjectOf(fun)
+	case *ast.SelectorExpr:
+		obj = p.ObjectOf(fun.Sel)
+	default:
+		return false
+	}
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return false
+	}
+	return strings.HasSuffix(fn.Pkg().Path(), "internal/parallel")
+}

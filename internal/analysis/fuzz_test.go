@@ -1,0 +1,63 @@
+package analysis
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// FuzzAllowDirective feeds arbitrary comment bytes through the
+// //flvet:allow parser: every input must yield either a well-formed
+// directive (known checkers, at least one) or exactly one of the typed
+// sentinel errors — and must never panic. The parser fronts every
+// comment in the module on every flvet run, so its total behavior is a
+// lint-reliability invariant, not a nicety.
+func FuzzAllowDirective(f *testing.F) {
+	f.Add("//flvet:allow detwall -- timestamp feeds the log line only")
+	f.Add("//flvet:allow detwall,maporder -- two checkers, one reason")
+	f.Add("//flvet:allow")
+	f.Add("//flvet:allow  -- reason with no checkers")
+	f.Add("//flvet:allow nosuchchecker -- reason")
+	f.Add("//flvet:allow detwall,nosuch -- mixed known and unknown")
+	f.Add("//flvet:allowextra detwall -- longer token is not ours")
+	f.Add("// ordinary comment")
+	f.Add("//flvet:allow detwall --")
+	f.Add("//flvet:allow ,,,, -- commas only")
+	f.Add("//flvet:allow detwall -- a -- b -- c")
+	f.Add("//flvet:allow\t detwall \t-- tabs")
+	f.Add("//flvet:allow \x00\xff -- control bytes")
+	f.Fuzz(func(t *testing.T, text string) {
+		checkers, err := ParseAllowDirective(text)
+		if err == nil {
+			if len(checkers) == 0 {
+				t.Fatalf("nil error with no checkers for %q", text)
+			}
+			for _, name := range checkers {
+				if !checkerKnown(name) {
+					t.Fatalf("accepted unknown checker %q from %q", name, text)
+				}
+				if strings.TrimSpace(name) != name || name == "" {
+					t.Fatalf("unnormalized checker %q from %q", name, text)
+				}
+			}
+			if !strings.HasPrefix(text, directivePrefix) {
+				t.Fatalf("accepted input without the directive prefix: %q", text)
+			}
+			return
+		}
+		sentinels := 0
+		for _, s := range []error{ErrNotDirective, ErrMalformedDirective, ErrUnknownChecker, ErrNoCheckers} {
+			if errors.Is(err, s) {
+				sentinels++
+			}
+		}
+		if sentinels != 1 {
+			t.Fatalf("error %v for %q wraps %d sentinels, want exactly 1", err, text, sentinels)
+		}
+		// Unknown-checker errors may still carry the valid names so the
+		// directive machinery can keep them; everything else returns none.
+		if !errors.Is(err, ErrUnknownChecker) && len(checkers) != 0 {
+			t.Fatalf("non-recoverable error %v for %q returned checkers %v", err, text, checkers)
+		}
+	})
+}

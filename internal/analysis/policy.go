@@ -1,8 +1,10 @@
 package analysis
 
 // Policy decides which checkers run on which packages, and carries the
-// nilsink type list. The zero policy runs nothing; DefaultPolicy encodes
-// the repo's package table (documented in DESIGN.md §11).
+// checker-specific tables: the nilsink type list, the checkpoint-registry
+// types ckptstate keys on, and the pinned allocation-free hot-path roots
+// for allocfree. The zero policy runs nothing; DefaultPolicy encodes the
+// repo's package table (documented in DESIGN.md §11 and §16).
 type Policy struct {
 	// Rules maps a checker name to the predicate deciding whether it runs
 	// on a package import path. A missing entry disables the checker.
@@ -10,6 +12,17 @@ type Policy struct {
 	// NilGuardTypes are the receiver type names whose pointer methods
 	// nilsink requires to begin with a nil-receiver guard.
 	NilGuardTypes []string
+	// CkptRegistries names the registry types ("pkg/path.Type") whose
+	// Vector/RNG/Int/Float/Dynamic methods are snapshot-registration
+	// primitives for ckptstate.
+	CkptRegistries []string
+	// HotFuncs pins exact functions ("pkg/path.Func" or
+	// "(*pkg/path.Type).Method", as types.Func.FullName renders them) as
+	// allocation-free hot-path roots for allocfree.
+	HotFuncs []string
+	// HotIfaces pins interface methods ("pkg/path.Iface.Method"); every
+	// loaded implementation becomes an allocfree root.
+	HotIfaces []string
 }
 
 // Applies reports whether checker runs on the package at path.
@@ -60,15 +73,20 @@ func only(paths ...string) func(string) bool {
 //     not time.Now(), whenever the value feeds a deadline comparison;
 //   - maporder runs everywhere: map iteration order must never reach a
 //     float reduction, an ordered accumulation, or the trace;
+//   - fporder runs everywhere except internal/parallel (the sanctioned
+//     reducers): float reductions iterate slices or sorted keys in fixed
+//     index order, never channel-receive order or goroutine fan-in;
 //   - goexec runs everywhere except internal/parallel (the sanctioned
 //     worker pool) and internal/cluster (the supervised node runtime);
-//   - the kernel packages internal/tensor and internal/nn get no
-//     exemptions: the GEMM and im2col/backprop hot loops fall under
-//     detwall, maporder, and goexec like any other deterministic code —
-//     a kernel that read the wall clock, ranged a map into an
-//     accumulator, or spawned its own goroutines would break the
-//     bit-identity contract the golden traces pin (enforcement pinned in
-//     TestDefaultPolicyTable);
+//   - ckptstate runs everywhere: any struct registering state with
+//     internal/checkpoint.Registry (directly or through fl.Checkpointer)
+//     must register every mutable stateful field;
+//   - allocfree runs everywhere; what it checks is pinned by the root
+//     table below — the per-round worker steps and edge/tier update math
+//     in internal/core and internal/cluster, the GEMM/conv kernels in
+//     internal/tensor and internal/nn, and every robust.Aggregator
+//     implementation. The kernel packages carry no exemptions
+//     (enforcement pinned in TestDefaultPolicyTable);
 //   - wirealloc runs on the packages that decode wire or snapshot bytes;
 //   - nilsink runs on internal/telemetry, over the instrument and sink
 //     types whose nil fast path the hot loops rely on.
@@ -83,9 +101,12 @@ func DefaultPolicy(modulePath string) Policy {
 	// every package of this module.
 	return Policy{
 		Rules: map[string]func(string) bool{
-			"detwall":  except(in("internal/cluster"), in("internal/transport")),
-			"maporder": anyPackage,
-			"goexec":   except(in("internal/parallel"), in("internal/cluster")),
+			"detwall":   except(in("internal/cluster"), in("internal/transport")),
+			"maporder":  anyPackage,
+			"fporder":   except(in("internal/parallel")),
+			"goexec":    except(in("internal/parallel"), in("internal/cluster")),
+			"ckptstate": anyPackage,
+			"allocfree": anyPackage,
 			"wirealloc": only(
 				in("internal/transport"),
 				in("internal/persist"),
@@ -95,6 +116,29 @@ func DefaultPolicy(modulePath string) Policy {
 			),
 			"nilsink": only(in("internal/telemetry")),
 		},
-		NilGuardTypes: []string{"Counter", "Gauge", "Histogram", "Sink", "Tracer"},
+		NilGuardTypes:  []string{"Counter", "Gauge", "Histogram", "Sink", "Tracer"},
+		CkptRegistries: []string{in("internal/checkpoint") + ".Registry"},
+		HotFuncs: []string{
+			// The per-round worker step and edge update: the simulation's
+			// steady-state inner loops (slab arenas, PR 7).
+			"(*" + in("internal/core") + ".workerState).step",
+			"(*" + in("internal/core") + ".HierAdMo).edgeUpdate",
+			// The distributed runtime's equivalents.
+			"(*" + in("internal/cluster") + ".workerNode).step",
+			"(*" + in("internal/cluster") + ".treeLeaf).step",
+			// The GEMM kernels every dense/conv layer reduces to.
+			in("internal/tensor") + ".GEMMBias",
+			in("internal/tensor") + ".GEMMAddTransB",
+			// The im2col conv kernels and the fused conv+ReLU fast path.
+			"(*" + in("internal/nn") + ".Conv2D).Forward",
+			"(*" + in("internal/nn") + ".Conv2D).Backward",
+			"(*" + in("internal/nn") + ".convReLU).Forward",
+			"(*" + in("internal/nn") + ".convReLU).Backward",
+		},
+		HotIfaces: []string{
+			// Every robust aggregation rule runs once per round per tier on
+			// whole-cohort state: all implementations are pinned.
+			in("internal/robust") + ".Aggregator.Aggregate",
+		},
 	}
 }

@@ -26,4 +26,40 @@ func TestModuleSelfGate(t *testing.T) {
 	for _, d := range Run(pkgs, Checkers(), DefaultPolicy(module)) {
 		t.Errorf("flvet finding: %s", d)
 	}
+
+	// The dataflow checkers must actually have engaged, not silently
+	// no-oped: a clean result with no registration primitives resolved or
+	// no hot roots pinned would mean the whole-program substrate lost the
+	// real registry/kernels (e.g. after a rename) and the gate is
+	// vacuous.
+	var prog *Program
+	for _, pkg := range pkgs {
+		if len(pkg.Files) > 0 {
+			prog = NewProgram(pkgs)
+			break
+		}
+	}
+	if prog == nil {
+		t.Fatal("no loadable packages")
+	}
+	pol := DefaultPolicy(module)
+	ckpt := prog.ckptFacts(pol)
+	if len(ckpt.prims) != len(registrationKinds) {
+		t.Errorf("ckptstate resolved %d registration primitives, want %d (is internal/checkpoint.Registry intact?)",
+			len(ckpt.prims), len(registrationKinds))
+	}
+	if len(ckpt.fwd) == 0 {
+		t.Error("ckptstate found no forwarders; fl.Checkpointer should forward to the registry")
+	}
+	if !ckpt.cand["hieradmo/internal/core.workerState"] {
+		t.Error("ckptstate did not see core.workerState as checkpoint-registered")
+	}
+	alloc := prog.allocFacts(pol)
+	if got, want := len(alloc.roots), len(pol.HotFuncs)+1; got < want {
+		t.Errorf("allocfree resolved %d hot roots, want at least %d (HotFuncs plus ≥1 Aggregator implementation)",
+			got, want)
+	}
+	if len(alloc.missing) > 0 {
+		t.Errorf("pinned hot roots missing from loaded packages: %v", alloc.missing)
+	}
 }

@@ -1,0 +1,111 @@
+// Package fporder is the golden corpus for the fporder checker: float64
+// reductions must visit their terms in a fixed index order — no map
+// iteration, channel-receive order, or goroutine fan-in.
+package fporder
+
+import "sort"
+
+// sumMap accumulates in map-iteration order; the plain `s = s + v`
+// form maporder's compound-token check misses.
+func sumMap(m map[string]float64) float64 {
+	var s float64
+	for _, v := range m {
+		s = s + v // want "float accumulation inside range over a map"
+	}
+	return s
+}
+
+// sumSorted is the sanctioned map reduction: sort the keys first.
+func sumSorted(m map[string]float64) float64 {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var s float64
+	for _, k := range keys {
+		s += m[k]
+	}
+	return s
+}
+
+// countMap is an integer count: not a float reduction, map order is
+// immaterial.
+func countMap(m map[string]float64) int {
+	n := 0
+	for range m {
+		n = n + 1
+	}
+	return n
+}
+
+// sumChan accumulates in channel-receive order.
+func sumChan(ch chan float64) float64 {
+	var s float64
+	for v := range ch {
+		s += v // want "float accumulation inside range over a channel"
+	}
+	return s
+}
+
+// sumRecv feeds the accumulator straight from a receive.
+func sumRecv(ch chan float64, n int) float64 {
+	var s float64
+	for i := 0; i < n; i++ {
+		s += <-ch // want "float accumulation fed by a channel receive"
+	}
+	return s
+}
+
+// fanIn accumulates into a captured total from several goroutines:
+// fan-in order reorders the reduction.
+func fanIn(parts [][]float64) float64 {
+	var total float64
+	done := make(chan struct{})
+	for i := range parts {
+		go func(i int) {
+			for _, v := range parts[i] {
+				total += v // want "float accumulation into captured total inside a concurrent closure"
+			}
+			done <- struct{}{}
+		}(i)
+	}
+	for range parts {
+		<-done
+	}
+	return total
+}
+
+// perSlot is the sanctioned fan-in shape: each goroutine writes its own
+// indexed slot, and one fixed-order pass combines them.
+func perSlot(parts [][]float64) float64 {
+	out := make([]float64, len(parts))
+	done := make(chan struct{})
+	for i := range parts {
+		go func(i int) {
+			for _, v := range parts[i] {
+				out[i] += v
+			}
+			done <- struct{}{}
+		}(i)
+	}
+	for range parts {
+		<-done
+	}
+	var s float64
+	for _, v := range out {
+		s += v
+	}
+	return s
+}
+
+// debugSum tolerates order drift explicitly: the directive carries the
+// reason.
+func debugSum(m map[string]float64) float64 {
+	var s float64
+	for _, v := range m {
+		//flvet:allow fporder -- debug-only total, never feeds the model
+		s = s + v
+	}
+	return s
+}

@@ -52,7 +52,8 @@ type cloudNode struct {
 	// prevY/prevX are its deviation references: cloudY/cloudX are both
 	// source and destination at a sync, so the previous values are
 	// copied out before the reduction.
-	agg          robust.Aggregator
+	agg robust.Aggregator
+	//flvet:allow ckptstate -- per-sync scratch, refilled from cloudY/cloudX before every use
 	prevY, prevX tensor.Vector
 }
 

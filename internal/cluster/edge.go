@@ -36,6 +36,7 @@ type edgeNode struct {
 	reg  *checkpoint.Registry
 	memb *membState
 
+	//flvet:allow ckptstate -- yPlusNext is per-sync scratch, overwritten by WeightedSum before use
 	yMinus, yPlus, yPlusNext, xPlus tensor.Vector
 	// lastY is the worker momentum most recently redistributed to the
 	// workers, used by the velocity adaptation signal.

@@ -171,6 +171,7 @@ type tierNode struct {
 	rec  *faultRecorder
 	reg  *checkpoint.Registry
 
+	//flvet:allow ckptstate -- yPlusNext is per-sync scratch, overwritten by WeightedSum before use
 	yMinus, yPlus, yPlusNext, xPlus tensor.Vector
 	// lastY is the state most recently redistributed to the children, the
 	// velocity-signal reference and the robust deviation reference at
@@ -187,7 +188,8 @@ type tierNode struct {
 	// bit-exact WeightedSum path). prevY/prevX are the deviation references
 	// at non-momentum levels, where the previous state would otherwise be
 	// overwritten mid-reduction.
-	agg          robust.Aggregator
+	agg robust.Aggregator
+	//flvet:allow ckptstate -- per-sync scratch, refilled from yMinus/xPlus before every use
 	prevY, prevX tensor.Vector
 
 	// lastYRep/lastXRep/missStreak implement the substitution semantics at
@@ -1010,7 +1012,10 @@ type treeLeaf struct {
 
 	x, y          tensor.Vector
 	gradSum, ySum tensor.Vector
-	grad          tensor.Vector
+	grad          tensor.Vector //flvet:allow ckptstate -- per-step scratch, overwritten by LossGrad before use
+	// yPrev is per-iteration scratch for the NAG extrapolation,
+	// preallocated so step never clones a model-sized vector.
+	yPrev         tensor.Vector //flvet:allow ckptstate -- per-step scratch, refilled from y before use
 	lastLoss      float64
 	syncedThrough int
 }
@@ -1030,6 +1035,7 @@ func newTreeLeaf(cfg *fl.Config, ts *treeSpec, j int, x0 tensor.Vector, ep trans
 		gradSum: tensor.NewVector(len(x0)),
 		ySum:    tensor.NewVector(len(x0)),
 		grad:    tensor.NewVector(len(x0)),
+		yPrev:   tensor.NewVector(len(x0)),
 	}
 }
 
@@ -1177,6 +1183,7 @@ func (w *treeLeaf) step() error {
 	if err != nil {
 		return err
 	}
+	//flvet:allow allocfree -- workspace pool miss only; steady-state gradient calls reuse pooled buffers
 	loss, err := w.cfg.Model.LossGrad(w.x, batch, w.grad)
 	if err != nil {
 		return err
@@ -1185,7 +1192,9 @@ func (w *treeLeaf) step() error {
 	if err := w.gradSum.Add(w.grad); err != nil {
 		return err
 	}
-	yPrev := w.y.Clone()
+	if err := w.yPrev.CopyFrom(w.y); err != nil {
+		return err
+	}
 	if err := w.y.CopyFrom(w.x); err != nil {
 		return err
 	}
@@ -1201,7 +1210,7 @@ func (w *treeLeaf) step() error {
 	if err := w.x.AXPY(w.cfg.Gamma, w.y); err != nil {
 		return err
 	}
-	if err := w.x.AXPY(-w.cfg.Gamma, yPrev); err != nil {
+	if err := w.x.AXPY(-w.cfg.Gamma, w.yPrev); err != nil {
 		return err
 	}
 	w.opts.Telemetry.M().WorkerSteps.Inc()

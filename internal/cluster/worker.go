@@ -39,8 +39,11 @@ type workerNode struct {
 
 	x, y          tensor.Vector
 	gradSum, ySum tensor.Vector
-	grad          tensor.Vector
-	lastLoss      float64
+	grad          tensor.Vector //flvet:allow ckptstate -- per-step scratch, overwritten by LossGrad before use
+	// yPrev is per-iteration scratch for the NAG extrapolation,
+	// preallocated so step never clones a model-sized vector.
+	yPrev    tensor.Vector //flvet:allow ckptstate -- per-step scratch, refilled from y before use
+	lastLoss float64
 	// syncedThrough is the round of the last adopted edge update. When an
 	// update arrives for a round ahead of this worker's own iteration count
 	// (the edge fast-forwarded past syncs a quorum completed without it),
@@ -64,6 +67,7 @@ func newWorkerNode(cfg *fl.Config, hn *fl.Harness, l, i int, x0 tensor.Vector, e
 		gradSum: tensor.NewVector(len(x0)),
 		ySum:    tensor.NewVector(len(x0)),
 		grad:    tensor.NewVector(len(x0)),
+		yPrev:   tensor.NewVector(len(x0)),
 	}
 }
 
@@ -356,6 +360,7 @@ func (w *workerNode) step() error {
 	if err != nil {
 		return err
 	}
+	//flvet:allow allocfree -- workspace pool miss only; steady-state gradient calls reuse pooled buffers
 	loss, err := w.cfg.Model.LossGrad(w.x, batch, w.grad)
 	if err != nil {
 		return err
@@ -364,7 +369,9 @@ func (w *workerNode) step() error {
 	if err := w.gradSum.Add(w.grad); err != nil {
 		return err
 	}
-	yPrev := w.y.Clone()
+	if err := w.yPrev.CopyFrom(w.y); err != nil {
+		return err
+	}
 	if err := w.y.CopyFrom(w.x); err != nil {
 		return err
 	}
@@ -380,7 +387,7 @@ func (w *workerNode) step() error {
 	if err := w.x.AXPY(w.cfg.Gamma, w.y); err != nil {
 		return err
 	}
-	if err := w.x.AXPY(-w.cfg.Gamma, yPrev); err != nil {
+	if err := w.x.AXPY(-w.cfg.Gamma, w.yPrev); err != nil {
 		return err
 	}
 	w.opts.Telemetry.M().WorkerSteps.Inc()

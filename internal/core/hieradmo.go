@@ -137,10 +137,10 @@ type workerState struct {
 	// yStart is y at the beginning of the current edge interval, used by the
 	// SignalVelocity ablation.
 	yStart tensor.Vector
-	grad   tensor.Vector // scratch
+	grad   tensor.Vector //flvet:allow ckptstate -- per-step scratch, overwritten by Grad before use
 	// yPrev is per-iteration scratch for the NAG extrapolation; preallocated
 	// so the hot loop never clones a model-sized vector.
-	yPrev tensor.Vector
+	yPrev tensor.Vector //flvet:allow ckptstate -- per-step scratch, refilled from y before use
 }
 
 // step advances the worker through lines 5–6 of Algorithm 1 (one NAG
@@ -148,6 +148,7 @@ type workerState struct {
 // worker's own vectors and its own sampler stream inside hn.Grad, so the
 // round loop fans one goroutine out per worker.
 func (w *workerState) step(hn *fl.Harness, cfg *fl.Config, l, i int) error {
+	//flvet:allow allocfree -- workspace pool miss only; steady-state gradient calls reuse pooled buffers
 	if _, err := hn.Grad(l, i, w.x, w.grad); err != nil {
 		return err
 	}
@@ -196,7 +197,7 @@ type edgeState struct {
 	xPlus     tensor.Vector // x_{ℓ+}
 	yPlus     tensor.Vector // y_{ℓ+} (previous edge aggregation's value)
 	yMinus    tensor.Vector // y_{ℓ−} (latest aggregated worker momentum)
-	yPlusNext tensor.Vector // scratch for line 12
+	yPlusNext tensor.Vector //flvet:allow ckptstate -- per-round scratch for line 12, overwritten before use
 }
 
 // edgeScratch is the preallocated working storage every edgeUpdate call

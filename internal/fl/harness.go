@@ -19,8 +19,10 @@ type Harness struct {
 	cfg *Config
 
 	// EdgeWeights[l] = Dℓ/D.
+	//flvet:allow ckptstate -- config-derived constant, rebuilt identically by NewHarness on resume
 	EdgeWeights []float64
 	// WorkerWeights[l][i] = D(i,ℓ)/Dℓ.
+	//flvet:allow ckptstate -- config-derived constant, rebuilt identically by NewHarness on resume
 	WorkerWeights [][]float64
 
 	samplers [][]*rng.RNG

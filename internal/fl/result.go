@@ -18,9 +18,9 @@ type Result struct {
 	// Algorithm is the report name of the algorithm that produced the run.
 	Algorithm string
 	// FinalAcc is the full-test-set accuracy of the final global model.
-	FinalAcc float64
+	FinalAcc float64 //flvet:allow ckptstate -- written once after the final iteration, never mid-run
 	// FinalLoss is the last recorded weighted training loss.
-	FinalLoss float64
+	FinalLoss float64 //flvet:allow ckptstate -- written once after the final iteration, never mid-run
 	// Curve holds the recorded trajectory in iteration order, always ending
 	// with a point at Iter == T.
 	Curve []Point

@@ -27,6 +27,11 @@ type Quantizer struct {
 	bits   int
 	levels float64
 	r      *rng.RNG
+	// scratch is Roundtrip's reusable encoding: its code buffer grows once
+	// to the model size, so the steady-state round loop never allocates a
+	// payload. It is derived (refilled on every Roundtrip), not state —
+	// only the rounding stream r needs checkpointing.
+	scratch Encoded
 }
 
 // New returns a quantizer with the given bit width (2–8 bits per element;
@@ -62,12 +67,30 @@ type Encoded struct {
 // accounting without changing the experiment's shape).
 func (e *Encoded) WireBytes() int { return 8 + len(e.Codes) }
 
-// Encode compresses v. The zero vector encodes with Scale 0.
+// Encode compresses v into a fresh encoding. The zero vector encodes with
+// Scale 0.
 func (q *Quantizer) Encode(v tensor.Vector) *Encoded {
+	out := &Encoded{}
+	q.EncodeInto(v, out)
+	return out
+}
+
+// EncodeInto compresses v into e, reusing e's code buffer when its
+// capacity suffices and growing it otherwise. Feeding the same encoding
+// back in makes every encode after the first allocation-free; the RNG
+// consumption is identical to Encode.
+func (q *Quantizer) EncodeInto(v tensor.Vector, e *Encoded) {
+	if cap(e.Codes) < len(v) {
+		e.Codes = make([]int8, len(v))
+	}
+	e.Codes = e.Codes[:len(v)]
 	maxAbs := v.MaxAbs()
-	out := &Encoded{Scale: maxAbs, Codes: make([]int8, len(v))}
+	e.Scale = maxAbs
 	if maxAbs == 0 {
-		return out
+		for i := range e.Codes {
+			e.Codes[i] = 0
+		}
+		return
 	}
 	inv := q.levels / maxAbs
 	for i, x := range v {
@@ -84,9 +107,8 @@ func (q *Quantizer) Encode(v tensor.Vector) *Encoded {
 		if code < -q.levels {
 			code = -q.levels
 		}
-		out.Codes[i] = int8(code)
+		e.Codes[i] = int8(code)
 	}
-	return out
 }
 
 // Decode reconstructs an approximation of the original vector into dst.
@@ -109,9 +131,9 @@ func (q *Quantizer) Decode(e *Encoded, dst tensor.Vector) error {
 // Roundtrip quantizes v in place (encode followed by decode), the form the
 // training loop uses to simulate a lossy uplink.
 func (q *Quantizer) Roundtrip(v tensor.Vector) {
-	e := q.Encode(v)
+	q.EncodeInto(v, &q.scratch)
 	// Decode cannot fail here: dst length equals the code length.
-	_ = q.Decode(e, v)
+	_ = q.Decode(&q.scratch, v)
 }
 
 // CompressionRatio returns the wire-size ratio of the raw float64 encoding
